@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table/figure from the paper (see the
+experiment index in DESIGN.md): it computes the quantities, asserts the
+paper's numbers (exactly where the paper is exact, shape-wise where the
+substrate is synthetic), prints the reproduced rows through
+:func:`repro.analysis.format_table`, and times the computation with
+pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the printed paper-style tables inline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print one reproduced table with a separating banner."""
+    print()
+    print(f"=== {title} ===")
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def paper_fixture():
+    """The Section 8 worked example, shared across benches."""
+    from repro.datasets import paper_example_policy, paper_example_population
+
+    return paper_example_policy(), paper_example_population()
+
+
+@pytest.fixture(scope="session")
+def healthcare_200():
+    """A mid-sized healthcare scenario for the expansion benches."""
+    from repro.datasets import healthcare_scenario
+
+    return healthcare_scenario(200, seed=11)
+
+
+@pytest.fixture(scope="session")
+def crm_200():
+    """A mid-sized CRM scenario for the economics benches."""
+    from repro.datasets import crm_scenario
+
+    return crm_scenario(200, seed=11)

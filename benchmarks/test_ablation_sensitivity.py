@@ -1,0 +1,57 @@
+"""Ablation — sensitivity weighting on vs off (Section 6.1's point).
+
+With all sensitivities forced to 1, severity collapses to the raw
+geometric exceedance, and the paper's Table 1 inversion disappears: Ted
+(one dimension exceeded by 1) can no longer out-sever Bob (two dimensions
+exceeded by 1 each).  The ablation quantifies what the weighting buys.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import SensitivityModel, ViolationEngine, provider_violation
+
+from conftest import emit
+
+
+def test_sensitivity_weighting_ablation(benchmark, paper_fixture):
+    policy, population = paper_fixture
+
+    def evaluate_both():
+        weighted = {
+            provider.provider_id: provider_violation(
+                provider.preferences, policy, population.sensitivity_model()
+            )
+            for provider in population
+        }
+        unweighted = {
+            provider.provider_id: provider_violation(
+                provider.preferences, policy, SensitivityModel.neutral()
+            )
+            for provider in population
+        }
+        return weighted, unweighted
+
+    weighted, unweighted = benchmark(evaluate_both)
+
+    rows = [
+        [str(pid), weighted[pid], unweighted[pid]]
+        for pid in ("Alice", "Ted", "Bob")
+    ]
+    emit(
+        "Ablation: Violation_i with vs without sensitivity weighting",
+        format_table(["provider", "weighted (paper)", "all weights = 1"], rows),
+    )
+
+    # Paper values with weighting.
+    assert weighted == {"Alice": 0.0, "Ted": 60.0, "Bob": 80.0}
+    # Raw exceedance without: Ted = 1 (one dim by 1), Bob = 2 (two dims by 1).
+    assert unweighted == {"Alice": 0.0, "Ted": 1.0, "Bob": 2.0}
+    # The inversion: weighting lets a one-dimension violation dominate...
+    assert weighted["Ted"] > unweighted["Ted"] * 10
+    # ...but unweighted severity ranks Bob strictly above Ted.
+    assert unweighted["Bob"] > unweighted["Ted"]
+    # The binary indicator w_i is unaffected by weighting.
+    engine = ViolationEngine(policy, population)
+    for outcome in engine.outcomes():
+        assert outcome.violated == (unweighted[outcome.provider_id] > 0)

@@ -1,0 +1,94 @@
+"""Ablation — strict (paper) vs non-strict default thresholds.
+
+Definition 4 uses the strict inequality ``Violation_i > v_i``; Bob's
+boundary case (80 < 100) doesn't depend on it, but a provider sitting
+*exactly at* threshold does.  The ablation measures how much
+``P(Default)`` shifts between the two semantics across a widening sweep —
+an upper bound on how much the printed inequality choice matters.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import DefaultModel, ViolationEngine, default_probability
+from repro.simulation import WideningStep, widening_path
+
+from conftest import emit
+
+
+def test_threshold_semantics_ablation(benchmark, healthcare_200):
+    population = healthcare_200.population
+    strict_model = population.default_model(strict=True)
+    loose_model = population.default_model(strict=False)
+
+    def sweep_both():
+        rows = []
+        for step, policy in widening_path(
+            healthcare_200.policy,
+            WideningStep.uniform(1),
+            healthcare_200.taxonomy,
+            4,
+        ):
+            strict_p = default_probability(
+                population, policy, default_model=strict_model
+            )
+            loose_p = default_probability(
+                population, policy, default_model=loose_model
+            )
+            rows.append((step, strict_p, loose_p))
+        return rows
+
+    results = benchmark(sweep_both)
+
+    emit(
+        "Ablation: P(Default) under strict vs non-strict thresholds",
+        format_table(
+            ["step", "strict > (paper)", "non-strict >=", "delta"],
+            [
+                [step, strict_p, loose_p, loose_p - strict_p]
+                for step, strict_p, loose_p in results
+            ],
+        ),
+    )
+
+    for _, strict_p, loose_p in results:
+        # Non-strict can only default more providers, never fewer.
+        assert loose_p >= strict_p
+
+    # With continuous (uniform-sampled) thresholds, exact ties have
+    # probability zero: the two semantics must agree on this population.
+    for _, strict_p, loose_p in results:
+        assert loose_p == strict_p
+
+
+def test_boundary_provider_flips(benchmark, paper_fixture):
+    """Pin Bob's threshold to exactly his severity: only the non-strict
+    semantics evicts him — the discrete counterpart the sweep cannot show."""
+    policy, population = paper_fixture
+
+    def evaluate():
+        pinned = DefaultModel(
+            {"Alice": 10.0, "Ted": 50.0, "Bob": 80.0}, strict=True
+        )
+        strict_outcomes = pinned.evaluate(
+            population.preference_sets(), policy, population.sensitivity_model()
+        )
+        loose_outcomes = pinned.with_strictness(False).evaluate(
+            population.preference_sets(), policy, population.sensitivity_model()
+        )
+        return strict_outcomes, loose_outcomes
+
+    strict_outcomes, loose_outcomes = benchmark(evaluate)
+    emit(
+        "Ablation: Bob pinned at v_Bob = Violation_Bob = 80",
+        format_table(
+            ["provider", "strict default", "non-strict default"],
+            [
+                [pid, strict_outcomes[pid], loose_outcomes[pid]]
+                for pid in ("Alice", "Ted", "Bob")
+            ],
+        ),
+    )
+    assert strict_outcomes["Bob"] == 0
+    assert loose_outcomes["Bob"] == 1
+    assert strict_outcomes["Ted"] == loose_outcomes["Ted"] == 1

@@ -1,0 +1,105 @@
+"""E5 — Definition 3: the alpha-PPDB under widening, in memory and on sqlite.
+
+Sweeps widening levels, certifying at several alphas per level: ``P(W)``
+must be monotone in widening, each certificate's verdict must match
+``P(W) <= alpha``, and the sqlite-backed store must produce the *same*
+certificate as the in-memory engine (the storage substrate cannot change
+the model's answer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ViolationEngine
+from repro.simulation import WideningStep, widening_path
+from repro.storage import PrivacyDatabase
+
+from conftest import emit
+
+ALPHAS = (0.0, 0.1, 0.25, 0.5, 1.0)
+
+
+def test_alpha_ppdb_sweep(benchmark, healthcare_200):
+    def certify_all():
+        results = []
+        for step, policy in widening_path(
+            healthcare_200.policy,
+            WideningStep.uniform(1),
+            healthcare_200.taxonomy,
+            4,
+        ):
+            engine = ViolationEngine(policy, healthcare_200.population)
+            certificates = {
+                alpha: engine.certify(alpha) for alpha in ALPHAS
+            }
+            results.append((step, certificates))
+        return results
+
+    results = benchmark(certify_all)
+
+    rows = []
+    for step, certificates in results:
+        p_w = certificates[ALPHAS[0]].violation_probability
+        rows.append(
+            [
+                step,
+                p_w,
+                *(
+                    "yes" if certificates[alpha].satisfied else "no"
+                    for alpha in ALPHAS
+                ),
+            ]
+        )
+    emit(
+        "E5: alpha-PPDB certification vs widening (healthcare)",
+        format_table(
+            ["step", "P(W)", *(f"a={alpha}" for alpha in ALPHAS)], rows
+        ),
+    )
+
+    probabilities = [
+        certificates[ALPHAS[0]].violation_probability
+        for _, certificates in results
+    ]
+    assert probabilities == sorted(probabilities)  # monotone in widening
+    assert probabilities[0] == 0.0  # anchored baseline is a 0-PPDB
+    for _, certificates in results:
+        for alpha, certificate in certificates.items():
+            assert certificate.satisfied == (
+                certificate.violation_probability <= alpha
+            )
+
+
+def test_sqlite_store_agrees(benchmark, healthcare_200):
+    widened = list(
+        widening_path(
+            healthcare_200.policy,
+            WideningStep.uniform(1),
+            healthcare_200.taxonomy,
+            2,
+        )
+    )[-1][1]
+
+    def certify_on_store():
+        with PrivacyDatabase.create(":memory:") as db:
+            db.install(widened, healthcare_200.population)
+            return db.certify(0.25)
+
+    stored = benchmark(certify_on_store)
+    direct = ViolationEngine(widened, healthcare_200.population).certify(0.25)
+    emit(
+        "E5: store vs in-memory certificate",
+        format_table(
+            ["backend", "P(W)", "satisfied"],
+            [
+                ["in-memory", direct.violation_probability, str(direct.satisfied)],
+                ["sqlite", stored.violation_probability, str(stored.satisfied)],
+            ],
+        ),
+    )
+    assert stored.violation_probability == pytest.approx(
+        direct.violation_probability
+    )
+    assert stored.satisfied == direct.satisfied

@@ -1,0 +1,62 @@
+"""E6 — Section 10's future-work estimator: the empirical default CDF.
+
+"Long-term observation ... can be used to empirically construct a
+cumulative distribution function of the number of defaults as the house
+expands its privacy policies."  The widening sweep plays the role of that
+observation; the bench prints the CDF, checks monotone non-decrease and
+saturation, and exercises the planner query ("the widest policy within a
+default budget") the paper envisions houses running.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import default_cdf_from_sweep, format_table
+from repro.simulation import run_expansion_sweep
+
+from conftest import emit
+
+BUDGETS = (0.05, 0.10, 0.25, 0.50)
+
+
+def test_default_cdf(benchmark, healthcare_200):
+    def build():
+        sweep = run_expansion_sweep(
+            healthcare_200.population,
+            healthcare_200.policy,
+            healthcare_200.taxonomy,
+            max_steps=6,
+        )
+        return sweep, default_cdf_from_sweep(sweep)
+
+    sweep, cdf = benchmark(build)
+
+    rows = [
+        [step, defaults, cdf.fraction_at(step)]
+        for step, defaults in zip(cdf.steps, cdf.cumulative_defaults)
+    ]
+    emit(
+        "E6: empirical default CDF (healthcare)",
+        format_table(["widening step", "cum defaults", "fraction"], rows),
+    )
+    budget_rows = [
+        [budget, cdf.widest_step_within(budget)] for budget in BUDGETS
+    ]
+    emit(
+        "E6: widest policy within a default budget",
+        format_table(["budget", "widest step"], budget_rows),
+    )
+
+    # CDF properties: non-decreasing, bounded by N, saturates with ladders.
+    assert list(cdf.cumulative_defaults) == sorted(cdf.cumulative_defaults)
+    assert cdf.cumulative_defaults[-1] <= cdf.population_size
+    assert cdf.defaults_at(0) == 0
+    assert cdf.is_saturated()
+
+    # The planner query is monotone in the budget and respects it.
+    widths = [cdf.widest_step_within(budget) for budget in BUDGETS]
+    assert widths == sorted(widths)
+    for budget, width in zip(BUDGETS, widths):
+        assert cdf.fraction_at(width) <= budget
+
+    # The CDF is exactly the sweep's default counts.
+    assert cdf.cumulative_defaults == sweep.default_counts()

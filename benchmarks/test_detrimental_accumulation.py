@@ -1,0 +1,107 @@
+"""E4 — the abstract's claim: "the accumulation of privacy violations can
+have a detrimental effect upon the data collector."
+
+Two instruments:
+
+1. the static sweep — utility rises while widening buys more than it loses
+   to defaults, then crosses over and stays below the unwidened baseline
+   (shape-level assertions: rise exists, crossover exists, end-of-sweep
+   utility below baseline);
+2. the multi-round dynamics — same story path-dependently, with defaulted
+   providers permanently gone.
+
+The absolute numbers are synthetic (Westin-segment population); the
+asserted *shape* is the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.simulation import run_dynamics, run_expansion_sweep
+
+from conftest import emit
+
+
+def test_utility_rise_then_fall(benchmark, healthcare_200):
+    def sweep():
+        return run_expansion_sweep(
+            healthcare_200.population,
+            healthcare_200.policy,
+            healthcare_200.taxonomy,
+            max_steps=5,
+            per_provider_utility=healthcare_200.per_provider_utility,
+            extra_utility_per_step=healthcare_200.extra_utility_per_step,
+        )
+
+    result = benchmark(sweep)
+    rows = [
+        [
+            row.step,
+            row.violation_probability,
+            row.default_probability,
+            row.n_future,
+            row.utility_future,
+            row.utility_gain,
+        ]
+        for row in result.rows
+    ]
+    emit(
+        "E4: utility under accumulating violations (healthcare)",
+        format_table(
+            ["step", "P(W)", "P(Default)", "N_fut", "U_fut", "gain"], rows
+        ),
+    )
+
+    utilities = [row.utility_future for row in result.rows]
+    base = utilities[0]
+    # Rise: some widening level strictly beats the baseline.
+    assert max(utilities[1:]) > base
+    # Fall: a crossover exists and the sweep ends detrimental.
+    crossover = result.crossover_step()
+    assert crossover is not None
+    assert utilities[-1] < base
+    # The peak comes before the crossover.
+    peak_step = result.best_step().step
+    assert peak_step < crossover
+
+
+def test_dynamics_confirm_detriment(benchmark, crm_200):
+    def dynamics():
+        return run_dynamics(
+            crm_200.population,
+            crm_200.policy,
+            crm_200.taxonomy,
+            rounds=6,
+            per_provider_utility=crm_200.per_provider_utility,
+            extra_utility_per_round=crm_200.extra_utility_per_step,
+        )
+
+    outcomes = benchmark(dynamics)
+    rows = [
+        [
+            o.round_index,
+            o.n_start,
+            o.n_defaulted,
+            o.n_remaining,
+            o.violation_probability,
+            o.utility,
+        ]
+        for o in outcomes
+    ]
+    emit(
+        "E4 dynamics: widen-then-default rounds (crm)",
+        format_table(
+            ["round", "N_start", "defaults", "N_left", "P(W)", "utility"],
+            rows,
+        ),
+    )
+
+    # Population is non-increasing and someone eventually leaves.
+    remaining = [o.n_remaining for o in outcomes]
+    assert remaining == sorted(remaining, reverse=True)
+    assert remaining[-1] < remaining[0]
+    # Baseline round is clean (Section 9's setup).
+    assert outcomes[0].n_defaulted == 0
+    # Utility ends below its peak: the house overshot.
+    utilities = [o.utility for o in outcomes]
+    assert utilities[-1] < max(utilities)

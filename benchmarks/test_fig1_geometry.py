@@ -1,0 +1,101 @@
+"""E2 — Figure 1 (Section 3): violations as failures of box containment.
+
+The figure's three panels encode a checkable geometric claim: within one
+purpose group, a violation along dimension ``S`` is exactly the policy box
+poking out of the preference box along ``S``.  This bench regenerates the
+three panels, asserts the dimension sets exactly, and cross-checks the
+taxonomy-layer geometry against the core model's ``exceeded_dimensions``
+over an exhaustive grid of small boxes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import Dimension, PrivacyTuple, exceeded_dimensions
+from repro.taxonomy import violation_dimensions
+
+from conftest import emit
+
+#: Figure 1's panels as (preference, policy, expected escaping dimensions).
+PANELS = [
+    (
+        "a (contained: no violation)",
+        PrivacyTuple("pr", 3, 3, 3),
+        PrivacyTuple("pr", 2, 2, 2),
+        (),
+    ),
+    (
+        "b (one-dimension violation)",
+        PrivacyTuple("pr", 3, 1, 3),
+        PrivacyTuple("pr", 2, 2, 2),
+        (Dimension.GRANULARITY,),
+    ),
+    (
+        "c (two-dimension violation)",
+        PrivacyTuple("pr", 1, 1, 3),
+        PrivacyTuple("pr", 2, 2, 2),
+        (Dimension.VISIBILITY, Dimension.GRANULARITY),
+    ),
+]
+
+
+def test_figure1_panels(benchmark):
+    def run_panels():
+        return [
+            violation_dimensions(preference, policy)
+            for _, preference, policy, _ in PANELS
+        ]
+
+    results = benchmark(run_panels)
+
+    rows = []
+    for (label, preference, policy, expected), actual in zip(PANELS, results):
+        rows.append(
+            [
+                label,
+                str(preference),
+                str(policy),
+                "/".join(d.symbol for d in expected) or "-",
+                "/".join(d.symbol for d in actual) or "-",
+            ]
+        )
+    emit(
+        "Figure 1 panels: escaping dimensions",
+        format_table(
+            ["panel", "preference", "policy", "paper", "measured"], rows
+        ),
+    )
+    for (_, _, _, expected), actual in zip(PANELS, results):
+        assert actual == expected
+
+
+def test_figure1_grid_agreement(benchmark):
+    """Taxonomy geometry == core arithmetic over every small box pair."""
+
+    def run_grid():
+        mismatches = 0
+        checked = 0
+        for pv in range(4):
+            for pg in range(4):
+                for pr_ in range(4):
+                    preference = PrivacyTuple("pr", pv, pg, pr_)
+                    for qv in range(4):
+                        for qg in range(4):
+                            for qr in range(4):
+                                policy = PrivacyTuple("pr", qv, qg, qr)
+                                checked += 1
+                                if violation_dimensions(
+                                    preference, policy
+                                ) != exceeded_dimensions(preference, policy):
+                                    mismatches += 1
+        return checked, mismatches
+
+    checked, mismatches = benchmark(run_grid)
+    emit(
+        "Figure 1 grid cross-check",
+        format_table(
+            ["box pairs checked", "mismatches"], [[checked, mismatches]]
+        ),
+    )
+    assert checked == 4**6
+    assert mismatches == 0

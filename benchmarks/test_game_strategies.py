@@ -1,0 +1,108 @@
+"""E9 — the game-theoretic extension: what different houses leave on the table.
+
+Sections 9-10 sketch the game the model enables.  This bench plays three
+house strategies against the same population and compares outcomes:
+
+* **best response** (full information — the house simulates every level
+  before committing; only possible *because* the violation model makes
+  defaults predictable);
+* **greedy** (myopic — widen until the last move hurt; overshoots once);
+* **cautious** (attrition budget — stops at 10% churn).
+
+Assertions are ordering claims: full information weakly dominates the
+myopic equilibrium utility, and the cautious house never exceeds its
+churn budget before stopping.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.game import (
+    CautiousHouse,
+    GreedyWidening,
+    best_response,
+    play_widening_game,
+)
+from repro.simulation import WideningStep
+
+from conftest import emit
+
+
+def test_strategy_comparison(benchmark, crm_200):
+    scenario = crm_200
+    step = WideningStep.uniform(1)
+
+    def play_all():
+        response = best_response(
+            scenario.population,
+            scenario.policy,
+            scenario.taxonomy,
+            max_steps=6,
+            per_provider_utility=scenario.per_provider_utility,
+            extra_utility_per_step=scenario.extra_utility_per_step,
+        )
+        greedy_trace = play_widening_game(
+            scenario.population,
+            scenario.policy,
+            scenario.taxonomy,
+            GreedyWidening(step),
+            per_provider_utility=scenario.per_provider_utility,
+            extra_utility_per_round=scenario.extra_utility_per_step,
+        )
+        cautious_trace = play_widening_game(
+            scenario.population,
+            scenario.policy,
+            scenario.taxonomy,
+            CautiousHouse(step, attrition_budget=0.10),
+            per_provider_utility=scenario.per_provider_utility,
+            extra_utility_per_round=scenario.extra_utility_per_step,
+        )
+        return response, greedy_trace, cautious_trace
+
+    response, greedy_trace, cautious_trace = benchmark(play_all)
+
+    greedy_eq = greedy_trace.equilibrium_round()
+    cautious_eq = cautious_trace.equilibrium_round()
+    initial = len(scenario.population)
+    rows = [
+        [
+            "best response (full info)",
+            response.step,
+            response.row.n_future,
+            response.row.utility_future,
+            initial - response.row.n_future,
+        ],
+        [
+            "greedy (myopic)",
+            greedy_eq.round_index,
+            greedy_eq.n_remaining,
+            greedy_eq.utility,
+            greedy_trace.total_defaults(),
+        ],
+        [
+            "cautious (10% churn budget)",
+            cautious_eq.round_index,
+            cautious_eq.n_remaining,
+            cautious_eq.utility,
+            cautious_trace.total_defaults(),
+        ],
+    ]
+    emit(
+        "E9: house strategies against the same population (crm, N=200)",
+        format_table(
+            ["strategy", "stop step", "N kept", "utility", "providers lost"],
+            rows,
+        ),
+    )
+
+    # Full information weakly dominates the myopic equilibrium.
+    assert response.row.utility_future >= greedy_eq.utility
+    # The greedy house realises at least one overshoot round unless capped:
+    # its final round is never strictly better than its equilibrium round.
+    assert greedy_trace.final_round.utility <= greedy_eq.utility
+    # Cautious: every round it *continued from* stayed within budget.
+    for game_round in cautious_trace.rounds[:-1]:
+        lost = initial - game_round.n_remaining
+        assert lost / initial <= 0.10 + 1e-9
+    # And the cautious house keeps more providers than the greedy one.
+    assert cautious_eq.n_remaining >= greedy_eq.n_remaining

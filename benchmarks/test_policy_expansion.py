@@ -1,0 +1,115 @@
+"""E3 — Section 9 (Eqs. 25-31): the policy-expansion trade-off.
+
+Sweeps widening levels over a Westin population and prints, per level, the
+full Section 9 ledger: defaults, ``N_future``, both utilities, and the
+break-even extra utility ``T*`` of Eq. 31.  Asserts that the closed form
+agrees with the direct utility comparison at every level (exact claim) and
+that ``T*`` grows with widening (more defaults demand more compensation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import break_even_extra_utility
+from repro.simulation import run_expansion_sweep
+
+from conftest import emit
+
+
+def _sweep(scenario, max_steps=5):
+    return run_expansion_sweep(
+        scenario.population,
+        scenario.policy,
+        scenario.taxonomy,
+        max_steps=max_steps,
+        per_provider_utility=scenario.per_provider_utility,
+        extra_utility_per_step=scenario.extra_utility_per_step,
+        scenario_name=scenario.name,
+    )
+
+
+def test_section9_ledger(benchmark, healthcare_200):
+    sweep = benchmark(_sweep, healthcare_200)
+
+    rows = [
+        [
+            row.step,
+            row.n_current,
+            row.n_current - row.n_future,
+            row.n_future,
+            row.extra_utility,
+            row.utility_current,
+            row.utility_future,
+            row.break_even_extra_utility,
+            "yes" if row.justified else "no",
+        ]
+        for row in sweep.rows
+    ]
+    emit(
+        f"Section 9 expansion ledger ({healthcare_200.name}, "
+        f"U={healthcare_200.per_provider_utility}, "
+        f"T/step={healthcare_200.extra_utility_per_step})",
+        format_table(
+            [
+                "step",
+                "N_cur",
+                "defaults",
+                "N_fut",
+                "T",
+                "U_cur",
+                "U_fut",
+                "T* (Eq.31)",
+                "justified",
+            ],
+            rows,
+        ),
+    )
+
+    # Eq. 31 agrees with the direct comparison at every level (exact).
+    for row in sweep.rows:
+        closed_form = break_even_extra_utility(
+            healthcare_200.per_provider_utility, row.n_current, row.n_future
+        )
+        assert row.break_even_extra_utility == pytest.approx(closed_form)
+        assert row.justified == (row.utility_future > row.utility_current)
+
+    # T* is non-decreasing in widening (defaults only accumulate).
+    thresholds = [row.break_even_extra_utility for row in sweep.rows]
+    assert thresholds == sorted(thresholds)
+
+    # Section 9's setup: the current policy defaults nobody.
+    assert sweep.rows[0].n_future == sweep.rows[0].n_current
+
+
+def test_paper_worked_expansion(benchmark, paper_fixture):
+    """Section 9's formula on the paper's own example: Ted defaults, so
+    with U=10 the house needs T > 10*(3/2 - 1) = 5 per provider."""
+    from repro.core import assess_expansion
+
+    policy, population = paper_fixture
+
+    def assess():
+        return (
+            assess_expansion(population, policy, 10.0, 4.0),
+            assess_expansion(population, policy, 10.0, 5.0),
+            assess_expansion(population, policy, 10.0, 6.0),
+        )
+
+    below, at, above = benchmark(assess)
+    emit(
+        "Eq. 31 on the Section 8 example (U=10, T* = 5)",
+        format_table(
+            ["T", "U_future", "justified"],
+            [
+                [4.0, below.utility_future, "yes" if below.justified else "no"],
+                [5.0, at.utility_future, "yes" if at.justified else "no"],
+                [6.0, above.utility_future, "yes" if above.justified else "no"],
+            ],
+        ),
+    )
+    assert below.break_even_extra_utility == pytest.approx(5.0)
+    assert not below.justified
+    assert not at.justified  # strict inequality
+    assert above.justified

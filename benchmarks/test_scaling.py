@@ -1,0 +1,85 @@
+"""E7 — engineering scaling: the model is linear in providers x tuples.
+
+The paper positions the model as deployable inside production relational
+databases, so the harness verifies the computational story: full-model
+evaluation scales linearly in the number of providers (R^2 of a linear fit
+over a size sweep), and the sqlite gate's per-request overhead stays flat
+as the data table grows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import PrivacyTuple, ViolationEngine
+from repro.datasets import healthcare_scenario
+from repro.storage import AccessRequest, EnforcementMode, PrivacyDatabase
+
+from conftest import emit
+
+SIZES = (50, 100, 200, 400)
+
+
+def _evaluate(n: int) -> float:
+    scenario = healthcare_scenario(n, seed=3)
+    started = time.perf_counter()
+    ViolationEngine(scenario.policy, scenario.population).report()
+    return time.perf_counter() - started
+
+
+def test_engine_scales_linearly(benchmark):
+    def measure():
+        return [(n, _evaluate(n)) for n in SIZES]
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    emit(
+        "E7: full-model evaluation time vs population size",
+        format_table(
+            ["N providers", "seconds"],
+            [[n, seconds] for n, seconds in timings],
+        ),
+    )
+
+    sizes = np.array([n for n, _ in timings], dtype=float)
+    seconds = np.array([s for _, s in timings], dtype=float)
+    # Least-squares linear fit; demand a strong linear relationship.
+    coeffs = np.polyfit(sizes, seconds, 1)
+    predicted = np.polyval(coeffs, sizes)
+    ss_res = float(((seconds - predicted) ** 2).sum())
+    ss_tot = float(((seconds - seconds.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    emit(
+        "E7: linear fit",
+        format_table(
+            ["slope s/provider", "intercept", "R^2"],
+            [[float(coeffs[0]), float(coeffs[1]), r_squared]],
+        ),
+    )
+    assert r_squared > 0.95
+    assert coeffs[0] > 0
+
+
+def test_gate_request_throughput(benchmark, crm_200):
+    with PrivacyDatabase.create(":memory:") as db:
+        db.install(crm_200.policy, crm_200.population)
+        for provider in crm_200.population:
+            db.repository.put_datum(
+                str(provider.provider_id), "email", "user@example.com"
+            )
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        request = AccessRequest(
+            "email", PrivacyTuple("fulfillment", 2, 4, 1)
+        )
+
+        decision = benchmark(gate.request, request)
+        assert decision.allowed
+        events = db.audit_log.report().total_events
+        emit(
+            "E7: gate requests audited",
+            format_table(["audited events"], [[events]]),
+        )
+        assert events >= 1

@@ -1,0 +1,93 @@
+"""E1 — Table 1 (Section 8): Alice, Ted, Bob, exactly.
+
+Regenerates every number of the paper's worked example — the per-provider
+conflicts (Eq. 20), defaults (Eqs. 21-23), and ``P(Default) = 1/3``
+(Eq. 24) — and asserts them with **zero tolerance**: this experiment is
+pure arithmetic, so the reproduction must be exact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import ViolationEngine
+from repro.datasets import PAPER_EXPECTATIONS
+
+from conftest import emit
+
+
+def _evaluate(paper_fixture):
+    policy, population = paper_fixture
+    return ViolationEngine(policy, population).report()
+
+
+def test_table1_reproduction(benchmark, paper_fixture):
+    report = benchmark(_evaluate, paper_fixture)
+    expected = PAPER_EXPECTATIONS
+
+    rows = []
+    for outcome in report.outcomes:
+        rows.append(
+            [
+                str(outcome.provider_id),
+                int(outcome.violated),
+                outcome.violation,
+                outcome.threshold,
+                int(outcome.defaulted),
+            ]
+        )
+    emit(
+        "Table 1 (Section 8): per-provider outcomes",
+        format_table(
+            ["provider", "w_i", "Violation_i", "v_i", "default_i"], rows
+        ),
+    )
+    emit(
+        "Section 8 aggregates",
+        format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["P(W)", "2/3", report.violation_probability],
+                ["P(Default)", "1/3", report.default_probability],
+                ["Violations (Eq. 16)", 140, report.total_violations],
+            ],
+        ),
+    )
+
+    # Exact assertions — the paper's own numbers.
+    for outcome in report.outcomes:
+        assert outcome.violation == expected.conflicts[outcome.provider_id]
+        assert int(outcome.violated) == expected.indicators[outcome.provider_id]
+        assert int(outcome.defaulted) == expected.defaults[outcome.provider_id]
+    assert report.violation_probability == expected.violation_probability
+    assert report.default_probability == expected.default_probability
+    assert report.total_violations == expected.total_violations
+
+
+def test_table1_trial_convergence(benchmark, paper_fixture):
+    """The relative-frequency experiment behind Definitions 2 and 5."""
+    from repro.core import estimate_probability_by_trials
+
+    report = _evaluate(paper_fixture)
+    indicators = {o.provider_id: int(o.defaulted) for o in report.outcomes}
+
+    estimate = benchmark(
+        estimate_probability_by_trials, indicators, 100_000, seed=0
+    )
+    emit(
+        "Definition 5 trial experiment",
+        format_table(
+            ["trials", "tau(Default)/tau", "exact", "abs error"],
+            [
+                [
+                    estimate.trials,
+                    estimate.estimate,
+                    estimate.exact,
+                    estimate.absolute_error,
+                ]
+            ],
+        ),
+    )
+    assert estimate.exact == pytest.approx(1 / 3)
+    assert estimate.absolute_error < 0.01

@@ -1,0 +1,120 @@
+"""CRM: should the retailer start reselling customer data?
+
+Section 9 in action.  The retailer currently collects for fulfillment and
+marketing; resale of contact/purchase data to third parties would unlock
+extra revenue T per customer — but violates everyone who never consented
+to resale and pushes some past their default thresholds.
+
+The example answers three questions:
+
+1. *One-shot what-if* — does the named ``crm-with-resale`` policy pay at a
+   given T?  (Eq. 31's break-even against the measured defaults.)
+2. *How far can widening go at all* — the full expansion sweep, its peak,
+   and its crossover into detriment.
+3. *What would a rational house do* — the best response, vs the myopic
+   greedy house that widens until it hurts.
+
+Run:  python examples/crm_expansion_economics.py
+"""
+
+from repro.analysis import default_cdf_from_sweep, format_table, pareto_frontier
+from repro.datasets import crm_scenario
+from repro.datasets.crm import crm_resale_policy
+from repro.game import GreedyWidening, best_response, play_widening_game
+from repro.simulation import (
+    WhatIfAnalyzer,
+    WideningStep,
+    run_expansion_sweep,
+)
+
+scenario = crm_scenario(n_providers=300, seed=23)
+U = scenario.per_provider_utility
+print(f"scenario: {scenario}  (U = {U} per customer)")
+print()
+
+# --- 1. the resale what-if -------------------------------------------------
+analyzer = WhatIfAnalyzer(
+    scenario.population, scenario.policy, per_provider_utility=U, alpha=0.05
+)
+resale = crm_resale_policy(scenario.taxonomy)
+for extra in (0.5, 1.5, 3.0):
+    result = analyzer.assess(resale, extra_utility=extra)
+    print(f"T = {extra:>4}: {result.summary()}")
+print()
+
+# --- 2. the widening sweep --------------------------------------------------
+sweep = run_expansion_sweep(
+    scenario.population,
+    scenario.policy,
+    scenario.taxonomy,
+    max_steps=6,
+    per_provider_utility=U,
+    extra_utility_per_step=scenario.extra_utility_per_step,
+    scenario_name="crm-sweep",
+)
+print(
+    format_table(
+        ["step", "P(W)", "P(Default)", "N_fut", "U_fut", "T*", "justified"],
+        [
+            [
+                row.step,
+                round(row.violation_probability, 3),
+                round(row.default_probability, 3),
+                row.n_future,
+                row.utility_future,
+                round(row.break_even_extra_utility, 3),
+                "yes" if row.justified else "no",
+            ]
+            for row in sweep.rows
+        ],
+        title="Section 9 sweep",
+    )
+)
+print()
+print(f"peak utility at step {sweep.best_step().step}; "
+      f"crossover into detriment at step {sweep.crossover_step()}")
+
+cdf = default_cdf_from_sweep(sweep)
+print(f"widest widening within a 10% churn budget: step "
+      f"{cdf.widest_step_within(0.10)}")
+print()
+
+frontier = pareto_frontier(sweep)
+print(frontier.to_text())
+knee = frontier.knee()
+print(
+    f"(dominated steps: {list(frontier.dominated_steps) or 'none'}; "
+    f"knee of the frontier at step {knee.step})"
+)
+print()
+
+# --- 3. rational vs myopic house ---------------------------------------------
+response = best_response(
+    scenario.population,
+    scenario.policy,
+    scenario.taxonomy,
+    max_steps=6,
+    per_provider_utility=U,
+    extra_utility_per_step=scenario.extra_utility_per_step,
+)
+print(f"full-information house: {response}")
+
+trace = play_widening_game(
+    scenario.population,
+    scenario.policy,
+    scenario.taxonomy,
+    GreedyWidening(WideningStep.uniform(1)),
+    per_provider_utility=U,
+    extra_utility_per_round=scenario.extra_utility_per_step,
+)
+equilibrium = trace.equilibrium_round()
+print(
+    f"myopic greedy house:    stops after round {trace.final_round.round_index} "
+    f"(equilibrium at round {equilibrium.round_index}, "
+    f"utility {equilibrium.utility:g}, "
+    f"{trace.total_defaults()} customers lost on the way)"
+)
+print(
+    f"cost of myopia: {response.row.utility_future - equilibrium.utility:g} "
+    f"utility"
+)

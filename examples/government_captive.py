@@ -1,0 +1,88 @@
+"""Government registry: when providers cannot leave, only transparency bites.
+
+Section 9's brake on policy widening is economic: defaults shrink the
+population.  A government registry with a captive population (most
+citizens cannot opt out) weakens that brake — widening stays "justified"
+by Eq. 31 long after an equivalent voluntary population would have
+collapsed.  What remains is exactly the paper's transparency agenda:
+``P(W)`` and the severity ledger keep quantifying the violations, and the
+alpha-PPDB certificate keeps failing, whether or not anyone can leave.
+
+Run:  python examples/government_captive.py
+"""
+
+from repro.analysis import format_table
+from repro.core import ViolationEngine
+from repro.datasets import government_scenario
+from repro.simulation import WideningStep, run_expansion_sweep, widen
+
+captive = government_scenario(n_providers=300, captive_fraction=0.7, seed=31)
+voluntary = government_scenario(n_providers=300, captive_fraction=0.0, seed=31)
+print(f"registry: {captive} (70% captive) vs voluntary twin")
+print()
+
+kwargs = dict(
+    max_steps=4,
+    per_provider_utility=captive.per_provider_utility,
+    extra_utility_per_step=captive.extra_utility_per_step,
+)
+captive_sweep = run_expansion_sweep(
+    captive.population, captive.policy, captive.taxonomy, **kwargs
+)
+voluntary_sweep = run_expansion_sweep(
+    voluntary.population, voluntary.policy, voluntary.taxonomy, **kwargs
+)
+
+rows = []
+for c_row, v_row in zip(captive_sweep.rows, voluntary_sweep.rows):
+    rows.append(
+        [
+            c_row.step,
+            round(c_row.violation_probability, 3),
+            c_row.n_current - c_row.n_future,
+            v_row.n_current - v_row.n_future,
+            c_row.utility_future,
+            v_row.utility_future,
+        ]
+    )
+print(
+    format_table(
+        [
+            "step",
+            "P(W)",
+            "defaults (captive)",
+            "defaults (voluntary)",
+            "U_fut (captive)",
+            "U_fut (voluntary)",
+        ],
+        rows,
+        title="the weakened feedback loop",
+    )
+)
+final_captive = captive_sweep.rows[-1]
+final_voluntary = voluntary_sweep.rows[-1]
+print()
+print(
+    f"at step {final_captive.step} the captive registry keeps "
+    f"{final_captive.n_future - final_voluntary.n_future} more citizens and "
+    f"extracts {final_captive.utility_future - final_voluntary.utility_future:g} "
+    f"more utility than its voluntary twin — the economic brake barely bites."
+)
+print()
+
+# Transparency still works: the violations are identical either way.
+engine = ViolationEngine(captive.policy, captive.population)
+certificate_base = engine.certify(0.05)
+print(f"baseline:       {certificate_base}")
+widened_policy = widen(
+    captive.policy, WideningStep.uniform(2), captive.taxonomy, name="widened+2"
+)
+certificate_wide = engine.with_policy(widened_policy).certify(0.05)
+print(f"after widening: {certificate_wide}")
+print()
+print(
+    "conclusion: with a captive population the economic brake fails "
+    "(defaults cannot happen), but P(W) and the certificate expose the "
+    "violations all the same — the auditable-transparency case the paper "
+    "argues for."
+)

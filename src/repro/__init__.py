@@ -1,0 +1,151 @@
+"""ppviol — quantifying privacy violations in relational databases.
+
+A full implementation of *Quantifying Privacy Violations* (Banerjee,
+Karimi Adl, Wu, Barker — SDM@VLDB 2011): the four-dimensional privacy
+taxonomy, the formal violation model (Definitions 1-5, Equations 8-31),
+sensitivity-weighted severity, data-provider default, alpha-PPDB
+certification, policy-expansion economics, a sqlite-backed
+privacy-preserving store with purpose-aware enforcement, and a Westin
+population simulator for scenario analysis.
+
+Quickstart
+----------
+>>> from repro import (
+...     HousePolicy, PrivacyTuple, Population, Provider,
+...     ProviderPreferences, ViolationEngine,
+... )
+>>> policy = HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+>>> prefs = ProviderPreferences("alice", [("weight", PrivacyTuple("billing", 2, 1, 2))])
+>>> engine = ViolationEngine(policy, Population([Provider(preferences=prefs)]))
+>>> engine.report().violation_probability
+1.0
+
+The public API re-exported here is the stable surface; submodules expose
+the finer-grained machinery.
+"""
+
+from .core import (
+    AttributeSensitivities,
+    DefaultModel,
+    Dimension,
+    DimensionSensitivity,
+    EngineReport,
+    ExpansionAssessment,
+    HousePolicy,
+    ORDERED_DIMENSIONS,
+    OrderedDomain,
+    PPDBCertificate,
+    PolicyEntry,
+    Population,
+    PreferenceEntry,
+    PrivacyTuple,
+    Provider,
+    ProviderOutcome,
+    ProviderPreferences,
+    ProviderSensitivity,
+    SensitivityModel,
+    SeverityBreakdown,
+    TrialEstimate,
+    ViolationEngine,
+    ViolationFinding,
+    assess_expansion,
+    break_even_extra_utility,
+    certify_alpha_ppdb,
+    comp,
+    conf,
+    default_probability,
+    diff,
+    effective_preferences,
+    estimate_probability_by_trials,
+    exceeded_dimensions,
+    expansion_justified,
+    find_violations,
+    is_alpha_ppdb,
+    provider_default,
+    provider_violation,
+    total_violations,
+    utility_current,
+    utility_future,
+    violation_indicator,
+    violation_probability,
+)
+from .exceptions import (
+    AccessDeniedError,
+    DomainError,
+    PolicyDocumentError,
+    PrivacyModelError,
+    SchemaMismatchError,
+    SimulationError,
+    StorageError,
+    UnknownAttributeError,
+    UnknownProviderError,
+    UnknownPurposeError,
+    ValidationError,
+)
+from .taxonomy import Taxonomy, TaxonomyBuilder, standard_taxonomy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core model
+    "AttributeSensitivities",
+    "DefaultModel",
+    "Dimension",
+    "DimensionSensitivity",
+    "EngineReport",
+    "ExpansionAssessment",
+    "HousePolicy",
+    "ORDERED_DIMENSIONS",
+    "OrderedDomain",
+    "PPDBCertificate",
+    "PolicyEntry",
+    "Population",
+    "PreferenceEntry",
+    "PrivacyTuple",
+    "Provider",
+    "ProviderOutcome",
+    "ProviderPreferences",
+    "ProviderSensitivity",
+    "SensitivityModel",
+    "SeverityBreakdown",
+    "TrialEstimate",
+    "ViolationEngine",
+    "ViolationFinding",
+    "assess_expansion",
+    "break_even_extra_utility",
+    "certify_alpha_ppdb",
+    "comp",
+    "conf",
+    "default_probability",
+    "diff",
+    "effective_preferences",
+    "estimate_probability_by_trials",
+    "exceeded_dimensions",
+    "expansion_justified",
+    "find_violations",
+    "is_alpha_ppdb",
+    "provider_default",
+    "provider_violation",
+    "total_violations",
+    "utility_current",
+    "utility_future",
+    "violation_indicator",
+    "violation_probability",
+    # taxonomy
+    "Taxonomy",
+    "TaxonomyBuilder",
+    "standard_taxonomy",
+    # exceptions
+    "AccessDeniedError",
+    "DomainError",
+    "PolicyDocumentError",
+    "PrivacyModelError",
+    "SchemaMismatchError",
+    "SimulationError",
+    "StorageError",
+    "UnknownAttributeError",
+    "UnknownProviderError",
+    "UnknownPurposeError",
+    "ValidationError",
+]

@@ -1,0 +1,122 @@
+"""Population-level summary statistics over an engine evaluation.
+
+Summaries slice by Westin segment (when providers carry segment labels)
+because that is how the simulation synthesises heterogeneity: the
+interesting empirical statement is usually "fundamentalists are violated
+as often as everyone else but default five times as much".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.engine import EngineReport
+from .tables import format_table
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentStats:
+    """One segment's (or the whole population's) aggregate outcomes."""
+
+    segment: str
+    n: int
+    n_violated: int
+    n_defaulted: int
+    mean_severity: float
+    median_severity: float
+    p90_severity: float
+    max_severity: float
+
+    @property
+    def violation_rate(self) -> float:
+        """Fraction with ``w_i = 1``."""
+        return self.n_violated / self.n if self.n else 0.0
+
+    @property
+    def default_rate(self) -> float:
+        """Fraction with ``default_i = 1``."""
+        return self.n_defaulted / self.n if self.n else 0.0
+
+
+@dataclass(frozen=True)
+class PopulationSummary:
+    """Aggregate outcomes for the whole population and per segment."""
+
+    overall: SegmentStats
+    by_segment: tuple[SegmentStats, ...]
+
+    def segment(self, name: str) -> SegmentStats:
+        """The stats for one named segment.
+
+        Raises
+        ------
+        KeyError
+            If no providers carried that segment label.
+        """
+        for stats in self.by_segment:
+            if stats.segment == name:
+                return stats
+        raise KeyError(name)
+
+    def to_text(self) -> str:
+        """A fixed-width rendering."""
+        headers = [
+            "segment",
+            "n",
+            "violated",
+            "defaulted",
+            "P(W)",
+            "P(Default)",
+            "mean sev",
+            "p90 sev",
+        ]
+        rows = []
+        for stats in (*self.by_segment, self.overall):
+            rows.append(
+                [
+                    stats.segment,
+                    stats.n,
+                    stats.n_violated,
+                    stats.n_defaulted,
+                    round(stats.violation_rate, 4),
+                    round(stats.default_rate, 4),
+                    round(stats.mean_severity, 2),
+                    round(stats.p90_severity, 2),
+                ]
+            )
+        return format_table(headers, rows, title="population summary")
+
+
+def _stats(segment: str, outcomes: list) -> SegmentStats:
+    """Aggregate one group of provider outcomes."""
+    severities = np.array([o.violation for o in outcomes], dtype=float)
+    return SegmentStats(
+        segment=segment,
+        n=len(outcomes),
+        n_violated=sum(1 for o in outcomes if o.violated),
+        n_defaulted=sum(1 for o in outcomes if o.defaulted),
+        mean_severity=float(severities.mean()) if len(outcomes) else 0.0,
+        median_severity=float(np.median(severities)) if len(outcomes) else 0.0,
+        p90_severity=(
+            float(np.percentile(severities, 90)) if len(outcomes) else 0.0
+        ),
+        max_severity=float(severities.max()) if len(outcomes) else 0.0,
+    )
+
+
+def summarize(report: EngineReport) -> PopulationSummary:
+    """Summarise an engine report overall and per segment.
+
+    Providers without a segment label are grouped under ``"(unlabeled)"``.
+    """
+    groups: dict[str, list] = {}
+    for outcome in report.outcomes:
+        label = outcome.segment if outcome.segment is not None else "(unlabeled)"
+        groups.setdefault(label, []).append(outcome)
+    by_segment = tuple(
+        _stats(label, group) for label, group in sorted(groups.items())
+    )
+    overall = _stats("ALL", list(report.outcomes))
+    return PopulationSummary(overall=overall, by_segment=by_segment)

@@ -1,0 +1,88 @@
+"""The empirical default CDF (Section 10's proposed estimator).
+
+The paper's future-work section proposes constructing "a cumulative
+distribution function of the number of defaults as the house expands its
+privacy policies", to be estimated from long-term observation.  A widening
+sweep *is* that observation performed in silico: each step is an expansion
+level, each step's default count the observed response.
+
+:class:`DefaultCDF` wraps the resulting step function with the queries a
+house planner needs: how many defaults a given widening causes, the widest
+policy staying under a default budget, and monotonicity checks (the CDF
+must be non-decreasing — a property test guards it).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from .._validation import check_probability
+from ..exceptions import ValidationError
+from ..simulation.scenario import ExpansionSweep
+
+
+@dataclass(frozen=True)
+class DefaultCDF:
+    """Cumulative defaults (absolute and as a fraction) per widening step."""
+
+    steps: tuple[int, ...]
+    cumulative_defaults: tuple[int, ...]
+    population_size: int
+
+    def __post_init__(self) -> None:
+        if len(self.steps) != len(self.cumulative_defaults):
+            raise ValidationError("steps and cumulative_defaults must align")
+        if any(
+            later < earlier
+            for earlier, later in zip(
+                self.cumulative_defaults, self.cumulative_defaults[1:]
+            )
+        ):
+            raise ValidationError("a default CDF must be non-decreasing")
+
+    def defaults_at(self, step: int) -> int:
+        """Cumulative defaults at widening level *step* (step-function)."""
+        index = bisect_right(self.steps, step) - 1
+        if index < 0:
+            return 0
+        return self.cumulative_defaults[index]
+
+    def fraction_at(self, step: int) -> float:
+        """Cumulative default *fraction* at widening level *step*."""
+        if self.population_size == 0:
+            return 0.0
+        return self.defaults_at(step) / self.population_size
+
+    def widest_step_within(self, budget_fraction: float) -> int:
+        """The widest step whose default fraction stays within budget.
+
+        Returns 0 when even the first widening exceeds the budget (the
+        base policy is step 0 and, by Section 9's setup, defaults nobody).
+        """
+        budget_fraction = check_probability(budget_fraction, "budget_fraction")
+        best = 0
+        for step, defaults in zip(self.steps, self.cumulative_defaults):
+            if self.population_size and defaults / self.population_size > budget_fraction:
+                break
+            best = step
+        return best
+
+    def is_saturated(self) -> bool:
+        """True when the last two steps added no further defaults."""
+        if len(self.cumulative_defaults) < 2:
+            return False
+        return self.cumulative_defaults[-1] == self.cumulative_defaults[-2]
+
+
+def default_cdf_from_sweep(sweep: ExpansionSweep) -> DefaultCDF:
+    """Build the CDF from a widening sweep's rows."""
+    if not sweep.rows:
+        raise ValidationError("cannot build a CDF from an empty sweep")
+    steps = tuple(row.step for row in sweep.rows)
+    cumulative = tuple(row.n_current - row.n_future for row in sweep.rows)
+    return DefaultCDF(
+        steps=steps,
+        cumulative_defaults=cumulative,
+        population_size=sweep.rows[0].n_current,
+    )

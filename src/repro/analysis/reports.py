@@ -1,0 +1,105 @@
+"""Violation matrices: who is violated, where, and how badly.
+
+A :class:`ViolationMatrix` reorganises an engine evaluation into the two
+marginals an auditor reads first:
+
+* **provider x attribute** — the severity each provider accumulates on
+  each attribute (the paper's breadth-vs-depth distinction made visible:
+  a provider defaulting on breadth has many moderate cells; one
+  defaulting on depth has a single hot cell);
+* **dimension totals** — how much of the total severity flows through
+  visibility vs granularity vs retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.dimensions import Dimension, ORDERED_DIMENSIONS
+from ..core.engine import EngineReport
+from .tables import format_table
+
+
+@dataclass(frozen=True)
+class ViolationMatrix:
+    """Severity decomposed by provider, attribute, and dimension."""
+
+    providers: tuple[Hashable, ...]
+    attributes: tuple[str, ...]
+    cells: dict[tuple[Hashable, str], float]
+    dimension_totals: dict[Dimension, float]
+    provider_totals: dict[Hashable, float]
+    attribute_totals: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """Equation 16's house-level ``Violations``."""
+        return sum(self.provider_totals.values())
+
+    def cell(self, provider_id: Hashable, attribute: str) -> float:
+        """Severity for one (provider, attribute) cell (0 when untouched)."""
+        return self.cells.get((provider_id, attribute), 0.0)
+
+    def hottest_cells(self, n: int = 5) -> list[tuple[Hashable, str, float]]:
+        """The *n* largest cells, descending."""
+        ranked = sorted(
+            (
+                (provider, attribute, severity)
+                for (provider, attribute), severity in self.cells.items()
+            ),
+            key=lambda item: (-item[2], repr(item[0]), item[1]),
+        )
+        return ranked[:n]
+
+    def to_text(self, *, max_providers: int = 20) -> str:
+        """A fixed-width rendering (rows truncated to *max_providers*)."""
+        headers = ["provider", *self.attributes, "total"]
+        rows = []
+        for provider in self.providers[:max_providers]:
+            rows.append(
+                [
+                    str(provider),
+                    *(
+                        self.cell(provider, attribute)
+                        for attribute in self.attributes
+                    ),
+                    self.provider_totals.get(provider, 0.0),
+                ]
+            )
+        footer = [
+            "TOTAL",
+            *(self.attribute_totals.get(a, 0.0) for a in self.attributes),
+            self.total,
+        ]
+        rows.append(footer)
+        return format_table(headers, rows, title="violation matrix")
+
+
+def violation_matrix(report: EngineReport) -> ViolationMatrix:
+    """Build the matrix from an engine report's findings."""
+    cells: dict[tuple[Hashable, str], float] = {}
+    dimension_totals: dict[Dimension, float] = {
+        dim: 0.0 for dim in ORDERED_DIMENSIONS
+    }
+    provider_totals: dict[Hashable, float] = {}
+    attribute_totals: dict[str, float] = {}
+    attributes: set[str] = set()
+    for outcome in report.outcomes:
+        provider_totals[outcome.provider_id] = outcome.violation
+        for finding in outcome.findings:
+            key = (outcome.provider_id, finding.attribute)
+            cells[key] = cells.get(key, 0.0) + finding.weighted
+            dimension_totals[finding.dimension] += finding.weighted
+            attribute_totals[finding.attribute] = (
+                attribute_totals.get(finding.attribute, 0.0) + finding.weighted
+            )
+            attributes.add(finding.attribute)
+    return ViolationMatrix(
+        providers=tuple(o.provider_id for o in report.outcomes),
+        attributes=tuple(sorted(attributes)),
+        cells=cells,
+        dimension_totals=dimension_totals,
+        provider_totals=provider_totals,
+        attribute_totals=attribute_totals,
+    )

@@ -1,0 +1,74 @@
+"""Fixed-width text tables for the benchmark harness and examples.
+
+The paper reports its results as small tables (Table 1) and derivations;
+the bench harness prints the reproduced rows in the same spirit.  This is
+a tiny, dependency-free formatter: column headers, right-aligned numbers,
+left-aligned text, a separator rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _render_cell(value: object) -> str:
+    """One cell's text: floats get compact fixed-point, the rest ``str``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if value == int(value) and abs(value) < 1e12:
+            return str(int(value))
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Numeric cells (int/float) are right-aligned; everything else is
+    left-aligned.  Returns a string ending without a trailing newline.
+    """
+    rendered_rows = [[_render_cell(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    # Right-align a column when every one of its rendered cells parses as a
+    # number (this keeps the function single-pass over `rows`, which may be
+    # a generator).
+    numeric_column = [True] * len(headers)
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            try:
+                float(cell)
+            except ValueError:
+                numeric_column[index] = False
+
+    def align(cell: str, index: int) -> str:
+        if numeric_column[index]:
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(align(cell, i) for i, cell in enumerate(row)))
+    return "\n".join(lines)

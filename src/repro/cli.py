@@ -1,0 +1,470 @@
+"""Command-line interface: the violation model over JSON documents.
+
+A file-driven front end for auditors and houses.  All commands consume the
+policy-language documents (taxonomy, policy, population) and print either
+fixed-width tables or JSON (``--json``).
+
+Commands
+--------
+``evaluate``   full model evaluation: per-provider table + aggregates
+``certify``    Definition 3: alpha-PPDB verdict (exit code 1 when violated)
+``sweep``      Section 9: widening ledger with break-even T* per level
+``whatif``     compare a candidate policy against the baseline
+``validate``   semantic document validation (exit code 1 on problems)
+``init-db``    create a sqlite privacy database from the documents
+``db-report``  evaluate the stored state of a privacy database
+``db-evict``   remove defaulted providers from a privacy database
+
+Example
+-------
+::
+
+    python -m repro evaluate --taxonomy t.json --policy p.json \\
+        --population pop.json
+    python -m repro certify ... --alpha 0.1
+    python -m repro sweep ... --steps 5 --utility 10 --extra-per-step 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .analysis import format_table, summarize
+from .core import ViolationEngine
+from .core.policy import HousePolicy
+from .core.population import Population
+from .exceptions import PrivacyModelError
+from .policy_lang import (
+    parse_policy,
+    parse_population,
+    parse_taxonomy,
+    validate_policy_document,
+    validate_preference_document,
+)
+from .simulation import WideningStep, run_expansion_sweep
+from .simulation.whatif import WhatIfAnalyzer
+from .storage import PrivacyDatabase
+from .taxonomy.builder import Taxonomy
+
+
+def _load_json(path: str) -> dict:
+    """Read one JSON document from *path*."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_inputs(args: argparse.Namespace) -> tuple[Taxonomy, HousePolicy, Population]:
+    """The common (taxonomy, policy, population) triple."""
+    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
+    policy = parse_policy(_load_json(args.policy), taxonomy)
+    population = parse_population(_load_json(args.population), taxonomy)
+    return taxonomy, policy, population
+
+
+def _report_payload(engine: ViolationEngine) -> dict:
+    """The evaluate command's JSON payload."""
+    report = engine.report()
+    return {
+        "policy": report.policy_name,
+        "n_providers": report.n_providers,
+        "violation_probability": report.violation_probability,
+        "default_probability": report.default_probability,
+        "total_violations": report.total_violations,
+        "providers": [
+            {
+                "provider": str(outcome.provider_id),
+                "violated": outcome.violated,
+                "violation": outcome.violation,
+                "threshold": (
+                    None
+                    if outcome.threshold == float("inf")
+                    else outcome.threshold
+                ),
+                "defaulted": outcome.defaulted,
+            }
+            for outcome in report.outcomes
+        ],
+    }
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Full model evaluation over the documents."""
+    _, policy, population = _load_inputs(args)
+    engine = ViolationEngine(policy, population)
+    if args.json:
+        print(json.dumps(_report_payload(engine), indent=2))
+        return 0
+    report = engine.report()
+    rows = [
+        [
+            str(outcome.provider_id),
+            int(outcome.violated),
+            round(outcome.violation, 4),
+            "inf" if outcome.threshold == float("inf") else outcome.threshold,
+            int(outcome.defaulted),
+        ]
+        for outcome in report.outcomes
+    ]
+    print(
+        format_table(
+            ["provider", "w_i", "Violation_i", "v_i", "default_i"],
+            rows,
+            title=f"evaluation of {report.policy_name!r}",
+        )
+    )
+    print()
+    print(f"P(W)       = {report.violation_probability:.4f}")
+    print(f"P(Default) = {report.default_probability:.4f}")
+    print(f"Violations = {report.total_violations:g}")
+    print()
+    print(summarize(report).to_text())
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    """Definition 3 verdict; exit code 1 when the threshold is exceeded."""
+    _, policy, population = _load_inputs(args)
+    engine = ViolationEngine(policy, population)
+    certificate = engine.certify(args.alpha)
+    if args.json:
+        from .analysis import certification_document
+
+        print(certification_document(engine, args.alpha).to_json())
+    else:
+        print(certificate)
+    return 0 if certificate.satisfied else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Section 9 widening ledger."""
+    taxonomy, policy, population = _load_inputs(args)
+    sweep = run_expansion_sweep(
+        population,
+        policy,
+        taxonomy,
+        step=WideningStep.uniform(1),
+        max_steps=args.steps,
+        per_provider_utility=args.utility,
+        extra_utility_per_step=args.extra_per_step,
+    )
+    if args.json:
+        payload = [
+            {
+                "step": row.step,
+                "violation_probability": row.violation_probability,
+                "default_probability": row.default_probability,
+                "n_future": row.n_future,
+                "utility_future": row.utility_future,
+                "break_even_extra_utility": row.break_even_extra_utility,
+                "justified": row.justified,
+            }
+            for row in sweep.rows
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        [
+            row.step,
+            round(row.violation_probability, 4),
+            round(row.default_probability, 4),
+            row.n_future,
+            row.utility_future,
+            round(row.break_even_extra_utility, 4),
+            "yes" if row.justified else "no",
+        ]
+        for row in sweep.rows
+    ]
+    print(
+        format_table(
+            ["step", "P(W)", "P(Default)", "N_fut", "U_fut", "T*", "justified"],
+            rows,
+            title=(
+                f"expansion sweep (U={args.utility}, "
+                f"T/step={args.extra_per_step})"
+            ),
+        )
+    )
+    crossover = sweep.crossover_step()
+    print()
+    print(f"peak at step {sweep.best_step().step}; crossover at {crossover}")
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Compare a candidate policy against the baseline."""
+    taxonomy, policy, population = _load_inputs(args)
+    candidate = parse_policy(_load_json(args.candidate), taxonomy)
+    analyzer = WhatIfAnalyzer(
+        population,
+        policy,
+        per_provider_utility=args.utility,
+        alpha=args.alpha,
+    )
+    result = analyzer.assess(candidate, extra_utility=args.extra)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "candidate": result.candidate.policy_name,
+                    "violation_probability_delta": result.violation_probability_delta,
+                    "default_probability_delta": result.default_probability_delta,
+                    "severity_delta": result.severity_delta,
+                    "justified": result.assessment.justified,
+                    "alpha_ppdb_satisfied": result.certificate.satisfied,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(result.summary())
+    return 0
+
+
+def cmd_forecast(args: argparse.Namespace) -> int:
+    """Section 10: forecast a candidate's defaults from observed history."""
+    from .estimation import (
+        ThresholdEstimator,
+        forecast_defaults,
+        observe_widening_history,
+    )
+
+    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
+    population = parse_population(_load_json(args.population), taxonomy)
+    history = [
+        parse_policy(_load_json(path), taxonomy) for path in args.history
+    ]
+    candidate = parse_policy(_load_json(args.candidate), taxonomy)
+    estimator = ThresholdEstimator(
+        observe_widening_history(population, history)
+    )
+    forecast = forecast_defaults(
+        estimator,
+        population,
+        candidate,
+        per_provider_utility=args.utility,
+    )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "candidate": forecast.policy_name,
+                    "n_providers": forecast.n_providers,
+                    "expected_defaults": forecast.expected_defaults,
+                    "expected_default_fraction": forecast.expected_default_fraction,
+                    "certain_defaults": [
+                        str(p) for p in forecast.certain_defaults
+                    ],
+                    "possible_defaults": [
+                        str(p) for p in forecast.possible_defaults
+                    ],
+                    "break_even_extra_utility": forecast.break_even_extra_utility,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"candidate {forecast.policy_name!r}: expected "
+            f"{forecast.expected_defaults:.1f} defaults of "
+            f"{forecast.n_providers} providers "
+            f"({forecast.expected_default_fraction:.1%}); "
+            f"T* = {forecast.break_even_extra_utility:.4g}"
+        )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Semantic validation; exit code 1 when problems were found."""
+    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
+    problems: list[str] = []
+    if args.policy:
+        problems += validate_policy_document(_load_json(args.policy), taxonomy)
+    if args.population:
+        document = _load_json(args.population)
+        for entry in document.get("providers", []):
+            problems += validate_preference_document(
+                {
+                    "provider": entry.get("provider"),
+                    "preferences": entry.get("preferences", []),
+                    **(
+                        {"attributes_provided": entry["attributes_provided"]}
+                        if "attributes_provided" in entry
+                        else {}
+                    ),
+                },
+                taxonomy,
+            )
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}")
+        return 1
+    print("OK: documents are valid against the taxonomy")
+    return 0
+
+
+def cmd_init_db(args: argparse.Namespace) -> int:
+    """Create a sqlite privacy database from the documents."""
+    _, policy, population = _load_inputs(args)
+    with PrivacyDatabase.create(args.database) as db:
+        db.install(policy, population)
+    print(
+        f"created {args.database}: {len(population)} providers, "
+        f"{len(policy)} policy entries"
+    )
+    return 0
+
+
+def cmd_db_report(args: argparse.Namespace) -> int:
+    """Evaluate a privacy database's stored state."""
+    with PrivacyDatabase.open(args.database) as db:
+        report = db.engine().report()
+        audit = db.audit_log.report()
+    print(report)
+    print(
+        f"audit log: {audit.total_events} events, "
+        f"{audit.violating_accesses} violating accesses "
+        f"(observed rate {audit.observed_violation_rate:.3f})"
+    )
+    return 0
+
+
+def cmd_db_evict(args: argparse.Namespace) -> int:
+    """Remove defaulted providers from a privacy database."""
+    with PrivacyDatabase.open(args.database) as db:
+        evicted = db.evict_defaulted()
+    if evicted:
+        print(f"evicted {len(evicted)} providers: {', '.join(evicted)}")
+    else:
+        print("no defaulted providers")
+    return 0
+
+
+def _add_document_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--taxonomy", required=True, help="taxonomy JSON file")
+    parser.add_argument("--policy", required=True, help="policy JSON file")
+    parser.add_argument(
+        "--population", required=True, help="population JSON file"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantify privacy violations (Banerjee et al., SDM 2011).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="full model evaluation over documents"
+    )
+    _add_document_arguments(evaluate)
+    evaluate.add_argument("--json", action="store_true", help="JSON output")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    certify = subparsers.add_parser(
+        "certify", help="alpha-PPDB verdict (exit 1 when violated)"
+    )
+    _add_document_arguments(certify)
+    certify.add_argument("--alpha", type=float, required=True)
+    certify.add_argument("--json", action="store_true")
+    certify.set_defaults(func=cmd_certify)
+
+    sweep = subparsers.add_parser("sweep", help="Section 9 widening ledger")
+    _add_document_arguments(sweep)
+    sweep.add_argument("--steps", type=int, default=5)
+    sweep.add_argument("--utility", type=float, default=1.0)
+    sweep.add_argument("--extra-per-step", type=float, default=0.25)
+    sweep.add_argument("--json", action="store_true")
+    sweep.set_defaults(func=cmd_sweep)
+
+    whatif = subparsers.add_parser(
+        "whatif", help="compare a candidate policy against the baseline"
+    )
+    _add_document_arguments(whatif)
+    whatif.add_argument("--candidate", required=True)
+    whatif.add_argument("--extra", type=float, default=0.0)
+    whatif.add_argument("--utility", type=float, default=1.0)
+    whatif.add_argument("--alpha", type=float, default=0.1)
+    whatif.add_argument("--json", action="store_true")
+    whatif.set_defaults(func=cmd_whatif)
+
+    forecast = subparsers.add_parser(
+        "forecast",
+        help="forecast a candidate policy's defaults from observed history",
+    )
+    forecast.add_argument("--taxonomy", required=True)
+    forecast.add_argument("--population", required=True)
+    forecast.add_argument(
+        "--history",
+        required=True,
+        nargs="+",
+        help="deployed policy JSON files, oldest first",
+    )
+    forecast.add_argument("--candidate", required=True)
+    forecast.add_argument("--utility", type=float, default=1.0)
+    forecast.add_argument("--json", action="store_true")
+    forecast.set_defaults(func=cmd_forecast)
+
+    validate = subparsers.add_parser(
+        "validate", help="validate documents against the taxonomy"
+    )
+    validate.add_argument("--taxonomy", required=True)
+    validate.add_argument("--policy")
+    validate.add_argument("--population")
+    validate.set_defaults(func=cmd_validate)
+
+    init_db = subparsers.add_parser(
+        "init-db", help="create a sqlite privacy database"
+    )
+    _add_document_arguments(init_db)
+    init_db.add_argument("--database", required=True, help="sqlite path")
+    init_db.set_defaults(func=cmd_init_db)
+
+    db_report = subparsers.add_parser(
+        "db-report", help="evaluate a privacy database's stored state"
+    )
+    db_report.add_argument("database")
+    db_report.set_defaults(func=cmd_db_report)
+
+    db_evict = subparsers.add_parser(
+        "db-evict", help="remove defaulted providers"
+    )
+    db_evict.add_argument("database")
+    db_evict.set_defaults(func=cmd_db_evict)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream (e.g. `| head`) closed the pipe: exit quietly, the
+        # conventional Unix behaviour.
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as error:
+        print(f"error: invalid JSON input: {error}", file=sys.stderr)
+        return 2
+    except PrivacyModelError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Core privacy-violation model (the paper's primary contribution).
+
+This package implements, symbol for symbol, the formal machinery of
+*Quantifying Privacy Violations* (Banerjee et al., SDM@VLDB 2011):
+
+* privacy dimensions and ordered domains (paper assumptions 1-2),
+* privacy tuples and the policy/preference sets ``HP`` and
+  ``ProviderPref_i`` (Section 4, Eqs. 1-6),
+* the binary violation indicator ``w_i`` (Definition 1),
+* violation probability ``P(W)`` and the alpha-PPDB (Definitions 2-3),
+* sensitivity-weighted severity ``Violation_i`` (Section 6, Eqs. 10-16),
+* data-provider default and ``P(Default)`` (Definitions 4-5), and
+* the policy-expansion economics of Section 9 (Eqs. 25-31).
+"""
+
+from .dimensions import Dimension, ORDERED_DIMENSIONS, OrderedDomain
+from .tuples import PrivacyTuple, PolicyEntry, PreferenceEntry
+from .policy import HousePolicy
+from .preferences import ProviderPreferences, effective_preferences
+from .sensitivity import (
+    AttributeSensitivities,
+    DimensionSensitivity,
+    ProviderSensitivity,
+    SensitivityModel,
+)
+from .violation import (
+    ViolationFinding,
+    comp,
+    conf,
+    diff,
+    exceeded_dimensions,
+    find_violations,
+    violation_indicator,
+)
+from .severity import SeverityBreakdown, provider_violation, total_violations
+from .default import DefaultModel, provider_default
+from .probability import (
+    TrialEstimate,
+    default_probability,
+    estimate_probability_by_trials,
+    violation_probability,
+)
+from .population import Population, Provider
+from .ppdb import PPDBCertificate, certify_alpha_ppdb, is_alpha_ppdb
+from .economics import (
+    ExpansionAssessment,
+    assess_expansion,
+    break_even_extra_utility,
+    expansion_justified,
+    utility_current,
+    utility_future,
+)
+from .engine import EngineReport, ProviderOutcome, ViolationEngine
+
+__all__ = [
+    "Dimension",
+    "ORDERED_DIMENSIONS",
+    "OrderedDomain",
+    "PrivacyTuple",
+    "PolicyEntry",
+    "PreferenceEntry",
+    "HousePolicy",
+    "ProviderPreferences",
+    "effective_preferences",
+    "AttributeSensitivities",
+    "DimensionSensitivity",
+    "ProviderSensitivity",
+    "SensitivityModel",
+    "ViolationFinding",
+    "comp",
+    "conf",
+    "diff",
+    "exceeded_dimensions",
+    "find_violations",
+    "violation_indicator",
+    "SeverityBreakdown",
+    "provider_violation",
+    "total_violations",
+    "DefaultModel",
+    "provider_default",
+    "TrialEstimate",
+    "default_probability",
+    "estimate_probability_by_trials",
+    "violation_probability",
+    "Population",
+    "Provider",
+    "PPDBCertificate",
+    "certify_alpha_ppdb",
+    "is_alpha_ppdb",
+    "ExpansionAssessment",
+    "assess_expansion",
+    "break_even_extra_utility",
+    "expansion_justified",
+    "utility_current",
+    "utility_future",
+    "EngineReport",
+    "ProviderOutcome",
+    "ViolationEngine",
+]

@@ -1,0 +1,268 @@
+"""Privacy dimensions and ordered value domains.
+
+The taxonomy (Barker et al. 2009, the paper's ref [1]) models privacy as a
+point in a four-dimensional space: **purpose**, **visibility**,
+**granularity**, and **retention**.  The paper's assumptions (Section 3):
+
+1. the dimensions are orthogonal;
+2. visibility, granularity, and retention values form a *total order* used
+   both to detect violations and to grade their severity;
+4. purpose is *categorical* — a grouping principle, compared only for
+   equality (unless an external total order is supplied, see
+   :mod:`repro.core.purpose`).
+
+:class:`Dimension` names the four axes.  :class:`OrderedDomain` gives each
+ordered axis a ladder of named levels mapped to integer ranks; the integer
+ranks are what privacy tuples carry (Section 6.2: "numerical values can
+simply be chosen to reflect the orderings").
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+from .._validation import check_int, check_non_empty_str, check_unique
+from ..exceptions import DomainError, ValidationError
+
+
+class Dimension(enum.Enum):
+    """One axis of the four-dimensional privacy space.
+
+    ``symbol`` is the shorthand used by the paper's notation (``Pr``, ``V``,
+    ``G``, ``R``); ``is_ordered`` distinguishes the three totally-ordered
+    axes from the categorical purpose axis.
+    """
+
+    PURPOSE = "purpose"
+    VISIBILITY = "visibility"
+    GRANULARITY = "granularity"
+    RETENTION = "retention"
+
+    @property
+    def symbol(self) -> str:
+        """The paper's shorthand for this dimension."""
+        return _SYMBOLS[self]
+
+    @property
+    def is_ordered(self) -> bool:
+        """Whether values of this dimension carry a total order."""
+        return self is not Dimension.PURPOSE
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dimension.{self.name}"
+
+
+_SYMBOLS = {
+    Dimension.PURPOSE: "Pr",
+    Dimension.VISIBILITY: "V",
+    Dimension.GRANULARITY: "G",
+    Dimension.RETENTION: "R",
+}
+
+#: The dimensions along which violations are measured (Definition 1 excludes
+#: purpose: ``dim != Pr``).  Order matches the paper's ``{V, G, R}``.
+ORDERED_DIMENSIONS: tuple[Dimension, ...] = (
+    Dimension.VISIBILITY,
+    Dimension.GRANULARITY,
+    Dimension.RETENTION,
+)
+
+
+class OrderedDomain:
+    """A totally ordered ladder of named levels for one privacy dimension.
+
+    Levels are listed from *least* privacy exposure to *most*; their index in
+    the ladder is the integer rank carried by privacy tuples.  A rank of 0 is
+    conventionally "reveal nothing", which is what the paper's implicit
+    preference tuple ``<i, a, pr, 0, 0, 0>`` relies on.
+
+    The domain accepts levels by name or by rank everywhere, so policy
+    documents may say ``"third-party"`` while the arithmetic uses ``3``.
+
+    Parameters
+    ----------
+    dimension:
+        The axis this ladder belongs to.  Must be an ordered dimension.
+    levels:
+        Level names from least to most exposure.  Must be unique and
+        non-empty.
+    name:
+        Optional human-readable domain name; defaults to the dimension value.
+    """
+
+    __slots__ = ("_dimension", "_levels", "_ranks", "_name")
+
+    def __init__(
+        self,
+        dimension: Dimension,
+        levels: Sequence[str],
+        *,
+        name: str | None = None,
+    ) -> None:
+        if not isinstance(dimension, Dimension):
+            raise ValidationError(
+                f"dimension must be a Dimension, got {dimension!r}"
+            )
+        if not dimension.is_ordered:
+            raise ValidationError(
+                "purpose is categorical; it has no ordered domain "
+                "(see repro.core.purpose.PurposeLattice for the extension)"
+            )
+        level_list = [check_non_empty_str(level, "level") for level in levels]
+        if not level_list:
+            raise ValidationError("an ordered domain needs at least one level")
+        check_unique(level_list, "domain level")
+        self._dimension = dimension
+        self._levels = tuple(level_list)
+        self._ranks = {level: rank for rank, level in enumerate(level_list)}
+        self._name = name if name is not None else dimension.value
+
+    @property
+    def dimension(self) -> Dimension:
+        """The axis this ladder belongs to."""
+        return self._dimension
+
+    @property
+    def name(self) -> str:
+        """Human-readable domain name."""
+        return self._name
+
+    @property
+    def levels(self) -> tuple[str, ...]:
+        """Level names from least to most exposure."""
+        return self._levels
+
+    @property
+    def max_rank(self) -> int:
+        """The rank of the most exposed level."""
+        return len(self._levels) - 1
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def __contains__(self, value: object) -> bool:
+        if isinstance(value, str):
+            return value in self._ranks
+        if isinstance(value, bool):
+            return False
+        if isinstance(value, int):
+            return 0 <= value <= self.max_rank
+        return False
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._levels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OrderedDomain):
+            return NotImplemented
+        return (
+            self._dimension is other._dimension
+            and self._levels == other._levels
+            and self._name == other._name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._dimension, self._levels, self._name))
+
+    def __repr__(self) -> str:
+        ladder = " < ".join(self._levels)
+        return f"OrderedDomain({self._name}: {ladder})"
+
+    def rank_of(self, value: str | int) -> int:
+        """Return the integer rank of *value* (a level name or a rank).
+
+        Raises
+        ------
+        DomainError
+            If the name is unknown or the rank is outside the ladder.
+        """
+        if isinstance(value, str):
+            try:
+                return self._ranks[value]
+            except KeyError:
+                raise DomainError(self._name, value) from None
+        rank = check_int(value, f"{self._name} rank")
+        if not 0 <= rank <= self.max_rank:
+            raise DomainError(self._name, rank)
+        return rank
+
+    def level_of(self, rank: int) -> str:
+        """Return the level name at integer *rank*."""
+        rank = check_int(rank, f"{self._name} rank")
+        if not 0 <= rank <= self.max_rank:
+            raise DomainError(self._name, rank)
+        return self._levels[rank]
+
+    def clamp(self, rank: int) -> int:
+        """Clamp an arbitrary integer to the ladder's valid rank range.
+
+        Used by policy-widening operators that step ranks upward and must not
+        run off the top of the ladder.
+        """
+        rank = check_int(rank, f"{self._name} rank")
+        return max(0, min(rank, self.max_rank))
+
+
+class UnboundedRetention:
+    """A retention domain measured on an open-ended integer scale.
+
+    The taxonomy's retention axis is naturally numeric (weeks, months,
+    years, or an ordinal ladder ending in "indefinitely").  When a deployment
+    prefers raw durations over a named ladder, this domain accepts any
+    non-negative integer and treats larger as more exposed.
+
+    It deliberately mirrors the parts of :class:`OrderedDomain`'s interface
+    the core model uses (``rank_of``, ``clamp``, ``dimension``) so the two
+    are interchangeable inside a taxonomy.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, *, name: str = "retention") -> None:
+        self._name = check_non_empty_str(name, "name")
+
+    @property
+    def dimension(self) -> Dimension:
+        """Always :attr:`Dimension.RETENTION`."""
+        return Dimension.RETENTION
+
+    @property
+    def name(self) -> str:
+        """Human-readable domain name."""
+        return self._name
+
+    @property
+    def max_rank(self) -> int | None:
+        """``None``: there is no top of the ladder."""
+        return None
+
+    def __contains__(self, value: object) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and value >= 0
+        )
+
+    def __repr__(self) -> str:
+        return f"UnboundedRetention({self._name!r})"
+
+    def rank_of(self, value: str | int) -> int:
+        """Return *value* as a non-negative integer rank.
+
+        Accepts decimal strings too (``"12"``), because :meth:`level_of`
+        renders ranks as strings — the pair must round-trip.
+        """
+        if isinstance(value, str):
+            if not value.isdigit():
+                raise DomainError(self._name, value)
+            value = int(value)
+        return check_int(value, f"{self._name} rank", minimum=0)
+
+    def level_of(self, rank: int) -> str:
+        """Return a printable label for *rank*."""
+        return str(self.rank_of(rank))
+
+    def clamp(self, rank: int) -> int:
+        """Clamp to the valid range (non-negative; no upper bound)."""
+        return max(0, check_int(rank, f"{self._name} rank"))

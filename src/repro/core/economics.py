@@ -1,0 +1,211 @@
+"""Policy-expansion economics (Section 9, Eqs. 25-31).
+
+The house's dilemma: widening the privacy policy increases the utility it
+can extract per provider (more data to sell, broader purposes), but the
+resulting violations push providers past their default thresholds and
+shrink the population.  The paper derives the break-even condition:
+
+    ``Utility_future > Utility_current``
+    ``N_future x (U + T) > N_current x U``
+    ``T > U x (N_current / N_future - 1)``        (Eq. 31)
+
+where ``U`` is the current per-provider utility and ``T`` the *extra*
+per-provider utility the widening unlocks.  :func:`assess_expansion`
+evaluates a concrete widening against a population end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from .._validation import check_int, check_real
+from ..exceptions import ValidationError
+from .default import DefaultModel
+from .policy import HousePolicy
+from .population import Population
+from .sensitivity import SensitivityModel
+from .severity import provider_violation
+
+
+def utility_current(n_current: int, per_provider_utility: float) -> float:
+    """Equation 25: ``Utility_current = N_current x U``."""
+    n_current = check_int(n_current, "n_current", minimum=0)
+    per_provider_utility = check_real(
+        per_provider_utility, "per_provider_utility", minimum=0.0
+    )
+    return n_current * per_provider_utility
+
+
+def n_future(n_current: int, n_defaults: int) -> int:
+    """Equation 26: ``N_future = N_current - sum_i default_i``."""
+    n_current = check_int(n_current, "n_current", minimum=0)
+    n_defaults = check_int(n_defaults, "n_defaults", minimum=0)
+    if n_defaults > n_current:
+        raise ValidationError(
+            f"cannot lose {n_defaults} providers from a population of {n_current}"
+        )
+    return n_current - n_defaults
+
+
+def utility_future(
+    n_future_providers: int,
+    per_provider_utility: float,
+    extra_utility: float,
+) -> float:
+    """Equation 27: ``Utility_future = N_future x (U + T)``."""
+    n_future_providers = check_int(n_future_providers, "n_future_providers", minimum=0)
+    per_provider_utility = check_real(
+        per_provider_utility, "per_provider_utility", minimum=0.0
+    )
+    extra_utility = check_real(extra_utility, "extra_utility", minimum=0.0)
+    return n_future_providers * (per_provider_utility + extra_utility)
+
+
+def break_even_extra_utility(
+    per_provider_utility: float, n_current: int, n_future_providers: int
+) -> float:
+    """Equation 31: the minimum ``T`` justifying the expansion.
+
+    ``T* = U x (N_current / N_future - 1)``.  Returns ``inf`` when every
+    provider defaults (``N_future == 0``): no finite extra utility can
+    compensate for an empty database.
+    """
+    per_provider_utility = check_real(
+        per_provider_utility, "per_provider_utility", minimum=0.0
+    )
+    n_current = check_int(n_current, "n_current", minimum=0)
+    n_future_providers = check_int(
+        n_future_providers, "n_future_providers", minimum=0
+    )
+    if n_future_providers > n_current:
+        raise ValidationError(
+            "N_future cannot exceed N_current (providers cannot appear by widening)"
+        )
+    if n_future_providers == 0:
+        return math.inf
+    return per_provider_utility * (n_current / n_future_providers - 1.0)
+
+
+def expansion_justified(
+    per_provider_utility: float,
+    extra_utility: float,
+    n_current: int,
+    n_future_providers: int,
+) -> bool:
+    """Equation 28-31: True when ``Utility_future > Utility_current``.
+
+    Evaluated through Eq. 31's strict inequality
+    ``T > U x (N_current/N_future - 1)``, which is exactly equivalent and
+    avoids comparing two products for the edge case ``N_future == 0``.
+    """
+    extra_utility = check_real(extra_utility, "extra_utility", minimum=0.0)
+    threshold = break_even_extra_utility(
+        per_provider_utility, n_current, n_future_providers
+    )
+    return extra_utility > threshold
+
+
+@dataclass(frozen=True, slots=True)
+class ExpansionAssessment:
+    """End-to-end evaluation of one candidate policy widening.
+
+    Ties together the model's pieces: the defaults the widening causes, the
+    utilities before and after, the break-even ``T*``, and the verdict.
+    """
+
+    policy_name: str
+    n_current: int
+    n_future: int
+    defaulted_providers: tuple[Hashable, ...]
+    per_provider_utility: float
+    extra_utility: float
+    utility_current: float
+    utility_future: float
+    break_even_extra_utility: float
+    justified: bool
+
+    @property
+    def utility_gain(self) -> float:
+        """``Utility_future - Utility_current`` (negative when the house loses)."""
+        return self.utility_future - self.utility_current
+
+    @property
+    def default_fraction(self) -> float:
+        """Fraction of the current population that defaults."""
+        if self.n_current == 0:
+            return 0.0
+        return len(self.defaulted_providers) / self.n_current
+
+    def __str__(self) -> str:
+        verdict = "justified" if self.justified else "NOT justified"
+        return (
+            f"expansion[{self.policy_name}]: {self.n_current} -> {self.n_future} "
+            f"providers, utility {self.utility_current:g} -> "
+            f"{self.utility_future:g} (T={self.extra_utility:g}, "
+            f"T*={self.break_even_extra_utility:g}) -> {verdict}"
+        )
+
+
+def assess_expansion(
+    population: Population,
+    widened_policy: HousePolicy,
+    per_provider_utility: float,
+    extra_utility: float,
+    *,
+    sensitivities: SensitivityModel | None = None,
+    default_model: DefaultModel | None = None,
+    implicit_zero: bool = True,
+) -> ExpansionAssessment:
+    """Evaluate Section 9's trade-off for one concrete widened policy.
+
+    Follows the paper's setup: the *current* policy causes no defaults (all
+    ``Violation_i <= v_i``), so ``N_current = len(population)``; the widened
+    policy is evaluated against every provider, defaults are counted, and
+    Eqs. 25-31 decide whether the widening pays.
+
+    Parameters
+    ----------
+    population:
+        The current providers (none of whom have defaulted yet).
+    widened_policy:
+        The candidate expanded policy.
+    per_provider_utility:
+        ``U``, the utility each provider currently yields.
+    extra_utility:
+        ``T``, the extra per-provider utility the widening unlocks.
+    sensitivities, default_model:
+        Default to the population's own models.
+    """
+    if sensitivities is None:
+        sensitivities = population.sensitivity_model()
+    if default_model is None:
+        default_model = population.default_model()
+    defaulted: list[Hashable] = []
+    for provider in population:
+        violation = provider_violation(
+            provider.preferences,
+            widened_policy,
+            sensitivities,
+            implicit_zero=implicit_zero,
+        )
+        if default_model.defaults(provider.provider_id, violation):
+            defaulted.append(provider.provider_id)
+    current_n = len(population)
+    future_n = n_future(current_n, len(defaulted))
+    threshold = break_even_extra_utility(per_provider_utility, current_n, future_n)
+    return ExpansionAssessment(
+        policy_name=widened_policy.name,
+        n_current=current_n,
+        n_future=future_n,
+        defaulted_providers=tuple(defaulted),
+        per_provider_utility=float(per_provider_utility),
+        extra_utility=float(extra_utility),
+        utility_current=utility_current(current_n, per_provider_utility),
+        utility_future=utility_future(future_n, per_provider_utility, extra_utility),
+        break_even_extra_utility=threshold,
+        justified=expansion_justified(
+            per_provider_utility, extra_utility, current_n, future_n
+        ),
+    )

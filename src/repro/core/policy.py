@@ -1,0 +1,187 @@
+"""The house privacy policy ``HP`` (Section 4, Eqs. 2-4).
+
+A :class:`HousePolicy` is a finite set of ``<attribute, privacy-tuple>``
+entries.  Equation 4's per-attribute restriction ``HP^j`` is
+:meth:`HousePolicy.for_attribute`.  Policies are immutable; widening
+(Section 9) produces *new* policies via :meth:`widened` or the operators in
+:mod:`repro.simulation.widening`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from ..exceptions import ValidationError
+from .dimensions import Dimension, ORDERED_DIMENSIONS
+from .tuples import PolicyEntry, PrivacyTuple
+
+
+class HousePolicy:
+    """An immutable house privacy policy: a set of :class:`PolicyEntry`.
+
+    The constructor deduplicates exact-duplicate entries (``HP`` is a set in
+    the paper) but rejects nothing else: a house may legitimately hold
+    several tuples for the same attribute (e.g. one per purpose, or several
+    visibility grants for the same purpose).
+
+    Parameters
+    ----------
+    entries:
+        The policy entries.  Accepts :class:`PolicyEntry` objects or
+        ``(attribute, PrivacyTuple)`` pairs.
+    name:
+        Optional label used in reports ("policy-v2", "widened+1", ...).
+    """
+
+    __slots__ = ("_entries", "_by_attribute", "_name")
+
+    def __init__(
+        self,
+        entries: Iterable[PolicyEntry | tuple[str, PrivacyTuple]] = (),
+        *,
+        name: str = "house-policy",
+    ) -> None:
+        normalized: list[PolicyEntry] = []
+        seen: set[PolicyEntry] = set()
+        for entry in entries:
+            if isinstance(entry, tuple):
+                attribute, privacy_tuple = entry
+                entry = PolicyEntry(attribute=attribute, tuple=privacy_tuple)
+            elif not isinstance(entry, PolicyEntry):
+                raise ValidationError(
+                    f"policy entries must be PolicyEntry or (attribute, "
+                    f"PrivacyTuple) pairs, got {type(entry).__name__}"
+                )
+            if entry not in seen:
+                seen.add(entry)
+                normalized.append(entry)
+        self._entries = tuple(normalized)
+        by_attribute: dict[str, list[PolicyEntry]] = {}
+        for entry in self._entries:
+            by_attribute.setdefault(entry.attribute, []).append(entry)
+        self._by_attribute = {
+            attribute: tuple(attr_entries)
+            for attribute, attr_entries in by_attribute.items()
+        }
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """Label used in reports."""
+        return self._name
+
+    @property
+    def entries(self) -> tuple[PolicyEntry, ...]:
+        """All policy entries, in insertion order."""
+        return self._entries
+
+    def __iter__(self) -> Iterator[PolicyEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry: object) -> bool:
+        return entry in set(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HousePolicy):
+            return NotImplemented
+        return frozenset(self._entries) == frozenset(other._entries)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries))
+
+    def __repr__(self) -> str:
+        return f"HousePolicy({self._name!r}, {len(self._entries)} entries)"
+
+    def attributes(self) -> tuple[str, ...]:
+        """The attributes this policy covers, sorted."""
+        return tuple(sorted(self._by_attribute))
+
+    def purposes(self) -> tuple[str, ...]:
+        """The distinct purposes appearing in the policy, sorted."""
+        return tuple(sorted({entry.purpose for entry in self._entries}))
+
+    def for_attribute(self, attribute: str) -> tuple[PolicyEntry, ...]:
+        """Equation 4: the restriction ``HP^j`` to one attribute.
+
+        Returns an empty tuple when the policy says nothing about the
+        attribute (collecting nothing violates nobody).
+        """
+        return self._by_attribute.get(attribute, ())
+
+    def for_purpose(self, purpose: str) -> tuple[PolicyEntry, ...]:
+        """All entries whose tuple carries *purpose*."""
+        return tuple(e for e in self._entries if e.purpose == purpose)
+
+    def with_entries(
+        self,
+        extra: Iterable[PolicyEntry | tuple[str, PrivacyTuple]],
+        *,
+        name: str | None = None,
+    ) -> "HousePolicy":
+        """A new policy with *extra* entries appended."""
+        return HousePolicy(
+            list(self._entries) + list(extra),
+            name=name if name is not None else self._name,
+        )
+
+    def without_attribute(self, attribute: str, *, name: str | None = None) -> "HousePolicy":
+        """A new policy that says nothing about *attribute*."""
+        return HousePolicy(
+            [e for e in self._entries if e.attribute != attribute],
+            name=name if name is not None else self._name,
+        )
+
+    def widened(
+        self,
+        deltas: Mapping[Dimension, int],
+        *,
+        attributes: Iterable[str] | None = None,
+        purposes: Iterable[str] | None = None,
+        name: str | None = None,
+    ) -> "HousePolicy":
+        """Section 9's policy expansion: shift ranks upward (or downward).
+
+        Parameters
+        ----------
+        deltas:
+            Rank shift per ordered dimension, e.g.
+            ``{Dimension.VISIBILITY: 1}``.  Missing dimensions are left
+            untouched.  Negative deltas *narrow* the policy; results are
+            floored at rank 0.
+        attributes:
+            Restrict the widening to these attributes (default: all).
+        purposes:
+            Restrict the widening to entries with these purposes
+            (default: all).
+        name:
+            Label for the widened policy (default: ``"<name> widened"``).
+        """
+        for dim in deltas:
+            if not isinstance(dim, Dimension) or not dim.is_ordered:
+                raise ValidationError(
+                    f"widening deltas must map ordered dimensions, got {dim!r}"
+                )
+        attribute_filter = None if attributes is None else set(attributes)
+        purpose_filter = None if purposes is None else set(purposes)
+        new_entries: list[PolicyEntry] = []
+        for entry in self._entries:
+            in_scope = (
+                (attribute_filter is None or entry.attribute in attribute_filter)
+                and (purpose_filter is None or entry.purpose in purpose_filter)
+            )
+            if not in_scope:
+                new_entries.append(entry)
+                continue
+            new_tuple = entry.tuple
+            for dim in ORDERED_DIMENSIONS:
+                delta = deltas.get(dim, 0)
+                if delta:
+                    new_tuple = new_tuple.shifted(dim, delta)
+            new_entries.append(PolicyEntry(entry.attribute, new_tuple))
+        return HousePolicy(
+            new_entries,
+            name=name if name is not None else f"{self._name} widened",
+        )

@@ -1,0 +1,209 @@
+"""Provider privacy preferences (Section 4, Eqs. 5-6) and the
+implicit-zero-tuple rule (Section 5).
+
+``ProviderPref_i`` is the set of ``<i, a, p>`` triples for one provider;
+Eq. 6's restriction to a datum's attribute is
+:meth:`ProviderPreferences.for_attribute`.
+
+The paper's implicit rule (directly after Definition 1): when the house
+uses a purpose the provider never expressed a preference for on an
+attribute the provider supplied, the provider is assumed to prefer to
+reveal nothing — the tuple ``<i, a, pr, 0, 0, 0>`` is added.
+:func:`effective_preferences` materialises that completion against a given
+house policy so the violation indicator and the severity measure both see
+identical semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Hashable
+
+from ..exceptions import ValidationError
+from .policy import HousePolicy
+from .tuples import PreferenceEntry, PrivacyTuple
+
+
+class ProviderPreferences:
+    """All privacy preferences of one data provider (Eq. 5).
+
+    Parameters
+    ----------
+    provider_id:
+        The provider's identifier (any hashable).
+    entries:
+        :class:`PreferenceEntry` objects or ``(attribute, PrivacyTuple)``
+        pairs; pairs are completed with *provider_id*.  Entries carrying a
+        different ``provider_id`` are rejected — a preference set speaks for
+        exactly one provider.
+    attributes_provided:
+        The attributes this provider actually supplied data for.  Defaults
+        to the attributes mentioned in *entries*.  The implicit-zero rule
+        applies only to supplied attributes: a policy on data the provider
+        never gave cannot violate them.
+    """
+
+    __slots__ = ("_provider_id", "_entries", "_by_attribute", "_attributes_provided")
+
+    def __init__(
+        self,
+        provider_id: Hashable,
+        entries: Iterable[PreferenceEntry | tuple[str, PrivacyTuple]] = (),
+        *,
+        attributes_provided: Iterable[str] | None = None,
+    ) -> None:
+        if provider_id is None:
+            raise ValidationError("provider_id must not be None")
+        normalized: list[PreferenceEntry] = []
+        seen: set[PreferenceEntry] = set()
+        for entry in entries:
+            if isinstance(entry, tuple):
+                attribute, privacy_tuple = entry
+                entry = PreferenceEntry(
+                    provider_id=provider_id,
+                    attribute=attribute,
+                    tuple=privacy_tuple,
+                )
+            elif not isinstance(entry, PreferenceEntry):
+                raise ValidationError(
+                    f"preference entries must be PreferenceEntry or "
+                    f"(attribute, PrivacyTuple) pairs, got {type(entry).__name__}"
+                )
+            if entry.provider_id != provider_id:
+                raise ValidationError(
+                    f"entry provider {entry.provider_id!r} does not match "
+                    f"preference-set provider {provider_id!r}"
+                )
+            if entry not in seen:
+                seen.add(entry)
+                normalized.append(entry)
+        self._provider_id = provider_id
+        self._entries = tuple(normalized)
+        by_attribute: dict[str, list[PreferenceEntry]] = {}
+        for entry in self._entries:
+            by_attribute.setdefault(entry.attribute, []).append(entry)
+        self._by_attribute = {
+            attribute: tuple(attr_entries)
+            for attribute, attr_entries in by_attribute.items()
+        }
+        if attributes_provided is None:
+            self._attributes_provided = frozenset(self._by_attribute)
+        else:
+            provided = frozenset(attributes_provided)
+            missing = set(self._by_attribute) - provided
+            if missing:
+                raise ValidationError(
+                    f"preferences mention attributes not in "
+                    f"attributes_provided: {sorted(missing)}"
+                )
+            self._attributes_provided = provided
+
+    @property
+    def provider_id(self) -> Hashable:
+        """The provider this preference set belongs to."""
+        return self._provider_id
+
+    @property
+    def entries(self) -> tuple[PreferenceEntry, ...]:
+        """All explicit preference entries, in insertion order."""
+        return self._entries
+
+    @property
+    def attributes_provided(self) -> frozenset[str]:
+        """The attributes the provider supplied data for."""
+        return self._attributes_provided
+
+    def __iter__(self) -> Iterator[PreferenceEntry]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProviderPreferences):
+            return NotImplemented
+        return (
+            self._provider_id == other._provider_id
+            and frozenset(self._entries) == frozenset(other._entries)
+            and self._attributes_provided == other._attributes_provided
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self._provider_id, frozenset(self._entries), self._attributes_provided)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProviderPreferences({self._provider_id!r}, "
+            f"{len(self._entries)} entries)"
+        )
+
+    def attributes(self) -> tuple[str, ...]:
+        """Attributes with at least one explicit preference, sorted."""
+        return tuple(sorted(self._by_attribute))
+
+    def for_attribute(self, attribute: str) -> tuple[PreferenceEntry, ...]:
+        """Equation 6: the restriction ``ProviderPref_i^j``."""
+        return self._by_attribute.get(attribute, ())
+
+    def purposes_for(self, attribute: str) -> frozenset[str]:
+        """Purposes the provider explicitly covered for *attribute*."""
+        return frozenset(e.purpose for e in self.for_attribute(attribute))
+
+    def with_entries(
+        self, extra: Iterable[PreferenceEntry | tuple[str, PrivacyTuple]]
+    ) -> "ProviderPreferences":
+        """A new preference set with *extra* entries appended."""
+        return ProviderPreferences(
+            self._provider_id,
+            list(self._entries) + list(extra),
+            attributes_provided=self._attributes_provided
+            | {
+                e.attribute if isinstance(e, PreferenceEntry) else e[0]
+                for e in extra
+            },
+        )
+
+
+def effective_preferences(
+    preferences: ProviderPreferences,
+    policy: HousePolicy,
+    *,
+    implicit_zero: bool = True,
+) -> ProviderPreferences:
+    """Complete *preferences* with implicit zero tuples against *policy*.
+
+    For every policy entry ``<a, p'>`` such that the provider supplied data
+    for attribute ``a`` but expressed no preference with purpose ``p'[Pr]``
+    on ``a``, add the paper's implicit tuple ``<i, a, p'[Pr], 0, 0, 0>``.
+
+    With ``implicit_zero=False`` the preferences are returned unchanged —
+    used by tests and ablations to show how silently *ignoring* unexpected
+    purposes under-counts violations.
+    """
+    if not implicit_zero:
+        return preferences
+    additions: list[PreferenceEntry] = []
+    seen: set[tuple[str, str]] = set()
+    for entry in policy:
+        attribute = entry.attribute
+        purpose = entry.purpose
+        if attribute not in preferences.attributes_provided:
+            continue
+        if purpose in preferences.purposes_for(attribute):
+            continue
+        key = (attribute, purpose)
+        if key in seen:
+            continue
+        seen.add(key)
+        additions.append(
+            PreferenceEntry(
+                provider_id=preferences.provider_id,
+                attribute=attribute,
+                tuple=PrivacyTuple.zero(purpose),
+            )
+        )
+    if not additions:
+        return preferences
+    return preferences.with_entries(additions)

@@ -1,0 +1,152 @@
+"""Violation and default probabilities (Definitions 2 and 5).
+
+The paper defines both probabilities through the relative-frequency view:
+a trial draws a provider uniformly at random and checks the event; the
+fraction of positive trials converges to ``sum_i x_i / N``.  We expose
+
+* the **exact** value ``sum_i x_i / N`` (what the limit converges to), and
+* a **seeded trial estimator** that performs the literal random experiment,
+  so tests can demonstrate the convergence the paper appeals to.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from .._validation import check_int
+from ..exceptions import ValidationError
+from .default import DefaultModel
+from .policy import HousePolicy
+from .population import Population
+from .sensitivity import SensitivityModel
+from .severity import provider_violation
+from .violation import violation_indicator
+
+
+def violation_probability(
+    population: Population,
+    policy: HousePolicy,
+    *,
+    implicit_zero: bool = True,
+) -> float:
+    """Definition 2: ``P(W) = sum_i w_i / N`` (exact relative frequency).
+
+    Raises
+    ------
+    ValidationError
+        If the population is empty (the probability is undefined).
+    """
+    if len(population) == 0:
+        raise ValidationError("P(W) is undefined for an empty population")
+    total = sum(
+        violation_indicator(
+            provider.preferences, policy, implicit_zero=implicit_zero
+        )
+        for provider in population
+    )
+    return total / len(population)
+
+
+def default_probability(
+    population: Population,
+    policy: HousePolicy,
+    sensitivities: SensitivityModel | None = None,
+    default_model: DefaultModel | None = None,
+    *,
+    implicit_zero: bool = True,
+) -> float:
+    """Definition 5: ``P(Default) = sum_i default_i / N`` (exact).
+
+    *sensitivities* and *default_model* default to the population's own
+    (``population.sensitivity_model()`` / ``population.default_model()``).
+    """
+    if len(population) == 0:
+        raise ValidationError("P(Default) is undefined for an empty population")
+    if sensitivities is None:
+        sensitivities = population.sensitivity_model()
+    if default_model is None:
+        default_model = population.default_model()
+    total = 0
+    for provider in population:
+        violation = provider_violation(
+            provider.preferences,
+            policy,
+            sensitivities,
+            implicit_zero=implicit_zero,
+        )
+        total += default_model.defaults(provider.provider_id, violation)
+    return total / len(population)
+
+
+@dataclass(frozen=True, slots=True)
+class TrialEstimate:
+    """Result of the literal random-trial experiment.
+
+    ``estimate`` is ``tau(A) / tau``; ``exact`` is the population value the
+    paper says the estimate tends towards for a large series of trials.
+    """
+
+    estimate: float
+    exact: float
+    positive_trials: int
+    trials: int
+    seed: int
+
+    @property
+    def absolute_error(self) -> float:
+        """``|estimate - exact|``."""
+        return abs(self.estimate - self.exact)
+
+
+def estimate_probability_by_trials(
+    indicators: Mapping[Hashable, int] | Sequence[int],
+    n_trials: int,
+    *,
+    seed: int = 0,
+) -> TrialEstimate:
+    """Run the paper's random-selection experiment on known indicators.
+
+    Parameters
+    ----------
+    indicators:
+        Per-provider 0/1 outcomes (``w_i`` or ``default_i``), either as a
+        mapping or a sequence.
+    n_trials:
+        ``tau``, the number of uniform random draws (with replacement —
+        each trial is "the random selection of a data provider").
+    seed:
+        Seed for the NumPy generator, for reproducibility.
+
+    Returns
+    -------
+    TrialEstimate
+        The estimate together with the exact value it converges to.
+    """
+    if isinstance(indicators, Mapping):
+        values = [indicators[key] for key in indicators]
+    else:
+        values = list(indicators)
+    if not values:
+        raise ValidationError("cannot run trials over an empty population")
+    for value in values:
+        if value not in (0, 1):
+            raise ValidationError(
+                f"indicators must be 0 or 1, got {value!r}"
+            )
+    n_trials = check_int(n_trials, "n_trials", minimum=1)
+    seed = check_int(seed, "seed", minimum=0)
+    outcomes = np.asarray(values, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, len(outcomes), size=n_trials)
+    positives = int(outcomes[draws].sum())
+    return TrialEstimate(
+        estimate=positives / n_trials,
+        exact=float(outcomes.mean()),
+        positive_trials=positives,
+        trials=n_trials,
+        seed=seed,
+    )

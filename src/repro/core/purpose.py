@@ -1,0 +1,199 @@
+"""Purpose handling: categorical registry plus the lattice extension.
+
+The paper (assumption 4) treats purpose as a *categorical* grouping
+principle: two privacy tuples are comparable only when their purposes are
+equal, and no violation is measured *along* the purpose axis.
+
+It also anticipates the extension of Ghazinour & Barker (PAIS 2011, the
+paper's ref [5]): if purposes are arranged in a structure that yields a
+total order, "we could treat purpose as any other privacy dimension without
+changing our approach".  :class:`PurposeLattice` implements that structure
+as a partial order (a DAG of "purpose *a* is narrower than purpose *b*"),
+and :meth:`PurposeLattice.total_order` extracts ranks when the lattice is a
+chain — which is exactly what the ordered-purpose ablation benchmark uses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from .._validation import check_non_empty_str, check_unique
+from ..exceptions import UnknownPurposeError, ValidationError
+
+
+class PurposeRegistry:
+    """The set of purposes a deployment recognises.
+
+    Policies and preferences are validated against a registry so typos in
+    purpose strings surface at construction time rather than silently making
+    tuples incomparable (which would *hide* violations).
+    """
+
+    __slots__ = ("_purposes",)
+
+    def __init__(self, purposes: Iterable[str]) -> None:
+        names = [check_non_empty_str(p, "purpose") for p in purposes]
+        check_unique(names, "purpose")
+        if not names:
+            raise ValidationError("a purpose registry needs at least one purpose")
+        self._purposes = frozenset(names)
+
+    @property
+    def purposes(self) -> frozenset[str]:
+        """The registered purpose names."""
+        return self._purposes
+
+    def __contains__(self, purpose: object) -> bool:
+        return purpose in self._purposes
+
+    def __iter__(self):
+        return iter(sorted(self._purposes))
+
+    def __len__(self) -> int:
+        return len(self._purposes)
+
+    def __repr__(self) -> str:
+        return f"PurposeRegistry({sorted(self._purposes)!r})"
+
+    def validate(self, purpose: str) -> str:
+        """Return *purpose* if registered, else raise :class:`UnknownPurposeError`."""
+        if purpose not in self._purposes:
+            raise UnknownPurposeError(purpose)
+        return purpose
+
+
+class PurposeLattice:
+    """A partial order over purposes ("*a* is narrower than *b*").
+
+    Edges point from narrower to broader purposes.  The lattice supports:
+
+    * ``leq(a, b)`` — is *a* at most as broad as *b*?
+    * ``total_order()`` — if the order is a chain, the rank of each purpose,
+      enabling the paper's assumption-4 extension where purpose participates
+      in ``diff`` like visibility/granularity/retention.
+
+    The implementation is a plain reachability closure (the lattices in
+    practice hold tens of purposes, not millions), so there is no dependency
+    on a graph library.
+    """
+
+    __slots__ = ("_purposes", "_descendants")
+
+    def __init__(
+        self,
+        purposes: Iterable[str],
+        narrower_than: Iterable[tuple[str, str]] = (),
+    ) -> None:
+        names = [check_non_empty_str(p, "purpose") for p in purposes]
+        check_unique(names, "purpose")
+        universe = set(names)
+        edges: dict[str, set[str]] = {name: set() for name in names}
+        for narrow, broad in narrower_than:
+            if narrow not in universe:
+                raise UnknownPurposeError(narrow)
+            if broad not in universe:
+                raise UnknownPurposeError(broad)
+            if narrow == broad:
+                raise ValidationError(
+                    f"self-loop in purpose lattice: {narrow!r}"
+                )
+            edges[narrow].add(broad)
+        self._purposes = frozenset(universe)
+        self._descendants = self._transitive_closure(edges)
+
+    @staticmethod
+    def _transitive_closure(
+        edges: Mapping[str, set[str]]
+    ) -> dict[str, frozenset[str]]:
+        """Compute, for each purpose, every strictly broader purpose.
+
+        Uses iterative DFS with cycle detection; a cycle would make the
+        "narrower than" relation non-antisymmetric, which we reject.
+        """
+        closure: dict[str, frozenset[str]] = {}
+
+        def visit(node: str, stack: set[str]) -> frozenset[str]:
+            if node in closure:
+                return closure[node]
+            if node in stack:
+                raise ValidationError(
+                    f"cycle in purpose lattice involving {node!r}"
+                )
+            stack.add(node)
+            reached: set[str] = set()
+            for broader in edges[node]:
+                reached.add(broader)
+                reached |= visit(broader, stack)
+            stack.discard(node)
+            closure[node] = frozenset(reached)
+            return closure[node]
+
+        for name in edges:
+            visit(name, set())
+        return closure
+
+    @property
+    def purposes(self) -> frozenset[str]:
+        """All purposes in the lattice."""
+        return self._purposes
+
+    def __contains__(self, purpose: object) -> bool:
+        return purpose in self._purposes
+
+    def __len__(self) -> int:
+        return len(self._purposes)
+
+    def leq(self, narrow: str, broad: str) -> bool:
+        """Return True when *narrow* is at most as broad as *broad*."""
+        if narrow not in self._purposes:
+            raise UnknownPurposeError(narrow)
+        if broad not in self._purposes:
+            raise UnknownPurposeError(broad)
+        return narrow == broad or broad in self._descendants[narrow]
+
+    def comparable(self, a: str, b: str) -> bool:
+        """Return True when *a* and *b* are ordered either way."""
+        return self.leq(a, b) or self.leq(b, a)
+
+    def is_chain(self) -> bool:
+        """Return True when the lattice is totally ordered."""
+        names = sorted(self._purposes)
+        return all(
+            self.comparable(a, b)
+            for index, a in enumerate(names)
+            for b in names[index + 1 :]
+        )
+
+    def total_order(self) -> dict[str, int]:
+        """Return purpose → rank when the lattice is a chain.
+
+        Rank 0 is the narrowest purpose; larger ranks are broader (more
+        privacy exposure), matching the convention of the ordered domains.
+
+        Raises
+        ------
+        ValidationError
+            If the lattice is not a chain.
+        """
+        if not self.is_chain():
+            raise ValidationError(
+                "purpose lattice is not a chain; no total order exists"
+            )
+        # In a chain, the number of strictly-broader purposes identifies the
+        # position from the top; invert it so rank grows with breadth.
+        size = len(self._purposes)
+        return {
+            name: size - 1 - len(self._descendants[name])
+            for name in self._purposes
+        }
+
+    def registry(self) -> PurposeRegistry:
+        """A :class:`PurposeRegistry` holding this lattice's purposes."""
+        return PurposeRegistry(self._purposes)
+
+
+def chain(purposes: Sequence[str]) -> PurposeLattice:
+    """Build a totally ordered lattice from narrowest to broadest."""
+    names = list(purposes)
+    edges = [(names[i], names[i + 1]) for i in range(len(names) - 1)]
+    return PurposeLattice(names, edges)

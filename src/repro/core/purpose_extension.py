@@ -1,0 +1,236 @@
+"""The ordered-purpose extension (paper assumption 4).
+
+Assumption 4 notes that if ongoing work on purpose semantics (Ghazinour &
+Barker's lattice, ref [5]) "leads to a total ordering on the purpose
+dimension, then in this case we could treat purpose as any other privacy
+dimension without changing our approach".  This module implements exactly
+that variant:
+
+* comparability (Eq. 13) weakens to *same attribute only* — tuples with
+  different purposes are now ordered, not incomparable;
+* ``diff`` (Eq. 12) additionally applies to purpose *ranks* taken from a
+  total order (a :class:`~repro.core.purpose.PurposeLattice` chain or any
+  explicit purpose -> rank mapping);
+* the V/G/R comparison applies whenever the policy's purpose is at least
+  as broad as the preference's (a narrower-purpose policy entry cannot
+  violate a broader-purpose preference — using data for *less* than you
+  were allowed is not an exceedance).
+
+Because cross-purpose pairs are now directly comparable, the categorical
+model's implicit-zero completion is unnecessary here: a policy purpose the
+provider never mentioned is simply compared through the order.  Purpose
+exceedances are weighted by ``Sigma^a`` and the data-value sensitivity
+``s_i^a`` but have no per-dimension weight (the paper's ``sigma_i^j``
+record carries no purpose component), i.e. their dimension weight is 1.
+
+The ordered-purpose ablation benchmark quantifies how many additional
+violations this extension surfaces over the categorical baseline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..exceptions import ValidationError
+from .dimensions import Dimension, ORDERED_DIMENSIONS
+from .policy import HousePolicy
+from .preferences import ProviderPreferences
+from .purpose import PurposeLattice
+from .sensitivity import SensitivityModel
+from .violation import ViolationFinding, diff
+
+
+def _resolve_order(
+    order: PurposeLattice | Mapping[str, int]
+) -> Mapping[str, int]:
+    """Normalise the purpose order argument to a rank mapping."""
+    if isinstance(order, PurposeLattice):
+        return order.total_order()
+    if not order:
+        raise ValidationError("purpose order must not be empty")
+    for purpose, rank in order.items():
+        if not isinstance(rank, int) or isinstance(rank, bool) or rank < 0:
+            raise ValidationError(
+                f"purpose rank for {purpose!r} must be a non-negative "
+                f"integer, got {rank!r}"
+            )
+    return order
+
+
+def find_violations_ordered_purpose(
+    preferences: ProviderPreferences,
+    policy: HousePolicy,
+    order: PurposeLattice | Mapping[str, int],
+    sensitivities: SensitivityModel | None = None,
+) -> list[ViolationFinding]:
+    """Every exceedance under the ordered-purpose variant of the model.
+
+    Purpose exceedances are reported with ``dimension=Dimension.PURPOSE``
+    and rank values taken from *order*.  V/G/R exceedances are reported for
+    every (preference, policy) pair on the same attribute whose policy
+    purpose is at least as broad as the preference purpose.
+
+    Raises
+    ------
+    ValidationError
+        If *order* (or the lattice) does not define a total order covering
+        every purpose appearing in the inputs.
+    """
+    ranks = _resolve_order(order)
+    model = sensitivities if sensitivities is not None else SensitivityModel.neutral()
+    mentioned = {entry.purpose for entry in preferences.entries} | {
+        entry.purpose for entry in policy
+    }
+    missing = sorted(mentioned - set(ranks))
+    if missing:
+        raise ValidationError(
+            f"purpose order does not cover: {missing}"
+        )
+    findings: list[ViolationFinding] = []
+    for pref in preferences.entries:
+        attribute_weight = model.attribute_weight(pref.attribute)
+        datum = model.datum(pref.provider_id, pref.attribute)
+        pref_rank = ranks[pref.purpose]
+        for pol in policy.for_attribute(pref.attribute):
+            pol_rank = ranks[pol.purpose]
+            if pol_rank < pref_rank:
+                continue  # narrower-purpose use cannot exceed
+            purpose_amount = diff(pref_rank, pol_rank)
+            if purpose_amount:
+                findings.append(
+                    ViolationFinding(
+                        provider_id=pref.provider_id,
+                        attribute=pref.attribute,
+                        purpose=pol.purpose,
+                        dimension=Dimension.PURPOSE,
+                        preference_value=pref_rank,
+                        policy_value=pol_rank,
+                        amount=purpose_amount,
+                        weighted=purpose_amount
+                        * attribute_weight
+                        * datum.value,
+                    )
+                )
+            for dim in ORDERED_DIMENSIONS:
+                amount = diff(pref.tuple.rank(dim), pol.tuple.rank(dim))
+                if not amount:
+                    continue
+                findings.append(
+                    ViolationFinding(
+                        provider_id=pref.provider_id,
+                        attribute=pref.attribute,
+                        purpose=pol.purpose,
+                        dimension=dim,
+                        preference_value=pref.tuple.rank(dim),
+                        policy_value=pol.tuple.rank(dim),
+                        amount=amount,
+                        weighted=amount
+                        * attribute_weight
+                        * datum.value
+                        * datum.dimension_weight(dim),
+                    )
+                )
+    return findings
+
+
+def find_violations_lattice_purpose(
+    preferences: ProviderPreferences,
+    policy: HousePolicy,
+    lattice: PurposeLattice,
+    sensitivities: SensitivityModel | None = None,
+) -> list[ViolationFinding]:
+    """The partial-order variant: lattice comparability without distances.
+
+    When the purpose structure is a genuine lattice (the [5] semantics)
+    but *not* a chain, purposes have an "is broader than" relation yet no
+    meaningful numeric distance.  This variant:
+
+    * compares a preference tuple against a policy tuple whenever the
+      policy's purpose is **at least as broad** (``lattice.leq(pref, pol)``)
+      — using data for a broader purpose engages the preference;
+    * measures V/G/R exceedances exactly as the categorical model does;
+    * reports a broader-purpose use *at identical or lower ranks* as a
+      unit purpose finding (amount 1): the reuse itself is the violation,
+      but no rank distance exists to scale it.
+
+    Incomparable purposes never conflict, mirroring the categorical
+    model's treatment of distinct purposes.
+    """
+    model = sensitivities if sensitivities is not None else SensitivityModel.neutral()
+    findings: list[ViolationFinding] = []
+    for pref in preferences.entries:
+        if pref.purpose not in lattice.purposes:
+            raise ValidationError(
+                f"preference purpose {pref.purpose!r} not in the lattice"
+            )
+        attribute_weight = model.attribute_weight(pref.attribute)
+        datum = model.datum(pref.provider_id, pref.attribute)
+        for pol in policy.for_attribute(pref.attribute):
+            if pol.purpose not in lattice.purposes:
+                raise ValidationError(
+                    f"policy purpose {pol.purpose!r} not in the lattice"
+                )
+            if not lattice.leq(pref.purpose, pol.purpose):
+                continue
+            strictly_broader = pref.purpose != pol.purpose
+            any_rank_exceeded = False
+            for dim in ORDERED_DIMENSIONS:
+                amount = diff(pref.tuple.rank(dim), pol.tuple.rank(dim))
+                if not amount:
+                    continue
+                any_rank_exceeded = True
+                findings.append(
+                    ViolationFinding(
+                        provider_id=pref.provider_id,
+                        attribute=pref.attribute,
+                        purpose=pol.purpose,
+                        dimension=dim,
+                        preference_value=pref.tuple.rank(dim),
+                        policy_value=pol.tuple.rank(dim),
+                        amount=amount,
+                        weighted=amount
+                        * attribute_weight
+                        * datum.value
+                        * datum.dimension_weight(dim),
+                    )
+                )
+            if strictly_broader and not any_rank_exceeded:
+                # Reuse under a strictly broader purpose at contained ranks:
+                # the reuse itself is the exceedance (unit amount).
+                findings.append(
+                    ViolationFinding(
+                        provider_id=pref.provider_id,
+                        attribute=pref.attribute,
+                        purpose=pol.purpose,
+                        dimension=Dimension.PURPOSE,
+                        preference_value=0,
+                        policy_value=1,
+                        amount=1,
+                        weighted=attribute_weight * datum.value,
+                    )
+                )
+    return findings
+
+
+def violation_indicator_ordered_purpose(
+    preferences: ProviderPreferences,
+    policy: HousePolicy,
+    order: PurposeLattice | Mapping[str, int],
+) -> int:
+    """Definition 1 under the ordered-purpose variant."""
+    return 1 if find_violations_ordered_purpose(preferences, policy, order) else 0
+
+
+def provider_violation_ordered_purpose(
+    preferences: ProviderPreferences,
+    policy: HousePolicy,
+    order: PurposeLattice | Mapping[str, int],
+    sensitivities: SensitivityModel | None = None,
+) -> float:
+    """Equation 15 under the ordered-purpose variant."""
+    return sum(
+        finding.weighted
+        for finding in find_violations_ordered_purpose(
+            preferences, policy, order, sensitivities
+        )
+    )

@@ -1,0 +1,139 @@
+"""Severity aggregation: ``Violation_i`` (Eq. 15) and ``Violations`` (Eq. 16).
+
+``Violation_i`` sums the sensitivity-weighted conflicts of *all* of a
+provider's preference tuples against *all* house policy tuples — capturing
+both the paper's **breadth** (many attributes slightly exceeded) and
+**depth** (one attribute severely exceeded) routes to default.
+
+:class:`SeverityBreakdown` decomposes the same total by attribute,
+dimension, and purpose so reports can explain *where* the severity comes
+from; its marginals always re-sum to the total by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .dimensions import Dimension
+from .policy import HousePolicy
+from .preferences import ProviderPreferences
+from .sensitivity import SensitivityModel
+from .violation import ViolationFinding, find_violations
+
+
+def provider_violation(
+    preferences: ProviderPreferences,
+    policy: HousePolicy,
+    sensitivities: SensitivityModel | None = None,
+    *,
+    implicit_zero: bool = True,
+) -> float:
+    """Equation 15: ``Violation_i`` for one provider.
+
+    The sum of every mutual conflict between the provider's (completed)
+    preference set and the house policy.
+    """
+    findings = find_violations(
+        preferences, policy, sensitivities, implicit_zero=implicit_zero
+    )
+    return sum(f.weighted for f in findings)
+
+
+def total_violations(
+    population: Iterable[ProviderPreferences],
+    policy: HousePolicy,
+    sensitivities: SensitivityModel | None = None,
+    *,
+    implicit_zero: bool = True,
+) -> float:
+    """Equation 16: house-level ``Violations = sum_i Violation_i``."""
+    return sum(
+        provider_violation(
+            preferences, policy, sensitivities, implicit_zero=implicit_zero
+        )
+        for preferences in population
+    )
+
+
+@dataclass(frozen=True)
+class SeverityBreakdown:
+    """``Violation_i`` decomposed along the axes reports care about.
+
+    All marginals are derived from one findings list, so
+    ``sum(by_attribute.values()) == total`` (and likewise for the other
+    marginals) holds exactly.
+    """
+
+    provider_id: Hashable
+    total: float
+    by_attribute: Mapping[str, float] = field(default_factory=dict)
+    by_dimension: Mapping[Dimension, float] = field(default_factory=dict)
+    by_purpose: Mapping[str, float] = field(default_factory=dict)
+    findings: tuple[ViolationFinding, ...] = ()
+
+    @classmethod
+    def from_findings(
+        cls, provider_id: Hashable, findings: Iterable[ViolationFinding]
+    ) -> "SeverityBreakdown":
+        """Aggregate a findings list into a breakdown."""
+        findings = tuple(findings)
+        by_attribute: dict[str, float] = {}
+        by_dimension: dict[Dimension, float] = {}
+        by_purpose: dict[str, float] = {}
+        total = 0.0
+        for finding in findings:
+            total += finding.weighted
+            by_attribute[finding.attribute] = (
+                by_attribute.get(finding.attribute, 0.0) + finding.weighted
+            )
+            by_dimension[finding.dimension] = (
+                by_dimension.get(finding.dimension, 0.0) + finding.weighted
+            )
+            by_purpose[finding.purpose] = (
+                by_purpose.get(finding.purpose, 0.0) + finding.weighted
+            )
+        return cls(
+            provider_id=provider_id,
+            total=total,
+            by_attribute=by_attribute,
+            by_dimension=by_dimension,
+            by_purpose=by_purpose,
+            findings=findings,
+        )
+
+    @classmethod
+    def analyze(
+        cls,
+        preferences: ProviderPreferences,
+        policy: HousePolicy,
+        sensitivities: SensitivityModel | None = None,
+        *,
+        implicit_zero: bool = True,
+    ) -> "SeverityBreakdown":
+        """Compute the breakdown for one provider against a policy."""
+        findings = find_violations(
+            preferences, policy, sensitivities, implicit_zero=implicit_zero
+        )
+        return cls.from_findings(preferences.provider_id, findings)
+
+    @property
+    def violated(self) -> bool:
+        """Definition 1's ``w_i`` as a boolean (any finding at all)."""
+        return bool(self.findings)
+
+    def dominant_attribute(self) -> str | None:
+        """The attribute contributing the most severity, or ``None``."""
+        if not self.by_attribute:
+            return None
+        return max(self.by_attribute, key=lambda a: (self.by_attribute[a], a))
+
+    def dominant_dimension(self) -> Dimension | None:
+        """The dimension contributing the most severity, or ``None``."""
+        if not self.by_dimension:
+            return None
+        return max(
+            self.by_dimension,
+            key=lambda d: (self.by_dimension[d], d.value),
+        )

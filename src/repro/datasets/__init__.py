@@ -1,0 +1,38 @@
+"""Scenario datasets: the paper's worked example plus domain scenarios.
+
+* :mod:`repro.datasets.paper_example` — Section 8's Table 1 (Alice, Ted,
+  Bob) with the exact constants the paper uses; the ground truth for the
+  Table 1 reproduction benchmark.
+* :mod:`repro.datasets.healthcare` — a clinic collecting demographic and
+  clinical attributes (the intro's healthcare motivation).
+* :mod:`repro.datasets.social_network` — a social-network profile scenario
+  (the intro's social-networking motivation, and the SN policy analyses of
+  the paper's ref [23]).
+* :mod:`repro.datasets.crm` — a customer-relationship-management scenario.
+
+All generators are deterministic given a seed.
+"""
+
+from .paper_example import (
+    PAPER_EXPECTATIONS,
+    PaperExampleExpectations,
+    paper_example_policy,
+    paper_example_population,
+)
+from .healthcare import healthcare_scenario
+from .social_network import social_network_scenario
+from .crm import crm_scenario
+from .government import government_scenario
+from .scenario import Scenario
+
+__all__ = [
+    "government_scenario",
+    "PAPER_EXPECTATIONS",
+    "PaperExampleExpectations",
+    "paper_example_policy",
+    "paper_example_population",
+    "healthcare_scenario",
+    "social_network_scenario",
+    "crm_scenario",
+    "Scenario",
+]

@@ -1,0 +1,172 @@
+"""Customer-relationship-management scenario.
+
+The introduction lists customer relationship management among the domains
+where provider concerns recur.  A retailer collects purchase and contact
+data; per Kobsa (the paper's ref [10]), purchase-related and financial
+attributes are more sensitive than demographics and preferences.  The
+retailer's commercial temptation — selling to third parties — makes this
+the natural dataset for the Section 9 economics benchmarks, where utility
+is literal revenue per customer.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import HousePolicy
+from ..simulation.population import (
+    PopulationSpec,
+    WestinSegment,
+    generate_population,
+)
+from ..taxonomy.builder import Taxonomy, TaxonomyBuilder
+from .scenario import Scenario
+
+#: Attribute -> social sensitivity (Kobsa-style ranking).
+CRM_ATTRIBUTES: dict[str, float] = {
+    "name": 1.0,
+    "email": 2.0,
+    "postal_address": 2.0,
+    "purchase_history": 4.0,
+    "payment_card": 5.0,
+}
+
+#: Purposes a retailer collects for.
+CRM_PURPOSES: tuple[str, ...] = ("fulfillment", "marketing", "resale")
+
+
+def crm_taxonomy() -> Taxonomy:
+    """Retailer-specific ladders with commercial visibility rungs."""
+    return (
+        TaxonomyBuilder()
+        .with_purposes(CRM_PURPOSES)
+        .with_visibility(
+            [
+                "none",
+                "owner",
+                "house",
+                "affiliates",
+                "partners",
+                "third-party",
+                "public",
+            ]
+        )
+        .with_granularity(["none", "existential", "category", "range", "specific"])
+        .with_retention(
+            [
+                "none",
+                "transaction",
+                "month",
+                "quarter",
+                "year",
+                "5-years",
+                "indefinite",
+            ]
+        )
+        .build()
+    )
+
+
+def crm_policy(taxonomy: Taxonomy | None = None) -> HousePolicy:
+    """The retailer's baseline policy: fulfillment-only, no resale yet."""
+    taxonomy = taxonomy if taxonomy is not None else crm_taxonomy()
+    entries = []
+    for attribute in CRM_ATTRIBUTES:
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple(
+                    "fulfillment", "house", "specific", "transaction"
+                ),
+            )
+        )
+    for attribute in ("email", "purchase_history"):
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple("marketing", "house", "range", "month"),
+            )
+        )
+    return HousePolicy(entries, name="crm-baseline")
+
+
+def crm_segments() -> tuple[WestinSegment, ...]:
+    """Westin segments calibrated to the retailer's severity scale."""
+    return (
+        WestinSegment(
+            name="fundamentalist",
+            fraction=0.25,
+            tightness=0.7,
+            value_sensitivity=(2.0, 4.0),
+            dimension_sensitivity=(2.0, 5.0),
+            threshold=(500.0, 1800.0),
+            headroom=(0, 0),
+        ),
+        WestinSegment(
+            name="pragmatist",
+            fraction=0.57,
+            tightness=0.4,
+            value_sensitivity=(1.0, 3.0),
+            dimension_sensitivity=(1.0, 3.0),
+            threshold=(150.0, 900.0),
+            headroom=(0, 2),
+        ),
+        WestinSegment(
+            name="unconcerned",
+            fraction=0.18,
+            tightness=0.1,
+            value_sensitivity=(0.5, 1.5),
+            dimension_sensitivity=(0.5, 1.5),
+            threshold=(300.0, 1500.0),
+            headroom=(1, 4),
+        ),
+    )
+
+
+def crm_resale_policy(taxonomy: Taxonomy | None = None) -> HousePolicy:
+    """The tempting expansion: resale of contact and purchase data.
+
+    Used by the what-if example and the economics benches as a *named*
+    candidate rather than a mechanical widening: the house adds brand-new
+    entries under the ``resale`` purpose, which exercises the
+    implicit-zero-preference path for every provider who never mentioned
+    resale.
+    """
+    taxonomy = taxonomy if taxonomy is not None else crm_taxonomy()
+    base = crm_policy(taxonomy)
+    extra = [
+        (
+            "email",
+            taxonomy.tuple("resale", "third-party", "specific", "5-years"),
+        ),
+        (
+            "postal_address",
+            taxonomy.tuple("resale", "third-party", "specific", "5-years"),
+        ),
+        (
+            "purchase_history",
+            taxonomy.tuple("resale", "third-party", "range", "5-years"),
+        ),
+    ]
+    return base.with_entries(extra, name="crm-with-resale")
+
+
+def crm_scenario(n_providers: int = 500, *, seed: int = 23) -> Scenario:
+    """A full retailer scenario with the standard Westin mix."""
+    taxonomy = crm_taxonomy()
+    policy = crm_policy(taxonomy)
+    spec = PopulationSpec(
+        taxonomy=taxonomy,
+        attributes=CRM_ATTRIBUTES,
+        n_providers=n_providers,
+        segments=crm_segments(),
+        seed=seed,
+        id_prefix="customer-",
+        anchor_policy=policy,
+    )
+    return Scenario(
+        name="crm",
+        taxonomy=taxonomy,
+        policy=policy,
+        population=generate_population(spec),
+        per_provider_utility=5.0,
+        extra_utility_per_step=1.0,
+    )

@@ -1,0 +1,191 @@
+"""Government-records scenario: a registry with citizens who cannot leave.
+
+The introduction lists government records among the domains where the
+model applies — with a twist that stresses a different corner of the
+model: participation is *not* fully voluntary.  We model that as a
+population in which a configurable fraction of citizens is **captive**
+(default threshold ``v_i = inf``: whatever the violation, they cannot
+default), while the rest can opt out of non-mandatory programmes.
+
+Consequences the tests pin down:
+
+* ``P(W)`` is unaffected by captivity — violations are violations;
+* ``P(Default)`` is *suppressed* relative to an otherwise identical
+  voluntary population, so Section 9's feedback loop is weakened: the
+  registry can widen with far less economic push-back, which is exactly
+  the policy concern the paper's transparency agenda answers (the
+  violations remain auditable even when defaulting is impossible).
+
+Utility here is non-commercial (Section 9: "public safety, public
+security or public health"), expressed as cost savings per citizen.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._validation import check_probability
+from ..core.policy import HousePolicy
+from ..core.population import Population, Provider
+from ..simulation.population import (
+    PopulationSpec,
+    WestinSegment,
+    generate_population,
+)
+from ..taxonomy.builder import Taxonomy, TaxonomyBuilder
+from .scenario import Scenario
+
+#: Attribute -> social sensitivity (tax and health data most sensitive).
+GOVERNMENT_ATTRIBUTES: dict[str, float] = {
+    "name": 1.0,
+    "address": 2.0,
+    "tax_return": 5.0,
+    "health_record": 5.0,
+    "vehicle_registration": 1.0,
+}
+
+#: Purposes a registry collects for.
+GOVERNMENT_PURPOSES: tuple[str, ...] = (
+    "administration",
+    "law-enforcement",
+    "statistics",
+)
+
+
+def government_taxonomy() -> Taxonomy:
+    """Registry-specific ladders (agency-sharing visibility rungs)."""
+    return (
+        TaxonomyBuilder()
+        .with_purposes(GOVERNMENT_PURPOSES)
+        .with_visibility(
+            [
+                "none",
+                "citizen",
+                "issuing-agency",
+                "other-agencies",
+                "contractors",
+                "public",
+            ]
+        )
+        .with_granularity(["none", "existential", "category", "range", "specific"])
+        .with_retention(
+            ["none", "case", "year", "decade", "permanent"]
+        )
+        .build()
+    )
+
+
+def government_policy(taxonomy: Taxonomy | None = None) -> HousePolicy:
+    """The registry's baseline policy."""
+    taxonomy = taxonomy if taxonomy is not None else government_taxonomy()
+    entries = []
+    for attribute in GOVERNMENT_ATTRIBUTES:
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple(
+                    "administration", "issuing-agency", "specific", "decade"
+                ),
+            )
+        )
+    entries.append(
+        (
+            "tax_return",
+            taxonomy.tuple("statistics", "issuing-agency", "range", "decade"),
+        )
+    )
+    entries.append(
+        (
+            "health_record",
+            taxonomy.tuple("statistics", "issuing-agency", "category", "decade"),
+        )
+    )
+    return HousePolicy(entries, name="registry-baseline")
+
+
+def government_segments() -> tuple[WestinSegment, ...]:
+    """Westin segments calibrated to the registry's severity scale."""
+    return (
+        WestinSegment(
+            name="fundamentalist",
+            fraction=0.25,
+            tightness=0.7,
+            value_sensitivity=(2.0, 4.0),
+            dimension_sensitivity=(2.0, 5.0),
+            threshold=(700.0, 2400.0),
+            headroom=(0, 0),
+        ),
+        WestinSegment(
+            name="pragmatist",
+            fraction=0.57,
+            tightness=0.4,
+            value_sensitivity=(1.0, 3.0),
+            dimension_sensitivity=(1.0, 3.0),
+            threshold=(200.0, 1200.0),
+            headroom=(0, 2),
+        ),
+        WestinSegment(
+            name="unconcerned",
+            fraction=0.18,
+            tightness=0.1,
+            value_sensitivity=(0.5, 1.5),
+            dimension_sensitivity=(0.5, 1.5),
+            threshold=(350.0, 1800.0),
+            headroom=(1, 4),
+        ),
+    )
+
+
+def government_scenario(
+    n_providers: int = 400,
+    *,
+    captive_fraction: float = 0.7,
+    seed: int = 31,
+) -> Scenario:
+    """A registry scenario with a captive majority.
+
+    Parameters
+    ----------
+    captive_fraction:
+        Share of citizens who cannot default (threshold forced to
+        infinity), applied deterministically to the first
+        ``round(captive_fraction * n)`` generated citizens **after** the
+        seeded shuffle, so captivity is independent of segment.
+    """
+    captive_fraction = check_probability(captive_fraction, "captive_fraction")
+    taxonomy = government_taxonomy()
+    policy = government_policy(taxonomy)
+    spec = PopulationSpec(
+        taxonomy=taxonomy,
+        attributes=GOVERNMENT_ATTRIBUTES,
+        n_providers=n_providers,
+        segments=government_segments(),
+        seed=seed,
+        id_prefix="citizen-",
+        anchor_policy=policy,
+    )
+    generated = generate_population(spec)
+    n_captive = round(captive_fraction * len(generated))
+    citizens = []
+    for index, provider in enumerate(generated):
+        if index < n_captive:
+            citizens.append(
+                Provider(
+                    preferences=provider.preferences,
+                    sensitivity=provider.sensitivity,
+                    threshold=math.inf,
+                    segment=provider.segment,
+                )
+            )
+        else:
+            citizens.append(provider)
+    return Scenario(
+        name="government",
+        taxonomy=taxonomy,
+        policy=policy,
+        population=Population(
+            citizens, attribute_sensitivities=GOVERNMENT_ATTRIBUTES
+        ),
+        per_provider_utility=3.0,
+        extra_utility_per_step=0.5,
+    )

@@ -1,0 +1,168 @@
+"""Healthcare scenario: a clinic collecting demographic and clinical data.
+
+The paper's introduction motivates the model with healthcare among other
+domains; Westin (the paper's ref [21]) ranks health and financial
+information as the most sensitive attribute classes.  This scenario
+encodes that ranking in ``Sigma``: diagnosis and income carry the highest
+attribute sensitivities, demographics the lowest.
+
+The house's baseline policy is deliberately conservative (house-only
+visibility, partial granularity, short-term retention for treatment) so
+that, as in Section 9's setup, the starting point causes no or few
+defaults and the widening sweep starts from a healthy population.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import HousePolicy
+from ..simulation.population import (
+    PopulationSpec,
+    WestinSegment,
+    generate_population,
+)
+from ..taxonomy.builder import Taxonomy, TaxonomyBuilder
+from .scenario import Scenario
+
+#: Attribute -> social sensitivity ``Sigma^a`` (Westin-style ranking).
+HEALTHCARE_ATTRIBUTES: dict[str, float] = {
+    "age": 1.0,
+    "weight": 2.0,
+    "diagnosis": 5.0,
+    "medication": 4.0,
+    "income": 5.0,
+}
+
+#: Purposes a clinic realistically collects for.
+HEALTHCARE_PURPOSES: tuple[str, ...] = ("treatment", "billing", "research")
+
+
+def healthcare_taxonomy() -> Taxonomy:
+    """Clinic-specific ladders, deeper than the canonical ones.
+
+    The extra visibility and retention rungs give widening sweeps several
+    steps of runway before the ladders saturate, which is what produces the
+    multi-step utility curves of the Section 9 benchmarks.
+    """
+    return (
+        TaxonomyBuilder()
+        .with_purposes(HEALTHCARE_PURPOSES)
+        .with_visibility(
+            [
+                "none",
+                "owner",
+                "clinic",
+                "hospital-network",
+                "researchers",
+                "insurers",
+                "public",
+            ]
+        )
+        .with_granularity(["none", "existential", "category", "range", "specific"])
+        .with_retention(
+            [
+                "none",
+                "visit",
+                "month",
+                "year",
+                "5-years",
+                "10-years",
+                "indefinite",
+            ]
+        )
+        .build()
+    )
+
+
+def healthcare_policy(taxonomy: Taxonomy | None = None) -> HousePolicy:
+    """The clinic's conservative baseline policy."""
+    taxonomy = taxonomy if taxonomy is not None else healthcare_taxonomy()
+    entries = []
+    for attribute in HEALTHCARE_ATTRIBUTES:
+        # Treatment needs specific values inside the clinic, kept a year.
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple("treatment", "clinic", "specific", "year"),
+            )
+        )
+        # Billing needs only ranges, kept for the month's cycle.
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple("billing", "clinic", "range", "month"),
+            )
+        )
+    # Research sees coarse data only, but keeps it long.
+    entries.append(
+        (
+            "diagnosis",
+            taxonomy.tuple("research", "clinic", "existential", "5-years"),
+        )
+    )
+    entries.append(
+        ("age", taxonomy.tuple("research", "clinic", "category", "5-years"))
+    )
+    return HousePolicy(entries, name="clinic-baseline")
+
+
+def healthcare_segments() -> tuple[WestinSegment, ...]:
+    """Westin segments with thresholds calibrated to this scenario's severity scale.
+
+    The calibration targets gradual attrition: fundamentalists mostly leave
+    within the first widening step or two, pragmatists spread their exits
+    over the middle of the sweep, the unconcerned effectively never leave.
+    """
+    return (
+        WestinSegment(
+            name="fundamentalist",
+            fraction=0.25,
+            tightness=0.7,
+            value_sensitivity=(2.0, 4.0),
+            dimension_sensitivity=(2.0, 5.0),
+            threshold=(800.0, 2600.0),
+            headroom=(0, 0),
+        ),
+        WestinSegment(
+            name="pragmatist",
+            fraction=0.57,
+            tightness=0.4,
+            value_sensitivity=(1.0, 3.0),
+            dimension_sensitivity=(1.0, 3.0),
+            threshold=(250.0, 1400.0),
+            headroom=(0, 2),
+        ),
+        WestinSegment(
+            name="unconcerned",
+            fraction=0.18,
+            tightness=0.1,
+            value_sensitivity=(0.5, 1.5),
+            dimension_sensitivity=(0.5, 1.5),
+            threshold=(400.0, 2000.0),
+            headroom=(1, 4),
+        ),
+    )
+
+
+def healthcare_scenario(
+    n_providers: int = 300, *, seed: int = 7
+) -> Scenario:
+    """A full clinic scenario: taxonomy + policy + Westin population."""
+    taxonomy = healthcare_taxonomy()
+    policy = healthcare_policy(taxonomy)
+    spec = PopulationSpec(
+        taxonomy=taxonomy,
+        attributes=HEALTHCARE_ATTRIBUTES,
+        n_providers=n_providers,
+        segments=healthcare_segments(),
+        seed=seed,
+        id_prefix="patient-",
+        anchor_policy=policy,
+    )
+    return Scenario(
+        name="healthcare",
+        taxonomy=taxonomy,
+        policy=policy,
+        population=generate_population(spec),
+        per_provider_utility=10.0,
+        extra_utility_per_step=2.0,
+    )

@@ -1,0 +1,138 @@
+"""Section 8's worked example: Alice, Ted, and Bob (paper Table 1).
+
+The paper leaves the house's Weight tuple at symbolic values
+``<pr, v, g, r>`` and expresses the providers' preferences as offsets from
+it.  We pin ``(v, g, r) = (2, 2, 2)`` — the smallest ranks for which every
+offset in Table 1 stays non-negative — and keep everything else exactly as
+printed:
+
+========= ========================== ================ ===== ===
+provider  Weight preference          sigma (s,V,G,R)  v_i   w_i
+========= ========================== ================ ===== ===
+Alice     ``<pr, v+2, g+1, r+3>``    1, 1, 2, 1       10    0
+Ted       ``<pr, v+2, g-1, r+2>``    3, 1, 5, 2       50    1
+Bob       ``<pr, v,   g-1, r-1>``    4, 1, 3, 2       100   1
+========= ========================== ================ ===== ===
+
+with attribute sensitivity ``Sigma^Weight = 4``.  The paper's Eq. 20-24
+results — conflicts 0 / 60 / 80, defaults 0 / 1 / 0, ``P(Default) = 1/3``
+— are recorded in :data:`PAPER_EXPECTATIONS` and asserted exactly by the
+Table 1 benchmark and the test suite.
+
+The example also involves an ``Age`` attribute whose policy "does not
+violate anyone's preferences"; we include it (policy at ranks ``(1,1,1)``,
+every preference at ``(2,2,2)``) so the fixture exercises the
+multi-attribute code path the paper describes rather than a single-column
+shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from ..core.policy import HousePolicy
+from ..core.population import Population, Provider
+from ..core.preferences import ProviderPreferences
+from ..core.sensitivity import DimensionSensitivity
+from ..core.tuples import PrivacyTuple
+
+#: The purpose shared by every tuple in the example (the paper's ``pr``).
+PURPOSE = "pr"
+
+#: The pinned base ranks for the house's Weight tuple ``<pr, v, g, r>``.
+BASE_V, BASE_G, BASE_R = 2, 2, 2
+
+#: ``Sigma^Weight = 4`` (Section 8).
+WEIGHT_ATTRIBUTE_SENSITIVITY = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class PaperExampleExpectations:
+    """The ground-truth numbers of Section 8 (Eqs. 20-24)."""
+
+    conflicts: Mapping[str, float]
+    indicators: Mapping[str, int]
+    defaults: Mapping[str, int]
+    thresholds: Mapping[str, float]
+    violation_probability: float
+    default_probability: float
+    total_violations: float
+
+
+PAPER_EXPECTATIONS = PaperExampleExpectations(
+    conflicts=MappingProxyType({"Alice": 0.0, "Ted": 60.0, "Bob": 80.0}),
+    indicators=MappingProxyType({"Alice": 0, "Ted": 1, "Bob": 1}),
+    defaults=MappingProxyType({"Alice": 0, "Ted": 1, "Bob": 0}),
+    thresholds=MappingProxyType({"Alice": 10.0, "Ted": 50.0, "Bob": 100.0}),
+    violation_probability=2.0 / 3.0,
+    default_probability=1.0 / 3.0,
+    total_violations=140.0,
+)
+
+
+def paper_example_policy() -> HousePolicy:
+    """The house policy: ``HP = {<Weight, pr, v, g, r>, <Age, ...>}``."""
+    return HousePolicy(
+        [
+            (
+                "Weight",
+                PrivacyTuple(PURPOSE, BASE_V, BASE_G, BASE_R),
+            ),
+            ("Age", PrivacyTuple(PURPOSE, 1, 1, 1)),
+        ],
+        name="section-8-example",
+    )
+
+
+def _provider(
+    name: str,
+    weight_pref: PrivacyTuple,
+    weight_sensitivity: tuple[float, float, float, float],
+    threshold: float,
+) -> Provider:
+    """Assemble one Table 1 row as a :class:`Provider`."""
+    preferences = ProviderPreferences(
+        name,
+        [
+            ("Weight", weight_pref),
+            ("Age", PrivacyTuple(PURPOSE, 2, 2, 2)),
+        ],
+    )
+    return Provider(
+        preferences=preferences,
+        sensitivity={
+            "Weight": DimensionSensitivity.from_sequence(weight_sensitivity),
+        },
+        threshold=threshold,
+    )
+
+
+def paper_example_population() -> Population:
+    """Alice, Ted, and Bob exactly as in Table 1."""
+    alice = _provider(
+        "Alice",
+        PrivacyTuple(PURPOSE, BASE_V + 2, BASE_G + 1, BASE_R + 3),
+        (1.0, 1.0, 2.0, 1.0),
+        threshold=10.0,
+    )
+    ted = _provider(
+        "Ted",
+        PrivacyTuple(PURPOSE, BASE_V + 2, BASE_G - 1, BASE_R + 2),
+        (3.0, 1.0, 5.0, 2.0),
+        threshold=50.0,
+    )
+    bob = _provider(
+        "Bob",
+        PrivacyTuple(PURPOSE, BASE_V, BASE_G - 1, BASE_R - 1),
+        (4.0, 1.0, 3.0, 2.0),
+        threshold=100.0,
+    )
+    return Population(
+        [alice, ted, bob],
+        attribute_sensitivities={
+            "Weight": WEIGHT_ATTRIBUTE_SENSITIVITY,
+            "Age": 1.0,
+        },
+    )

@@ -1,0 +1,40 @@
+"""The :class:`Scenario` bundle shared by the domain datasets.
+
+A scenario is everything an experiment needs: the taxonomy (vocabulary),
+the house's current policy, the provider population, and the economic
+parameters of Section 9 (per-provider utility ``U`` and the extra utility
+``T`` a widening step unlocks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import check_real
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..taxonomy.builder import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class Scenario:
+    """One self-contained experimental setting."""
+
+    name: str
+    taxonomy: Taxonomy
+    policy: HousePolicy
+    population: Population
+    per_provider_utility: float = 1.0
+    extra_utility_per_step: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_real(self.per_provider_utility, "per_provider_utility", minimum=0.0)
+        check_real(
+            self.extra_utility_per_step, "extra_utility_per_step", minimum=0.0
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"Scenario({self.name!r}: {len(self.population)} providers, "
+            f"{len(self.policy)} policy entries)"
+        )

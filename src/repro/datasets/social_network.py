@@ -1,0 +1,134 @@
+"""Social-network scenario: a profile-hosting site and its members.
+
+The paper's ref [23] (Wu et al., EDBT 2010 workshops) applied the
+taxonomy to social-network privacy policies; the introduction names
+"frequently changing privacy policies on social networking sites" as the
+canonical frustration the violation model makes auditable.  This scenario
+models a site whose baseline policy already exposes some profile fields to
+third parties — a *wider* starting point than the clinic's — so it is the
+dataset of choice for demonstrating non-zero baseline ``P(W)``.
+"""
+
+from __future__ import annotations
+
+from ..core.policy import HousePolicy
+from ..simulation.population import (
+    PopulationSpec,
+    WestinSegment,
+    generate_population,
+)
+from ..taxonomy.builder import Taxonomy, standard_taxonomy
+from .scenario import Scenario
+
+#: Attribute -> social sensitivity (location and messages most sensitive).
+SOCIAL_ATTRIBUTES: dict[str, float] = {
+    "display_name": 1.0,
+    "birthday": 2.0,
+    "location": 4.0,
+    "friend_list": 3.0,
+    "private_messages": 5.0,
+}
+
+#: Purposes a social site collects for.
+SOCIAL_PURPOSES: tuple[str, ...] = ("service", "advertising", "analytics")
+
+
+def social_network_taxonomy() -> Taxonomy:
+    """The canonical taxonomy with the site's purposes."""
+    return standard_taxonomy(SOCIAL_PURPOSES)
+
+
+def social_network_policy(taxonomy: Taxonomy | None = None) -> HousePolicy:
+    """The site's baseline policy — already third-party-leaning."""
+    taxonomy = taxonomy if taxonomy is not None else social_network_taxonomy()
+    entries = []
+    for attribute in ("display_name", "birthday", "location", "friend_list"):
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple("service", "all", "specific", "long-term"),
+            )
+        )
+        entries.append(
+            (
+                attribute,
+                taxonomy.tuple(
+                    "advertising", "third-party", "partial", "long-term"
+                ),
+            )
+        )
+    entries.append(
+        (
+            "private_messages",
+            taxonomy.tuple("service", "house", "specific", "indefinite"),
+        )
+    )
+    entries.append(
+        (
+            "private_messages",
+            taxonomy.tuple("analytics", "house", "partial", "long-term"),
+        )
+    )
+    return HousePolicy(entries, name="social-site-baseline")
+
+
+def social_network_segments() -> tuple[WestinSegment, ...]:
+    """Segments skewed young-and-unconcerned relative to the standard mix."""
+    return (
+        WestinSegment(
+            name="fundamentalist",
+            fraction=0.15,
+            tightness=0.75,
+            value_sensitivity=(2.0, 4.0),
+            dimension_sensitivity=(2.0, 5.0),
+            threshold=(300.0, 1100.0),
+            headroom=(0, 0),
+        ),
+        WestinSegment(
+            name="pragmatist",
+            fraction=0.55,
+            tightness=0.35,
+            value_sensitivity=(1.0, 2.5),
+            dimension_sensitivity=(1.0, 3.0),
+            threshold=(250.0, 1500.0),
+            headroom=(0, 1),
+        ),
+        WestinSegment(
+            name="unconcerned",
+            fraction=0.30,
+            tightness=0.05,
+            value_sensitivity=(0.5, 1.0),
+            dimension_sensitivity=(0.5, 1.5),
+            threshold=(200.0, 1200.0),
+            headroom=(1, 3),
+        ),
+    )
+
+
+def social_network_scenario(
+    n_providers: int = 400, *, seed: int = 11
+) -> Scenario:
+    """A full social-network scenario with the skewed segment mix."""
+    taxonomy = social_network_taxonomy()
+    policy = social_network_policy(taxonomy)
+    # Members joined when only the "service" purpose existed; the later
+    # advertising/analytics entries are NOT anchored, so the baseline policy
+    # already violates part of the membership (a realistic policy drift).
+    service_only = HousePolicy(policy.for_purpose("service"), name="service-only")
+    spec = PopulationSpec(
+        taxonomy=taxonomy,
+        attributes=SOCIAL_ATTRIBUTES,
+        n_providers=n_providers,
+        segments=social_network_segments(),
+        seed=seed,
+        id_prefix="member-",
+        anchor_policy=service_only,
+    )
+    return Scenario(
+        name="social-network",
+        taxonomy=taxonomy,
+        policy=policy,
+        population=generate_population(spec),
+        per_provider_utility=2.0,
+        extra_utility_per_step=0.5,
+    )

@@ -1,0 +1,36 @@
+"""Estimating the model's unobservables from behaviour (Section 10).
+
+The paper's legacy-systems discussion: "in the absence of explicit
+tracking of providers' privacy preferences or knowledge of the specific
+values ``v_i`` at which data providers default, the model identifies the
+quantities that require estimation.  Long-term observation of a particular
+house and its population of users ... can be used to identify the number
+of users who will default as a house expands its privacy policy.  This in
+turn can be used to empirically construct a cumulative distribution
+function of the number of defaults..."
+
+This package implements that programme:
+
+* :mod:`repro.estimation.observation` — turn a widening history into the
+  censored observations a house actually sees: *who left after which
+  expansion* (never the thresholds themselves);
+* :mod:`repro.estimation.thresholds` — interval-censored estimation of the
+  per-provider thresholds ``v_i`` and the population's default-fraction
+  curve as a function of severity;
+* :mod:`repro.estimation.forecast` — forecast the default count of a
+  *candidate* policy from the estimated curve, without ever seeing a
+  threshold — the quantity Section 9's economics needs.
+"""
+
+from .observation import DefaultObservation, observe_widening_history
+from .thresholds import ThresholdEstimate, ThresholdEstimator
+from .forecast import DefaultForecast, forecast_defaults
+
+__all__ = [
+    "DefaultObservation",
+    "observe_widening_history",
+    "ThresholdEstimate",
+    "ThresholdEstimator",
+    "DefaultForecast",
+    "forecast_defaults",
+]

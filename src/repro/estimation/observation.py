@@ -1,0 +1,120 @@
+"""Observed default behaviour under a widening history.
+
+A house running a legacy system sees *behaviour*, not preferences: after
+each policy expansion, some providers leave.  Each departure brackets the
+provider's unknown threshold ``v_i`` between the severity the previous
+policy inflicted on them (they tolerated it) and the severity of the
+policy that drove them out — an **interval-censored** observation.
+Providers who never leave give a one-sided (right-censored) observation.
+
+What the house *can* compute, even without knowing ``v_i``, is the
+severity each policy would inflict — that only needs the preferences and
+sensitivities it collects at sign-up (or, for a fully blind house, any
+monotone proxy of exposure).  :func:`observe_widening_history` plays the
+role of the paper's "long-term observation", producing the observation
+list an estimator consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Hashable
+
+from ..core.engine import ViolationEngine
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class DefaultObservation:
+    """One provider's observed departure behaviour.
+
+    ``lower`` is the largest severity the provider was seen to tolerate;
+    ``upper`` is the severity of the policy under which they left, or
+    ``None`` when they never left (right-censored): ``v_i`` lies in
+    ``(lower, upper]`` under the paper's strict-inequality semantics,
+    or in ``(lower, inf)`` when censored.
+    """
+
+    provider_id: Hashable
+    lower: float
+    upper: float | None
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ValidationError("lower severity bound must be >= 0")
+        if self.upper is not None and self.upper < self.lower:
+            raise ValidationError(
+                f"upper bound {self.upper} below lower bound {self.lower}"
+            )
+
+    @property
+    def censored(self) -> bool:
+        """True when the provider never defaulted within the history."""
+        return self.upper is None
+
+
+def observe_widening_history(
+    population: Population,
+    policies: Sequence[HousePolicy],
+    *,
+    implicit_zero: bool = True,
+) -> list[DefaultObservation]:
+    """Replay a widening history and record who left after which policy.
+
+    Parameters
+    ----------
+    population:
+        The initial providers (with their true thresholds — used only to
+        *simulate* the behaviour; the observations expose severities, not
+        thresholds).
+    policies:
+        The policy sequence the house deployed, in order.  Severities must
+        be non-decreasing along the sequence for the bracketing to be
+        sound; this holds for any monotone widening path and is verified
+        per provider.
+
+    Returns
+    -------
+    list[DefaultObservation]
+        One observation per initial provider.
+    """
+    if not policies:
+        raise ValidationError("need at least one policy to observe")
+    remaining = population
+    last_tolerated: dict[Hashable, float] = {
+        provider.provider_id: 0.0 for provider in population
+    }
+    departures: dict[Hashable, float] = {}
+    for policy in policies:
+        if len(remaining) == 0:
+            break
+        engine = ViolationEngine(policy, remaining, implicit_zero=implicit_zero)
+        defaulted: list[Hashable] = []
+        for outcome in engine.outcomes():
+            previous = last_tolerated[outcome.provider_id]
+            if outcome.violation < previous - 1e-9:
+                raise ValidationError(
+                    "severities decreased along the policy sequence; "
+                    "observations would not bracket thresholds"
+                )
+            if outcome.defaulted:
+                departures[outcome.provider_id] = outcome.violation
+                defaulted.append(outcome.provider_id)
+            else:
+                last_tolerated[outcome.provider_id] = outcome.violation
+        if defaulted:
+            remaining = remaining.without(defaulted)
+    observations = []
+    for provider in population:
+        provider_id = provider.provider_id
+        observations.append(
+            DefaultObservation(
+                provider_id=provider_id,
+                lower=last_tolerated[provider_id],
+                upper=departures.get(provider_id),
+            )
+        )
+    return observations

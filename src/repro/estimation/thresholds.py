@@ -1,0 +1,161 @@
+"""Interval-censored threshold estimation.
+
+Each observation brackets one provider's tolerance: ``v_i`` lies in
+``(lower, upper]`` (departed) or ``(lower, inf)`` (never departed).  The
+estimator produces:
+
+* a per-provider point estimate (interval midpoint; for censored
+  observations, the last tolerated severity — a conservative lower
+  bound), and
+* the population's **default-fraction curve** ``F(s)``: the estimated
+  probability that a random provider's threshold lies below severity
+  ``s``, i.e. the fraction expected to default at severity ``s``.
+
+``F`` is a simple empirical estimator: at severity ``s``, departures with
+``upper <= s`` certainly default, observations with ``lower >= s``
+certainly do not, and intervals straddling ``s`` contribute the fraction
+of their interval below ``s`` (a uniform-within-interval assumption —
+the standard first-order treatment of interval censoring; a full Turnbull
+NPMLE is overkill at these sample sizes and this estimator is what the
+tests validate against ground truth).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from .._validation import check_real
+from ..exceptions import ValidationError
+from .observation import DefaultObservation
+
+
+@dataclass(frozen=True, slots=True)
+class ThresholdEstimate:
+    """One provider's estimated tolerance."""
+
+    provider_id: Hashable
+    lower: float
+    upper: float | None
+    point: float
+
+    @property
+    def censored(self) -> bool:
+        """True when only a lower bound is known."""
+        return self.upper is None
+
+
+class ThresholdEstimator:
+    """Fit per-provider estimates and the default-fraction curve.
+
+    Parameters
+    ----------
+    observations:
+        The censored observations from :func:`observe_widening_history`
+        (or a real deployment's records).
+    """
+
+    def __init__(self, observations: Sequence[DefaultObservation]) -> None:
+        if not observations:
+            raise ValidationError("cannot estimate from zero observations")
+        self._observations = tuple(observations)
+
+    @property
+    def observations(self) -> tuple[DefaultObservation, ...]:
+        """The fitted observations."""
+        return self._observations
+
+    def n_departed(self) -> int:
+        """Observations with a known departure."""
+        return sum(1 for obs in self._observations if not obs.censored)
+
+    def estimates(self) -> list[ThresholdEstimate]:
+        """Per-provider point estimates.
+
+        Departed providers get the interval midpoint; censored providers
+        get their last tolerated severity (a lower bound, flagged via
+        ``censored``).
+        """
+        results = []
+        for obs in self._observations:
+            if obs.censored:
+                point = obs.lower
+            else:
+                point = (obs.lower + obs.upper) / 2.0
+            results.append(
+                ThresholdEstimate(
+                    provider_id=obs.provider_id,
+                    lower=obs.lower,
+                    upper=obs.upper,
+                    point=point,
+                )
+            )
+        return results
+
+    def default_fraction(self, severity: float) -> float:
+        """Estimated fraction of providers defaulting at *severity*.
+
+        The uniform-within-interval empirical estimator described in the
+        module docstring.  Monotone non-decreasing in *severity* and
+        bounded in ``[0, 1]`` (both property-tested).
+        """
+        severity = check_real(severity, "severity", minimum=0.0)
+        total = 0.0
+        for obs in self._observations:
+            if obs.censored:
+                # Only known to tolerate `lower`; contributes nothing below
+                # that and nothing certain above (conservative).
+                continue
+            if obs.upper <= severity:
+                total += 1.0
+            elif obs.lower < severity < obs.upper:
+                width = obs.upper - obs.lower
+                if width <= 0:
+                    total += 1.0
+                else:
+                    total += (severity - obs.lower) / width
+        return total / len(self._observations)
+
+    def curve(self, severities: Sequence[float]) -> np.ndarray:
+        """``default_fraction`` evaluated over a severity grid."""
+        return np.array(
+            [self.default_fraction(s) for s in severities], dtype=float
+        )
+
+    def severity_at_budget(
+        self, budget_fraction: float, *, upper_bound: float | None = None
+    ) -> float:
+        """The largest severity whose predicted default fraction stays
+        within *budget_fraction* (bisection on the monotone curve).
+
+        *upper_bound* defaults to the largest finite observation bound.
+        Returns 0.0 when even zero severity exceeds the budget (possible
+        only with degenerate zero-width departure intervals): no positive
+        severity is safe.
+        """
+        budget_fraction = check_real(
+            budget_fraction, "budget_fraction", minimum=0.0
+        )
+        if budget_fraction >= 1.0:
+            raise ValidationError("budget_fraction must be < 1")
+        if self.default_fraction(0.0) > budget_fraction:
+            return 0.0
+        if upper_bound is None:
+            finite = [
+                obs.upper for obs in self._observations if obs.upper is not None
+            ]
+            finite += [obs.lower for obs in self._observations]
+            upper_bound = max(finite) if finite else 0.0
+        low, high = 0.0, float(upper_bound)
+        if self.default_fraction(high) <= budget_fraction:
+            return high
+        for _ in range(60):
+            mid = (low + high) / 2.0
+            if self.default_fraction(mid) <= budget_fraction:
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the privacy-violation model.
+
+Every error raised by :mod:`repro` derives from :class:`PrivacyModelError`,
+so callers embedding the library can catch one base class.  Subclasses are
+grouped by subsystem: model construction, taxonomy/domain handling, policy
+documents, storage, and simulation.
+"""
+
+from __future__ import annotations
+
+
+class PrivacyModelError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ValidationError(PrivacyModelError, ValueError):
+    """An argument or document failed semantic validation.
+
+    Raised when values are structurally well-formed Python objects but
+    violate a model constraint (for instance a negative sensitivity, an
+    unknown dimension name, or a privacy level outside its domain).
+    """
+
+
+class DomainError(ValidationError):
+    """A value does not belong to the ordered domain it was used with."""
+
+    def __init__(self, domain_name: str, value: object) -> None:
+        self.domain_name = domain_name
+        self.value = value
+        super().__init__(f"value {value!r} is not a level of domain {domain_name!r}")
+
+
+class UnknownAttributeError(ValidationError):
+    """A policy, preference, or datum referenced an attribute not in the schema."""
+
+    def __init__(self, attribute: str) -> None:
+        self.attribute = attribute
+        super().__init__(f"unknown attribute {attribute!r}")
+
+
+class UnknownPurposeError(ValidationError):
+    """A privacy tuple referenced a purpose not registered with the taxonomy."""
+
+    def __init__(self, purpose: str) -> None:
+        self.purpose = purpose
+        super().__init__(f"unknown purpose {purpose!r}")
+
+
+class UnknownProviderError(PrivacyModelError, KeyError):
+    """An operation referenced a data provider the model has never seen."""
+
+    def __init__(self, provider_id: object) -> None:
+        self.provider_id = provider_id
+        super().__init__(f"unknown data provider {provider_id!r}")
+
+
+class PolicyDocumentError(ValidationError):
+    """A policy/preference document could not be parsed or serialized."""
+
+
+class StorageError(PrivacyModelError):
+    """Base class for errors raised by the sqlite-backed privacy store."""
+
+
+class SchemaMismatchError(StorageError):
+    """The on-disk database schema does not match the library's schema."""
+
+
+class AccessDeniedError(StorageError):
+    """An access request was rejected by the enforcement gate.
+
+    Carries the structured decision so callers (and the audit log) can
+    explain exactly which preference tuples were exceeded.
+    """
+
+    def __init__(self, message: str, decision: object = None) -> None:
+        self.decision = decision
+        super().__init__(message)
+
+
+class SimulationError(PrivacyModelError):
+    """A simulation scenario was configured inconsistently."""
+
+
+class GameError(PrivacyModelError):
+    """A game-theoretic routine was configured inconsistently."""

@@ -1,0 +1,30 @@
+"""Game-theoretic extension (Sections 9-10 future work).
+
+The paper observes that weakening its simplifying assumptions "leads
+naturally to a game theoretic setting where one can examine the balance
+between the competing interests of a house and its data providers".  This
+package supplies the simplest faithful instantiation:
+
+* :mod:`repro.game.players` — house widening strategies (fixed, greedy,
+  cautious) against threshold-driven provider behaviour;
+* :mod:`repro.game.bestresponse` — the house's one-shot best response:
+  the widening level maximising future utility over a sweep;
+* :mod:`repro.game.equilibrium` — the iterated widening game and its
+  stopping point, where no further widening is profitable.
+"""
+
+from .players import CautiousHouse, FixedWidening, GreedyWidening, HouseStrategy
+from .bestresponse import BestResponse, best_response
+from .equilibrium import GameRound, GameTrace, play_widening_game
+
+__all__ = [
+    "CautiousHouse",
+    "FixedWidening",
+    "GreedyWidening",
+    "HouseStrategy",
+    "BestResponse",
+    "best_response",
+    "GameRound",
+    "GameTrace",
+    "play_widening_game",
+]

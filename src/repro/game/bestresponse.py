@@ -1,0 +1,75 @@
+"""The house's one-shot best response to a known population.
+
+With full information (the house can simulate every widening level before
+committing — which is precisely what the violation model enables), the
+rational house plays the level maximising future utility.  The best
+response is read off an expansion sweep; ties break toward the *narrower*
+policy, since equal utility at less exposure weakly dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..exceptions import GameError
+from ..simulation.scenario import ExpansionSweep, SweepRow, run_expansion_sweep
+from ..simulation.widening import WideningStep
+from ..taxonomy.builder import Taxonomy
+
+
+@dataclass(frozen=True, slots=True)
+class BestResponse:
+    """The utility-maximising widening level and its evidence."""
+
+    row: SweepRow
+    sweep: ExpansionSweep
+
+    @property
+    def step(self) -> int:
+        """The chosen widening level (0 = keep the base policy)."""
+        return self.row.step
+
+    @property
+    def stays_at_base(self) -> bool:
+        """True when no widening is profitable at all."""
+        return self.row.step == 0
+
+    def __str__(self) -> str:
+        return (
+            f"best response: widen {self.row.step} step(s) "
+            f"(utility {self.row.utility_future:g}, "
+            f"N {self.row.n_current} -> {self.row.n_future})"
+        )
+
+
+def best_response(
+    population: Population,
+    base_policy: HousePolicy,
+    taxonomy: Taxonomy,
+    *,
+    step: WideningStep | None = None,
+    max_steps: int = 8,
+    per_provider_utility: float = 1.0,
+    extra_utility_per_step: float = 0.25,
+) -> BestResponse:
+    """Compute the house's best widening level against *population*.
+
+    Runs a full sweep and picks the utility-maximising row, breaking ties
+    toward fewer steps.
+    """
+    sweep = run_expansion_sweep(
+        population,
+        base_policy,
+        taxonomy,
+        step=step,
+        max_steps=max_steps,
+        per_provider_utility=per_provider_utility,
+        extra_utility_per_step=extra_utility_per_step,
+        scenario_name="best-response",
+    )
+    if not sweep.rows:
+        raise GameError("best response over an empty sweep")
+    chosen = max(sweep.rows, key=lambda row: (row.utility_future, -row.step))
+    return BestResponse(row=chosen, sweep=sweep)

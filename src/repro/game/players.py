@@ -1,0 +1,111 @@
+"""House strategies for the iterated widening game.
+
+A strategy sees the history of :class:`~repro.game.equilibrium.GameRound`
+outcomes and proposes the next move: a widening step, or ``None`` to stop.
+Provider behaviour needs no strategy object — Definition 4 already *is*
+their strategy (leave when ``Violation_i > v_i``), evaluated by the core
+model each round.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from .._validation import check_int
+from ..exceptions import GameError
+from ..simulation.widening import WideningStep
+
+
+@runtime_checkable
+class HouseStrategy(Protocol):
+    """The house's decision rule in the iterated widening game."""
+
+    def propose(self, history: Sequence["GameRoundView"]) -> WideningStep | None:
+        """The next widening move, or ``None`` to stop widening."""
+        ...
+
+
+class GameRoundView(Protocol):
+    """The slice of a game round a strategy may observe.
+
+    Matches :class:`repro.game.equilibrium.GameRound`; declared as a
+    protocol so strategies are testable with plain stand-ins.
+    """
+
+    round_index: int
+    n_remaining: int
+    utility: float
+
+
+class FixedWidening:
+    """Widen by the same step for a fixed number of rounds, then stop."""
+
+    def __init__(self, step: WideningStep, rounds: int) -> None:
+        if step.is_noop():
+            raise GameError("a fixed-widening strategy needs a non-noop step")
+        self._step = step
+        self._rounds = check_int(rounds, "rounds", minimum=1)
+
+    def propose(self, history: Sequence[GameRoundView]) -> WideningStep | None:
+        if len(history) >= self._rounds + 1:  # +1: round 0 is the base policy
+            return None
+        return self._step
+
+
+class GreedyWidening:
+    """Keep widening while the last round improved utility.
+
+    The myopic best-response dynamic: the house cannot see the future, so
+    it widens until the most recent move made things worse, then stops.
+    One overshoot round is therefore part of the play — exactly the
+    "accumulated violations hurt the collector" effect.
+    """
+
+    def __init__(self, step: WideningStep, *, max_rounds: int = 50) -> None:
+        if step.is_noop():
+            raise GameError("a greedy strategy needs a non-noop step")
+        self._step = step
+        self._max_rounds = check_int(max_rounds, "max_rounds", minimum=1)
+
+    def propose(self, history: Sequence[GameRoundView]) -> WideningStep | None:
+        if len(history) >= self._max_rounds + 1:
+            return None
+        if len(history) >= 2 and history[-1].utility < history[-2].utility:
+            return None
+        return self._step
+
+
+class CautiousHouse:
+    """Widen only while projected attrition stays within a budget.
+
+    The strategy stops as soon as cumulative attrition (relative to the
+    starting population) exceeds *attrition_budget* — a house honouring an
+    explicit retention target, the planning use-case of the default CDF.
+    """
+
+    def __init__(
+        self,
+        step: WideningStep,
+        *,
+        attrition_budget: float = 0.1,
+        max_rounds: int = 50,
+    ) -> None:
+        if step.is_noop():
+            raise GameError("a cautious strategy needs a non-noop step")
+        if not 0.0 <= attrition_budget <= 1.0:
+            raise GameError(
+                f"attrition_budget must be in [0, 1], got {attrition_budget}"
+            )
+        self._step = step
+        self._budget = attrition_budget
+        self._max_rounds = check_int(max_rounds, "max_rounds", minimum=1)
+
+    def propose(self, history: Sequence[GameRoundView]) -> WideningStep | None:
+        if len(history) >= self._max_rounds + 1:
+            return None
+        if history:
+            initial = history[0].n_remaining
+            current = history[-1].n_remaining
+            if initial > 0 and (initial - current) / initial > self._budget:
+                return None
+        return self._step

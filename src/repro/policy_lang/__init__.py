@@ -1,0 +1,79 @@
+"""Declarative policy/preference documents (a P3P-lite).
+
+The violation model needs machine-checkable statements of what the house
+does (``HP``) and what providers prefer (``ProviderPref_i``).  This
+package defines a small JSON-compatible document format for both, plus
+sensitivity declarations, with:
+
+* :mod:`repro.policy_lang.ast` — the parsed-document dataclasses;
+* :mod:`repro.policy_lang.parser` — dict/JSON to model objects;
+* :mod:`repro.policy_lang.serializer` — model objects to documents
+  (round-trip guaranteed, property-tested);
+* :mod:`repro.policy_lang.validator` — semantic validation against a
+  :class:`~repro.taxonomy.builder.Taxonomy`.
+
+Documents accept level *names* (``"third-party"``) wherever the taxonomy
+defines a ladder, and raw integer ranks everywhere, so the same format
+serves human-authored policies and machine-generated ones.
+"""
+
+from .ast import (
+    PolicyDocument,
+    PreferenceDocument,
+    SensitivityDocument,
+    TupleSpec,
+)
+from .parser import (
+    parse_policy,
+    parse_preferences,
+    parse_sensitivities,
+    policy_from_json,
+    preferences_from_json,
+)
+from .serializer import (
+    policy_to_dict,
+    policy_to_json,
+    preferences_to_dict,
+    preferences_to_json,
+    sensitivities_to_dict,
+)
+from .validator import validate_policy_document, validate_preference_document
+from .taxonomy_doc import (
+    parse_taxonomy,
+    taxonomy_from_json,
+    taxonomy_to_dict,
+    taxonomy_to_json,
+)
+from .population_doc import (
+    parse_population,
+    population_from_json,
+    population_to_dict,
+    population_to_json,
+)
+
+__all__ = [
+    "parse_taxonomy",
+    "taxonomy_from_json",
+    "taxonomy_to_dict",
+    "taxonomy_to_json",
+    "parse_population",
+    "population_from_json",
+    "population_to_dict",
+    "population_to_json",
+    "PolicyDocument",
+    "PreferenceDocument",
+    "SensitivityDocument",
+    "TupleSpec",
+    "parse_policy",
+    "parse_preferences",
+    "parse_sensitivities",
+    "policy_from_json",
+    "preferences_from_json",
+    "policy_to_dict",
+    "policy_to_json",
+    "preferences_to_dict",
+    "preferences_to_json",
+    "sensitivities_to_dict",
+    "validate_policy_document",
+    "validate_preference_document",
+]

@@ -1,0 +1,108 @@
+"""Serialize model objects back into policy-language documents.
+
+Serialisation is the inverse of :mod:`repro.policy_lang.parser`:
+``parse_policy(policy_to_dict(p, t), t) == p`` for every policy expressible
+in the taxonomy (a property the test suite checks with hypothesis).  When a
+taxonomy is supplied, ordered ranks are rendered as level names for
+readability; without one, raw integer ranks are emitted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..core.dimensions import Dimension
+from ..core.policy import HousePolicy
+from ..core.preferences import ProviderPreferences
+from ..core.sensitivity import SensitivityModel
+from ..core.tuples import PrivacyTuple
+from ..taxonomy.builder import Taxonomy
+
+
+def _tuple_fields(
+    privacy_tuple: PrivacyTuple, taxonomy: Taxonomy | None
+) -> dict[str, str | int]:
+    """Render one tuple's four dimension values (names when possible)."""
+    if taxonomy is None:
+        return {
+            "purpose": privacy_tuple.purpose,
+            "visibility": privacy_tuple.visibility,
+            "granularity": privacy_tuple.granularity,
+            "retention": privacy_tuple.retention,
+        }
+    described = taxonomy.describe(privacy_tuple)
+    return {
+        "purpose": described["purpose"],
+        "visibility": described["visibility"],
+        "granularity": described["granularity"],
+        "retention": described["retention"],
+    }
+
+
+def policy_to_dict(
+    policy: HousePolicy, taxonomy: Taxonomy | None = None
+) -> dict:
+    """Render a :class:`HousePolicy` as a policy document dict."""
+    return {
+        "name": policy.name,
+        "rules": [
+            {"attribute": entry.attribute, **_tuple_fields(entry.tuple, taxonomy)}
+            for entry in policy
+        ],
+    }
+
+
+def policy_to_json(
+    policy: HousePolicy, taxonomy: Taxonomy | None = None, *, indent: int = 2
+) -> str:
+    """Render a :class:`HousePolicy` as a JSON string."""
+    return json.dumps(policy_to_dict(policy, taxonomy), indent=indent)
+
+
+def preferences_to_dict(
+    preferences: ProviderPreferences, taxonomy: Taxonomy | None = None
+) -> dict:
+    """Render a :class:`ProviderPreferences` as a preference document dict."""
+    return {
+        "provider": preferences.provider_id,
+        "attributes_provided": sorted(preferences.attributes_provided),
+        "preferences": [
+            {"attribute": entry.attribute, **_tuple_fields(entry.tuple, taxonomy)}
+            for entry in preferences
+        ],
+    }
+
+
+def preferences_to_json(
+    preferences: ProviderPreferences,
+    taxonomy: Taxonomy | None = None,
+    *,
+    indent: int = 2,
+) -> str:
+    """Render a :class:`ProviderPreferences` as a JSON string."""
+    return json.dumps(preferences_to_dict(preferences, taxonomy), indent=indent)
+
+
+def sensitivities_to_dict(model: SensitivityModel) -> dict:
+    """Render a :class:`SensitivityModel` as a sensitivity document dict.
+
+    Only explicit weights appear; neutral defaults stay implicit, so the
+    round-trip is stable.
+    """
+    providers: dict = {}
+    explicit = model.explicit_providers()
+    for provider_id in sorted(explicit, key=repr):
+        record = explicit[provider_id]
+        providers[provider_id] = {
+            attribute: {
+                "value": sens.value,
+                "visibility": sens.dimension_weight(Dimension.VISIBILITY),
+                "granularity": sens.dimension_weight(Dimension.GRANULARITY),
+                "retention": sens.dimension_weight(Dimension.RETENTION),
+            }
+            for attribute, sens in sorted(record.per_attribute.items())
+        }
+    return {
+        "attributes": model.attributes.as_dict(),
+        "providers": providers,
+    }

@@ -1,0 +1,95 @@
+"""Taxonomy documents: serialise the deployment vocabulary itself.
+
+The policy/preference documents reference purposes and level names; for a
+deployment to be fully file-driven (the CLI's mode of operation) the
+taxonomy too needs a document form::
+
+    {
+      "purposes": ["treatment", "billing", "research"],
+      "visibility": ["none", "owner", "clinic", "public"],
+      "granularity": ["none", "existential", "partial", "specific"],
+      "retention": ["none", "visit", "year", "indefinite"],
+      # OR, for an open-ended retention scale:
+      "retention": "unbounded"
+    }
+
+Missing ladders default to the canonical ones, mirroring
+:class:`~repro.taxonomy.builder.TaxonomyBuilder`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+
+from ..core.dimensions import Dimension, OrderedDomain, UnboundedRetention
+from ..exceptions import PolicyDocumentError
+from ..taxonomy.builder import Taxonomy, TaxonomyBuilder
+
+_LADDER_KEYS = ("visibility", "granularity", "retention")
+
+
+def parse_taxonomy(raw: Mapping) -> Taxonomy:
+    """Build a :class:`Taxonomy` from a taxonomy document dict."""
+    if not isinstance(raw, Mapping):
+        raise PolicyDocumentError(
+            f"taxonomy document must be a mapping, got {type(raw).__name__}"
+        )
+    unknown = set(raw) - {"purposes", *_LADDER_KEYS}
+    if unknown:
+        raise PolicyDocumentError(
+            f"taxonomy document has unknown keys {sorted(unknown)}"
+        )
+    if "purposes" not in raw:
+        raise PolicyDocumentError("taxonomy document missing 'purposes'")
+    builder = TaxonomyBuilder().with_purposes(list(raw["purposes"]))
+    if "visibility" in raw:
+        builder.with_visibility(list(raw["visibility"]))
+    if "granularity" in raw:
+        builder.with_granularity(list(raw["granularity"]))
+    if "retention" in raw:
+        retention = raw["retention"]
+        if retention == "unbounded":
+            builder.with_retention_unbounded()
+        elif isinstance(retention, (list, tuple)):
+            builder.with_retention(list(retention))
+        else:
+            raise PolicyDocumentError(
+                "retention must be a level list or the string 'unbounded', "
+                f"got {retention!r}"
+            )
+    return builder.build()
+
+
+def taxonomy_to_dict(taxonomy: Taxonomy) -> dict:
+    """Render a :class:`Taxonomy` as a taxonomy document dict.
+
+    Round-trips through :func:`parse_taxonomy` for every taxonomy built
+    from named ladders or unbounded retention.
+    """
+    document: dict = {"purposes": sorted(taxonomy.purposes.purposes)}
+    for key, dimension in (
+        ("visibility", Dimension.VISIBILITY),
+        ("granularity", Dimension.GRANULARITY),
+        ("retention", Dimension.RETENTION),
+    ):
+        domain = taxonomy.domain(dimension)
+        if isinstance(domain, UnboundedRetention):
+            document[key] = "unbounded"
+        elif isinstance(domain, OrderedDomain):
+            document[key] = list(domain.levels)
+    return document
+
+
+def taxonomy_from_json(text: str) -> Taxonomy:
+    """Parse a JSON taxonomy document string."""
+    try:
+        decoded = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PolicyDocumentError(f"invalid taxonomy JSON: {error}") from error
+    return parse_taxonomy(decoded)
+
+
+def taxonomy_to_json(taxonomy: Taxonomy, *, indent: int = 2) -> str:
+    """Render a :class:`Taxonomy` as JSON text."""
+    return json.dumps(taxonomy_to_dict(taxonomy), indent=indent)

@@ -1,0 +1,99 @@
+"""Semantic validation of policy-language documents against a taxonomy.
+
+The parser's structural checks guarantee documents are well-formed; this
+module checks they *mean* something in a given deployment: purposes are
+registered, level names exist on their ladders, ranks are in range, and —
+for preference documents — explicit preferences only mention attributes
+the provider claims to have supplied.
+
+Validators return a list of human-readable problem strings (empty when the
+document is valid) rather than raising on first error, so UIs and audit
+pipelines can present everything at once.  ``strict=True`` converts a
+non-empty result into a :class:`PolicyDocumentError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from ..core.dimensions import Dimension
+from ..exceptions import DomainError, PolicyDocumentError, UnknownPurposeError
+from ..taxonomy.builder import Taxonomy
+from .ast import PolicyDocument, PreferenceDocument, TupleSpec
+from .parser import policy_document, preference_document
+
+_SPEC_DIMENSIONS = (
+    ("visibility", Dimension.VISIBILITY),
+    ("granularity", Dimension.GRANULARITY),
+    ("retention", Dimension.RETENTION),
+)
+
+
+def _check_spec(
+    spec: TupleSpec, taxonomy: Taxonomy, *, context: str
+) -> list[str]:
+    """All semantic problems with one rule/preference line."""
+    problems: list[str] = []
+    try:
+        taxonomy.purposes.validate(spec.purpose)
+    except UnknownPurposeError:
+        problems.append(f"{context}: unknown purpose {spec.purpose!r}")
+    for field_name, dimension in _SPEC_DIMENSIONS:
+        value = getattr(spec, field_name)
+        try:
+            taxonomy.domain(dimension).rank_of(value)
+        except DomainError:
+            problems.append(
+                f"{context}: {field_name} value {value!r} is not on the "
+                f"{taxonomy.domain(dimension).name!r} ladder"
+            )
+    return problems
+
+
+def validate_policy_document(
+    raw: Mapping | PolicyDocument,
+    taxonomy: Taxonomy,
+    *,
+    strict: bool = False,
+) -> list[str]:
+    """Semantic problems in a policy document (empty list when valid)."""
+    document = raw if isinstance(raw, PolicyDocument) else policy_document(raw)
+    problems: list[str] = []
+    for index, spec in enumerate(document.rules):
+        problems.extend(
+            _check_spec(
+                spec,
+                taxonomy,
+                context=f"policy {document.name!r} rule {index}",
+            )
+        )
+    if strict and problems:
+        raise PolicyDocumentError("; ".join(problems))
+    return problems
+
+
+def validate_preference_document(
+    raw: Mapping | PreferenceDocument,
+    taxonomy: Taxonomy,
+    *,
+    strict: bool = False,
+) -> list[str]:
+    """Semantic problems in a preference document (empty list when valid)."""
+    document = (
+        raw if isinstance(raw, PreferenceDocument) else preference_document(raw)
+    )
+    problems: list[str] = []
+    for index, spec in enumerate(document.preferences):
+        context = f"preferences of {document.provider!r} entry {index}"
+        problems.extend(_check_spec(spec, taxonomy, context=context))
+        if (
+            document.attributes_provided is not None
+            and spec.attribute not in document.attributes_provided
+        ):
+            problems.append(
+                f"{context}: preference for attribute {spec.attribute!r} "
+                f"not listed in attributes_provided"
+            )
+    if strict and problems:
+        raise PolicyDocumentError("; ".join(problems))
+    return problems

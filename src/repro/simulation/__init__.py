@@ -1,0 +1,61 @@
+"""Population synthesis and policy-expansion scenarios.
+
+The paper defers the empirical distribution of provider sensitivities and
+default thresholds to "future work in the social sciences" but cites the
+Westin privacy-segmentation studies (ref [11]) as the natural source.
+This package synthesises exactly those inputs:
+
+* :mod:`repro.simulation.population` — Westin-segment populations
+  (fundamentalists / pragmatists / unconcerned) with per-segment
+  preference tightness, sensitivities, and default thresholds;
+* :mod:`repro.simulation.widening` — Section 9's policy-expansion
+  operators (uniform or per-dimension rank steps, clamped to a taxonomy);
+* :mod:`repro.simulation.scenario` — widening sweeps collecting
+  ``P(W)``, ``P(Default)``, and the utility trade-off per step;
+* :mod:`repro.simulation.dynamics` — multi-round dynamics where defaulted
+  providers permanently leave;
+* :mod:`repro.simulation.whatif` — one-shot what-if assessment of a
+  candidate policy.
+
+Everything is deterministic given a seed.
+"""
+
+from .population import (
+    PopulationSpec,
+    WestinSegment,
+    standard_segments,
+    generate_population,
+)
+from .sampling import (
+    sample_dimension_sensitivity,
+    sample_preference_tuple,
+    sample_threshold,
+)
+from .widening import (
+    WideningStep,
+    widen,
+    widening_path,
+)
+from .scenario import ExpansionSweep, SweepRow, run_expansion_sweep
+from .dynamics import RoundOutcome, run_dynamics
+from .whatif import WhatIfAnalyzer, WhatIfResult
+
+__all__ = [
+    "PopulationSpec",
+    "WestinSegment",
+    "standard_segments",
+    "generate_population",
+    "sample_dimension_sensitivity",
+    "sample_preference_tuple",
+    "sample_threshold",
+    "WideningStep",
+    "widen",
+    "widening_path",
+    "ExpansionSweep",
+    "SweepRow",
+    "run_expansion_sweep",
+    "RoundOutcome",
+    "run_dynamics",
+    "WhatIfAnalyzer",
+    "WhatIfResult",
+]

@@ -1,0 +1,127 @@
+"""Multi-round default dynamics.
+
+Section 10 anticipates "real-time dynamics occurring between a house and a
+set of data providers".  This module runs the simplest faithful version:
+the house widens its policy once per round; providers whose accumulated
+severity under the *current* policy exceeds their threshold default and
+**permanently leave**; the next round is evaluated over the survivors.
+
+Because departures are permanent, the population is non-increasing and the
+dynamics always terminate.  Round utilities use Section 9's arithmetic
+with the extra utility growing per round, so a run shows the same
+rise-then-fall shape as the static sweep but with the *path dependence*
+the static analysis cannot capture (early defaulters are not re-counted).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Hashable
+
+from .._validation import check_int, check_real
+from ..core.engine import ViolationEngine
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..taxonomy.builder import Taxonomy
+from .widening import WideningStep, widen
+
+
+@dataclass(frozen=True, slots=True)
+class RoundOutcome:
+    """One round of the widening-and-default dynamics."""
+
+    round_index: int
+    policy_name: str
+    n_start: int
+    n_defaulted: int
+    n_remaining: int
+    violation_probability: float
+    total_violations: float
+    utility: float
+    defaulted_providers: tuple[Hashable, ...]
+
+    @property
+    def retention_rate(self) -> float:
+        """Fraction of this round's starting providers who stayed."""
+        if self.n_start == 0:
+            return 1.0
+        return self.n_remaining / self.n_start
+
+
+def run_dynamics(
+    population: Population,
+    base_policy: HousePolicy,
+    taxonomy: Taxonomy,
+    *,
+    rounds: int,
+    step: WideningStep | None = None,
+    per_provider_utility: float = 1.0,
+    extra_utility_per_round: float = 0.25,
+    implicit_zero: bool = True,
+) -> list[RoundOutcome]:
+    """Run *rounds* rounds of widen-then-default over a shrinking population.
+
+    Round 0 evaluates the base policy; each later round widens once more.
+    The utility of a round is ``n_remaining x (U + T x round)`` — what the
+    house actually extracts from the providers who stayed through it.
+
+    Returns one :class:`RoundOutcome` per round, including rounds where
+    nobody defaults.  Stops early when the population empties.
+    """
+    check_int(rounds, "rounds", minimum=1)
+    check_real(per_provider_utility, "per_provider_utility", minimum=0.0)
+    check_real(extra_utility_per_round, "extra_utility_per_round", minimum=0.0)
+    if step is None:
+        step = WideningStep.uniform(1)
+    outcomes: list[RoundOutcome] = []
+    current_population = population
+    current_policy = HousePolicy(base_policy.entries, name=f"{base_policy.name}@r0")
+    for round_index in range(rounds):
+        if len(current_population) == 0:
+            break
+        if round_index > 0:
+            current_policy = widen(
+                current_policy,
+                step,
+                taxonomy,
+                name=f"{base_policy.name}@r{round_index}",
+            )
+        engine = ViolationEngine(
+            current_policy, current_population, implicit_zero=implicit_zero
+        )
+        report = engine.report()
+        defaulted = report.defaulted_ids()
+        n_start = len(current_population)
+        n_remaining = n_start - len(defaulted)
+        utility = n_remaining * (
+            per_provider_utility + extra_utility_per_round * round_index
+        )
+        outcomes.append(
+            RoundOutcome(
+                round_index=round_index,
+                policy_name=current_policy.name,
+                n_start=n_start,
+                n_defaulted=len(defaulted),
+                n_remaining=n_remaining,
+                violation_probability=report.violation_probability,
+                total_violations=report.total_violations,
+                utility=utility,
+                defaulted_providers=defaulted,
+            )
+        )
+        if defaulted:
+            current_population = current_population.without(defaulted)
+    return outcomes
+
+
+def surviving_ids(outcomes: list[RoundOutcome], population: Population) -> Iterator[Hashable]:
+    """The providers still present after the last recorded round."""
+    departed = {
+        provider_id
+        for outcome in outcomes
+        for provider_id in outcome.defaulted_providers
+    }
+    for provider in population:
+        if provider.provider_id not in departed:
+            yield provider.provider_id

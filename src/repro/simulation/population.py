@@ -1,0 +1,296 @@
+"""Westin-segment population synthesis.
+
+Kumaraguru & Cranor's compilation of the Westin surveys (the paper's ref
+[11]) segments the public into three groups.  We parameterise each segment
+by preference tightness, sensitivity ranges, and default-threshold range,
+and synthesise :class:`~repro.core.population.Population` objects from a
+:class:`PopulationSpec`.  The default fractions follow the frequently
+cited Westin 2001 split (roughly a quarter fundamentalist, a fifth
+unconcerned, the balance pragmatist).
+
+The synthesis is a *substitution* documented in DESIGN.md: the paper
+requires some joint distribution of ``(preferences, sigma_i, v_i)`` and
+points at Westin segmentation as its empirical source; any seeded draw
+from these segments exercises the identical model code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_int, check_non_empty_str, check_real
+from ..core.dimensions import Dimension, ORDERED_DIMENSIONS
+from ..core.policy import HousePolicy
+from ..core.population import Population, Provider
+from ..core.preferences import ProviderPreferences
+from ..core.sensitivity import DimensionSensitivity
+from ..core.tuples import PrivacyTuple
+from ..exceptions import SimulationError
+from ..taxonomy.builder import Taxonomy
+from .sampling import (
+    sample_dimension_sensitivity,
+    sample_preference_tuple,
+    sample_threshold,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class WestinSegment:
+    """One privacy-disposition segment of the provider population.
+
+    Parameters
+    ----------
+    name:
+        Segment label carried onto each generated provider.
+    fraction:
+        Share of the population in this segment; the spec's fractions must
+        sum to 1.
+    tightness:
+        Preference tightness in ``[0, 1]`` (see
+        :func:`repro.simulation.sampling.sample_preference_tuple`).  Used
+        for (attribute, purpose) pairs the anchor policy does not cover.
+    value_sensitivity:
+        Bounds for the data-value sensitivity ``s``.
+    dimension_sensitivity:
+        Bounds for each dimension weight ``s[dim]``.
+    threshold:
+        Bounds for the default tolerance ``v_i``.
+    headroom:
+        Inclusive bounds (in ranks) of how far *above* an anchor policy's
+        rank this segment's preferences sit.  Providers currently in the
+        system accepted the current policy, so their preferences dominate
+        it; the headroom is the slack that later widening eats into.
+        Fundamentalists have little slack, the unconcerned plenty.
+    """
+
+    name: str
+    fraction: float
+    tightness: float
+    value_sensitivity: tuple[float, float] = (1.0, 3.0)
+    dimension_sensitivity: tuple[float, float] = (1.0, 3.0)
+    threshold: tuple[float, float] = (10.0, 100.0)
+    headroom: tuple[int, int] = (0, 2)
+
+    def __post_init__(self) -> None:
+        check_non_empty_str(self.name, "name")
+        fraction = check_real(self.fraction, "fraction", minimum=0.0)
+        if fraction > 1.0:
+            raise SimulationError(f"segment fraction must be <= 1, got {fraction}")
+        tightness = check_real(self.tightness, "tightness", minimum=0.0)
+        if tightness > 1.0:
+            raise SimulationError(f"tightness must be <= 1, got {tightness}")
+        lo, hi = self.headroom
+        check_int(lo, "headroom low", minimum=0)
+        check_int(hi, "headroom high", minimum=lo)
+
+
+def standard_segments() -> tuple[WestinSegment, ...]:
+    """The canonical three Westin segments with calibrated dispositions.
+
+    * **Fundamentalists** (~25%): tight preferences, high sensitivities,
+      low tolerance — they are violated easily and default quickly.
+    * **Pragmatists** (~57%): middling everything.
+    * **Unconcerned** (~18%): loose preferences, low sensitivities, very
+      high tolerance — they rarely default.
+    """
+    return (
+        WestinSegment(
+            name="fundamentalist",
+            fraction=0.25,
+            tightness=0.7,
+            value_sensitivity=(2.0, 4.0),
+            dimension_sensitivity=(2.0, 5.0),
+            threshold=(5.0, 40.0),
+            headroom=(0, 0),
+        ),
+        WestinSegment(
+            name="pragmatist",
+            fraction=0.57,
+            tightness=0.4,
+            value_sensitivity=(1.0, 3.0),
+            dimension_sensitivity=(1.0, 3.0),
+            threshold=(30.0, 150.0),
+            headroom=(0, 2),
+        ),
+        WestinSegment(
+            name="unconcerned",
+            fraction=0.18,
+            tightness=0.1,
+            value_sensitivity=(0.5, 1.5),
+            dimension_sensitivity=(0.5, 1.5),
+            threshold=(150.0, 600.0),
+            headroom=(1, 4),
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """Everything needed to synthesise a population.
+
+    Parameters
+    ----------
+    taxonomy:
+        Supplies ladders and the purpose vocabulary.
+    attributes:
+        Attribute name -> social sensitivity ``Sigma^a``.
+    purposes:
+        The purposes providers will express preferences for.  Defaults to
+        every purpose in the taxonomy.
+    n_providers:
+        Population size.
+    segments:
+        The Westin segments; fractions must sum to 1 (within 1e-9).
+    seed:
+        Seed for the NumPy generator.
+    id_prefix:
+        Generated providers are named ``f"{id_prefix}{index}"``.
+    anchor_policy:
+        When given, preferences for the (attribute, purpose) pairs the
+        policy covers are drawn *at or above* the policy's ranks (policy
+        rank + segment headroom) — modelling Section 9's premise that the
+        current providers accepted the current policy, so the baseline
+        causes no violations and defaults only appear as widening eats
+        through the headroom.  Pairs the policy does not cover fall back
+        to the segment's tightness sampler.
+    """
+
+    taxonomy: Taxonomy
+    attributes: Mapping[str, float]
+    n_providers: int
+    purposes: Sequence[str] | None = None
+    segments: tuple[WestinSegment, ...] = field(default_factory=standard_segments)
+    seed: int = 0
+    id_prefix: str = "provider-"
+    anchor_policy: HousePolicy | None = None
+
+    def __post_init__(self) -> None:
+        check_int(self.n_providers, "n_providers", minimum=1)
+        check_int(self.seed, "seed", minimum=0)
+        if not self.attributes:
+            raise SimulationError("a population spec needs at least one attribute")
+        total = sum(segment.fraction for segment in self.segments)
+        if abs(total - 1.0) > 1e-9:
+            raise SimulationError(
+                f"segment fractions must sum to 1, got {total}"
+            )
+        for purpose in self.purposes or ():
+            self.taxonomy.purposes.validate(purpose)
+
+    def effective_purposes(self) -> tuple[str, ...]:
+        """The purposes preferences are generated for."""
+        if self.purposes is not None:
+            return tuple(self.purposes)
+        return tuple(self.taxonomy.purposes)
+
+
+def generate_population(spec: PopulationSpec) -> Population:
+    """Synthesise a deterministic population from *spec*.
+
+    Each provider gets, per attribute and per purpose, one explicit
+    preference tuple (anchored above the anchor policy when one is given,
+    otherwise drawn by segment tightness), one per-attribute sensitivity
+    record, and one default threshold.  Segment assignment is an exact
+    quota allocation (largest-remainder) followed by a seeded shuffle, so
+    the realised segment mix matches the spec's fractions as closely as
+    integer counts allow — a property the tests assert.
+    """
+    rng = np.random.default_rng(spec.seed)
+    segment_of = _allocate_segments(rng, spec)
+    purposes = spec.effective_purposes()
+    anchor = _anchor_ranks(spec.anchor_policy)
+    providers: list[Provider] = []
+    for index in range(spec.n_providers):
+        segment = segment_of[index]
+        provider_id = f"{spec.id_prefix}{index}"
+        entries = []
+        sensitivity: dict[str, DimensionSensitivity] = {}
+        for attribute in spec.attributes:
+            for purpose in purposes:
+                base = anchor.get((attribute, purpose))
+                if base is not None:
+                    entries.append(
+                        (
+                            attribute,
+                            _anchored_preference(
+                                rng, spec.taxonomy, purpose, base, segment
+                            ),
+                        )
+                    )
+                else:
+                    entries.append(
+                        (
+                            attribute,
+                            sample_preference_tuple(
+                                rng, spec.taxonomy, purpose, segment.tightness
+                            ),
+                        )
+                    )
+            sensitivity[attribute] = sample_dimension_sensitivity(
+                rng, segment.value_sensitivity, segment.dimension_sensitivity
+            )
+        providers.append(
+            Provider(
+                preferences=ProviderPreferences(provider_id, entries),
+                sensitivity=sensitivity,
+                threshold=sample_threshold(rng, segment.threshold),
+                segment=segment.name,
+            )
+        )
+    return Population(providers, attribute_sensitivities=dict(spec.attributes))
+
+
+def _anchor_ranks(
+    policy: HousePolicy | None,
+) -> dict[tuple[str, str], dict[Dimension, int]]:
+    """Per (attribute, purpose), the policy's effective (max) rank per dimension."""
+    if policy is None:
+        return {}
+    ranks: dict[tuple[str, str], dict[Dimension, int]] = {}
+    for entry in policy:
+        key = (entry.attribute, entry.purpose)
+        current = ranks.setdefault(key, {dim: 0 for dim in ORDERED_DIMENSIONS})
+        for dim in ORDERED_DIMENSIONS:
+            current[dim] = max(current[dim], entry.tuple.rank(dim))
+    return ranks
+
+
+def _anchored_preference(
+    rng: np.random.Generator,
+    taxonomy: Taxonomy,
+    purpose: str,
+    base: Mapping[Dimension, int],
+    segment: WestinSegment,
+) -> "PrivacyTuple":
+    """A preference dominating the anchor ranks by a per-dimension headroom draw."""
+    lo, hi = segment.headroom
+    ranks: dict[str, int] = {}
+    for dim in ORDERED_DIMENSIONS:
+        headroom = int(rng.integers(lo, hi + 1))
+        ranks[dim.value] = taxonomy.domain(dim).clamp(base[dim] + headroom)
+    return PrivacyTuple(purpose=purpose, **ranks)
+
+
+def _allocate_segments(
+    rng: np.random.Generator, spec: PopulationSpec
+) -> list[WestinSegment]:
+    """Exact largest-remainder quota allocation of providers to segments."""
+    n = spec.n_providers
+    quotas = [segment.fraction * n for segment in spec.segments]
+    counts = [int(q) for q in quotas]
+    remainder = n - sum(counts)
+    by_fraction = sorted(
+        range(len(spec.segments)),
+        key=lambda i: (quotas[i] - counts[i], -i),
+        reverse=True,
+    )
+    for i in by_fraction[:remainder]:
+        counts[i] += 1
+    assignment: list[WestinSegment] = []
+    for segment, count in zip(spec.segments, counts):
+        assignment.extend([segment] * count)
+    rng.shuffle(assignment)  # type: ignore[arg-type]
+    return assignment

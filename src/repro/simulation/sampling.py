@@ -1,0 +1,87 @@
+"""Seeded samplers for preferences, sensitivities, and thresholds.
+
+Each sampler takes an explicit :class:`numpy.random.Generator` so every
+simulation is reproducible bit-for-bit from its seed.  The samplers encode
+one population segment's *disposition*:
+
+* ``tightness`` in ``[0, 1]`` — how close to "reveal nothing" the
+  segment's preferences sit.  Tightness 1 pins every preference at rank 0;
+  tightness 0 allows the full ladder.
+* sensitivity and threshold ranges — uniform draws within per-segment
+  bounds (the paper's ``s``/``s[dim]`` weights and ``v_i`` tolerances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_real
+from ..core.dimensions import Dimension, ORDERED_DIMENSIONS
+from ..core.sensitivity import DimensionSensitivity
+from ..core.tuples import PrivacyTuple
+from ..exceptions import SimulationError
+from ..taxonomy.builder import Taxonomy
+
+
+def _max_rank(taxonomy: Taxonomy, dimension: Dimension, fallback: int = 6) -> int:
+    """The top rank of a dimension's ladder (bounded for open-ended retention)."""
+    domain = taxonomy.domain(dimension)
+    top = domain.max_rank
+    return fallback if top is None else top
+
+
+def sample_preference_tuple(
+    rng: np.random.Generator,
+    taxonomy: Taxonomy,
+    purpose: str,
+    tightness: float,
+) -> PrivacyTuple:
+    """Draw one preference tuple for *purpose* with the given tightness.
+
+    Each ordered rank is uniform on ``[0, ceiling]`` where
+    ``ceiling = round((1 - tightness) * max_rank)``: tight segments cluster
+    near "reveal nothing", loose segments roam the whole ladder.
+    """
+    tightness = check_real(tightness, "tightness", minimum=0.0)
+    if tightness > 1.0:
+        raise SimulationError(f"tightness must be <= 1, got {tightness}")
+    ranks: dict[str, int] = {}
+    for dimension in ORDERED_DIMENSIONS:
+        top = _max_rank(taxonomy, dimension)
+        ceiling = int(round((1.0 - tightness) * top))
+        ranks[dimension.value] = int(rng.integers(0, ceiling + 1))
+    return PrivacyTuple(purpose=purpose, **ranks)
+
+
+def sample_dimension_sensitivity(
+    rng: np.random.Generator,
+    value_range: tuple[float, float],
+    weight_range: tuple[float, float],
+) -> DimensionSensitivity:
+    """Draw one per-datum sensitivity record (Eq. 11).
+
+    ``value_range`` bounds the data-value sensitivity ``s``;
+    ``weight_range`` bounds each of the three dimension weights.
+    """
+    lo, hi = value_range
+    if lo > hi or lo < 0:
+        raise SimulationError(f"invalid value_range {value_range!r}")
+    wlo, whi = weight_range
+    if wlo > whi or wlo < 0:
+        raise SimulationError(f"invalid weight_range {weight_range!r}")
+    return DimensionSensitivity(
+        value=float(rng.uniform(lo, hi)),
+        visibility=float(rng.uniform(wlo, whi)),
+        granularity=float(rng.uniform(wlo, whi)),
+        retention=float(rng.uniform(wlo, whi)),
+    )
+
+
+def sample_threshold(
+    rng: np.random.Generator, threshold_range: tuple[float, float]
+) -> float:
+    """Draw one default tolerance ``v_i`` uniformly within bounds."""
+    lo, hi = threshold_range
+    if lo > hi or lo < 0:
+        raise SimulationError(f"invalid threshold_range {threshold_range!r}")
+    return float(rng.uniform(lo, hi))

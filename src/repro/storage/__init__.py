@@ -1,0 +1,38 @@
+"""The sqlite-backed privacy-preserving database (alpha-PPDB substrate).
+
+The paper frames its model as operating *inside* a relational database
+system: every datum carries privacy metadata, house policies are stored
+alongside the data, and violations are auditable.  This package builds
+that substrate on stdlib :mod:`sqlite3`:
+
+* :mod:`repro.storage.schema` — the DDL: the private data table plus the
+  privacy-metadata tables (providers, policies, preferences,
+  sensitivities, audit log);
+* :mod:`repro.storage.database` — :class:`PrivacyDatabase`, the top-level
+  handle (load/store model objects, build engines, certify);
+* :mod:`repro.storage.repository` — row-level CRUD;
+* :mod:`repro.storage.enforcement` — the purpose-aware access gate that
+  checks each access request against stored preferences and either
+  rejects (``enforce`` mode) or logs (``audit`` mode) violations;
+* :mod:`repro.storage.audit` — the append-only audit log and its reports.
+"""
+
+from .database import PrivacyDatabase
+from .enforcement import AccessDecision, AccessGate, AccessRequest, EnforcementMode
+from .audit import AuditEvent, AuditReport
+from .granularity import EXISTENCE_MARKER, ValueDegrader, numeric_degrader
+from .schema import SCHEMA_VERSION
+
+__all__ = [
+    "PrivacyDatabase",
+    "AccessDecision",
+    "AccessGate",
+    "AccessRequest",
+    "EnforcementMode",
+    "AuditEvent",
+    "AuditReport",
+    "EXISTENCE_MARKER",
+    "ValueDegrader",
+    "numeric_degrader",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,138 @@
+"""The append-only audit log and its reports.
+
+Section 2: "Automation of this procedure makes privacy violations
+auditable, so that data providers can continuously monitor the state of
+their privacy."  The gate writes every decision; this module reads the log
+back as typed :class:`AuditEvent` rows and summarises them into an
+:class:`AuditReport` — including the *observed* violation rate, the
+empirical counterpart of Definition 2's ``P(W)`` measured over actual
+accesses instead of over the policy text.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from collections.abc import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class AuditEvent:
+    """One audit-log row, decoded."""
+
+    seq: int
+    event: str
+    provider_id: str | None
+    attribute: str | None
+    purpose: str | None
+    visibility: int | None
+    granularity: int | None
+    retention: int | None
+    detail: dict
+
+    @property
+    def is_violation(self) -> bool:
+        """Whether this event records a violating access (denied or logged)."""
+        return self.event in ("access-denied", "violation-logged")
+
+
+@dataclass(frozen=True, slots=True)
+class AuditReport:
+    """Aggregate view over the audit log."""
+
+    total_events: int
+    granted: int
+    denied: int
+    violations_logged: int
+    violated_providers: tuple[str, ...]
+
+    @property
+    def violating_accesses(self) -> int:
+        """Accesses that exceeded at least one preference."""
+        return self.denied + self.violations_logged
+
+    @property
+    def observed_violation_rate(self) -> float:
+        """Violating accesses / all access events (0 when the log is empty).
+
+        The access-level analogue of ``P(W)``: the fraction of actual data
+        uses that conflicted with stored preferences.
+        """
+        accesses = self.granted + self.denied + self.violations_logged
+        if accesses == 0:
+            return 0.0
+        return self.violating_accesses / accesses
+
+
+class AuditLog:
+    """Typed read access to the ``audit_log`` table."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self._connection = connection
+
+    def events(
+        self,
+        *,
+        provider_id: str | None = None,
+        attribute: str | None = None,
+        only_violations: bool = False,
+    ) -> Iterator[AuditEvent]:
+        """Iterate events in sequence order, optionally filtered."""
+        clauses: list[str] = []
+        params: list[object] = []
+        if provider_id is not None:
+            clauses.append("provider_id = ?")
+            params.append(provider_id)
+        if attribute is not None:
+            clauses.append("attribute = ?")
+            params.append(attribute)
+        if only_violations:
+            clauses.append("event IN ('access-denied', 'violation-logged')")
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._connection.execute(
+            "SELECT seq, event, provider_id, attribute, purpose, visibility, "
+            f"granularity, retention, detail FROM audit_log{where} ORDER BY seq",
+            params,
+        )
+        for row in rows:
+            yield AuditEvent(
+                seq=row["seq"],
+                event=row["event"],
+                provider_id=row["provider_id"],
+                attribute=row["attribute"],
+                purpose=row["purpose"],
+                visibility=row["visibility"],
+                granularity=row["granularity"],
+                retention=row["retention"],
+                detail=json.loads(row["detail"]) if row["detail"] else {},
+            )
+
+    def record_policy_change(self, description: str) -> None:
+        """Append a policy-change marker (widenings are auditable too)."""
+        self._connection.execute(
+            "INSERT INTO audit_log (event, detail) VALUES (?, ?)",
+            ("policy-changed", json.dumps({"description": description})),
+        )
+        self._connection.commit()
+
+    def report(self) -> AuditReport:
+        """Summarise the whole log."""
+        counts = {
+            row["event"]: row["n"]
+            for row in self._connection.execute(
+                "SELECT event, COUNT(*) AS n FROM audit_log GROUP BY event"
+            )
+        }
+        violated: set[str] = set()
+        for event in self.events(only_violations=True):
+            for provider in event.detail.get("violated_providers", []):
+                violated.add(provider)
+        total = sum(counts.values())
+        return AuditReport(
+            total_events=total,
+            granted=counts.get("access-granted", 0),
+            denied=counts.get("access-denied", 0),
+            violations_logged=counts.get("violation-logged", 0),
+            violated_providers=tuple(sorted(violated)),
+        )

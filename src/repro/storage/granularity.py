@@ -1,0 +1,149 @@
+"""Granularity-aware value rendering.
+
+The taxonomy's granularity axis is about *what the value looks like* when
+revealed: nothing, mere existence, a coarsened form (a weight **range**
+rather than the weight — the paper's own example), or the specific atomic
+value.  The earlier study the paper builds on (Williams & Barker, ref
+[22]) showed providers share *more* when they can share coarser; this
+module makes that operational: a :class:`ValueDegrader` renders a stored
+datum at the granularity rank an access request was granted, so the gate
+returns data already coarsened to the authorised level.
+
+Rank semantics (relative to the attribute's ladder):
+
+* rank 0 — reveal nothing (``None``);
+* ranks below ``exact_rank`` — coarsened: a configured numeric bucket
+  (``"60..69"``), a category label, or the bare existence marker when no
+  coarsening is configured for that rank;
+* ``exact_rank`` and above — the raw value.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Mapping
+
+from .._validation import check_int, check_real
+from ..exceptions import ValidationError
+
+#: The marker returned when only existence may be revealed.
+EXISTENCE_MARKER = "present"
+
+
+class ValueDegrader:
+    """Render stored values at a requested granularity rank.
+
+    Parameters
+    ----------
+    exact_rank:
+        The ladder rank at (and above) which the raw value is returned.
+    bucket_widths:
+        Optional numeric coarsening per rank: ``{rank: width}`` renders a
+        numeric value as the half-open bucket ``"lo..hi"`` containing it.
+    category_maps:
+        Optional categorical coarsening per rank: ``{rank: callable}``
+        mapping the raw string to a label (e.g. an age band or a diagnosis
+        chapter).  Takes precedence over bucket widths at the same rank.
+    """
+
+    def __init__(
+        self,
+        exact_rank: int,
+        *,
+        bucket_widths: Mapping[int, float] | None = None,
+        category_maps: Mapping[int, Callable[[str], str]] | None = None,
+    ) -> None:
+        self._exact_rank = check_int(exact_rank, "exact_rank", minimum=1)
+        self._bucket_widths: dict[int, float] = {}
+        for rank, width in (bucket_widths or {}).items():
+            rank = check_int(rank, "bucket rank", minimum=1)
+            if rank >= self._exact_rank:
+                raise ValidationError(
+                    f"bucket rank {rank} must be below exact_rank "
+                    f"{self._exact_rank}"
+                )
+            width = check_real(width, f"bucket width for rank {rank}")
+            if width <= 0:
+                raise ValidationError("bucket widths must be positive")
+            self._bucket_widths[rank] = width
+        self._category_maps: dict[int, Callable[[str], str]] = {}
+        for rank, mapper in (category_maps or {}).items():
+            rank = check_int(rank, "category rank", minimum=1)
+            if rank >= self._exact_rank:
+                raise ValidationError(
+                    f"category rank {rank} must be below exact_rank "
+                    f"{self._exact_rank}"
+                )
+            if not callable(mapper):
+                raise ValidationError("category maps must be callables")
+            self._category_maps[rank] = mapper
+
+    @property
+    def exact_rank(self) -> int:
+        """The rank at which raw values are released."""
+        return self._exact_rank
+
+    def degrade(self, raw: str | None, rank: int) -> str | None:
+        """Render *raw* at granularity *rank*.
+
+        ``None`` stays ``None`` at every rank (absent data reveals nothing
+        beyond what rank-0 would).  A rank without its own configured
+        coarsening uses the nearest configured coarsening *below* it —
+        revealing coarser than granted is always safe, and this keeps the
+        information content monotone in the rank (property-tested).
+        """
+        rank = check_int(rank, "rank", minimum=0)
+        if raw is None or rank == 0:
+            return None
+        if rank >= self._exact_rank:
+            return raw
+        effective = self._effective_coarsening_rank(rank)
+        if effective is None:
+            return EXISTENCE_MARKER
+        mapper = self._category_maps.get(effective)
+        if mapper is not None:
+            return str(mapper(raw))
+        return self._bucket(raw, self._bucket_widths[effective])
+
+    def _effective_coarsening_rank(self, rank: int) -> int | None:
+        """The highest configured coarsening rank at most *rank*."""
+        configured = [
+            r
+            for r in (*self._category_maps, *self._bucket_widths)
+            if r <= rank
+        ]
+        return max(configured) if configured else None
+
+    @staticmethod
+    def _bucket(raw: str, width: float) -> str:
+        """The half-open numeric bucket ``"lo..hi"`` containing *raw*.
+
+        Non-numeric values fall back to the existence marker — coarsening
+        must never leak more than the configured level.
+        """
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            return EXISTENCE_MARKER
+        # Floor division on floats can land one bucket off (1.0 // 0.01 is
+        # 99.0); compute the index, then nudge until the half-open bucket
+        # genuinely contains the value.
+        index = math.floor(value / width)
+        while index * width > value:
+            index -= 1
+        while (index + 1) * width <= value:
+            index += 1
+        low = index * width
+        high = (index + 1) * width
+        if width == int(width) and low == int(low) and high == int(high):
+            return f"{int(low)}..{int(high)}"
+        # repr round-trips floats exactly; %g-style rounding could shift a
+        # boundary past the value it is supposed to bracket.
+        return f"{low!r}..{high!r}"
+
+
+def numeric_degrader(
+    exact_rank: int, bucket_widths: Mapping[int, float]
+) -> ValueDegrader:
+    """Convenience factory for purely numeric attributes."""
+    return ValueDegrader(exact_rank, bucket_widths=bucket_widths)

@@ -1,0 +1,43 @@
+"""Typed row helpers shared by the storage modules.
+
+Small conversion functions between sqlite rows and core model values, so
+the repository and enforcement layers never hand raw tuples around.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from ..core.tuples import PrivacyTuple
+
+
+def connect(path: str) -> sqlite3.Connection:
+    """Open a connection with the library's standard pragmas.
+
+    Foreign keys are enforced and rows come back as :class:`sqlite3.Row`
+    so columns are addressable by name.
+    """
+    connection = sqlite3.connect(path)
+    connection.row_factory = sqlite3.Row
+    connection.execute("PRAGMA foreign_keys = ON")
+    return connection
+
+
+def tuple_from_row(row: sqlite3.Row) -> PrivacyTuple:
+    """Build a :class:`PrivacyTuple` from a policy/preference row."""
+    return PrivacyTuple(
+        purpose=row["purpose"],
+        visibility=row["visibility"],
+        granularity=row["granularity"],
+        retention=row["retention"],
+    )
+
+
+def tuple_params(privacy_tuple: PrivacyTuple) -> tuple[str, int, int, int]:
+    """The tuple's four columns in insertion order."""
+    return (
+        privacy_tuple.purpose,
+        privacy_tuple.visibility,
+        privacy_tuple.granularity,
+        privacy_tuple.retention,
+    )

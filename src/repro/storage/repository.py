@@ -1,0 +1,326 @@
+"""Row-level CRUD over the privacy schema.
+
+The repository speaks core model objects on one side and SQL on the other.
+It owns no connection lifecycle — :class:`~repro.storage.database.PrivacyDatabase`
+opens/closes and wraps operations in transactions; the repository receives
+the live connection.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+
+from ..core.dimensions import Dimension
+from ..core.policy import HousePolicy
+from ..core.population import Population, Provider
+from ..core.preferences import ProviderPreferences
+from ..core.sensitivity import DimensionSensitivity
+from ..exceptions import (
+    StorageError,
+    UnknownAttributeError,
+    UnknownProviderError,
+)
+from .queries import tuple_from_row, tuple_params
+
+
+class Repository:
+    """CRUD for providers, data, policies, preferences, and sensitivities."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self._connection = connection
+
+    # -- vocabulary ------------------------------------------------------
+
+    def ensure_attribute(self, name: str, sensitivity: float | None = None) -> None:
+        """Register an attribute (idempotent).
+
+        With *sensitivity* given, ``Sigma^a`` is set (insert or update);
+        without it, the attribute is created with the neutral weight only
+        when missing — an existing weight is never clobbered.
+        """
+        if sensitivity is None:
+            self._connection.execute(
+                "INSERT OR IGNORE INTO attributes (name) VALUES (?)", (name,)
+            )
+        else:
+            self._connection.execute(
+                """
+                INSERT INTO attributes (name, sensitivity) VALUES (?, ?)
+                ON CONFLICT(name) DO UPDATE SET sensitivity = excluded.sensitivity
+                """,
+                (name, float(sensitivity)),
+            )
+
+    def ensure_purpose(self, name: str) -> None:
+        """Register a purpose (idempotent)."""
+        self._connection.execute(
+            "INSERT OR IGNORE INTO purposes (name) VALUES (?)", (name,)
+        )
+
+    def attributes(self) -> dict[str, float]:
+        """All attributes with their ``Sigma^a``."""
+        rows = self._connection.execute(
+            "SELECT name, sensitivity FROM attributes ORDER BY name"
+        )
+        return {row["name"]: row["sensitivity"] for row in rows}
+
+    def purposes(self) -> tuple[str, ...]:
+        """All registered purposes, sorted."""
+        rows = self._connection.execute("SELECT name FROM purposes ORDER BY name")
+        return tuple(row["name"] for row in rows)
+
+    # -- providers -------------------------------------------------------
+
+    def add_provider(
+        self,
+        provider_id: str,
+        *,
+        segment: str | None = None,
+        threshold: float | None = None,
+    ) -> None:
+        """Insert a provider row; ``threshold=None`` means never defaults."""
+        try:
+            self._connection.execute(
+                "INSERT INTO providers (provider_id, segment, threshold) "
+                "VALUES (?, ?, ?)",
+                (provider_id, segment, threshold),
+            )
+        except sqlite3.IntegrityError as error:
+            raise StorageError(
+                f"provider {provider_id!r} already exists"
+            ) from error
+
+    def provider_ids(self) -> tuple[str, ...]:
+        """All provider ids, sorted."""
+        rows = self._connection.execute(
+            "SELECT provider_id FROM providers ORDER BY provider_id"
+        )
+        return tuple(row["provider_id"] for row in rows)
+
+    def remove_provider(self, provider_id: str) -> None:
+        """Delete a provider and (by cascade) their data/preferences.
+
+        This is the storage-level realisation of a default: the provider
+        leaves and stops contributing data.
+        """
+        cursor = self._connection.execute(
+            "DELETE FROM providers WHERE provider_id = ?", (provider_id,)
+        )
+        if cursor.rowcount == 0:
+            raise UnknownProviderError(provider_id)
+
+    # -- private data ----------------------------------------------------
+
+    def put_datum(self, provider_id: str, attribute: str, value: object) -> None:
+        """Store (or replace) one datum ``t_i^j``."""
+        self._require_provider(provider_id)
+        self._require_attribute(attribute)
+        self._connection.execute(
+            """
+            INSERT INTO data (provider_id, attribute, value) VALUES (?, ?, ?)
+            ON CONFLICT(provider_id, attribute) DO UPDATE SET value = excluded.value
+            """,
+            (provider_id, attribute, None if value is None else str(value)),
+        )
+
+    def get_datum(self, provider_id: str, attribute: str) -> str | None:
+        """One stored datum, or ``None`` when absent."""
+        row = self._connection.execute(
+            "SELECT value FROM data WHERE provider_id = ? AND attribute = ?",
+            (provider_id, attribute),
+        ).fetchone()
+        return None if row is None else row["value"]
+
+    def data_for_attribute(self, attribute: str) -> dict[str, str | None]:
+        """All stored values for one attribute, keyed by provider."""
+        rows = self._connection.execute(
+            "SELECT provider_id, value FROM data WHERE attribute = ? "
+            "ORDER BY provider_id",
+            (attribute,),
+        )
+        return {row["provider_id"]: row["value"] for row in rows}
+
+    # -- policy ----------------------------------------------------------
+
+    def replace_policy(self, policy: HousePolicy) -> None:
+        """Overwrite the stored house policy with *policy*."""
+        self._connection.execute("DELETE FROM policy")
+        for entry in policy:
+            self._require_attribute(entry.attribute)
+            self.ensure_purpose(entry.purpose)
+            self._connection.execute(
+                "INSERT INTO policy (attribute, purpose, visibility, "
+                "granularity, retention) VALUES (?, ?, ?, ?, ?)",
+                (entry.attribute, *tuple_params(entry.tuple)),
+            )
+        self._connection.execute(
+            """
+            INSERT INTO meta (key, value) VALUES ('policy_name', ?)
+            ON CONFLICT(key) DO UPDATE SET value = excluded.value
+            """,
+            (policy.name,),
+        )
+
+    def load_policy(self) -> HousePolicy:
+        """The stored house policy (empty policy when none was stored)."""
+        name_row = self._connection.execute(
+            "SELECT value FROM meta WHERE key = 'policy_name'"
+        ).fetchone()
+        name = name_row["value"] if name_row is not None else "house-policy"
+        rows = self._connection.execute(
+            "SELECT attribute, purpose, visibility, granularity, retention "
+            "FROM policy ORDER BY id"
+        )
+        return HousePolicy(
+            [(row["attribute"], tuple_from_row(row)) for row in rows],
+            name=name,
+        )
+
+    # -- preferences -----------------------------------------------------
+
+    def add_preferences(self, preferences: ProviderPreferences) -> None:
+        """Store one provider's explicit preference tuples."""
+        provider_id = str(preferences.provider_id)
+        self._require_provider(provider_id)
+        for entry in preferences:
+            self._require_attribute(entry.attribute)
+            self.ensure_purpose(entry.purpose)
+            self._connection.execute(
+                "INSERT OR IGNORE INTO preferences (provider_id, attribute, "
+                "purpose, visibility, granularity, retention) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (provider_id, entry.attribute, *tuple_params(entry.tuple)),
+            )
+
+    def load_preferences(self, provider_id: str) -> ProviderPreferences:
+        """One provider's stored preferences.
+
+        ``attributes_provided`` is the union of attributes with stored data
+        and attributes with stored preferences, matching the model's "the
+        implicit rule applies to supplied attributes" semantics.
+        """
+        self._require_provider(provider_id)
+        rows = self._connection.execute(
+            "SELECT attribute, purpose, visibility, granularity, retention "
+            "FROM preferences WHERE provider_id = ? ORDER BY id",
+            (provider_id,),
+        ).fetchall()
+        data_rows = self._connection.execute(
+            "SELECT attribute FROM data WHERE provider_id = ?", (provider_id,)
+        ).fetchall()
+        provided = {row["attribute"] for row in rows} | {
+            row["attribute"] for row in data_rows
+        }
+        return ProviderPreferences(
+            provider_id,
+            [(row["attribute"], tuple_from_row(row)) for row in rows],
+            attributes_provided=provided,
+        )
+
+    # -- sensitivities ---------------------------------------------------
+
+    def put_sensitivity(
+        self, provider_id: str, attribute: str, record: DimensionSensitivity
+    ) -> None:
+        """Store (or replace) one per-datum sensitivity record."""
+        self._require_provider(provider_id)
+        self._require_attribute(attribute)
+        self._connection.execute(
+            """
+            INSERT INTO sensitivities (provider_id, attribute, value,
+                visibility, granularity, retention)
+            VALUES (?, ?, ?, ?, ?, ?)
+            ON CONFLICT(provider_id, attribute) DO UPDATE SET
+                value = excluded.value,
+                visibility = excluded.visibility,
+                granularity = excluded.granularity,
+                retention = excluded.retention
+            """,
+            (
+                provider_id,
+                attribute,
+                record.value,
+                record.dimension_weight(Dimension.VISIBILITY),
+                record.dimension_weight(Dimension.GRANULARITY),
+                record.dimension_weight(Dimension.RETENTION),
+            ),
+        )
+
+    def load_sensitivities(
+        self, provider_id: str
+    ) -> dict[str, DimensionSensitivity]:
+        """One provider's stored sensitivity records, keyed by attribute."""
+        rows = self._connection.execute(
+            "SELECT attribute, value, visibility, granularity, retention "
+            "FROM sensitivities WHERE provider_id = ? ORDER BY attribute",
+            (provider_id,),
+        )
+        return {
+            row["attribute"]: DimensionSensitivity(
+                value=row["value"],
+                visibility=row["visibility"],
+                granularity=row["granularity"],
+                retention=row["retention"],
+            )
+            for row in rows
+        }
+
+    # -- population assembly ---------------------------------------------
+
+    def store_population(self, population: Population) -> None:
+        """Store a whole population: providers, preferences, sensitivities."""
+        for attribute, weight in population.attribute_sensitivities.as_dict().items():
+            self.ensure_attribute(attribute, weight)
+        for provider in population:
+            threshold = (
+                None if math.isinf(provider.threshold) else provider.threshold
+            )
+            self.add_provider(
+                str(provider.provider_id),
+                segment=provider.segment,
+                threshold=threshold,
+            )
+            for attribute in provider.preferences.attributes_provided:
+                self.ensure_attribute(attribute)
+            self.add_preferences(provider.preferences)
+            for attribute, record in provider.sensitivity.items():
+                self.put_sensitivity(str(provider.provider_id), attribute, record)
+
+    def load_population(self) -> Population:
+        """Reassemble the stored population as a core :class:`Population`."""
+        rows = self._connection.execute(
+            "SELECT provider_id, segment, threshold FROM providers "
+            "ORDER BY provider_id"
+        ).fetchall()
+        providers = []
+        for row in rows:
+            provider_id = row["provider_id"]
+            threshold = (
+                math.inf if row["threshold"] is None else row["threshold"]
+            )
+            providers.append(
+                Provider(
+                    preferences=self.load_preferences(provider_id),
+                    sensitivity=self.load_sensitivities(provider_id),
+                    threshold=threshold,
+                    segment=row["segment"],
+                )
+            )
+        return Population(providers, attribute_sensitivities=self.attributes())
+
+    # -- internals --------------------------------------------------------
+
+    def _require_provider(self, provider_id: str) -> None:
+        row = self._connection.execute(
+            "SELECT 1 FROM providers WHERE provider_id = ?", (provider_id,)
+        ).fetchone()
+        if row is None:
+            raise UnknownProviderError(provider_id)
+
+    def _require_attribute(self, attribute: str) -> None:
+        row = self._connection.execute(
+            "SELECT 1 FROM attributes WHERE name = ?", (attribute,)
+        ).fetchone()
+        if row is None:
+            raise UnknownAttributeError(attribute)

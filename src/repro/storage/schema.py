@@ -1,0 +1,134 @@
+"""SQL schema for the privacy-preserving database.
+
+One private-data table in entity-attribute-value layout (so any logical
+relation schema fits without migrations) plus the privacy metadata the
+violation model needs:
+
+* ``providers`` — the data providers, their segment and default threshold;
+* ``attributes`` — the relation's attributes and ``Sigma^a``;
+* ``purposes`` — the purpose vocabulary;
+* ``data`` — the private data ``t_i^j`` (EAV);
+* ``policy`` — the house policy ``HP`` as rank-valued rows;
+* ``preferences`` — provider preference tuples ``<i, a, p>``;
+* ``sensitivities`` — per-datum sensitivity records ``sigma_i^a``;
+* ``audit_log`` — append-only access/violation events (ordered by a
+  monotone sequence number, not wall-clock, so runs are deterministic);
+* ``meta`` — schema version and bookkeeping.
+
+Foreign keys are enforced (``PRAGMA foreign_keys = ON`` at connection
+time) so privacy metadata can never dangle from deleted providers.
+"""
+
+from __future__ import annotations
+
+#: Bump when the DDL changes incompatibly; checked on open.
+SCHEMA_VERSION = 1
+
+#: Table creation statements, in dependency order.
+DDL_STATEMENTS: tuple[str, ...] = (
+    """
+    CREATE TABLE meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE providers (
+        provider_id TEXT PRIMARY KEY,
+        segment     TEXT,
+        threshold   REAL  -- NULL means "never defaults" (v_i = infinity)
+    )
+    """,
+    """
+    CREATE TABLE attributes (
+        name        TEXT PRIMARY KEY,
+        sensitivity REAL NOT NULL DEFAULT 1.0 CHECK (sensitivity >= 0)
+    )
+    """,
+    """
+    CREATE TABLE purposes (
+        name TEXT PRIMARY KEY
+    )
+    """,
+    """
+    CREATE TABLE data (
+        provider_id TEXT NOT NULL REFERENCES providers(provider_id)
+                    ON DELETE CASCADE,
+        attribute   TEXT NOT NULL REFERENCES attributes(name),
+        value       TEXT,
+        PRIMARY KEY (provider_id, attribute)
+    )
+    """,
+    """
+    CREATE TABLE policy (
+        id          INTEGER PRIMARY KEY,
+        attribute   TEXT    NOT NULL REFERENCES attributes(name),
+        purpose     TEXT    NOT NULL REFERENCES purposes(name),
+        visibility  INTEGER NOT NULL CHECK (visibility >= 0),
+        granularity INTEGER NOT NULL CHECK (granularity >= 0),
+        retention   INTEGER NOT NULL CHECK (retention >= 0),
+        UNIQUE (attribute, purpose, visibility, granularity, retention)
+    )
+    """,
+    """
+    CREATE TABLE preferences (
+        id          INTEGER PRIMARY KEY,
+        provider_id TEXT    NOT NULL REFERENCES providers(provider_id)
+                    ON DELETE CASCADE,
+        attribute   TEXT    NOT NULL REFERENCES attributes(name),
+        purpose     TEXT    NOT NULL REFERENCES purposes(name),
+        visibility  INTEGER NOT NULL CHECK (visibility >= 0),
+        granularity INTEGER NOT NULL CHECK (granularity >= 0),
+        retention   INTEGER NOT NULL CHECK (retention >= 0),
+        UNIQUE (provider_id, attribute, purpose,
+                visibility, granularity, retention)
+    )
+    """,
+    """
+    CREATE TABLE sensitivities (
+        provider_id TEXT NOT NULL REFERENCES providers(provider_id)
+                    ON DELETE CASCADE,
+        attribute   TEXT NOT NULL REFERENCES attributes(name),
+        value       REAL NOT NULL DEFAULT 1.0 CHECK (value >= 0),
+        visibility  REAL NOT NULL DEFAULT 1.0 CHECK (visibility >= 0),
+        granularity REAL NOT NULL DEFAULT 1.0 CHECK (granularity >= 0),
+        retention   REAL NOT NULL DEFAULT 1.0 CHECK (retention >= 0),
+        PRIMARY KEY (provider_id, attribute)
+    )
+    """,
+    """
+    CREATE TABLE audit_log (
+        seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+        event       TEXT    NOT NULL CHECK (event IN
+                        ('access-granted', 'access-denied',
+                         'violation-logged', 'policy-changed')),
+        provider_id TEXT,
+        attribute   TEXT,
+        purpose     TEXT,
+        visibility  INTEGER,
+        granularity INTEGER,
+        retention   INTEGER,
+        detail      TEXT  -- JSON payload (findings, policy diffs, ...)
+    )
+    """,
+    "CREATE INDEX idx_preferences_provider ON preferences(provider_id)",
+    "CREATE INDEX idx_preferences_attribute ON preferences(attribute, purpose)",
+    "CREATE INDEX idx_policy_attribute ON policy(attribute, purpose)",
+    "CREATE INDEX idx_data_attribute ON data(attribute)",
+    "CREATE INDEX idx_audit_provider ON audit_log(provider_id)",
+)
+
+#: Tables that must exist for a database to be recognised as ours.
+EXPECTED_TABLES: frozenset[str] = frozenset(
+    {
+        "meta",
+        "providers",
+        "attributes",
+        "purposes",
+        "data",
+        "policy",
+        "preferences",
+        "sensitivities",
+        "audit_log",
+    }
+)

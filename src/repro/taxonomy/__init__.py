@@ -1,0 +1,42 @@
+"""The data-privacy taxonomy substrate (Barker et al., BNCOD 2009).
+
+The paper's ref [1] models privacy as a point in the four-dimensional space
+``purpose x visibility x granularity x retention``.  This package supplies:
+
+* canonical ordered ladders for the three ordered dimensions
+  (:mod:`repro.taxonomy.levels`),
+* a :class:`~repro.taxonomy.builder.Taxonomy` bundling the domains and the
+  purpose registry, with :func:`~repro.taxonomy.builder.standard_taxonomy`
+  as the out-of-the-box instance,
+* the geometric view of Figure 1 — privacy tuples as corner points of
+  boxes, violations as failures of box containment
+  (:mod:`repro.taxonomy.points`).
+"""
+
+from .levels import (
+    GRANULARITY_LEVELS,
+    PURPOSE_LEVELS,
+    RETENTION_LEVELS,
+    VISIBILITY_LEVELS,
+    granularity_domain,
+    retention_domain,
+    visibility_domain,
+)
+from .builder import Taxonomy, TaxonomyBuilder, standard_taxonomy
+from .points import PrivacyBox, PrivacyPoint, violation_dimensions
+
+__all__ = [
+    "GRANULARITY_LEVELS",
+    "PURPOSE_LEVELS",
+    "RETENTION_LEVELS",
+    "VISIBILITY_LEVELS",
+    "granularity_domain",
+    "retention_domain",
+    "visibility_domain",
+    "Taxonomy",
+    "TaxonomyBuilder",
+    "standard_taxonomy",
+    "PrivacyBox",
+    "PrivacyPoint",
+    "violation_dimensions",
+]

@@ -1,0 +1,83 @@
+"""Canonical level ladders for the taxonomy's ordered dimensions.
+
+These are the ladders published with the taxonomy (Barker et al. 2009),
+ordered from *least* to *most* privacy exposure:
+
+* **Visibility** — who can see the datum while stored:
+  ``none < owner < house < third-party < all``.  ``none`` (rank 0) is the
+  "reveal to nobody" floor the implicit zero preference relies on.
+* **Granularity** — how specific the revealed value is:
+  ``none < existential < partial < specific``.  ``existential`` reveals
+  only that a value exists; ``partial`` an interval or category (a weight
+  *range*); ``specific`` the atomic value.
+* **Retention** — how long the datum may be kept:
+  ``none < transaction < short-term < long-term < indefinite``.  Deployments
+  that measure retention in raw time units can use
+  :class:`~repro.core.dimensions.UnboundedRetention` instead.
+* **Purpose** (for the lattice extension only) — breadth of allowed use:
+  ``none < single < reuse-same < reuse-selected < reuse-any < any``.
+
+Each ``*_domain()`` factory returns a fresh :class:`OrderedDomain`, so
+callers may extend or trim ladders without affecting others.
+"""
+
+from __future__ import annotations
+
+from ..core.dimensions import Dimension, OrderedDomain
+from ..core.purpose import PurposeLattice, chain
+
+#: Visibility ladder, least to most exposed.
+VISIBILITY_LEVELS: tuple[str, ...] = (
+    "none",
+    "owner",
+    "house",
+    "third-party",
+    "all",
+)
+
+#: Granularity ladder, least to most exposed.
+GRANULARITY_LEVELS: tuple[str, ...] = (
+    "none",
+    "existential",
+    "partial",
+    "specific",
+)
+
+#: Retention ladder, least to most exposed.
+RETENTION_LEVELS: tuple[str, ...] = (
+    "none",
+    "transaction",
+    "short-term",
+    "long-term",
+    "indefinite",
+)
+
+#: Purpose breadth ladder used by the ordered-purpose extension.
+PURPOSE_LEVELS: tuple[str, ...] = (
+    "none",
+    "single",
+    "reuse-same",
+    "reuse-selected",
+    "reuse-any",
+    "any",
+)
+
+
+def visibility_domain() -> OrderedDomain:
+    """The canonical visibility ladder as an :class:`OrderedDomain`."""
+    return OrderedDomain(Dimension.VISIBILITY, VISIBILITY_LEVELS)
+
+
+def granularity_domain() -> OrderedDomain:
+    """The canonical granularity ladder as an :class:`OrderedDomain`."""
+    return OrderedDomain(Dimension.GRANULARITY, GRANULARITY_LEVELS)
+
+
+def retention_domain() -> OrderedDomain:
+    """The canonical retention ladder as an :class:`OrderedDomain`."""
+    return OrderedDomain(Dimension.RETENTION, RETENTION_LEVELS)
+
+
+def purpose_breadth_chain() -> PurposeLattice:
+    """The purpose-breadth ladder as a chain lattice (the [5] extension)."""
+    return chain(PURPOSE_LEVELS)

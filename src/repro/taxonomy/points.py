@@ -1,0 +1,152 @@
+"""The geometric view of privacy tuples (paper Figure 1).
+
+Within one purpose group, a privacy tuple spans an axis-aligned **box**
+from the origin to its ranks along ``{V, G, R}``: the region of exposure
+the tuple authorises.  A house policy violates a preference exactly when
+the policy's box is *not contained* in the preference's box — it "pokes
+out" along at least one axis.  Figure 1's three panels correspond to:
+
+a) containment (no violation),
+b) escape along one axis (violation along a single dimension),
+c) escape along two axes.
+
+:func:`violation_dimensions` reports the escaping axes;
+:class:`PrivacyBox` supports the two-dimensional projections the figure
+draws, plus volume/overlap helpers used in analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..core.dimensions import Dimension, ORDERED_DIMENSIONS
+from ..core.tuples import PrivacyTuple
+from ..exceptions import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class PrivacyPoint:
+    """A privacy tuple's coordinates along chosen ordered dimensions.
+
+    The figure plots two dimensions ``S_i`` and ``S_j`` at a time; a point
+    is the tuple's corner in that projection.
+    """
+
+    dimensions: tuple[Dimension, ...]
+    coordinates: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dimensions) != len(self.coordinates):
+            raise ValidationError(
+                "dimensions and coordinates must have equal length"
+            )
+        for dim in self.dimensions:
+            if not isinstance(dim, Dimension) or not dim.is_ordered:
+                raise ValidationError(
+                    f"privacy points live on ordered dimensions, got {dim!r}"
+                )
+
+    @classmethod
+    def of(
+        cls,
+        privacy_tuple: PrivacyTuple,
+        dimensions: Sequence[Dimension] = ORDERED_DIMENSIONS,
+    ) -> "PrivacyPoint":
+        """Project *privacy_tuple* onto *dimensions*."""
+        dims = tuple(dimensions)
+        return cls(
+            dimensions=dims,
+            coordinates=tuple(privacy_tuple.rank(d) for d in dims),
+        )
+
+    def dominated_by(self, other: "PrivacyPoint") -> bool:
+        """True when *other* is at least as large on every axis."""
+        if self.dimensions != other.dimensions:
+            raise ValidationError("points use different dimension projections")
+        return all(
+            mine <= theirs
+            for mine, theirs in zip(self.coordinates, other.coordinates)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PrivacyBox:
+    """The origin-anchored box a privacy tuple spans in a projection."""
+
+    point: PrivacyPoint
+
+    @classmethod
+    def of(
+        cls,
+        privacy_tuple: PrivacyTuple,
+        dimensions: Sequence[Dimension] = ORDERED_DIMENSIONS,
+    ) -> "PrivacyBox":
+        """The box spanned by *privacy_tuple* in *dimensions*."""
+        return cls(PrivacyPoint.of(privacy_tuple, dimensions))
+
+    @property
+    def dimensions(self) -> tuple[Dimension, ...]:
+        """The projection's axes."""
+        return self.point.dimensions
+
+    def contains(self, other: "PrivacyBox") -> bool:
+        """Figure 1's containment test: is *other*'s box inside this one?
+
+        A preference box containing the policy box means no violation in
+        this projection.
+        """
+        return other.point.dominated_by(self.point)
+
+    def escape_dimensions(self, container: "PrivacyBox") -> tuple[Dimension, ...]:
+        """The axes along which this box pokes out of *container*."""
+        if self.dimensions != container.dimensions:
+            raise ValidationError("boxes use different dimension projections")
+        return tuple(
+            dim
+            for dim, mine, theirs in zip(
+                self.dimensions, self.point.coordinates, container.point.coordinates
+            )
+            if mine > theirs
+        )
+
+    def volume(self) -> int:
+        """The box's (discrete) volume: the product of its extents.
+
+        A rank of ``r`` spans ``r`` unit cells from the origin, so a box
+        touching the origin on any axis has volume 0 — "reveals nothing"
+        along that axis.
+        """
+        result = 1
+        for coordinate in self.point.coordinates:
+            result *= coordinate
+        return result
+
+    def intersection_volume(self, other: "PrivacyBox") -> int:
+        """Volume of the overlap of two origin-anchored boxes."""
+        if self.dimensions != other.dimensions:
+            raise ValidationError("boxes use different dimension projections")
+        result = 1
+        for mine, theirs in zip(
+            self.point.coordinates, other.point.coordinates
+        ):
+            result *= min(mine, theirs)
+        return result
+
+
+def violation_dimensions(
+    preference: PrivacyTuple,
+    policy: PrivacyTuple,
+    dimensions: Sequence[Dimension] = ORDERED_DIMENSIONS,
+) -> tuple[Dimension, ...]:
+    """The axes along which *policy*'s box escapes *preference*'s box.
+
+    Empty when the purposes differ (the tuples live in different purpose
+    groups — Figure 1 requires a shared purpose) or when the policy box is
+    contained (panel a).  One axis reproduces panel b; two, panel c.
+    """
+    if preference.purpose != policy.purpose:
+        return ()
+    policy_box = PrivacyBox.of(policy, dimensions)
+    preference_box = PrivacyBox.of(preference, dimensions)
+    return policy_box.escape_dimensions(preference_box)

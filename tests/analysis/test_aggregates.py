@@ -1,0 +1,76 @@
+"""Unit tests for population summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import summarize
+from repro.core import ViolationEngine
+
+
+class TestSummarizePaperExample:
+    def test_overall_counts(self, paper_engine):
+        summary = summarize(paper_engine.report())
+        assert summary.overall.n == 3
+        assert summary.overall.n_violated == 2
+        assert summary.overall.n_defaulted == 1
+
+    def test_rates(self, paper_engine):
+        overall = summarize(paper_engine.report()).overall
+        assert overall.violation_rate == pytest.approx(2 / 3)
+        assert overall.default_rate == pytest.approx(1 / 3)
+
+    def test_severity_stats(self, paper_engine):
+        overall = summarize(paper_engine.report()).overall
+        assert overall.mean_severity == pytest.approx(140 / 3)
+        assert overall.median_severity == 60.0
+        assert overall.max_severity == 80.0
+
+    def test_unlabeled_grouping(self, paper_engine):
+        summary = summarize(paper_engine.report())
+        assert [s.segment for s in summary.by_segment] == ["(unlabeled)"]
+
+    def test_unknown_segment_lookup_raises(self, paper_engine):
+        summary = summarize(paper_engine.report())
+        with pytest.raises(KeyError):
+            summary.segment("fundamentalist")
+
+
+class TestSummarizeScenario:
+    def test_segments_present(self, small_healthcare):
+        engine = ViolationEngine(
+            small_healthcare.policy, small_healthcare.population
+        )
+        summary = summarize(engine.report())
+        names = {s.segment for s in summary.by_segment}
+        assert names == {"fundamentalist", "pragmatist", "unconcerned"}
+
+    def test_segment_sizes_sum_to_overall(self, small_healthcare):
+        engine = ViolationEngine(
+            small_healthcare.policy, small_healthcare.population
+        )
+        summary = summarize(engine.report())
+        assert sum(s.n for s in summary.by_segment) == summary.overall.n
+
+    def test_fundamentalists_default_most_under_widening(self, small_healthcare):
+        from repro.simulation import WideningStep, widen
+
+        widened = widen(
+            small_healthcare.policy,
+            WideningStep.uniform(2),
+            small_healthcare.taxonomy,
+        )
+        engine = ViolationEngine(widened, small_healthcare.population)
+        summary = summarize(engine.report())
+        fundamentalist = summary.segment("fundamentalist")
+        unconcerned = summary.segment("unconcerned")
+        assert fundamentalist.default_rate > unconcerned.default_rate
+
+    def test_to_text_renders(self, small_healthcare):
+        engine = ViolationEngine(
+            small_healthcare.policy, small_healthcare.population
+        )
+        text = summarize(engine.report()).to_text()
+        assert "population summary" in text
+        assert "ALL" in text
+        assert "pragmatist" in text

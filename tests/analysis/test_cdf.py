@@ -1,0 +1,89 @@
+"""Unit tests for the empirical default CDF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import DefaultCDF, default_cdf_from_sweep
+from repro.exceptions import ValidationError
+from repro.simulation import run_expansion_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    from repro.datasets import healthcare_scenario
+
+    scenario = healthcare_scenario(80, seed=5)
+    return run_expansion_sweep(
+        scenario.population, scenario.policy, scenario.taxonomy, max_steps=5
+    )
+
+
+@pytest.fixture(scope="module")
+def cdf(sweep):
+    return default_cdf_from_sweep(sweep)
+
+
+class TestConstruction:
+    def test_from_sweep(self, cdf, sweep):
+        assert cdf.population_size == sweep.rows[0].n_current
+        assert len(cdf.steps) == len(sweep.rows)
+
+    def test_non_decreasing_enforced(self):
+        with pytest.raises(ValidationError):
+            DefaultCDF(steps=(0, 1), cumulative_defaults=(5, 3), population_size=10)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            DefaultCDF(steps=(0,), cumulative_defaults=(0, 1), population_size=10)
+
+
+class TestQueries:
+    def test_defaults_at_known_steps(self, cdf, sweep):
+        for row, expected in zip(sweep.rows, cdf.cumulative_defaults):
+            assert cdf.defaults_at(row.step) == expected
+
+    def test_defaults_before_first_step_zero(self, cdf):
+        assert cdf.defaults_at(-1) == 0
+
+    def test_defaults_beyond_last_step_saturates(self, cdf):
+        assert cdf.defaults_at(999) == cdf.cumulative_defaults[-1]
+
+    def test_fraction_at(self, cdf):
+        for step in cdf.steps:
+            assert cdf.fraction_at(step) == pytest.approx(
+                cdf.defaults_at(step) / cdf.population_size
+            )
+
+    def test_step_zero_is_zero_defaults(self, cdf):
+        # Anchored scenario: the base policy defaults nobody.
+        assert cdf.defaults_at(0) == 0
+
+    def test_widest_step_within_budget_zero(self, cdf):
+        assert cdf.widest_step_within(0.0) == 0
+
+    def test_widest_step_within_full_budget(self, cdf):
+        assert cdf.widest_step_within(1.0) == cdf.steps[-1]
+
+    def test_widest_step_monotone_in_budget(self, cdf):
+        budgets = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0]
+        widths = [cdf.widest_step_within(b) for b in budgets]
+        assert widths == sorted(widths)
+
+    def test_widest_step_respects_budget(self, cdf):
+        step = cdf.widest_step_within(0.3)
+        assert cdf.fraction_at(step) <= 0.3
+
+    def test_invalid_budget_rejected(self, cdf):
+        with pytest.raises(ValidationError):
+            cdf.widest_step_within(1.5)
+
+    def test_saturation_detected(self):
+        saturated = DefaultCDF(
+            steps=(0, 1, 2), cumulative_defaults=(0, 5, 5), population_size=10
+        )
+        growing = DefaultCDF(
+            steps=(0, 1, 2), cumulative_defaults=(0, 2, 5), population_size=10
+        )
+        assert saturated.is_saturated()
+        assert not growing.is_saturated()

@@ -1,0 +1,73 @@
+"""Unit tests for violation matrices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import violation_matrix
+from repro.core import Dimension
+
+
+@pytest.fixture()
+def matrix(paper_engine):
+    return violation_matrix(paper_engine.report())
+
+
+class TestViolationMatrix:
+    def test_total_is_eq16(self, matrix):
+        assert matrix.total == 140.0
+
+    def test_provider_totals_match_paper(self, matrix):
+        assert matrix.provider_totals == {
+            "Alice": 0.0,
+            "Ted": 60.0,
+            "Bob": 80.0,
+        }
+
+    def test_cells_attribute_scoped(self, matrix):
+        assert matrix.cell("Ted", "Weight") == 60.0
+        assert matrix.cell("Ted", "Age") == 0.0
+        assert matrix.cell("Alice", "Weight") == 0.0
+
+    def test_attribute_totals(self, matrix):
+        assert matrix.attribute_totals == {"Weight": 140.0}
+
+    def test_dimension_totals(self, matrix):
+        # Ted: 60 along G; Bob: 48 along G + 32 along R.
+        assert matrix.dimension_totals[Dimension.GRANULARITY] == 108.0
+        assert matrix.dimension_totals[Dimension.RETENTION] == 32.0
+        assert matrix.dimension_totals[Dimension.VISIBILITY] == 0.0
+
+    def test_marginals_consistent(self, matrix):
+        assert sum(matrix.attribute_totals.values()) == pytest.approx(matrix.total)
+        assert sum(matrix.dimension_totals.values()) == pytest.approx(matrix.total)
+        assert sum(matrix.provider_totals.values()) == pytest.approx(matrix.total)
+
+    def test_hottest_cells_ranked(self, matrix):
+        hottest = matrix.hottest_cells(2)
+        assert hottest[0] == ("Bob", "Weight", 80.0)
+        assert hottest[1] == ("Ted", "Weight", 60.0)
+
+    def test_to_text_contains_totals(self, matrix):
+        text = matrix.to_text()
+        assert "TOTAL" in text
+        assert "140" in text
+
+    def test_providers_in_population_order(self, matrix):
+        assert matrix.providers == ("Alice", "Ted", "Bob")
+
+    def test_clean_engine_has_empty_matrix(self, paper_engine, paper_population):
+        from repro.core import HousePolicy, PrivacyTuple
+
+        harmless = HousePolicy(
+            [
+                ("Weight", PrivacyTuple("pr", 0, 0, 0)),
+                ("Age", PrivacyTuple("pr", 0, 0, 0)),
+            ]
+        )
+        clean = violation_matrix(
+            paper_engine.with_policy(harmless).report()
+        )
+        assert clean.total == 0.0
+        assert clean.cells == {}
+        assert clean.attributes == ()

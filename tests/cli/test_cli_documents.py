@@ -1,0 +1,89 @@
+"""The shipped example documents drive the CLI end-to-end."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DOCUMENTS = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "documents"
+)
+
+
+@pytest.fixture(scope="module")
+def args():
+    assert DOCUMENTS.is_dir()
+    return [
+        "--taxonomy",
+        str(DOCUMENTS / "taxonomy.json"),
+        "--policy",
+        str(DOCUMENTS / "policy.json"),
+        "--population",
+        str(DOCUMENTS / "population.json"),
+    ]
+
+
+class TestShippedDocuments:
+    def test_evaluate_reproduces_table1(self, args, capsys):
+        assert main(["evaluate", *args, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_violations"] == 140.0
+        assert payload["violation_probability"] == pytest.approx(2 / 3)
+
+    def test_validate_clean(self, args, capsys):
+        taxonomy, policy = args[1], args[3]
+        code = main(
+            [
+                "validate",
+                "--taxonomy",
+                taxonomy,
+                "--policy",
+                policy,
+                "--population",
+                args[5],
+            ]
+        )
+        assert code == 0
+
+    def test_whatif_candidate(self, args, capsys):
+        code = main(
+            [
+                "whatif",
+                *args,
+                "--candidate",
+                str(DOCUMENTS / "candidate.json"),
+                "--utility",
+                "10",
+                "--extra",
+                "6",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # The wider candidate pushes Bob past his threshold too.
+        assert payload["default_probability_delta"] == pytest.approx(1 / 3)
+
+    def test_forecast_with_shipped_history(self, args, capsys):
+        code = main(
+            [
+                "forecast",
+                "--taxonomy",
+                args[1],
+                "--population",
+                args[5],
+                "--history",
+                args[3],
+                str(DOCUMENTS / "candidate.json"),
+                "--candidate",
+                str(DOCUMENTS / "candidate.json"),
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["certain_defaults"]) == {"Ted", "Bob"}

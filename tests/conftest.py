@@ -1,0 +1,73 @@
+"""Shared fixtures: the paper's worked example and small scenario instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HousePolicy,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+    ViolationEngine,
+)
+from repro.datasets import (
+    crm_scenario,
+    healthcare_scenario,
+    paper_example_policy,
+    paper_example_population,
+    social_network_scenario,
+)
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def paper_policy() -> HousePolicy:
+    """Section 8's house policy."""
+    return paper_example_policy()
+
+
+@pytest.fixture()
+def paper_population() -> Population:
+    """Alice, Ted, and Bob."""
+    return paper_example_population()
+
+
+@pytest.fixture()
+def paper_engine(paper_policy, paper_population) -> ViolationEngine:
+    """The engine evaluating the worked example."""
+    return ViolationEngine(paper_policy, paper_population)
+
+
+@pytest.fixture()
+def simple_taxonomy():
+    """The canonical taxonomy with two purposes."""
+    return standard_taxonomy(["billing", "research"])
+
+
+@pytest.fixture()
+def single_provider_population() -> Population:
+    """One provider with one preference, for minimal-case tests."""
+    prefs = ProviderPreferences(
+        "solo", [("weight", PrivacyTuple("billing", 2, 2, 2))]
+    )
+    return Population([Provider(preferences=prefs, threshold=10.0)])
+
+
+@pytest.fixture(scope="session")
+def small_healthcare():
+    """A small, deterministic healthcare scenario (session-cached)."""
+    return healthcare_scenario(60, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_crm():
+    """A small, deterministic CRM scenario (session-cached)."""
+    return crm_scenario(60, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_social():
+    """A small, deterministic social-network scenario (session-cached)."""
+    return social_network_scenario(60, seed=42)

@@ -1,0 +1,96 @@
+"""Unit tests for data-provider default (Definition 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import DefaultModel, provider_default
+from repro.exceptions import ValidationError
+
+
+class TestProviderDefault:
+    def test_strict_above_threshold_defaults(self):
+        assert provider_default(60.0, 50.0) == 1
+
+    def test_strict_at_threshold_stays(self):
+        # The paper's strict inequality: Violation_i > v_i.
+        assert provider_default(50.0, 50.0) == 0
+
+    def test_below_threshold_stays(self):
+        assert provider_default(80.0, 100.0) == 0
+
+    def test_non_strict_at_threshold_defaults(self):
+        assert provider_default(50.0, 50.0, strict=False) == 1
+
+    def test_zero_violation_never_defaults(self):
+        assert provider_default(0.0, 0.0) == 0
+        assert provider_default(0.0, 0.0, strict=False) == 1  # edge semantics
+
+    def test_negative_violation_rejected(self):
+        with pytest.raises(ValidationError):
+            provider_default(-1.0, 10.0)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            provider_default(1.0, -10.0)
+
+
+class TestDefaultModel:
+    def test_explicit_threshold_used(self):
+        model = DefaultModel({"ted": 50.0})
+        assert model.threshold("ted") == 50.0
+        assert model.defaults("ted", 60.0) == 1
+        assert model.defaults("ted", 50.0) == 0
+
+    def test_unknown_provider_never_defaults_by_default(self):
+        model = DefaultModel({"ted": 50.0})
+        assert model.threshold("stranger") == math.inf
+        assert model.defaults("stranger", 1e12) == 0
+
+    def test_default_threshold_override(self):
+        model = DefaultModel({}, default_threshold=5.0)
+        assert model.defaults("anyone", 6.0) == 1
+        assert model.defaults("anyone", 5.0) == 0
+
+    def test_known_providers(self):
+        model = DefaultModel({"a": 1.0, "b": 2.0})
+        assert model.known_providers() == frozenset({"a", "b"})
+
+    def test_with_threshold_copy(self):
+        model = DefaultModel({"a": 1.0})
+        extended = model.with_threshold("b", 2.0)
+        assert extended.threshold("b") == 2.0
+        assert model.threshold("b") == math.inf
+
+    def test_with_strictness_ablation(self):
+        model = DefaultModel({"a": 50.0})
+        loose = model.with_strictness(False)
+        assert model.defaults("a", 50.0) == 0
+        assert loose.defaults("a", 50.0) == 1
+        assert loose.strict is False
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            DefaultModel({"a": -1.0})
+
+    def test_strict_must_be_bool(self):
+        with pytest.raises(ValidationError):
+            DefaultModel({}, strict=1)  # type: ignore[arg-type]
+
+    def test_evaluate_over_population(self, paper_population, paper_policy):
+        model = paper_population.default_model()
+        outcomes = model.evaluate(
+            paper_population.preference_sets(),
+            paper_policy,
+            paper_population.sensitivity_model(),
+        )
+        assert outcomes == {"Alice": 0, "Ted": 1, "Bob": 0}
+
+    def test_paper_bob_boundary(self):
+        # Bob's 80 < 100 keeps him in; with a threshold of exactly 80 the
+        # strict inequality still keeps him in.
+        model = DefaultModel({"Bob": 80.0})
+        assert model.defaults("Bob", 80.0) == 0
+        assert model.with_strictness(False).defaults("Bob", 80.0) == 1

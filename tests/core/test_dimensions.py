@@ -1,0 +1,159 @@
+"""Unit tests for privacy dimensions and ordered domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dimensions import (
+    Dimension,
+    ORDERED_DIMENSIONS,
+    OrderedDomain,
+    UnboundedRetention,
+)
+from repro.exceptions import DomainError, ValidationError
+
+
+class TestDimension:
+    def test_four_dimensions_exist(self):
+        assert {d.value for d in Dimension} == {
+            "purpose",
+            "visibility",
+            "granularity",
+            "retention",
+        }
+
+    def test_symbols_match_paper_notation(self):
+        assert Dimension.PURPOSE.symbol == "Pr"
+        assert Dimension.VISIBILITY.symbol == "V"
+        assert Dimension.GRANULARITY.symbol == "G"
+        assert Dimension.RETENTION.symbol == "R"
+
+    def test_purpose_is_not_ordered(self):
+        assert not Dimension.PURPOSE.is_ordered
+
+    def test_other_dimensions_are_ordered(self):
+        for dim in (Dimension.VISIBILITY, Dimension.GRANULARITY, Dimension.RETENTION):
+            assert dim.is_ordered
+
+    def test_ordered_dimensions_excludes_purpose(self):
+        assert Dimension.PURPOSE not in ORDERED_DIMENSIONS
+        assert len(ORDERED_DIMENSIONS) == 3
+
+
+class TestOrderedDomain:
+    @pytest.fixture()
+    def domain(self) -> OrderedDomain:
+        return OrderedDomain(
+            Dimension.VISIBILITY, ["none", "owner", "house", "all"]
+        )
+
+    def test_rank_of_level_name(self, domain):
+        assert domain.rank_of("none") == 0
+        assert domain.rank_of("all") == 3
+
+    def test_rank_of_integer_passthrough(self, domain):
+        assert domain.rank_of(2) == 2
+
+    def test_rank_of_unknown_name_raises(self, domain):
+        with pytest.raises(DomainError):
+            domain.rank_of("third-party")
+
+    def test_rank_of_out_of_range_raises(self, domain):
+        with pytest.raises(DomainError):
+            domain.rank_of(4)
+        with pytest.raises(DomainError):
+            domain.rank_of(-1)
+
+    def test_level_of_round_trips_rank(self, domain):
+        for rank, level in enumerate(domain.levels):
+            assert domain.level_of(rank) == level
+            assert domain.rank_of(level) == rank
+
+    def test_level_of_out_of_range_raises(self, domain):
+        with pytest.raises(DomainError):
+            domain.level_of(99)
+
+    def test_max_rank(self, domain):
+        assert domain.max_rank == 3
+
+    def test_len_and_iter(self, domain):
+        assert len(domain) == 4
+        assert list(domain) == ["none", "owner", "house", "all"]
+
+    def test_contains_names_and_ranks(self, domain):
+        assert "owner" in domain
+        assert "nope" not in domain
+        assert 0 in domain
+        assert 3 in domain
+        assert 4 not in domain
+        assert True not in domain  # booleans are not ranks
+
+    def test_clamp(self, domain):
+        assert domain.clamp(-5) == 0
+        assert domain.clamp(99) == 3
+        assert domain.clamp(2) == 2
+
+    def test_purpose_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            OrderedDomain(Dimension.PURPOSE, ["a", "b"])
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValidationError):
+            OrderedDomain(Dimension.VISIBILITY, [])
+
+    def test_duplicate_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            OrderedDomain(Dimension.VISIBILITY, ["a", "b", "a"])
+
+    def test_blank_level_rejected(self):
+        with pytest.raises(ValidationError):
+            OrderedDomain(Dimension.VISIBILITY, ["a", "  "])
+
+    def test_equality_and_hash(self):
+        a = OrderedDomain(Dimension.VISIBILITY, ["x", "y"])
+        b = OrderedDomain(Dimension.VISIBILITY, ["x", "y"])
+        c = OrderedDomain(Dimension.VISIBILITY, ["x", "z"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_non_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            OrderedDomain("visibility", ["a"])  # type: ignore[arg-type]
+
+
+class TestUnboundedRetention:
+    @pytest.fixture()
+    def domain(self) -> UnboundedRetention:
+        return UnboundedRetention()
+
+    def test_dimension_is_retention(self, domain):
+        assert domain.dimension is Dimension.RETENTION
+
+    def test_any_non_negative_int_is_valid(self, domain):
+        assert domain.rank_of(0) == 0
+        assert domain.rank_of(10_000) == 10_000
+
+    def test_negative_rejected(self, domain):
+        with pytest.raises(ValidationError):
+            domain.rank_of(-1)
+
+    def test_names_rejected(self, domain):
+        with pytest.raises(DomainError):
+            domain.rank_of("forever")
+
+    def test_no_max_rank(self, domain):
+        assert domain.max_rank is None
+
+    def test_clamp_floors_at_zero_only(self, domain):
+        assert domain.clamp(-3) == 0
+        assert domain.clamp(123456) == 123456
+
+    def test_contains(self, domain):
+        assert 5 in domain
+        assert -1 not in domain
+        assert "x" not in domain
+        assert True not in domain
+
+    def test_level_of_is_stringified_rank(self, domain):
+        assert domain.level_of(12) == "12"

@@ -1,0 +1,114 @@
+"""Unit tests for Section 9's policy-expansion economics (Eqs. 25-31)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    assess_expansion,
+    break_even_extra_utility,
+    expansion_justified,
+    utility_current,
+    utility_future,
+)
+from repro.core.economics import n_future
+from repro.exceptions import ValidationError
+
+
+class TestUtilityFormulas:
+    def test_eq25_current(self):
+        assert utility_current(100, 2.5) == 250.0
+
+    def test_eq26_future_population(self):
+        assert n_future(100, 15) == 85
+
+    def test_eq26_overdraw_rejected(self):
+        with pytest.raises(ValidationError):
+            n_future(10, 11)
+
+    def test_eq27_future_utility(self):
+        assert utility_future(85, 2.5, 0.5) == 255.0
+
+    def test_zero_population_utilities(self):
+        assert utility_current(0, 5.0) == 0.0
+        assert utility_future(0, 5.0, 5.0) == 0.0
+
+
+class TestBreakEven:
+    def test_eq31_closed_form(self):
+        # T* = U (Nc/Nf - 1) = 2.5 * (100/85 - 1)
+        expected = 2.5 * (100 / 85 - 1)
+        assert break_even_extra_utility(2.5, 100, 85) == pytest.approx(expected)
+
+    def test_no_defaults_means_any_positive_t_justifies(self):
+        assert break_even_extra_utility(2.5, 100, 100) == 0.0
+        assert expansion_justified(2.5, 0.01, 100, 100)
+        assert not expansion_justified(2.5, 0.0, 100, 100)  # strict >
+
+    def test_all_default_is_never_justified(self):
+        assert break_even_extra_utility(2.5, 100, 0) == math.inf
+        assert not expansion_justified(2.5, 1e18, 100, 0)
+
+    def test_future_exceeding_current_rejected(self):
+        with pytest.raises(ValidationError):
+            break_even_extra_utility(2.5, 100, 101)
+
+    def test_consistency_with_direct_utility_comparison(self):
+        # T > T* iff Utility_future > Utility_current, for several cases.
+        for n_current, n_fut, u, t in [
+            (100, 85, 2.5, 0.5),
+            (100, 85, 2.5, 0.4),
+            (50, 25, 1.0, 1.0),
+            (50, 25, 1.0, 1.001),
+            (10, 9, 3.0, 0.34),
+        ]:
+            direct = utility_future(n_fut, u, t) > utility_current(n_current, u)
+            assert expansion_justified(u, t, n_current, n_fut) == direct
+
+    def test_exact_break_even_is_not_justified(self):
+        t_star = break_even_extra_utility(2.0, 10, 8)  # = 0.5
+        assert t_star == pytest.approx(0.5)
+        assert not expansion_justified(2.0, t_star, 10, 8)
+        assert expansion_justified(2.0, t_star + 1e-9, 10, 8)
+
+
+class TestAssessExpansion:
+    def test_paper_example_expansion(self, paper_population, paper_policy):
+        # Widening = the paper's own policy; Ted defaults, N 3 -> 2.
+        assessment = assess_expansion(
+            paper_population, paper_policy, per_provider_utility=10.0,
+            extra_utility=6.0,
+        )
+        assert assessment.n_current == 3
+        assert assessment.n_future == 2
+        assert assessment.defaulted_providers == ("Ted",)
+        assert assessment.utility_current == 30.0
+        assert assessment.utility_future == 32.0
+        # T* = 10 * (3/2 - 1) = 5; T = 6 > 5 -> justified
+        assert assessment.break_even_extra_utility == pytest.approx(5.0)
+        assert assessment.justified
+        assert assessment.utility_gain == pytest.approx(2.0)
+
+    def test_insufficient_extra_utility_not_justified(
+        self, paper_population, paper_policy
+    ):
+        assessment = assess_expansion(
+            paper_population, paper_policy, per_provider_utility=10.0,
+            extra_utility=4.0,
+        )
+        assert not assessment.justified
+        assert assessment.utility_gain == pytest.approx(-2.0)
+
+    def test_default_fraction(self, paper_population, paper_policy):
+        assessment = assess_expansion(
+            paper_population, paper_policy, 10.0, 1.0
+        )
+        assert assessment.default_fraction == pytest.approx(1 / 3)
+
+    def test_str_mentions_verdict(self, paper_population, paper_policy):
+        good = assess_expansion(paper_population, paper_policy, 10.0, 6.0)
+        bad = assess_expansion(paper_population, paper_policy, 10.0, 1.0)
+        assert "justified" in str(good)
+        assert "NOT justified" in str(bad)

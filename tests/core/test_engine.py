@@ -1,0 +1,150 @@
+"""Unit tests for the ViolationEngine and its reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HousePolicy,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+    ViolationEngine,
+)
+from repro.exceptions import UnknownProviderError, ValidationError
+
+
+class TestEngineBasics:
+    def test_report_matches_paper(self, paper_engine):
+        report = paper_engine.report()
+        assert report.n_providers == 3
+        assert report.n_violated == 2
+        assert report.n_defaulted == 1
+        assert report.violation_probability == pytest.approx(2 / 3)
+        assert report.default_probability == pytest.approx(1 / 3)
+        assert report.total_violations == 140.0
+
+    def test_outcomes_in_population_order(self, paper_engine):
+        ids = [o.provider_id for o in paper_engine.outcomes()]
+        assert ids == ["Alice", "Ted", "Bob"]
+
+    def test_outcome_lookup(self, paper_engine):
+        ted = paper_engine.outcome("Ted")
+        assert ted.violated
+        assert ted.defaulted
+        assert ted.violation == 60.0
+        assert ted.threshold == 50.0
+
+    def test_outcome_unknown_raises(self, paper_engine):
+        with pytest.raises(UnknownProviderError):
+            paper_engine.outcome("Mallory")
+
+    def test_violated_and_defaulted_ids(self, paper_engine):
+        report = paper_engine.report()
+        assert report.violated_ids() == ("Ted", "Bob")
+        assert report.defaulted_ids() == ("Ted",)
+
+    def test_outcome_breakdown_total_matches(self, paper_engine):
+        bob = paper_engine.outcome("Bob")
+        assert bob.breakdown().total == bob.violation == 80.0
+
+    def test_invalid_constructor_arguments(self, paper_policy, paper_population):
+        with pytest.raises(ValidationError):
+            ViolationEngine("policy", paper_population)  # type: ignore[arg-type]
+        with pytest.raises(ValidationError):
+            ViolationEngine(paper_policy, "population")  # type: ignore[arg-type]
+
+    def test_str_report(self, paper_engine):
+        text = str(paper_engine.report())
+        assert "P(W)=0.6667" in text
+
+
+class TestEngineDerivation:
+    def test_with_policy_reevaluates(self, paper_engine, paper_population):
+        harmless = HousePolicy(
+            [("Weight", PrivacyTuple("pr", 0, 0, 0)), ("Age", PrivacyTuple("pr", 0, 0, 0))]
+        )
+        sibling = paper_engine.with_policy(harmless)
+        assert sibling.report().n_violated == 0
+        # Original engine unchanged.
+        assert paper_engine.report().n_violated == 2
+
+    def test_with_population_reevaluates(self, paper_engine, paper_population):
+        smaller = paper_population.without(["Ted"])
+        sibling = paper_engine.with_population(smaller)
+        report = sibling.report()
+        assert report.n_providers == 2
+        assert report.n_defaulted == 0
+
+    def test_certify_delegates(self, paper_engine):
+        assert not paper_engine.certify(0.5).satisfied
+        assert paper_engine.certify(0.7).satisfied
+
+    def test_implicit_zero_flag_respected(self):
+        policy = HousePolicy([("w", PrivacyTuple("marketing", 1, 1, 1))])
+        prefs = ProviderPreferences("i", [("w", PrivacyTuple("billing", 2, 2, 2))])
+        population = Population([Provider(preferences=prefs)])
+        strict = ViolationEngine(policy, population)
+        lenient = ViolationEngine(policy, population, implicit_zero=False)
+        assert strict.report().n_violated == 1
+        assert lenient.report().n_violated == 0
+
+    def test_empty_population_report(self, paper_policy):
+        engine = ViolationEngine(paper_policy, Population([]))
+        report = engine.report()
+        assert report.n_providers == 0
+        assert report.violation_probability == 0.0
+        assert report.default_probability == 0.0
+
+    def test_segment_labels_flow_to_outcomes(self):
+        prefs = ProviderPreferences("i", [("w", PrivacyTuple("p", 1, 1, 1))])
+        population = Population(
+            [Provider(preferences=prefs, segment="pragmatist")]
+        )
+        engine = ViolationEngine(
+            HousePolicy([("w", PrivacyTuple("p", 0, 0, 0))]), population
+        )
+        assert engine.outcome("i").segment == "pragmatist"
+
+    def test_caching_returns_same_objects(self, paper_engine):
+        first = paper_engine.outcomes()
+        second = paper_engine.outcomes()
+        assert first == second
+
+    def test_explicit_sensitivity_override(self, paper_policy, paper_population):
+        from repro.core import SensitivityModel
+
+        neutral = ViolationEngine(
+            paper_policy,
+            paper_population,
+            sensitivities=SensitivityModel.neutral(),
+        )
+        # Without the Table 1 weights, Ted's severity is the raw exceedance.
+        assert neutral.outcome("Ted").violation == 1.0
+        assert neutral.outcome("Bob").violation == 2.0
+        # The binary indicator is weight-independent.
+        assert neutral.report().n_violated == 2
+
+    def test_explicit_default_model_override(self, paper_policy, paper_population):
+        from repro.core import DefaultModel
+
+        harsh = ViolationEngine(
+            paper_policy,
+            paper_population,
+            default_model=DefaultModel({}, default_threshold=10.0),
+        )
+        # Everyone with severity > 10 defaults under the harsh model.
+        assert harsh.report().defaulted_ids() == ("Ted", "Bob")
+
+    def test_with_policy_preserves_overrides(self, paper_policy, paper_population):
+        from repro.core import DefaultModel
+
+        harsh = ViolationEngine(
+            paper_policy,
+            paper_population,
+            default_model=DefaultModel({}, default_threshold=10.0),
+        )
+        sibling = harsh.with_policy(paper_policy)
+        assert sibling.default_model is harsh.default_model
+        assert sibling.report().n_defaulted == 2

@@ -1,0 +1,138 @@
+"""Unit tests for HousePolicy (Eqs. 2-4) and widening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dimension, HousePolicy, PolicyEntry, PrivacyTuple
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def policy() -> HousePolicy:
+    return HousePolicy(
+        [
+            ("weight", PrivacyTuple("billing", 2, 2, 2)),
+            ("weight", PrivacyTuple("research", 1, 1, 3)),
+            ("age", PrivacyTuple("billing", 1, 1, 1)),
+        ],
+        name="test-policy",
+    )
+
+
+class TestConstruction:
+    def test_accepts_pairs_and_entries(self):
+        entry = PolicyEntry("age", PrivacyTuple("billing", 1, 1, 1))
+        policy = HousePolicy([entry, ("weight", PrivacyTuple("billing", 2, 2, 2))])
+        assert len(policy) == 2
+
+    def test_deduplicates_exact_duplicates(self):
+        pair = ("weight", PrivacyTuple("billing", 2, 2, 2))
+        policy = HousePolicy([pair, pair])
+        assert len(policy) == 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValidationError):
+            HousePolicy(["weight"])  # type: ignore[list-item]
+
+    def test_empty_policy_is_legal(self):
+        assert len(HousePolicy([])) == 0
+
+    def test_same_attribute_multiple_purposes_kept(self, policy):
+        assert len(policy.for_attribute("weight")) == 2
+
+
+class TestAccessors:
+    def test_for_attribute_is_eq4(self, policy):
+        weight_entries = policy.for_attribute("weight")
+        assert all(e.attribute == "weight" for e in weight_entries)
+        assert len(weight_entries) == 2
+
+    def test_for_attribute_missing_is_empty(self, policy):
+        assert policy.for_attribute("height") == ()
+
+    def test_for_purpose(self, policy):
+        billing = policy.for_purpose("billing")
+        assert {e.attribute for e in billing} == {"weight", "age"}
+
+    def test_attributes_sorted(self, policy):
+        assert policy.attributes() == ("age", "weight")
+
+    def test_purposes_sorted(self, policy):
+        assert policy.purposes() == ("billing", "research")
+
+    def test_iteration_preserves_order(self, policy):
+        attributes = [e.attribute for e in policy]
+        assert attributes == ["weight", "weight", "age"]
+
+    def test_contains(self, policy):
+        entry = PolicyEntry("age", PrivacyTuple("billing", 1, 1, 1))
+        assert entry in policy
+
+    def test_equality_is_set_based(self):
+        a = HousePolicy(
+            [
+                ("x", PrivacyTuple("p", 1, 1, 1)),
+                ("y", PrivacyTuple("p", 2, 2, 2)),
+            ]
+        )
+        b = HousePolicy(
+            [
+                ("y", PrivacyTuple("p", 2, 2, 2)),
+                ("x", PrivacyTuple("p", 1, 1, 1)),
+            ],
+            name="other-name",
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDerivation:
+    def test_with_entries_appends(self, policy):
+        extra = ("height", PrivacyTuple("billing", 1, 1, 1))
+        wider = policy.with_entries([extra])
+        assert len(wider) == len(policy) + 1
+        assert len(policy) == 3  # original untouched
+
+    def test_without_attribute(self, policy):
+        narrower = policy.without_attribute("weight")
+        assert narrower.attributes() == ("age",)
+
+    def test_widened_shifts_ranks(self, policy):
+        wider = policy.widened({Dimension.VISIBILITY: 1})
+        for before, after in zip(policy, wider):
+            assert after.tuple.visibility == before.tuple.visibility + 1
+            assert after.tuple.granularity == before.tuple.granularity
+            assert after.tuple.retention == before.tuple.retention
+
+    def test_widened_negative_narrows_and_floors(self, policy):
+        narrower = policy.widened({Dimension.GRANULARITY: -10})
+        assert all(e.tuple.granularity == 0 for e in narrower)
+
+    def test_widened_scoped_to_attributes(self, policy):
+        wider = policy.widened({Dimension.RETENTION: 2}, attributes=["age"])
+        for entry in wider:
+            original = 1 if entry.attribute == "age" else None
+            if entry.attribute == "age":
+                assert entry.tuple.retention == 3
+        untouched = [e for e in wider if e.attribute == "weight"]
+        assert {e.tuple.retention for e in untouched} == {2, 3}
+
+    def test_widened_scoped_to_purposes(self, policy):
+        wider = policy.widened({Dimension.VISIBILITY: 1}, purposes=["research"])
+        research = [e for e in wider if e.purpose == "research"]
+        billing = [e for e in wider if e.purpose == "billing"]
+        assert all(e.tuple.visibility == 2 for e in research)
+        assert {e.tuple.visibility for e in billing} == {1, 2}
+
+    def test_widened_rejects_purpose_dimension(self, policy):
+        with pytest.raises(ValidationError):
+            policy.widened({Dimension.PURPOSE: 1})  # type: ignore[dict-item]
+
+    def test_widened_default_name_suffix(self, policy):
+        assert policy.widened({Dimension.VISIBILITY: 1}).name == "test-policy widened"
+
+    def test_widened_custom_name(self, policy):
+        assert (
+            policy.widened({Dimension.VISIBILITY: 1}, name="v2").name == "v2"
+        )

@@ -1,0 +1,143 @@
+"""Unit tests for Provider and Population."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    DimensionSensitivity,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+)
+from repro.exceptions import UnknownProviderError, ValidationError
+
+
+def _provider(pid: str, threshold: float = math.inf) -> Provider:
+    return Provider(
+        preferences=ProviderPreferences(
+            pid, [("weight", PrivacyTuple("billing", 1, 1, 1))]
+        ),
+        threshold=threshold,
+    )
+
+
+class TestProvider:
+    def test_provider_id_from_preferences(self):
+        assert _provider("x").provider_id == "x"
+
+    def test_default_threshold_is_infinite(self):
+        assert _provider("x").threshold == math.inf
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValidationError):
+            _provider("x", threshold=-1.0)
+
+    def test_non_preferences_rejected(self):
+        with pytest.raises(ValidationError):
+            Provider(preferences="nope")  # type: ignore[arg-type]
+
+    def test_provider_sensitivity_conversion(self):
+        provider = Provider(
+            preferences=ProviderPreferences(
+                "x", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+            ),
+            sensitivity={"weight": DimensionSensitivity(value=3.0)},
+        )
+        sigma = provider.provider_sensitivity()
+        assert sigma.provider_id == "x"
+        assert sigma.for_attribute("weight").value == 3.0
+
+    def test_segment_label_carried(self):
+        provider = Provider(
+            preferences=ProviderPreferences("x"), segment="pragmatist"
+        )
+        assert provider.segment == "pragmatist"
+
+
+class TestPopulation:
+    def test_len_iter_contains(self):
+        population = Population([_provider("a"), _provider("b")])
+        assert len(population) == 2
+        assert [p.provider_id for p in population] == ["a", "b"]
+        assert "a" in population
+        assert "z" not in population
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValidationError):
+            Population([_provider("a"), _provider("a")])
+
+    def test_non_provider_rejected(self):
+        with pytest.raises(ValidationError):
+            Population(["a"])  # type: ignore[list-item]
+
+    def test_get(self):
+        population = Population([_provider("a")])
+        assert population.get("a").provider_id == "a"
+
+    def test_get_unknown_raises(self):
+        population = Population([_provider("a")])
+        with pytest.raises(UnknownProviderError):
+            population.get("z")
+
+    def test_ids_order(self):
+        population = Population([_provider("b"), _provider("a")])
+        assert population.ids() == ("b", "a")
+
+    def test_without_removes(self):
+        population = Population([_provider("a"), _provider("b"), _provider("c")])
+        remaining = population.without(["b"])
+        assert remaining.ids() == ("a", "c")
+        assert len(population) == 3  # original untouched
+
+    def test_without_unknown_raises(self):
+        population = Population([_provider("a")])
+        with pytest.raises(UnknownProviderError):
+            population.without(["z"])
+
+    def test_subset_keeps_order(self):
+        population = Population([_provider("a"), _provider("b"), _provider("c")])
+        assert population.subset(["c", "a"]).ids() == ("a", "c")
+
+    def test_subset_unknown_raises(self):
+        population = Population([_provider("a")])
+        with pytest.raises(UnknownProviderError):
+            population.subset(["z"])
+
+    def test_sensitivity_model_includes_explicit_records(self):
+        provider = Provider(
+            preferences=ProviderPreferences(
+                "x", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+            ),
+            sensitivity={"weight": DimensionSensitivity(value=5.0)},
+        )
+        population = Population([provider], {"weight": 2.0})
+        model = population.sensitivity_model()
+        assert model.attribute_weight("weight") == 2.0
+        assert model.datum("x", "weight").value == 5.0
+
+    def test_default_model_skips_infinite_thresholds(self):
+        population = Population(
+            [_provider("a", threshold=10.0), _provider("b")]
+        )
+        model = population.default_model()
+        assert model.known_providers() == frozenset({"a"})
+        assert model.threshold("b") == math.inf
+
+    def test_default_model_strictness_flag(self):
+        population = Population([_provider("a", threshold=10.0)])
+        loose = population.default_model(strict=False)
+        assert loose.defaults("a", 10.0) == 1
+
+    def test_with_attribute_sensitivities(self):
+        population = Population([_provider("a")])
+        updated = population.with_attribute_sensitivities({"weight": 9.0})
+        assert updated.attribute_sensitivities.weight("weight") == 9.0
+        assert population.attribute_sensitivities.weight("weight") == 1.0
+
+    def test_preference_sets_order(self):
+        population = Population([_provider("b"), _provider("a")])
+        assert [p.provider_id for p in population.preference_sets()] == ["b", "a"]

@@ -1,0 +1,100 @@
+"""Unit tests for the alpha-PPDB (Definition 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HousePolicy,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+    certify_alpha_ppdb,
+    is_alpha_ppdb,
+)
+from repro.exceptions import ValidationError
+
+
+def _population(ranks: list[int]) -> Population:
+    providers = [
+        Provider(
+            preferences=ProviderPreferences(
+                f"p{i}", [("weight", PrivacyTuple("billing", r, r, r))]
+            )
+        )
+        for i, r in enumerate(ranks)
+    ]
+    return Population(providers)
+
+
+@pytest.fixture()
+def policy() -> HousePolicy:
+    return HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))], name="pol")
+
+
+class TestIsAlphaPPDB:
+    def test_boundary_inclusive(self, policy):
+        population = _population([0, 2])  # P(W) = 0.5
+        assert is_alpha_ppdb(population, policy, 0.5)
+
+    def test_below_alpha_satisfied(self, policy):
+        population = _population([2, 2, 0, 2])  # P(W) = 0.25
+        assert is_alpha_ppdb(population, policy, 0.3)
+
+    def test_above_alpha_violated(self, policy):
+        population = _population([0, 0, 2])  # P(W) = 2/3
+        assert not is_alpha_ppdb(population, policy, 0.5)
+
+    def test_alpha_zero_requires_perfect(self, policy):
+        assert is_alpha_ppdb(_population([2, 3]), policy, 0.0)
+        assert not is_alpha_ppdb(_population([2, 0]), policy, 0.0)
+
+    def test_alpha_one_always_satisfied(self, policy):
+        assert is_alpha_ppdb(_population([0, 0, 0]), policy, 1.0)
+
+    def test_invalid_alpha_rejected(self, policy):
+        with pytest.raises(ValidationError):
+            is_alpha_ppdb(_population([0]), policy, 1.5)
+        with pytest.raises(ValidationError):
+            is_alpha_ppdb(_population([0]), policy, -0.1)
+
+
+class TestCertificate:
+    def test_certificate_fields(self, policy):
+        population = _population([0, 2, 1])
+        certificate = certify_alpha_ppdb(population, policy, 0.5)
+        assert certificate.alpha == 0.5
+        assert certificate.n_providers == 3
+        assert certificate.violated_providers == ("p0", "p2")
+        assert certificate.violation_probability == pytest.approx(2 / 3)
+        assert not certificate.satisfied
+        assert certificate.policy_name == "pol"
+
+    def test_margin_sign(self, policy):
+        population = _population([0, 2])
+        good = certify_alpha_ppdb(population, policy, 0.9)
+        bad = certify_alpha_ppdb(population, policy, 0.1)
+        assert good.margin > 0
+        assert bad.margin < 0
+
+    def test_empty_population_trivially_satisfied(self, policy):
+        certificate = certify_alpha_ppdb(Population([]), policy, 0.0)
+        assert certificate.satisfied
+        assert certificate.violation_probability == 0.0
+        assert certificate.n_providers == 0
+
+    def test_paper_example_alpha_sweep(self, paper_population, paper_policy):
+        # P(W) = 2/3: certificates flip exactly at that threshold.
+        below = certify_alpha_ppdb(paper_population, paper_policy, 0.5)
+        at = certify_alpha_ppdb(paper_population, paper_policy, 2 / 3)
+        above = certify_alpha_ppdb(paper_population, paper_policy, 0.7)
+        assert not below.satisfied
+        assert at.satisfied
+        assert above.satisfied
+
+    def test_str_rendering_mentions_verdict(self, policy):
+        certificate = certify_alpha_ppdb(_population([0]), policy, 0.0)
+        assert "VIOLATED" in str(certificate)
+        certificate_ok = certify_alpha_ppdb(_population([2]), policy, 0.0)
+        assert "SATISFIED" in str(certificate_ok)

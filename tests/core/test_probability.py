@@ -1,0 +1,127 @@
+"""Unit tests for P(W), P(Default), and the trial estimator (Defs. 2 & 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HousePolicy,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+    default_probability,
+    estimate_probability_by_trials,
+    violation_probability,
+)
+from repro.exceptions import ValidationError
+
+
+def _provider(pid: str, rank: int, threshold: float = 10.0) -> Provider:
+    prefs = ProviderPreferences(
+        pid, [("weight", PrivacyTuple("billing", rank, rank, rank))]
+    )
+    return Provider(preferences=prefs, threshold=threshold)
+
+
+@pytest.fixture()
+def policy() -> HousePolicy:
+    return HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+
+
+class TestViolationProbability:
+    def test_fraction_of_violated(self, policy):
+        population = Population(
+            [_provider("a", 1), _provider("b", 2), _provider("c", 3), _provider("d", 0)]
+        )
+        # ranks 1 and 0 are exceeded by policy rank 2 -> 2 of 4 violated
+        assert violation_probability(population, policy) == 0.5
+
+    def test_all_violated(self, policy):
+        population = Population([_provider("a", 0), _provider("b", 1)])
+        assert violation_probability(population, policy) == 1.0
+
+    def test_none_violated(self, policy):
+        population = Population([_provider("a", 2), _provider("b", 3)])
+        assert violation_probability(population, policy) == 0.0
+
+    def test_empty_population_raises(self, policy):
+        with pytest.raises(ValidationError):
+            violation_probability(Population([]), policy)
+
+    def test_paper_value(self, paper_population, paper_policy):
+        assert violation_probability(paper_population, paper_policy) == 2 / 3
+
+
+class TestDefaultProbability:
+    def test_paper_value(self, paper_population, paper_policy):
+        assert default_probability(paper_population, paper_policy) == 1 / 3
+
+    def test_default_probability_le_violation_probability(
+        self, paper_population, paper_policy
+    ):
+        p_w = violation_probability(paper_population, paper_policy)
+        p_d = default_probability(paper_population, paper_policy)
+        assert p_d <= p_w
+
+    def test_infinite_thresholds_mean_zero_defaults(self, policy):
+        population = Population(
+            [
+                Provider(
+                    preferences=ProviderPreferences(
+                        "a", [("weight", PrivacyTuple("billing", 0, 0, 0))]
+                    )
+                )
+            ]
+        )
+        assert default_probability(population, policy) == 0.0
+        assert violation_probability(population, policy) == 1.0
+
+    def test_empty_population_raises(self, policy):
+        with pytest.raises(ValidationError):
+            default_probability(Population([]), policy)
+
+
+class TestTrialEstimator:
+    def test_exact_matches_mean(self):
+        estimate = estimate_probability_by_trials([1, 0, 1, 0], 100, seed=1)
+        assert estimate.exact == 0.5
+
+    def test_estimate_is_fraction_of_positives(self):
+        estimate = estimate_probability_by_trials([1, 0], 1000, seed=2)
+        assert estimate.estimate == estimate.positive_trials / estimate.trials
+
+    def test_convergence_with_more_trials(self):
+        indicators = [1] * 3 + [0] * 7
+        coarse = estimate_probability_by_trials(indicators, 50, seed=3)
+        fine = estimate_probability_by_trials(indicators, 200_000, seed=3)
+        assert fine.absolute_error <= coarse.absolute_error + 1e-9
+        assert fine.absolute_error < 0.01
+
+    def test_degenerate_all_ones(self):
+        estimate = estimate_probability_by_trials([1, 1, 1], 500, seed=4)
+        assert estimate.estimate == 1.0
+        assert estimate.exact == 1.0
+
+    def test_mapping_input(self):
+        estimate = estimate_probability_by_trials(
+            {"a": 1, "b": 0}, 100, seed=5
+        )
+        assert estimate.exact == 0.5
+
+    def test_deterministic_given_seed(self):
+        a = estimate_probability_by_trials([1, 0, 0], 1000, seed=9)
+        b = estimate_probability_by_trials([1, 0, 0], 1000, seed=9)
+        assert a == b
+
+    def test_invalid_indicator_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_probability_by_trials([0, 2], 10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_probability_by_trials([], 10)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValidationError):
+            estimate_probability_by_trials([1], 0)

@@ -1,0 +1,116 @@
+"""Unit tests for the purpose registry and lattice extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.purpose import PurposeLattice, PurposeRegistry, chain
+from repro.exceptions import UnknownPurposeError, ValidationError
+
+
+class TestPurposeRegistry:
+    def test_contains_and_len(self):
+        registry = PurposeRegistry(["billing", "research"])
+        assert "billing" in registry
+        assert "marketing" not in registry
+        assert len(registry) == 2
+
+    def test_iteration_is_sorted(self):
+        registry = PurposeRegistry(["z", "a", "m"])
+        assert list(registry) == ["a", "m", "z"]
+
+    def test_validate_returns_purpose(self):
+        registry = PurposeRegistry(["billing"])
+        assert registry.validate("billing") == "billing"
+
+    def test_validate_unknown_raises(self):
+        registry = PurposeRegistry(["billing"])
+        with pytest.raises(UnknownPurposeError):
+            registry.validate("resale")
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ValidationError):
+            PurposeRegistry([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            PurposeRegistry(["a", "a"])
+
+    def test_blank_purpose_rejected(self):
+        with pytest.raises(ValidationError):
+            PurposeRegistry(["  "])
+
+
+class TestPurposeLattice:
+    @pytest.fixture()
+    def diamond(self) -> PurposeLattice:
+        # single -> {billing, research} -> any
+        return PurposeLattice(
+            ["single", "billing", "research", "any"],
+            [
+                ("single", "billing"),
+                ("single", "research"),
+                ("billing", "any"),
+                ("research", "any"),
+            ],
+        )
+
+    def test_leq_reflexive(self, diamond):
+        for purpose in diamond.purposes:
+            assert diamond.leq(purpose, purpose)
+
+    def test_leq_transitive_through_closure(self, diamond):
+        assert diamond.leq("single", "any")
+
+    def test_incomparable_siblings(self, diamond):
+        assert not diamond.leq("billing", "research")
+        assert not diamond.leq("research", "billing")
+        assert not diamond.comparable("billing", "research")
+
+    def test_diamond_is_not_chain(self, diamond):
+        assert not diamond.is_chain()
+
+    def test_total_order_on_non_chain_raises(self, diamond):
+        with pytest.raises(ValidationError):
+            diamond.total_order()
+
+    def test_unknown_purpose_in_leq_raises(self, diamond):
+        with pytest.raises(UnknownPurposeError):
+            diamond.leq("single", "resale")
+
+    def test_unknown_purpose_in_edges_raises(self):
+        with pytest.raises(UnknownPurposeError):
+            PurposeLattice(["a"], [("a", "b")])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValidationError):
+            PurposeLattice(["a"], [("a", "a")])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValidationError):
+            PurposeLattice(["a", "b"], [("a", "b"), ("b", "a")])
+
+    def test_registry_view(self, diamond):
+        registry = diamond.registry()
+        assert set(registry.purposes) == set(diamond.purposes)
+
+
+class TestChain:
+    def test_chain_is_chain(self):
+        lattice = chain(["none", "single", "any"])
+        assert lattice.is_chain()
+
+    def test_total_order_ranks_narrowest_zero(self):
+        lattice = chain(["none", "single", "any"])
+        order = lattice.total_order()
+        assert order == {"none": 0, "single": 1, "any": 2}
+
+    def test_chain_leq_follows_sequence(self):
+        lattice = chain(["a", "b", "c"])
+        assert lattice.leq("a", "c")
+        assert not lattice.leq("c", "a")
+
+    def test_singleton_chain(self):
+        lattice = chain(["only"])
+        assert lattice.is_chain()
+        assert lattice.total_order() == {"only": 0}

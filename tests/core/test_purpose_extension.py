@@ -1,0 +1,207 @@
+"""Unit tests for the ordered-purpose extension (assumption 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dimension, HousePolicy, PrivacyTuple, ProviderPreferences
+from repro.core.purpose import chain
+from repro.core.purpose_extension import (
+    find_violations_ordered_purpose,
+    provider_violation_ordered_purpose,
+    violation_indicator_ordered_purpose,
+)
+from repro.core.violation import find_violations, violation_indicator
+from repro.exceptions import ValidationError
+
+ORDER = {"single": 0, "reuse": 1, "any": 2}
+
+
+@pytest.fixture()
+def prefs():
+    return ProviderPreferences(
+        "i", [("weight", PrivacyTuple("single", 2, 2, 2))]
+    )
+
+
+class TestPurposeExceedance:
+    def test_broader_purpose_is_a_violation(self, prefs):
+        policy = HousePolicy([("weight", PrivacyTuple("any", 2, 2, 2))])
+        findings = find_violations_ordered_purpose(prefs, policy, ORDER)
+        purpose_findings = [
+            f for f in findings if f.dimension is Dimension.PURPOSE
+        ]
+        assert len(purpose_findings) == 1
+        assert purpose_findings[0].amount == 2
+
+    def test_same_purpose_no_purpose_finding(self, prefs):
+        policy = HousePolicy([("weight", PrivacyTuple("single", 3, 2, 2))])
+        findings = find_violations_ordered_purpose(prefs, policy, ORDER)
+        assert all(f.dimension is not Dimension.PURPOSE for f in findings)
+        assert len(findings) == 1  # the visibility exceedance
+
+    def test_narrower_purpose_cannot_violate(self):
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("any", 0, 0, 0))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("single", 5, 5, 5))])
+        assert find_violations_ordered_purpose(prefs, policy, ORDER) == []
+
+    def test_cross_purpose_vgr_now_compared(self, prefs):
+        # Categorical model sees these as incomparable (plus an implicit
+        # zero); ordered model compares them directly.
+        policy = HousePolicy([("weight", PrivacyTuple("reuse", 3, 2, 2))])
+        findings = find_violations_ordered_purpose(prefs, policy, ORDER)
+        dims = {f.dimension for f in findings}
+        assert dims == {Dimension.PURPOSE, Dimension.VISIBILITY}
+
+    def test_chain_lattice_accepted(self, prefs):
+        lattice = chain(["single", "reuse", "any"])
+        policy = HousePolicy([("weight", PrivacyTuple("any", 2, 2, 2))])
+        assert violation_indicator_ordered_purpose(prefs, policy, lattice) == 1
+
+    def test_uncovered_purpose_rejected(self, prefs):
+        policy = HousePolicy([("weight", PrivacyTuple("mystery", 2, 2, 2))])
+        with pytest.raises(ValidationError):
+            find_violations_ordered_purpose(prefs, policy, ORDER)
+
+    def test_empty_order_rejected(self, prefs):
+        policy = HousePolicy([("weight", PrivacyTuple("single", 2, 2, 2))])
+        with pytest.raises(ValidationError):
+            find_violations_ordered_purpose(prefs, policy, {})
+
+    def test_invalid_rank_rejected(self, prefs):
+        policy = HousePolicy([("weight", PrivacyTuple("single", 2, 2, 2))])
+        with pytest.raises(ValidationError):
+            find_violations_ordered_purpose(
+                prefs, policy, {"single": -1}
+            )
+
+
+class TestLatticePurposeVariant:
+    """The partial-order ([5] lattice) variant, no total order required."""
+
+    @pytest.fixture()
+    def diamond(self):
+        from repro.core.purpose import PurposeLattice
+
+        # single -> {billing, research} -> any
+        return PurposeLattice(
+            ["single", "billing", "research", "any"],
+            [
+                ("single", "billing"),
+                ("single", "research"),
+                ("billing", "any"),
+                ("research", "any"),
+            ],
+        )
+
+    def test_broader_reuse_at_same_ranks_is_unit_purpose_finding(self, diamond):
+        from repro.core.purpose_extension import find_violations_lattice_purpose
+
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("single", 2, 2, 2))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("any", 2, 2, 2))])
+        findings = find_violations_lattice_purpose(prefs, policy, diamond)
+        assert len(findings) == 1
+        assert findings[0].dimension is Dimension.PURPOSE
+        assert findings[0].amount == 1
+
+    def test_incomparable_siblings_never_conflict(self, diamond):
+        from repro.core.purpose_extension import find_violations_lattice_purpose
+
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 0, 0, 0))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("research", 5, 5, 5))])
+        assert find_violations_lattice_purpose(prefs, policy, diamond) == []
+
+    def test_rank_exceedance_under_broader_purpose(self, diamond):
+        from repro.core.purpose_extension import find_violations_lattice_purpose
+
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("single", 2, 2, 2))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("any", 3, 2, 2))])
+        findings = find_violations_lattice_purpose(prefs, policy, diamond)
+        # The rank exceedance is reported; the unit purpose marker is not
+        # added on top (the reuse is already surfaced by the V finding).
+        assert {f.dimension for f in findings} == {Dimension.VISIBILITY}
+
+    def test_narrower_purpose_never_conflicts(self, diamond):
+        from repro.core.purpose_extension import find_violations_lattice_purpose
+
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("any", 0, 0, 0))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("single", 5, 5, 5))])
+        assert find_violations_lattice_purpose(prefs, policy, diamond) == []
+
+    def test_same_purpose_matches_categorical(self, diamond):
+        from repro.core.purpose_extension import find_violations_lattice_purpose
+
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+        lattice_findings = find_violations_lattice_purpose(
+            prefs, policy, diamond
+        )
+        categorical = find_violations(prefs, policy)
+        assert {(f.dimension, f.amount) for f in lattice_findings} == {
+            (f.dimension, f.amount) for f in categorical
+        }
+
+    def test_unknown_purpose_rejected(self, diamond):
+        from repro.core.purpose_extension import find_violations_lattice_purpose
+
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("mystery", 1, 1, 1))]
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("any", 2, 2, 2))])
+        with pytest.raises(ValidationError):
+            find_violations_lattice_purpose(prefs, policy, diamond)
+
+
+class TestAgainstCategoricalBaseline:
+    def test_extension_surfaces_at_least_categorical_same_purpose(self, prefs):
+        """For a single-purpose world the two models agree exactly."""
+        policy = HousePolicy([("weight", PrivacyTuple("single", 4, 2, 3))])
+        ordered = find_violations_ordered_purpose(prefs, policy, ORDER)
+        categorical = find_violations(prefs, policy)
+        assert {(f.dimension, f.amount) for f in ordered} == {
+            (f.dimension, f.amount) for f in categorical
+        }
+
+    def test_extension_finds_violations_categorical_misses(self, prefs):
+        """Without the implicit-zero rule the categorical model is blind to
+        broader-purpose reuse; the ordered model flags it."""
+        policy = HousePolicy([("weight", PrivacyTuple("any", 2, 2, 2))])
+        assert (
+            violation_indicator(prefs, policy, implicit_zero=False) == 0
+        )
+        assert violation_indicator_ordered_purpose(prefs, policy, ORDER) == 1
+
+    def test_severity_weighting_consistent(self, prefs):
+        from repro.core import (
+            AttributeSensitivities,
+            DimensionSensitivity,
+            ProviderSensitivity,
+            SensitivityModel,
+        )
+
+        model = SensitivityModel(
+            AttributeSensitivities({"weight": 4.0}),
+            {
+                "i": ProviderSensitivity(
+                    "i", {"weight": DimensionSensitivity(value=2.0)}
+                )
+            },
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("any", 2, 2, 2))])
+        severity = provider_violation_ordered_purpose(
+            prefs, policy, ORDER, model
+        )
+        # Purpose exceedance 2 x Sigma 4 x s 2 (dimension weight 1).
+        assert severity == 16.0

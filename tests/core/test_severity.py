@@ -1,0 +1,131 @@
+"""Unit tests for severity aggregation (Eqs. 15-16) and breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Dimension,
+    HousePolicy,
+    PrivacyTuple,
+    ProviderPreferences,
+    SeverityBreakdown,
+    provider_violation,
+    total_violations,
+)
+
+
+@pytest.fixture()
+def policy() -> HousePolicy:
+    return HousePolicy(
+        [
+            ("weight", PrivacyTuple("billing", 3, 3, 3)),
+            ("age", PrivacyTuple("billing", 2, 2, 2)),
+        ]
+    )
+
+
+@pytest.fixture()
+def violated_prefs() -> ProviderPreferences:
+    return ProviderPreferences(
+        "i",
+        [
+            ("weight", PrivacyTuple("billing", 1, 3, 3)),  # V exceeded by 2
+            ("age", PrivacyTuple("billing", 2, 1, 2)),  # G exceeded by 1
+        ],
+    )
+
+
+class TestProviderViolation:
+    def test_breadth_sums_across_attributes(self, policy, violated_prefs):
+        assert provider_violation(violated_prefs, policy) == 3.0
+
+    def test_zero_when_dominating(self, policy):
+        prefs = ProviderPreferences(
+            "i",
+            [
+                ("weight", PrivacyTuple("billing", 3, 3, 3)),
+                ("age", PrivacyTuple("billing", 2, 2, 2)),
+            ],
+        )
+        assert provider_violation(prefs, policy) == 0.0
+
+    def test_depth_single_attribute_large_exceedance(self):
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 10, 0, 0))])
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 0, 0, 0))]
+        )
+        assert provider_violation(prefs, policy) == 10.0
+
+    def test_paper_table1_severities(
+        self, paper_population, paper_policy
+    ):
+        model = paper_population.sensitivity_model()
+        expected = {"Alice": 0.0, "Ted": 60.0, "Bob": 80.0}
+        for provider in paper_population:
+            assert (
+                provider_violation(provider.preferences, paper_policy, model)
+                == expected[provider.provider_id]
+            )
+
+
+class TestTotalViolations:
+    def test_sum_over_population(self, paper_population, paper_policy):
+        model = paper_population.sensitivity_model()
+        assert (
+            total_violations(
+                paper_population.preference_sets(), paper_policy, model
+            )
+            == 140.0
+        )
+
+    def test_empty_population_zero(self, paper_policy):
+        assert total_violations([], paper_policy) == 0.0
+
+
+class TestSeverityBreakdown:
+    def test_marginals_sum_to_total(self, policy, violated_prefs):
+        breakdown = SeverityBreakdown.analyze(violated_prefs, policy)
+        assert breakdown.total == 3.0
+        assert sum(breakdown.by_attribute.values()) == pytest.approx(3.0)
+        assert sum(breakdown.by_dimension.values()) == pytest.approx(3.0)
+        assert sum(breakdown.by_purpose.values()) == pytest.approx(3.0)
+
+    def test_by_attribute_split(self, policy, violated_prefs):
+        breakdown = SeverityBreakdown.analyze(violated_prefs, policy)
+        assert breakdown.by_attribute == {"weight": 2.0, "age": 1.0}
+
+    def test_by_dimension_split(self, policy, violated_prefs):
+        breakdown = SeverityBreakdown.analyze(violated_prefs, policy)
+        assert breakdown.by_dimension == {
+            Dimension.VISIBILITY: 2.0,
+            Dimension.GRANULARITY: 1.0,
+        }
+
+    def test_dominant_attribute(self, policy, violated_prefs):
+        breakdown = SeverityBreakdown.analyze(violated_prefs, policy)
+        assert breakdown.dominant_attribute() == "weight"
+        assert breakdown.dominant_dimension() is Dimension.VISIBILITY
+
+    def test_violated_flag(self, policy, violated_prefs):
+        breakdown = SeverityBreakdown.analyze(violated_prefs, policy)
+        assert breakdown.violated
+
+    def test_clean_provider_empty_breakdown(self, policy):
+        prefs = ProviderPreferences(
+            "i",
+            [
+                ("weight", PrivacyTuple("billing", 3, 3, 3)),
+                ("age", PrivacyTuple("billing", 2, 2, 2)),
+            ],
+        )
+        breakdown = SeverityBreakdown.analyze(prefs, policy)
+        assert not breakdown.violated
+        assert breakdown.total == 0.0
+        assert breakdown.dominant_attribute() is None
+        assert breakdown.dominant_dimension() is None
+
+    def test_findings_preserved(self, policy, violated_prefs):
+        breakdown = SeverityBreakdown.analyze(violated_prefs, policy)
+        assert len(breakdown.findings) == 2
+        assert sum(f.weighted for f in breakdown.findings) == breakdown.total

@@ -1,0 +1,145 @@
+"""Unit tests for privacy tuples and entry types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dimension, PolicyEntry, PreferenceEntry, PrivacyTuple
+from repro.exceptions import ValidationError
+
+
+class TestPrivacyTuple:
+    def test_value_per_dimension(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        assert t.value(Dimension.PURPOSE) == "billing"
+        assert t.value(Dimension.VISIBILITY) == 1
+        assert t.value(Dimension.GRANULARITY) == 2
+        assert t.value(Dimension.RETENTION) == 3
+
+    def test_subscript_matches_value(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        for dim in Dimension:
+            assert t[dim] == t.value(dim)
+
+    def test_rank_on_purpose_raises(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        with pytest.raises(ValidationError):
+            t.rank(Dimension.PURPOSE)
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyTuple("billing", -1, 0, 0)
+
+    def test_bool_rank_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyTuple("billing", True, 0, 0)  # type: ignore[arg-type]
+
+    def test_blank_purpose_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyTuple("  ", 0, 0, 0)
+
+    def test_immutability(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        with pytest.raises(AttributeError):
+            t.visibility = 4  # type: ignore[misc]
+
+    def test_replace_substitutes_only_given(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        r = t.replace(visibility=4)
+        assert (r.purpose, r.visibility, r.granularity, r.retention) == (
+            "billing",
+            4,
+            2,
+            3,
+        )
+
+    def test_replace_purpose(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        assert t.replace(purpose="research").purpose == "research"
+
+    def test_shifted_moves_one_dimension(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        assert t.shifted(Dimension.GRANULARITY, 2).granularity == 4
+
+    def test_shifted_floors_at_zero(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        assert t.shifted(Dimension.VISIBILITY, -5).visibility == 0
+
+    def test_shifted_on_purpose_raises(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        with pytest.raises(ValidationError):
+            t.shifted(Dimension.PURPOSE, 1)
+
+    def test_dominates_requires_same_purpose(self):
+        a = PrivacyTuple("billing", 3, 3, 3)
+        b = PrivacyTuple("research", 1, 1, 1)
+        assert not a.dominates(b)
+
+    def test_dominates_componentwise(self):
+        big = PrivacyTuple("billing", 3, 3, 3)
+        small = PrivacyTuple("billing", 1, 2, 3)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_dominates_is_reflexive(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        assert t.dominates(t)
+
+    def test_zero_tuple(self):
+        z = PrivacyTuple.zero("marketing")
+        assert (z.visibility, z.granularity, z.retention) == (0, 0, 0)
+        assert z.purpose == "marketing"
+
+    def test_everything_dominates_zero(self):
+        z = PrivacyTuple.zero("p")
+        t = PrivacyTuple("p", 0, 1, 5)
+        assert t.dominates(z)
+
+    def test_as_dict_round_trip(self):
+        t = PrivacyTuple("billing", 1, 2, 3)
+        assert PrivacyTuple(**t.as_dict()) == t
+
+    def test_equality_and_hash(self):
+        a = PrivacyTuple("billing", 1, 2, 3)
+        b = PrivacyTuple("billing", 1, 2, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != PrivacyTuple("billing", 1, 2, 4)
+
+    def test_str_rendering(self):
+        assert str(PrivacyTuple("p", 1, 2, 3)) == "<p, V=1, G=2, R=3>"
+
+
+class TestPolicyEntry:
+    def test_fields_and_purpose(self):
+        entry = PolicyEntry("weight", PrivacyTuple("billing", 1, 2, 3))
+        assert entry.attribute == "weight"
+        assert entry.purpose == "billing"
+
+    def test_blank_attribute_rejected(self):
+        with pytest.raises(ValidationError):
+            PolicyEntry(" ", PrivacyTuple("billing", 1, 2, 3))
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(ValidationError):
+            PolicyEntry("weight", ("billing", 1, 2, 3))  # type: ignore[arg-type]
+
+
+class TestPreferenceEntry:
+    def test_fields(self):
+        entry = PreferenceEntry("alice", "weight", PrivacyTuple("billing", 1, 2, 3))
+        assert entry.provider_id == "alice"
+        assert entry.attribute == "weight"
+        assert entry.purpose == "billing"
+
+    def test_none_provider_rejected(self):
+        with pytest.raises(ValidationError):
+            PreferenceEntry(None, "weight", PrivacyTuple("billing", 1, 2, 3))
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(ValidationError):
+            PreferenceEntry("alice", "weight", "nope")  # type: ignore[arg-type]
+
+    def test_integer_provider_ids_supported(self):
+        entry = PreferenceEntry(7, "weight", PrivacyTuple("billing", 1, 2, 3))
+        assert entry.provider_id == 7

@@ -1,0 +1,295 @@
+"""Unit tests for diff/comp/conf and Definition 1 (the violation core)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AttributeSensitivities,
+    Dimension,
+    DimensionSensitivity,
+    HousePolicy,
+    PolicyEntry,
+    PreferenceEntry,
+    PrivacyTuple,
+    ProviderPreferences,
+    ProviderSensitivity,
+    SensitivityModel,
+    comp,
+    conf,
+    diff,
+    exceeded_dimensions,
+    find_violations,
+    violation_indicator,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDiff:
+    """Equation 12."""
+
+    def test_exceedance_returned(self):
+        assert diff(1, 4) == 3
+
+    def test_equal_is_zero(self):
+        assert diff(2, 2) == 0
+
+    def test_policy_below_preference_is_zero_not_negative(self):
+        assert diff(4, 1) == 0
+
+    def test_zero_preference(self):
+        assert diff(0, 3) == 3
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValidationError):
+            diff(1.5, 2)  # type: ignore[arg-type]
+
+
+class TestComp:
+    """Equation 13."""
+
+    def _pref(self, attribute="weight", purpose="billing"):
+        return PreferenceEntry(
+            "alice", attribute, PrivacyTuple(purpose, 1, 1, 1)
+        )
+
+    def _pol(self, attribute="weight", purpose="billing"):
+        return PolicyEntry(attribute, PrivacyTuple(purpose, 2, 2, 2))
+
+    def test_same_attribute_same_purpose_comparable(self):
+        assert comp(self._pref(), self._pol()) == 1
+
+    def test_different_attribute_incomparable(self):
+        assert comp(self._pref(attribute="age"), self._pol()) == 0
+
+    def test_different_purpose_incomparable(self):
+        assert comp(self._pref(purpose="research"), self._pol()) == 0
+
+
+class TestExceededDimensions:
+    def test_no_exceedance(self):
+        pref = PrivacyTuple("p", 3, 3, 3)
+        pol = PrivacyTuple("p", 2, 3, 1)
+        assert exceeded_dimensions(pref, pol) == ()
+
+    def test_single_dimension(self):
+        pref = PrivacyTuple("p", 3, 1, 3)
+        pol = PrivacyTuple("p", 2, 2, 1)
+        assert exceeded_dimensions(pref, pol) == (Dimension.GRANULARITY,)
+
+    def test_two_dimensions(self):
+        pref = PrivacyTuple("p", 3, 1, 1)
+        pol = PrivacyTuple("p", 2, 2, 2)
+        assert exceeded_dimensions(pref, pol) == (
+            Dimension.GRANULARITY,
+            Dimension.RETENTION,
+        )
+
+    def test_all_three(self):
+        pref = PrivacyTuple("p", 0, 0, 0)
+        pol = PrivacyTuple("p", 1, 1, 1)
+        assert len(exceeded_dimensions(pref, pol)) == 3
+
+    def test_different_purposes_never_exceed(self):
+        pref = PrivacyTuple("p", 0, 0, 0)
+        pol = PrivacyTuple("q", 5, 5, 5)
+        assert exceeded_dimensions(pref, pol) == ()
+
+    def test_equality_is_not_exceedance(self):
+        t = PrivacyTuple("p", 2, 2, 2)
+        assert exceeded_dimensions(t, t) == ()
+
+
+class TestConf:
+    """Equation 14, including the paper's Ted and Bob rows."""
+
+    def _model(self, value, v, g, r, attribute_weight=4.0):
+        return SensitivityModel(
+            AttributeSensitivities({"Weight": attribute_weight}),
+            {
+                "i": ProviderSensitivity(
+                    "i",
+                    {
+                        "Weight": DimensionSensitivity(
+                            value=value, visibility=v, granularity=g, retention=r
+                        )
+                    },
+                )
+            },
+        )
+
+    def test_ted_row_equals_60(self):
+        # Ted: pref <pr, v+2, g-1, r+2> vs policy <pr, v, g, r>; only G exceeds by 1.
+        pref = PreferenceEntry("i", "Weight", PrivacyTuple("pr", 4, 1, 4))
+        pol = PolicyEntry("Weight", PrivacyTuple("pr", 2, 2, 2))
+        model = self._model(3.0, 1.0, 5.0, 2.0)
+        assert conf(pref, pol, model) == 60.0
+
+    def test_bob_row_equals_80(self):
+        pref = PreferenceEntry("i", "Weight", PrivacyTuple("pr", 2, 1, 1))
+        pol = PolicyEntry("Weight", PrivacyTuple("pr", 2, 2, 2))
+        model = self._model(4.0, 1.0, 3.0, 2.0)
+        assert conf(pref, pol, model) == 80.0
+
+    def test_alice_row_equals_0(self):
+        pref = PreferenceEntry("i", "Weight", PrivacyTuple("pr", 4, 3, 5))
+        pol = PolicyEntry("Weight", PrivacyTuple("pr", 2, 2, 2))
+        model = self._model(1.0, 1.0, 2.0, 1.0)
+        assert conf(pref, pol, model) == 0.0
+
+    def test_incomparable_is_zero_despite_sensitivities(self):
+        pref = PreferenceEntry("i", "Weight", PrivacyTuple("other", 0, 0, 0))
+        pol = PolicyEntry("Weight", PrivacyTuple("pr", 2, 2, 2))
+        assert conf(pref, pol, self._model(9, 9, 9, 9)) == 0.0
+
+    def test_default_sensitivities_are_neutral(self):
+        pref = PreferenceEntry("i", "Weight", PrivacyTuple("pr", 0, 0, 0))
+        pol = PolicyEntry("Weight", PrivacyTuple("pr", 1, 2, 3))
+        assert conf(pref, pol) == 6.0  # raw exceedance 1+2+3
+
+    def test_exceedance_scales_linearly(self):
+        pol = PolicyEntry("Weight", PrivacyTuple("pr", 2, 2, 2))
+        model = self._model(2.0, 1.0, 1.0, 1.0)
+        one = conf(
+            PreferenceEntry("i", "Weight", PrivacyTuple("pr", 1, 2, 2)), pol, model
+        )
+        two = conf(
+            PreferenceEntry("i", "Weight", PrivacyTuple("pr", 0, 2, 2)), pol, model
+        )
+        assert two == 2 * one
+
+
+class TestViolationIndicator:
+    """Definition 1."""
+
+    def _policy(self):
+        return HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+
+    def test_violated_when_any_dimension_exceeds(self):
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 2, 1, 2))]
+        )
+        assert violation_indicator(prefs, self._policy()) == 1
+
+    def test_not_violated_when_dominating(self):
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 2, 2, 2))]
+        )
+        assert violation_indicator(prefs, self._policy()) == 0
+
+    def test_strictness_boundary(self):
+        # Exactly equal ranks: p[dim] < p'[dim] is false everywhere.
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 2, 2, 2))]
+        )
+        assert violation_indicator(prefs, self._policy()) == 0
+
+    def test_unknown_purpose_triggers_implicit_zero_violation(self):
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("research", 4, 4, 4))]
+        )
+        assert violation_indicator(prefs, self._policy()) == 1
+
+    def test_implicit_zero_disabled_hides_that_violation(self):
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("research", 4, 4, 4))]
+        )
+        assert (
+            violation_indicator(prefs, self._policy(), implicit_zero=False) == 0
+        )
+
+    def test_policy_on_unprovided_attribute_never_violates(self):
+        prefs = ProviderPreferences(
+            "i", [("age", PrivacyTuple("billing", 9, 9, 9))]
+        )
+        assert violation_indicator(prefs, self._policy()) == 0
+
+    def test_empty_policy_never_violates(self):
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 0, 0, 0))]
+        )
+        assert violation_indicator(prefs, HousePolicy([])) == 0
+
+    def test_zero_rank_policy_never_violates(self):
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 0, 0, 0))])
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 0, 0, 0))]
+        )
+        assert violation_indicator(prefs, policy) == 0
+
+
+class TestFindViolations:
+    def test_findings_carry_full_attribution(self):
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 3, 2, 2))])
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 1, 2, 2))]
+        )
+        findings = find_violations(prefs, policy)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.provider_id == "i"
+        assert f.attribute == "weight"
+        assert f.purpose == "billing"
+        assert f.dimension is Dimension.VISIBILITY
+        assert (f.preference_value, f.policy_value, f.amount) == (1, 3, 2)
+        assert not f.implicit
+
+    def test_implicit_findings_flagged(self):
+        policy = HousePolicy([("weight", PrivacyTuple("marketing", 1, 1, 1))])
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 2, 2, 2))]
+        )
+        findings = find_violations(prefs, policy)
+        assert findings
+        assert all(f.implicit for f in findings)
+
+    def test_indicator_consistent_with_findings(self):
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 3, 2, 2))])
+        violated = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 1, 2, 2))]
+        )
+        safe = ProviderPreferences(
+            "j", [("weight", PrivacyTuple("billing", 3, 2, 2))]
+        )
+        assert bool(find_violations(violated, policy)) == bool(
+            violation_indicator(violated, policy)
+        )
+        assert bool(find_violations(safe, policy)) == bool(
+            violation_indicator(safe, policy)
+        )
+
+    def test_weighted_sum_matches_conf_sum(self):
+        model = SensitivityModel(
+            AttributeSensitivities({"weight": 4.0}),
+            {
+                "i": ProviderSensitivity(
+                    "i",
+                    {"weight": DimensionSensitivity(2.0, 1.0, 3.0, 2.0)},
+                )
+            },
+        )
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 3, 3, 3))])
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+        )
+        findings = find_violations(prefs, policy, model)
+        total = sum(f.weighted for f in findings)
+        pref_entry = prefs.entries[0]
+        pol_entry = policy.entries[0]
+        assert total == conf(pref_entry, pol_entry, model)
+
+    def test_multiple_policy_tuples_all_compared(self):
+        policy = HousePolicy(
+            [
+                ("weight", PrivacyTuple("billing", 3, 2, 2)),
+                ("weight", PrivacyTuple("billing", 2, 3, 2)),
+            ]
+        )
+        prefs = ProviderPreferences(
+            "i", [("weight", PrivacyTuple("billing", 2, 2, 2))]
+        )
+        findings = find_violations(prefs, policy)
+        assert {f.dimension for f in findings} == {
+            Dimension.VISIBILITY,
+            Dimension.GRANULARITY,
+        }

@@ -1,0 +1,109 @@
+"""Unit tests for the government-records (captive-population) scenario."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import ViolationEngine
+from repro.datasets import government_scenario
+from repro.simulation import WideningStep, run_expansion_sweep, widen
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return government_scenario(120, captive_fraction=0.7, seed=3)
+
+
+class TestCaptivity:
+    def test_captive_fraction_applied(self, scenario):
+        captive = sum(
+            1 for p in scenario.population if math.isinf(p.threshold)
+        )
+        assert captive == round(0.7 * 120)
+
+    def test_baseline_is_clean(self, scenario):
+        report = ViolationEngine(scenario.policy, scenario.population).report()
+        assert report.violation_probability == 0.0
+        assert report.default_probability == 0.0
+
+    def test_widening_violates_everyone_equally(self, scenario):
+        """Captivity changes default behaviour, never violation status."""
+        voluntary = government_scenario(120, captive_fraction=0.0, seed=3)
+        widened_policy = widen(
+            scenario.policy, WideningStep.uniform(2), scenario.taxonomy
+        )
+        captive_report = ViolationEngine(
+            widened_policy, scenario.population
+        ).report()
+        voluntary_report = ViolationEngine(
+            widened_policy, voluntary.population
+        ).report()
+        assert (
+            captive_report.violation_probability
+            == voluntary_report.violation_probability
+        )
+        assert (
+            captive_report.total_violations
+            == voluntary_report.total_violations
+        )
+
+    def test_captivity_suppresses_defaults(self, scenario):
+        voluntary = government_scenario(120, captive_fraction=0.0, seed=3)
+        widened_policy = widen(
+            scenario.policy, WideningStep.uniform(2), scenario.taxonomy
+        )
+        captive_defaults = ViolationEngine(
+            widened_policy, scenario.population
+        ).report().default_probability
+        voluntary_defaults = ViolationEngine(
+            widened_policy, voluntary.population
+        ).report().default_probability
+        assert captive_defaults < voluntary_defaults
+
+    def test_captive_providers_never_default(self, scenario):
+        widened_policy = widen(
+            scenario.policy, WideningStep.uniform(3), scenario.taxonomy
+        )
+        engine = ViolationEngine(widened_policy, scenario.population)
+        for outcome in engine.outcomes():
+            if math.isinf(outcome.threshold):
+                assert not outcome.defaulted
+
+    def test_weakened_feedback_loop(self, scenario):
+        """With a captive majority, widening stays 'justified' (Eq. 31)
+        far longer than with a voluntary population — the policy concern
+        this scenario encodes."""
+        voluntary = government_scenario(120, captive_fraction=0.0, seed=3)
+        kwargs = dict(
+            max_steps=3,
+            per_provider_utility=scenario.per_provider_utility,
+            extra_utility_per_step=scenario.extra_utility_per_step,
+        )
+        captive_sweep = run_expansion_sweep(
+            scenario.population, scenario.policy, scenario.taxonomy, **kwargs
+        )
+        voluntary_sweep = run_expansion_sweep(
+            voluntary.population, voluntary.policy, voluntary.taxonomy, **kwargs
+        )
+        for captive_row, voluntary_row in zip(
+            captive_sweep.rows, voluntary_sweep.rows
+        ):
+            assert captive_row.n_future >= voluntary_row.n_future
+        assert captive_sweep.rows[-1].utility_future >= (
+            voluntary_sweep.rows[-1].utility_future
+        )
+
+    def test_invalid_captive_fraction_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            government_scenario(10, captive_fraction=1.5)
+
+    def test_deterministic(self):
+        a = government_scenario(40, seed=9)
+        b = government_scenario(40, seed=9)
+        for provider_a, provider_b in zip(a.population, b.population):
+            assert provider_a.preferences == provider_b.preferences
+            assert provider_a.threshold == provider_b.threshold

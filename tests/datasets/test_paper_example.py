@@ -1,0 +1,104 @@
+"""The exact Table 1 reproduction — the E1 ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ViolationEngine
+from repro.datasets import PAPER_EXPECTATIONS
+from repro.datasets.paper_example import (
+    BASE_G,
+    BASE_R,
+    BASE_V,
+    WEIGHT_ATTRIBUTE_SENSITIVITY,
+    paper_example_policy,
+    paper_example_population,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return ViolationEngine(
+        paper_example_policy(), paper_example_population()
+    ).report()
+
+
+class TestTable1Exact:
+    """Every number in Section 8, asserted exactly (no tolerance)."""
+
+    def test_conflicts_eq20(self, report):
+        conflicts = {o.provider_id: o.violation for o in report.outcomes}
+        assert conflicts == dict(PAPER_EXPECTATIONS.conflicts)
+
+    def test_indicators_table1(self, report):
+        indicators = {o.provider_id: int(o.violated) for o in report.outcomes}
+        assert indicators == dict(PAPER_EXPECTATIONS.indicators)
+
+    def test_defaults_eq21_23(self, report):
+        defaults = {o.provider_id: int(o.defaulted) for o in report.outcomes}
+        assert defaults == dict(PAPER_EXPECTATIONS.defaults)
+
+    def test_default_probability_eq24(self, report):
+        assert report.default_probability == PAPER_EXPECTATIONS.default_probability
+
+    def test_violation_probability(self, report):
+        assert (
+            report.violation_probability
+            == PAPER_EXPECTATIONS.violation_probability
+        )
+
+    def test_total_violations_eq16(self, report):
+        assert report.total_violations == PAPER_EXPECTATIONS.total_violations
+
+    def test_ted_violated_along_granularity_only(self, report):
+        from repro.core import Dimension
+
+        ted = next(o for o in report.outcomes if o.provider_id == "Ted")
+        assert {f.dimension for f in ted.findings} == {Dimension.GRANULARITY}
+
+    def test_bob_violated_along_granularity_and_retention(self, report):
+        from repro.core import Dimension
+
+        bob = next(o for o in report.outcomes if o.provider_id == "Bob")
+        assert {f.dimension for f in bob.findings} == {
+            Dimension.GRANULARITY,
+            Dimension.RETENTION,
+        }
+
+    def test_age_attribute_violates_nobody(self, report):
+        for outcome in report.outcomes:
+            assert all(f.attribute != "Age" for f in outcome.findings)
+
+    def test_bob_depth_vs_ted_sensitivity_inversion(self, report):
+        """The paper's observation: Bob is violated along *two* dimensions
+        yet stays, while Ted (one dimension, higher sensitivity, lower
+        threshold) defaults."""
+        ted = next(o for o in report.outcomes if o.provider_id == "Ted")
+        bob = next(o for o in report.outcomes if o.provider_id == "Bob")
+        assert len(bob.findings) > len(ted.findings)
+        assert bob.violation > ted.violation
+        assert ted.defaulted and not bob.defaulted
+
+
+class TestFixtureInternals:
+    def test_base_ranks_keep_offsets_non_negative(self):
+        assert BASE_G - 1 >= 0
+        assert BASE_R - 1 >= 0
+        assert BASE_V >= 0
+
+    def test_sigma_weight_is_four(self):
+        population = paper_example_population()
+        assert (
+            population.attribute_sensitivities.weight("Weight")
+            == WEIGHT_ATTRIBUTE_SENSITIVITY
+            == 4.0
+        )
+
+    def test_thresholds_match_table(self):
+        population = paper_example_population()
+        thresholds = {p.provider_id: p.threshold for p in population}
+        assert thresholds == dict(PAPER_EXPECTATIONS.thresholds)
+
+    def test_fixture_is_reconstructible(self):
+        assert paper_example_population().ids() == ("Alice", "Ted", "Bob")
+        assert paper_example_policy() == paper_example_policy()

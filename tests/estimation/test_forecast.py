@@ -1,0 +1,124 @@
+"""Unit and recovery tests for default forecasting (Section 10's loop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation import (
+    ThresholdEstimator,
+    forecast_defaults,
+    observe_widening_history,
+)
+from repro.core import ViolationEngine
+from repro.simulation import WideningStep, widening_path
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.datasets import healthcare_scenario
+
+    return healthcare_scenario(120, seed=17)
+
+
+@pytest.fixture(scope="module")
+def history(scenario):
+    return [
+        policy
+        for _, policy in widening_path(
+            scenario.policy,
+            WideningStep.uniform(1),
+            scenario.taxonomy,
+            3,
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def estimator(scenario, history):
+    return ThresholdEstimator(
+        observe_widening_history(scenario.population, history)
+    )
+
+
+class TestForecastRecovery:
+    def test_in_sample_policies_forecast_exactly(
+        self, scenario, history, estimator
+    ):
+        """For the policies the house already deployed, the forecast's
+        certain-default set must equal the realised defaults."""
+        for policy in history[1:]:
+            truth = ViolationEngine(policy, scenario.population).report()
+            forecast = forecast_defaults(
+                estimator, scenario.population, policy
+            )
+            assert set(forecast.certain_defaults) == set(truth.defaulted_ids())
+
+    def test_interpolated_policy_bounded_by_neighbors(
+        self, scenario, history, estimator
+    ):
+        """A widening level between two observed ones forecasts a default
+        count between the two realised counts."""
+        from repro.simulation import widen
+        from repro.core import Dimension
+
+        half_step = widen(
+            history[1],
+            WideningStep.along(Dimension.RETENTION, 1),
+            scenario.taxonomy,
+            name="step-1.5",
+        )
+        step1 = ViolationEngine(history[1], scenario.population).report()
+        step2 = ViolationEngine(history[2], scenario.population).report()
+        forecast = forecast_defaults(estimator, scenario.population, half_step)
+        assert (
+            step1.n_defaulted
+            <= forecast.expected_defaults
+            <= step2.n_defaulted
+        )
+
+    def test_baseline_forecasts_zero(self, scenario, history, estimator):
+        forecast = forecast_defaults(
+            estimator, scenario.population, history[0]
+        )
+        assert forecast.expected_defaults == 0.0
+        assert forecast.certain_defaults == ()
+
+    def test_expected_fraction(self, scenario, history, estimator):
+        forecast = forecast_defaults(
+            estimator, scenario.population, history[2]
+        )
+        assert forecast.expected_default_fraction == pytest.approx(
+            forecast.expected_defaults / len(scenario.population)
+        )
+
+    def test_break_even_uses_expected_population(
+        self, scenario, history, estimator
+    ):
+        from repro.core import break_even_extra_utility
+
+        forecast = forecast_defaults(
+            estimator,
+            scenario.population,
+            history[2],
+            per_provider_utility=10.0,
+        )
+        n = forecast.n_providers
+        expected_future = max(1, round(n - forecast.expected_defaults))
+        assert forecast.break_even_extra_utility == pytest.approx(
+            break_even_extra_utility(10.0, n, expected_future)
+        )
+
+    def test_unknown_providers_ignored(self, scenario, history, estimator):
+        """Providers without behavioural records contribute nothing."""
+        subset = scenario.population.subset(
+            list(scenario.population.ids())[:10]
+        )
+        sub_estimator = ThresholdEstimator(
+            observe_widening_history(subset, history)
+        )
+        forecast = forecast_defaults(
+            sub_estimator, scenario.population, history[2]
+        )
+        known = set(subset.ids())
+        assert set(forecast.certain_defaults) <= known
+        assert set(forecast.possible_defaults) <= known

@@ -1,0 +1,109 @@
+"""Unit tests for censored default observations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    HousePolicy,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+)
+from repro.estimation import DefaultObservation, observe_widening_history
+from repro.exceptions import ValidationError
+from repro.simulation import WideningStep, widening_path
+from repro.taxonomy import standard_taxonomy
+
+
+def _provider(pid: str, threshold: float) -> Provider:
+    prefs = ProviderPreferences(
+        pid, [("weight", PrivacyTuple("billing", 1, 1, 1))]
+    )
+    return Provider(preferences=prefs, threshold=threshold)
+
+
+@pytest.fixture()
+def policies():
+    taxonomy = standard_taxonomy(["billing"])
+    base = HousePolicy(
+        [("weight", PrivacyTuple("billing", 1, 1, 1))], name="base"
+    )
+    return [
+        policy
+        for _, policy in widening_path(
+            base, WideningStep.uniform(1), taxonomy, 3
+        )
+    ]
+
+
+class TestDefaultObservation:
+    def test_censored_flag(self):
+        assert DefaultObservation("a", 2.0, None).censored
+        assert not DefaultObservation("a", 2.0, 5.0).censored
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValidationError):
+            DefaultObservation("a", 5.0, 2.0)
+        with pytest.raises(ValidationError):
+            DefaultObservation("a", -1.0, None)
+
+
+class TestObserveWideningHistory:
+    def test_brackets_contain_true_thresholds(self, policies):
+        # severity at step k (uniform widening of a rank-1 policy vs
+        # rank-1 preferences): 3*k (3 dims, exceedance k each) until
+        # ladders clamp.  Thresholds chosen to default at different steps.
+        population = Population(
+            [
+                _provider("leaves-first", 1.0),  # defaults at severity 3
+                _provider("leaves-later", 4.0),  # defaults at severity 6
+                _provider("never-leaves", 1e9),
+            ]
+        )
+        observations = {
+            obs.provider_id: obs
+            for obs in observe_widening_history(population, policies)
+        }
+        for provider in population:
+            obs = observations[provider.provider_id]
+            if obs.censored:
+                assert provider.threshold >= obs.lower
+            else:
+                assert obs.lower <= provider.threshold < obs.upper
+
+    def test_departed_get_finite_upper(self, policies):
+        population = Population([_provider("x", 1.0)])
+        [obs] = observe_widening_history(population, policies)
+        assert not obs.censored
+        assert obs.upper == 3.0  # first widening severity
+        assert obs.lower == 0.0  # tolerated the base policy only
+
+    def test_survivor_lower_is_last_severity(self, policies):
+        population = Population([_provider("x", 1e9)])
+        [obs] = observe_widening_history(population, policies)
+        assert obs.censored
+        assert obs.lower > 0.0
+
+    def test_one_observation_per_initial_provider(self, policies):
+        population = Population(
+            [_provider(f"p{i}", float(i + 1)) for i in range(5)]
+        )
+        observations = observe_widening_history(population, policies)
+        assert len(observations) == 5
+        assert {obs.provider_id for obs in observations} == {
+            f"p{i}" for i in range(5)
+        }
+
+    def test_empty_history_rejected(self):
+        population = Population([_provider("x", 1.0)])
+        with pytest.raises(ValidationError):
+            observe_widening_history(population, [])
+
+    def test_narrowing_sequence_rejected(self, policies):
+        population = Population([_provider("x", 1e9)])
+        with pytest.raises(ValidationError):
+            observe_widening_history(
+                population, [policies[-1], policies[0]]
+            )

@@ -1,0 +1,91 @@
+"""Unit tests for the interval-censored threshold estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation import DefaultObservation, ThresholdEstimator
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture()
+def estimator():
+    return ThresholdEstimator(
+        [
+            DefaultObservation("a", 0.0, 10.0),
+            DefaultObservation("b", 10.0, 20.0),
+            DefaultObservation("c", 20.0, None),  # survivor
+            DefaultObservation("d", 5.0, 15.0),
+        ]
+    )
+
+
+class TestEstimates:
+    def test_midpoints_for_departed(self, estimator):
+        points = {e.provider_id: e.point for e in estimator.estimates()}
+        assert points["a"] == 5.0
+        assert points["b"] == 15.0
+        assert points["d"] == 10.0
+
+    def test_censored_get_lower_bound(self, estimator):
+        estimates = {e.provider_id: e for e in estimator.estimates()}
+        assert estimates["c"].censored
+        assert estimates["c"].point == 20.0
+
+    def test_n_departed(self, estimator):
+        assert estimator.n_departed() == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ThresholdEstimator([])
+
+
+class TestDefaultFractionCurve:
+    def test_zero_at_zero(self, estimator):
+        assert estimator.default_fraction(0.0) == 0.0
+
+    def test_full_departures_counted(self, estimator):
+        # At severity 20 every departed interval is fully below.
+        assert estimator.default_fraction(20.0) == pytest.approx(3 / 4)
+
+    def test_partial_interval_contribution(self, estimator):
+        # At severity 5: 'a' contributes 5/10, others nothing.
+        assert estimator.default_fraction(5.0) == pytest.approx(0.5 / 4)
+
+    def test_monotone(self, estimator):
+        grid = [0, 2, 5, 8, 10, 12, 15, 18, 20, 30]
+        values = list(estimator.curve(grid))
+        assert values == sorted(values)
+
+    def test_bounded(self, estimator):
+        for severity in (0.0, 7.5, 100.0):
+            assert 0.0 <= estimator.default_fraction(severity) <= 1.0
+
+    def test_censored_never_contribute(self):
+        estimator = ThresholdEstimator(
+            [DefaultObservation("c", 1.0, None)]
+        )
+        assert estimator.default_fraction(1e9) == 0.0
+
+    def test_degenerate_interval(self):
+        estimator = ThresholdEstimator([DefaultObservation("a", 5.0, 5.0)])
+        assert estimator.default_fraction(5.0) == 1.0
+        assert estimator.default_fraction(4.999) == 0.0
+
+
+class TestSeverityAtBudget:
+    def test_returns_severity_within_budget(self, estimator):
+        severity = estimator.severity_at_budget(0.25)
+        assert estimator.default_fraction(severity) <= 0.25 + 1e-9
+
+    def test_monotone_in_budget(self, estimator):
+        budgets = [0.05, 0.1, 0.25, 0.5, 0.74]
+        severities = [estimator.severity_at_budget(b) for b in budgets]
+        assert severities == sorted(severities)
+
+    def test_full_budget_reaches_upper_bound(self, estimator):
+        assert estimator.severity_at_budget(0.99) == 20.0
+
+    def test_budget_one_rejected(self, estimator):
+        with pytest.raises(ValidationError):
+            estimator.severity_at_budget(1.0)

@@ -1,0 +1,105 @@
+"""Unit tests for house strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.exceptions import GameError
+from repro.game import CautiousHouse, FixedWidening, GreedyWidening, HouseStrategy
+from repro.simulation import WideningStep
+
+
+@dataclass
+class Round:
+    """Minimal stand-in for a game round."""
+
+    round_index: int
+    n_remaining: int
+    utility: float
+
+
+STEP = WideningStep.uniform(1)
+
+
+class TestProtocol:
+    def test_strategies_satisfy_protocol(self):
+        for strategy in (
+            FixedWidening(STEP, 3),
+            GreedyWidening(STEP),
+            CautiousHouse(STEP),
+        ):
+            assert isinstance(strategy, HouseStrategy)
+
+
+class TestFixedWidening:
+    def test_widens_for_configured_rounds(self):
+        strategy = FixedWidening(STEP, 2)
+        assert strategy.propose([Round(0, 10, 10.0)]) == STEP
+        assert strategy.propose([Round(0, 10, 10.0), Round(1, 9, 11.0)]) == STEP
+
+    def test_stops_after_rounds(self):
+        strategy = FixedWidening(STEP, 2)
+        history = [Round(i, 10, 10.0) for i in range(3)]
+        assert strategy.propose(history) is None
+
+    def test_noop_step_rejected(self):
+        with pytest.raises(GameError):
+            FixedWidening(WideningStep({}), 2)
+
+    def test_zero_rounds_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            FixedWidening(STEP, 0)
+
+
+class TestGreedyWidening:
+    def test_continues_while_improving(self):
+        strategy = GreedyWidening(STEP)
+        history = [Round(0, 10, 10.0), Round(1, 9, 12.0)]
+        assert strategy.propose(history) == STEP
+
+    def test_stops_after_utility_drop(self):
+        strategy = GreedyWidening(STEP)
+        history = [Round(0, 10, 10.0), Round(1, 9, 12.0), Round(2, 5, 8.0)]
+        assert strategy.propose(history) is None
+
+    def test_flat_utility_counts_as_not_worse(self):
+        strategy = GreedyWidening(STEP)
+        history = [Round(0, 10, 10.0), Round(1, 10, 10.0)]
+        assert strategy.propose(history) == STEP
+
+    def test_max_rounds_cap(self):
+        strategy = GreedyWidening(STEP, max_rounds=1)
+        history = [Round(0, 10, 10.0), Round(1, 10, 20.0)]
+        assert strategy.propose(history) is None
+
+    def test_first_round_always_widens(self):
+        strategy = GreedyWidening(STEP)
+        assert strategy.propose([Round(0, 10, 10.0)]) == STEP
+
+
+class TestCautiousHouse:
+    def test_widens_within_budget(self):
+        strategy = CautiousHouse(STEP, attrition_budget=0.2)
+        history = [Round(0, 10, 10.0), Round(1, 9, 11.0)]
+        assert strategy.propose(history) == STEP
+
+    def test_stops_over_budget(self):
+        strategy = CautiousHouse(STEP, attrition_budget=0.2)
+        history = [Round(0, 10, 10.0), Round(1, 7, 8.0)]
+        assert strategy.propose(history) is None
+
+    def test_boundary_is_inclusive(self):
+        strategy = CautiousHouse(STEP, attrition_budget=0.1)
+        history = [Round(0, 10, 10.0), Round(1, 9, 11.0)]  # exactly 10%
+        assert strategy.propose(history) == STEP
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(GameError):
+            CautiousHouse(STEP, attrition_budget=1.5)
+
+    def test_empty_history_widens(self):
+        assert CautiousHouse(STEP).propose([]) == STEP

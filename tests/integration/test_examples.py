@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion and says the
+load-bearing things."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["Table 1 (reproduced)", "P(W)        = 0.6667"]),
+    ("healthcare_audit.py", ["population summary", "verdict:"]),
+    (
+        "crm_expansion_economics.py",
+        ["Section 9 sweep", "best response", "cost of myopia"],
+    ),
+    (
+        "social_network_drift.py",
+        ["policy after drift", "implicit-zero rule", "drift dynamics"],
+    ),
+    ("ppdb_enforcement.py", ["DENIED", "audit log", "evicted"]),
+    (
+        "threshold_estimation.py",
+        ["estimated default-fraction curve", "churn under"],
+    ),
+    (
+        "government_captive.py",
+        ["weakened feedback loop", "economic brake", "VIOLATED"],
+    ),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: {needle!r} missing from output"
+        )

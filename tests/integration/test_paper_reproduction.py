@@ -1,0 +1,136 @@
+"""End-to-end reproduction checks for every experiment in DESIGN.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    Dimension,
+    ViolationEngine,
+    break_even_extra_utility,
+    estimate_probability_by_trials,
+)
+from repro.datasets import (
+    healthcare_scenario,
+    paper_example_policy,
+    paper_example_population,
+)
+from repro.simulation import run_expansion_sweep
+from repro.taxonomy import violation_dimensions
+
+
+class TestE1Table1:
+    """E1: the worked example, exactly."""
+
+    def test_full_pipeline(self):
+        engine = ViolationEngine(
+            paper_example_policy(), paper_example_population()
+        )
+        report = engine.report()
+        assert report.total_violations == 140.0
+        assert report.violation_probability == 2 / 3
+        assert report.default_probability == 1 / 3
+
+    def test_trial_estimator_converges_to_paper_probability(self):
+        engine = ViolationEngine(
+            paper_example_policy(), paper_example_population()
+        )
+        indicators = {
+            o.provider_id: int(o.defaulted) for o in engine.outcomes()
+        }
+        estimate = estimate_probability_by_trials(indicators, 300_000, seed=0)
+        assert estimate.exact == pytest.approx(1 / 3)
+        assert estimate.absolute_error < 0.01
+
+
+class TestE2Figure1:
+    """E2: the geometric panels, via the taxonomy box view AND the core."""
+
+    def test_panel_a_no_violation(self):
+        from repro.core import PrivacyTuple, exceeded_dimensions
+
+        preference = PrivacyTuple("p", 3, 3, 3)
+        policy = PrivacyTuple("p", 2, 2, 2)
+        assert violation_dimensions(preference, policy) == ()
+        assert exceeded_dimensions(preference, policy) == ()
+
+    def test_panel_b_one_dimension(self):
+        from repro.core import PrivacyTuple
+
+        preference = PrivacyTuple("p", 3, 1, 3)
+        policy = PrivacyTuple("p", 2, 2, 2)
+        assert violation_dimensions(preference, policy) == (
+            Dimension.GRANULARITY,
+        )
+
+    def test_panel_c_two_dimensions(self):
+        from repro.core import PrivacyTuple
+
+        preference = PrivacyTuple("p", 1, 1, 3)
+        policy = PrivacyTuple("p", 2, 2, 2)
+        assert len(violation_dimensions(preference, policy)) == 2
+
+
+class TestE3BreakEven:
+    """E3: Eq. 31's closed form agrees with direct utility comparison."""
+
+    def test_sweep_justification_matches_closed_form(self):
+        scenario = healthcare_scenario(80, seed=5)
+        sweep = run_expansion_sweep(
+            scenario.population,
+            scenario.policy,
+            scenario.taxonomy,
+            max_steps=4,
+            per_provider_utility=scenario.per_provider_utility,
+            extra_utility_per_step=scenario.extra_utility_per_step,
+        )
+        for row in sweep.rows:
+            closed_form = break_even_extra_utility(
+                scenario.per_provider_utility, row.n_current, row.n_future
+            )
+            assert row.break_even_extra_utility == pytest.approx(closed_form)
+            direct = row.utility_future > row.utility_current
+            assert row.justified == direct
+
+
+class TestE4DetrimentalAccumulation:
+    """E4: the abstract's claim — widening eventually hurts the house."""
+
+    def test_rise_then_fall_with_crossover(self):
+        scenario = healthcare_scenario(150, seed=11)
+        sweep = run_expansion_sweep(
+            scenario.population,
+            scenario.policy,
+            scenario.taxonomy,
+            max_steps=5,
+            per_provider_utility=scenario.per_provider_utility,
+            extra_utility_per_step=scenario.extra_utility_per_step,
+        )
+        utilities = [row.utility_future for row in sweep.rows]
+        base = utilities[0]
+        assert max(utilities[1:]) > base  # widening pays at first
+        assert sweep.crossover_step() is not None  # then turns detrimental
+        assert utilities[-1] < base  # and stays detrimental in range
+
+
+class TestE5AlphaPPDB:
+    """E5: P(W) monotone under widening; certification flips at alpha."""
+
+    def test_monotone_and_flipping(self):
+        scenario = healthcare_scenario(80, seed=7)
+        sweep = run_expansion_sweep(
+            scenario.population, scenario.policy, scenario.taxonomy, max_steps=4
+        )
+        probabilities = [row.violation_probability for row in sweep.rows]
+        assert probabilities == sorted(probabilities)
+        assert probabilities[0] == 0.0
+        assert probabilities[-1] > 0.5
+
+    def test_certification_consistency(self):
+        scenario = healthcare_scenario(60, seed=7)
+        engine = ViolationEngine(scenario.policy, scenario.population)
+        for alpha in (0.0, 0.1, 0.5, 1.0):
+            certificate = engine.certify(alpha)
+            assert certificate.satisfied == (
+                certificate.violation_probability <= alpha
+            )

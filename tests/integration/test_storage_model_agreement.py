@@ -1,0 +1,87 @@
+"""The sqlite store and the in-memory model must agree exactly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ViolationEngine
+from repro.storage import AccessRequest, EnforcementMode, PrivacyDatabase
+
+
+class TestStoredEngineAgreement:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_scenario_round_trip_agrees(self, seed):
+        from repro.datasets import crm_scenario
+
+        scenario = crm_scenario(40, seed=seed)
+        direct = ViolationEngine(scenario.policy, scenario.population).report()
+        with PrivacyDatabase.create(":memory:") as db:
+            db.install(scenario.policy, scenario.population)
+            stored = db.engine().report()
+            assert stored.violation_probability == direct.violation_probability
+            assert stored.default_probability == direct.default_probability
+            assert stored.total_violations == pytest.approx(
+                direct.total_violations
+            )
+            assert set(stored.defaulted_ids()) == {
+                str(pid) for pid in direct.defaulted_ids()
+            }
+
+    def test_widened_policy_agreement(self, small_healthcare):
+        from repro.simulation import WideningStep, widen
+
+        widened = widen(
+            small_healthcare.policy,
+            WideningStep.uniform(1),
+            small_healthcare.taxonomy,
+        )
+        direct = ViolationEngine(widened, small_healthcare.population).report()
+        with PrivacyDatabase.create(":memory:") as db:
+            db.install(small_healthcare.policy, small_healthcare.population)
+            db.set_policy(widened)
+            stored = db.engine().report()
+            assert stored.total_violations == pytest.approx(
+                direct.total_violations
+            )
+            assert stored.n_defaulted == direct.n_defaulted
+
+
+class TestGateVsOfflineModel:
+    def test_gate_findings_match_offline_indicator(self, paper_policy, paper_population):
+        """An access request shaped exactly like the stored Weight policy
+        tuple must violate exactly the providers the offline model says are
+        violated on Weight."""
+        from repro.core import violation_indicator
+
+        with PrivacyDatabase.create(":memory:") as db:
+            db.install(paper_policy, paper_population)
+            for provider in paper_population:
+                db.repository.put_datum(
+                    str(provider.provider_id), "Weight", "x"
+                )
+            gate = db.gate(mode=EnforcementMode.AUDIT)
+            weight_tuple = paper_policy.for_attribute("Weight")[0].tuple
+            decision = gate.request(AccessRequest("Weight", weight_tuple))
+            offline = {
+                str(provider.provider_id)
+                for provider in paper_population
+                if violation_indicator(provider.preferences, paper_policy)
+            }
+            assert set(decision.violated_providers) == offline
+
+    def test_audit_log_rate_reflects_requests(self, paper_policy, paper_population):
+        from repro.core import PrivacyTuple
+
+        with PrivacyDatabase.create(":memory:") as db:
+            db.install(paper_policy, paper_population)
+            db.repository.put_datum("Alice", "Weight", "60")
+            gate = db.gate(mode=EnforcementMode.AUDIT)
+            gate.request(
+                AccessRequest("Weight", PrivacyTuple("pr", 0, 0, 0))
+            )
+            gate.request(
+                AccessRequest("Weight", PrivacyTuple("pr", 4, 4, 4))
+            )
+            report = db.audit_log.report()
+            assert report.total_events == 2
+            assert report.observed_violation_rate == pytest.approx(0.5)

@@ -1,0 +1,186 @@
+"""Unit tests for the policy-language parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrivacyTuple
+from repro.exceptions import DomainError, PolicyDocumentError, UnknownPurposeError
+from repro.policy_lang import (
+    parse_policy,
+    parse_preferences,
+    parse_sensitivities,
+    policy_from_json,
+    preferences_from_json,
+)
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing", "research"])
+
+
+POLICY_DOC = {
+    "name": "doc-policy",
+    "rules": [
+        {
+            "attribute": "weight",
+            "purpose": "billing",
+            "visibility": "house",
+            "granularity": "partial",
+            "retention": "short-term",
+        },
+        {
+            "attribute": "age",
+            "purpose": "research",
+            "visibility": 1,
+            "granularity": 1,
+            "retention": 1,
+        },
+    ],
+}
+
+
+class TestParsePolicy:
+    def test_names_resolved_to_ranks(self, taxonomy):
+        policy = parse_policy(POLICY_DOC, taxonomy)
+        assert policy.name == "doc-policy"
+        weight = policy.for_attribute("weight")[0]
+        assert weight.tuple == PrivacyTuple("billing", 2, 2, 2)
+
+    def test_integer_ranks_accepted(self, taxonomy):
+        policy = parse_policy(POLICY_DOC, taxonomy)
+        age = policy.for_attribute("age")[0]
+        assert age.tuple == PrivacyTuple("research", 1, 1, 1)
+
+    def test_default_name(self, taxonomy):
+        policy = parse_policy({"rules": []}, taxonomy)
+        assert policy.name == "house-policy"
+
+    def test_missing_rules_rejected(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            parse_policy({"name": "x"}, taxonomy)
+
+    def test_missing_rule_key_rejected(self, taxonomy):
+        doc = {"rules": [{"attribute": "a", "purpose": "billing"}]}
+        with pytest.raises(PolicyDocumentError):
+            parse_policy(doc, taxonomy)
+
+    def test_unknown_rule_key_rejected(self, taxonomy):
+        rule = dict(POLICY_DOC["rules"][0])
+        rule["extra"] = 1
+        with pytest.raises(PolicyDocumentError):
+            parse_policy({"rules": [rule]}, taxonomy)
+
+    def test_unknown_purpose_raises(self, taxonomy):
+        rule = dict(POLICY_DOC["rules"][0])
+        rule["purpose"] = "resale"
+        with pytest.raises(UnknownPurposeError):
+            parse_policy({"rules": [rule]}, taxonomy)
+
+    def test_unknown_level_raises(self, taxonomy):
+        rule = dict(POLICY_DOC["rules"][0])
+        rule["visibility"] = "galaxy"
+        with pytest.raises(DomainError):
+            parse_policy({"rules": [rule]}, taxonomy)
+
+    def test_non_mapping_rejected(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            parse_policy(["not", "a", "mapping"], taxonomy)  # type: ignore[arg-type]
+
+
+class TestParsePreferences:
+    DOC = {
+        "provider": "alice",
+        "attributes_provided": ["weight", "height"],
+        "preferences": [
+            {
+                "attribute": "weight",
+                "purpose": "billing",
+                "visibility": "owner",
+                "granularity": "existential",
+                "retention": "transaction",
+            }
+        ],
+    }
+
+    def test_parsed_fields(self, taxonomy):
+        prefs = parse_preferences(self.DOC, taxonomy)
+        assert prefs.provider_id == "alice"
+        assert prefs.attributes_provided == {"weight", "height"}
+        assert prefs.entries[0].tuple == PrivacyTuple("billing", 1, 1, 1)
+
+    def test_attributes_provided_optional(self, taxonomy):
+        doc = {k: v for k, v in self.DOC.items() if k != "attributes_provided"}
+        prefs = parse_preferences(doc, taxonomy)
+        assert prefs.attributes_provided == {"weight"}
+
+    def test_missing_provider_rejected(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            parse_preferences({"preferences": []}, taxonomy)
+
+    def test_missing_preferences_rejected(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            parse_preferences({"provider": "alice"}, taxonomy)
+
+
+class TestParseSensitivities:
+    def test_full_document(self):
+        model = parse_sensitivities(
+            {
+                "attributes": {"weight": 4.0},
+                "providers": {
+                    "ted": {
+                        "weight": {
+                            "value": 3,
+                            "granularity": 5,
+                            "retention": 2,
+                        }
+                    }
+                },
+            }
+        )
+        assert model.attribute_weight("weight") == 4.0
+        datum = model.datum("ted", "weight")
+        assert datum.value == 3.0
+        assert datum.visibility == 1.0  # defaulted
+        assert datum.granularity == 5.0
+
+    def test_empty_document_is_neutral(self):
+        model = parse_sensitivities({})
+        assert model.attribute_weight("x") == 1.0
+
+    def test_unknown_record_key_rejected(self):
+        with pytest.raises(PolicyDocumentError):
+            parse_sensitivities(
+                {"providers": {"t": {"w": {"weirdness": 3}}}}
+            )
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(PolicyDocumentError):
+            parse_sensitivities({"attrs": {}})
+
+
+class TestJsonVariants:
+    def test_policy_from_json(self, taxonomy):
+        import json
+
+        policy = policy_from_json(json.dumps(POLICY_DOC), taxonomy)
+        assert len(policy) == 2
+
+    def test_preferences_from_json(self, taxonomy):
+        import json
+
+        prefs = preferences_from_json(
+            json.dumps(TestParsePreferences.DOC), taxonomy
+        )
+        assert prefs.provider_id == "alice"
+
+    def test_invalid_json_wrapped(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            policy_from_json("{not json", taxonomy)
+
+    def test_non_object_json_rejected(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            policy_from_json("[1, 2]", taxonomy)

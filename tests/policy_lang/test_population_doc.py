@@ -1,0 +1,152 @@
+"""Unit tests for population documents."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import DimensionSensitivity, PrivacyTuple
+from repro.exceptions import PolicyDocumentError
+from repro.policy_lang import (
+    parse_population,
+    population_from_json,
+    population_to_dict,
+    population_to_json,
+)
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing"])
+
+
+DOC = {
+    "attribute_sensitivities": {"weight": 4.0},
+    "providers": [
+        {
+            "provider": "ted",
+            "segment": "pragmatist",
+            "threshold": 50,
+            "preferences": [
+                {
+                    "attribute": "weight",
+                    "purpose": "billing",
+                    "visibility": "all",
+                    "granularity": "existential",
+                    "retention": "all" if False else "indefinite",
+                }
+            ],
+            "sensitivities": {
+                "weight": {"value": 3, "granularity": 5, "retention": 2}
+            },
+        },
+        {
+            "provider": "immortal",
+            "preferences": [
+                {
+                    "attribute": "weight",
+                    "purpose": "billing",
+                    "visibility": 0,
+                    "granularity": 0,
+                    "retention": 0,
+                }
+            ],
+        },
+    ],
+}
+
+
+class TestParsePopulation:
+    def test_providers_parsed(self, taxonomy):
+        population = parse_population(DOC, taxonomy)
+        assert population.ids() == ("ted", "immortal")
+        ted = population.get("ted")
+        assert ted.threshold == 50.0
+        assert ted.segment == "pragmatist"
+        assert ted.preferences.entries[0].tuple == PrivacyTuple(
+            "billing", 4, 1, 4
+        )
+        assert ted.sensitivity["weight"] == DimensionSensitivity(
+            3.0, 1.0, 5.0, 2.0
+        )
+
+    def test_missing_threshold_means_never_defaults(self, taxonomy):
+        population = parse_population(DOC, taxonomy)
+        assert population.get("immortal").threshold == math.inf
+
+    def test_attribute_sensitivities(self, taxonomy):
+        population = parse_population(DOC, taxonomy)
+        assert population.attribute_sensitivities.weight("weight") == 4.0
+
+    def test_missing_providers_rejected(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            parse_population({"attribute_sensitivities": {}}, taxonomy)
+
+    def test_unknown_provider_key_rejected(self, taxonomy):
+        doc = {
+            "providers": [
+                {"provider": "x", "preferences": [], "age": 30}
+            ]
+        }
+        with pytest.raises(PolicyDocumentError):
+            parse_population(doc, taxonomy)
+
+    def test_unknown_sensitivity_key_rejected(self, taxonomy):
+        doc = {
+            "providers": [
+                {
+                    "provider": "x",
+                    "preferences": [],
+                    "sensitivities": {"w": {"weirdness": 1}},
+                }
+            ]
+        }
+        with pytest.raises(PolicyDocumentError):
+            parse_population(doc, taxonomy)
+
+
+class TestRoundTrips:
+    def test_document_round_trip(self, taxonomy):
+        population = parse_population(DOC, taxonomy)
+        document = population_to_dict(population, taxonomy)
+        again = parse_population(document, taxonomy)
+        assert again.ids() == population.ids()
+        for provider_id in population.ids():
+            original = population.get(provider_id)
+            restored = again.get(provider_id)
+            assert restored.preferences == original.preferences
+            assert restored.threshold == original.threshold
+            assert restored.segment == original.segment
+            assert restored.sensitivity == original.sensitivity
+        assert (
+            again.attribute_sensitivities == population.attribute_sensitivities
+        )
+
+    def test_json_round_trip(self, taxonomy):
+        population = parse_population(DOC, taxonomy)
+        text = population_to_json(population, taxonomy)
+        again = population_from_json(text, taxonomy)
+        assert again.ids() == population.ids()
+
+    def test_paper_population_round_trips(self, paper_population):
+        from repro.taxonomy import TaxonomyBuilder
+
+        # The Table 1 preference offsets reach rank 5; use ladders deep
+        # enough to hold them.
+        deep = (
+            TaxonomyBuilder()
+            .with_purposes(["pr"])
+            .with_visibility([f"v{i}" for i in range(6)])
+            .with_granularity([f"g{i}" for i in range(6)])
+            .with_retention([f"r{i}" for i in range(6)])
+            .build()
+        )
+        document = population_to_dict(paper_population)
+        again = parse_population(document, deep)
+        assert again.ids() == paper_population.ids()
+        for provider in paper_population:
+            restored = again.get(provider.provider_id)
+            assert restored.threshold == provider.threshold
+            assert restored.preferences == provider.preferences

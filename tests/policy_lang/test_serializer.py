@@ -1,0 +1,124 @@
+"""Unit tests for serialisation and round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import (
+    AttributeSensitivities,
+    DimensionSensitivity,
+    HousePolicy,
+    PrivacyTuple,
+    ProviderPreferences,
+    ProviderSensitivity,
+    SensitivityModel,
+)
+from repro.policy_lang import (
+    parse_policy,
+    parse_preferences,
+    parse_sensitivities,
+    policy_to_dict,
+    policy_to_json,
+    preferences_to_dict,
+    preferences_to_json,
+    sensitivities_to_dict,
+)
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing", "research"])
+
+
+@pytest.fixture()
+def policy() -> HousePolicy:
+    return HousePolicy(
+        [
+            ("weight", PrivacyTuple("billing", 2, 2, 2)),
+            ("age", PrivacyTuple("research", 1, 3, 4)),
+        ],
+        name="rt-policy",
+    )
+
+
+@pytest.fixture()
+def prefs() -> ProviderPreferences:
+    return ProviderPreferences(
+        "alice",
+        [("weight", PrivacyTuple("billing", 4, 3, 4))],
+        attributes_provided=["weight", "age"],
+    )
+
+
+class TestPolicySerialization:
+    def test_round_trip_with_taxonomy(self, policy, taxonomy):
+        doc = policy_to_dict(policy, taxonomy)
+        assert parse_policy(doc, taxonomy) == policy
+
+    def test_round_trip_without_taxonomy_uses_ranks(self, policy, taxonomy):
+        doc = policy_to_dict(policy)
+        assert isinstance(doc["rules"][0]["visibility"], int)
+        assert parse_policy(doc, taxonomy) == policy
+
+    def test_level_names_emitted_with_taxonomy(self, policy, taxonomy):
+        doc = policy_to_dict(policy, taxonomy)
+        assert doc["rules"][0]["visibility"] == "house"
+
+    def test_json_round_trip(self, policy, taxonomy):
+        text = policy_to_json(policy, taxonomy)
+        assert parse_policy(json.loads(text), taxonomy) == policy
+
+    def test_name_preserved(self, policy, taxonomy):
+        assert policy_to_dict(policy, taxonomy)["name"] == "rt-policy"
+
+    def test_empty_policy(self, taxonomy):
+        empty = HousePolicy([], name="empty")
+        doc = policy_to_dict(empty, taxonomy)
+        assert doc["rules"] == []
+        assert parse_policy(doc, taxonomy) == empty
+
+
+class TestPreferenceSerialization:
+    def test_round_trip(self, prefs, taxonomy):
+        doc = preferences_to_dict(prefs, taxonomy)
+        assert parse_preferences(doc, taxonomy) == prefs
+
+    def test_attributes_provided_serialized(self, prefs, taxonomy):
+        doc = preferences_to_dict(prefs, taxonomy)
+        assert sorted(doc["attributes_provided"]) == ["age", "weight"]
+
+    def test_json_round_trip(self, prefs, taxonomy):
+        text = preferences_to_json(prefs, taxonomy)
+        assert parse_preferences(json.loads(text), taxonomy) == prefs
+
+
+class TestSensitivitySerialization:
+    def test_round_trip(self):
+        model = SensitivityModel(
+            AttributeSensitivities({"weight": 4.0}),
+            {
+                "ted": ProviderSensitivity(
+                    "ted",
+                    {"weight": DimensionSensitivity(3.0, 1.0, 5.0, 2.0)},
+                )
+            },
+        )
+        doc = sensitivities_to_dict(model)
+        again = parse_sensitivities(doc)
+        assert again.attribute_weight("weight") == 4.0
+        assert again.datum("ted", "weight") == model.datum("ted", "weight")
+
+    def test_neutral_model_serializes_empty(self):
+        doc = sensitivities_to_dict(SensitivityModel.neutral())
+        assert doc == {"attributes": {}, "providers": {}}
+
+    def test_document_is_json_safe(self):
+        model = SensitivityModel(
+            AttributeSensitivities({"a": 2.0}),
+            {"p": ProviderSensitivity("p", {"a": DimensionSensitivity()})},
+        )
+        text = json.dumps(sensitivities_to_dict(model))
+        assert "providers" in json.loads(text)

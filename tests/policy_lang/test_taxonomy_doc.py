@@ -1,0 +1,93 @@
+"""Unit tests for taxonomy documents."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import Dimension
+from repro.core.dimensions import UnboundedRetention
+from repro.exceptions import PolicyDocumentError
+from repro.policy_lang import (
+    parse_taxonomy,
+    taxonomy_from_json,
+    taxonomy_to_dict,
+    taxonomy_to_json,
+)
+from repro.taxonomy import TaxonomyBuilder, standard_taxonomy
+
+DOC = {
+    "purposes": ["billing", "research"],
+    "visibility": ["none", "clinic", "public"],
+    "granularity": ["none", "range", "exact"],
+    "retention": ["none", "visit", "year"],
+}
+
+
+class TestParseTaxonomy:
+    def test_full_document(self):
+        taxonomy = parse_taxonomy(DOC)
+        assert set(taxonomy.purposes.purposes) == {"billing", "research"}
+        assert taxonomy.domain(Dimension.VISIBILITY).max_rank == 2
+        assert taxonomy.tuple("billing", "clinic", "exact", "year").retention == 2
+
+    def test_missing_ladders_default_to_canonical(self):
+        taxonomy = parse_taxonomy({"purposes": ["p"]})
+        assert taxonomy.domain(Dimension.VISIBILITY).max_rank == 4
+
+    def test_unbounded_retention(self):
+        taxonomy = parse_taxonomy(
+            {"purposes": ["p"], "retention": "unbounded"}
+        )
+        assert isinstance(
+            taxonomy.domain(Dimension.RETENTION), UnboundedRetention
+        )
+
+    def test_missing_purposes_rejected(self):
+        with pytest.raises(PolicyDocumentError):
+            parse_taxonomy({"visibility": ["a"]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(PolicyDocumentError):
+            parse_taxonomy({"purposes": ["p"], "colour": ["red"]})
+
+    def test_bad_retention_value_rejected(self):
+        with pytest.raises(PolicyDocumentError):
+            parse_taxonomy({"purposes": ["p"], "retention": 5})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(PolicyDocumentError):
+            parse_taxonomy(["purposes"])  # type: ignore[arg-type]
+
+
+class TestRoundTrips:
+    def test_named_ladders_round_trip(self):
+        taxonomy = parse_taxonomy(DOC)
+        again = parse_taxonomy(taxonomy_to_dict(taxonomy))
+        assert taxonomy_to_dict(again) == taxonomy_to_dict(taxonomy)
+
+    def test_standard_taxonomy_round_trips(self):
+        taxonomy = standard_taxonomy(["a", "b"])
+        document = taxonomy_to_dict(taxonomy)
+        again = parse_taxonomy(document)
+        assert taxonomy_to_dict(again) == document
+
+    def test_unbounded_round_trips(self):
+        taxonomy = (
+            TaxonomyBuilder().with_purposes(["p"]).with_retention_unbounded().build()
+        )
+        document = taxonomy_to_dict(taxonomy)
+        assert document["retention"] == "unbounded"
+        again = parse_taxonomy(document)
+        assert isinstance(again.domain(Dimension.RETENTION), UnboundedRetention)
+
+    def test_json_round_trip(self):
+        taxonomy = parse_taxonomy(DOC)
+        text = taxonomy_to_json(taxonomy)
+        again = taxonomy_from_json(text)
+        assert taxonomy_to_dict(again) == json.loads(text)
+
+    def test_invalid_json_wrapped(self):
+        with pytest.raises(PolicyDocumentError):
+            taxonomy_from_json("{oops")

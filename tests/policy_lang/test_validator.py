@@ -1,0 +1,100 @@
+"""Unit tests for semantic document validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PolicyDocumentError
+from repro.policy_lang import validate_policy_document, validate_preference_document
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing"])
+
+
+def _rule(**overrides):
+    rule = {
+        "attribute": "weight",
+        "purpose": "billing",
+        "visibility": "house",
+        "granularity": "partial",
+        "retention": "short-term",
+    }
+    rule.update(overrides)
+    return rule
+
+
+class TestPolicyValidation:
+    def test_valid_document_no_problems(self, taxonomy):
+        assert validate_policy_document({"rules": [_rule()]}, taxonomy) == []
+
+    def test_unknown_purpose_reported(self, taxonomy):
+        problems = validate_policy_document(
+            {"rules": [_rule(purpose="resale")]}, taxonomy
+        )
+        assert len(problems) == 1
+        assert "resale" in problems[0]
+
+    def test_unknown_level_reported(self, taxonomy):
+        problems = validate_policy_document(
+            {"rules": [_rule(visibility="galaxy")]}, taxonomy
+        )
+        assert len(problems) == 1
+        assert "galaxy" in problems[0]
+
+    def test_multiple_problems_all_reported(self, taxonomy):
+        problems = validate_policy_document(
+            {
+                "rules": [
+                    _rule(purpose="resale"),
+                    _rule(granularity="atomic", retention=99),
+                ]
+            },
+            taxonomy,
+        )
+        assert len(problems) == 3
+
+    def test_rule_index_in_context(self, taxonomy):
+        problems = validate_policy_document(
+            {"rules": [_rule(), _rule(purpose="bad")]}, taxonomy
+        )
+        assert "rule 1" in problems[0]
+
+    def test_strict_raises(self, taxonomy):
+        with pytest.raises(PolicyDocumentError):
+            validate_policy_document(
+                {"rules": [_rule(purpose="bad")]}, taxonomy, strict=True
+            )
+
+    def test_strict_valid_does_not_raise(self, taxonomy):
+        assert (
+            validate_policy_document({"rules": [_rule()]}, taxonomy, strict=True)
+            == []
+        )
+
+
+class TestPreferenceValidation:
+    def test_valid_document(self, taxonomy):
+        doc = {"provider": "alice", "preferences": [_rule()]}
+        assert validate_preference_document(doc, taxonomy) == []
+
+    def test_preference_outside_attributes_provided_reported(self, taxonomy):
+        doc = {
+            "provider": "alice",
+            "attributes_provided": ["age"],
+            "preferences": [_rule()],
+        }
+        problems = validate_preference_document(doc, taxonomy)
+        assert any("attributes_provided" in p for p in problems)
+
+    def test_out_of_range_rank_reported(self, taxonomy):
+        doc = {"provider": "alice", "preferences": [_rule(retention=42)]}
+        problems = validate_preference_document(doc, taxonomy)
+        assert len(problems) == 1
+
+    def test_strict_raises(self, taxonomy):
+        doc = {"provider": "alice", "preferences": [_rule(purpose="nope")]}
+        with pytest.raises(PolicyDocumentError):
+            validate_preference_document(doc, taxonomy, strict=True)

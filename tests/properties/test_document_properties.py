@@ -1,0 +1,113 @@
+"""Property-based round-trips for the taxonomy and population documents."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Population, PrivacyTuple, Provider, ProviderPreferences
+from repro.policy_lang import (
+    parse_population,
+    parse_taxonomy,
+    population_to_dict,
+    taxonomy_to_dict,
+)
+from repro.taxonomy import TaxonomyBuilder
+
+level_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12
+).filter(lambda s: s.strip("-"))
+
+
+@st.composite
+def ladders(draw):
+    n = draw(st.integers(2, 6))
+    names = draw(
+        st.lists(level_names, min_size=n, max_size=n, unique=True)
+    )
+    return names
+
+
+@st.composite
+def taxonomies(draw):
+    purposes = draw(
+        st.lists(level_names, min_size=1, max_size=4, unique=True)
+    )
+    builder = TaxonomyBuilder().with_purposes(purposes)
+    builder.with_visibility(draw(ladders()))
+    builder.with_granularity(draw(ladders()))
+    if draw(st.booleans()):
+        builder.with_retention_unbounded()
+    else:
+        builder.with_retention(draw(ladders()))
+    return builder.build()
+
+
+class TestTaxonomyDocumentProperties:
+    @given(taxonomy=taxonomies())
+    @settings(max_examples=100)
+    def test_round_trip_is_fixed_point(self, taxonomy):
+        document = taxonomy_to_dict(taxonomy)
+        again = parse_taxonomy(document)
+        assert taxonomy_to_dict(again) == document
+
+
+@st.composite
+def populations(draw, taxonomy):
+    purposes = sorted(taxonomy.purposes.purposes)
+    from repro.core.dimensions import Dimension
+
+    def max_rank(dim):
+        top = taxonomy.domain(dim).max_rank
+        return 8 if top is None else top
+
+    n = draw(st.integers(1, 4))
+    providers = []
+    for index in range(n):
+        entries = []
+        for _ in range(draw(st.integers(1, 3))):
+            entries.append(
+                (
+                    draw(st.sampled_from(["a1", "a2"])),
+                    PrivacyTuple(
+                        draw(st.sampled_from(purposes)),
+                        draw(st.integers(0, max_rank(Dimension.VISIBILITY))),
+                        draw(st.integers(0, max_rank(Dimension.GRANULARITY))),
+                        draw(st.integers(0, max_rank(Dimension.RETENTION))),
+                    ),
+                )
+            )
+        providers.append(
+            Provider(
+                preferences=ProviderPreferences(f"u{index}", entries),
+                threshold=draw(
+                    st.one_of(
+                        st.just(float("inf")),
+                        st.floats(0, 100, allow_nan=False),
+                    )
+                ),
+                segment=draw(
+                    st.one_of(st.none(), st.sampled_from(["s1", "s2"]))
+                ),
+            )
+        )
+    return Population(providers, {"a1": draw(st.floats(0, 5, allow_nan=False))})
+
+
+class TestPopulationDocumentProperties:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_model(self, data):
+        taxonomy = data.draw(taxonomies())
+        population = data.draw(populations(taxonomy))
+        document = population_to_dict(population, taxonomy)
+        again = parse_population(document, taxonomy)
+        assert again.ids() == population.ids()
+        for provider in population:
+            restored = again.get(provider.provider_id)
+            assert restored.preferences == provider.preferences
+            assert restored.threshold == provider.threshold
+            assert restored.segment == provider.segment
+        assert (
+            again.attribute_sensitivities
+            == population.attribute_sensitivities
+        )

@@ -1,0 +1,101 @@
+"""Property-based tests for the Section 9 economics and the default CDF."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, strategies as st
+
+from repro.analysis import DefaultCDF
+from repro.core import (
+    break_even_extra_utility,
+    expansion_justified,
+    utility_current,
+    utility_future,
+)
+
+counts = st.integers(0, 10_000)
+utilities = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestBreakEvenProperties:
+    @given(u=utilities, n_current=counts, lost=counts)
+    def test_break_even_non_negative(self, u, n_current, lost):
+        assume(lost <= n_current)
+        n_fut = n_current - lost
+        assume(n_fut > 0)
+        assert break_even_extra_utility(u, n_current, n_fut) >= 0.0
+
+    @given(u=utilities, n_current=st.integers(1, 10_000), lost=counts)
+    def test_justification_equivalent_to_utility_comparison(self, u, n_current, lost):
+        assume(lost <= n_current)
+        n_fut = n_current - lost
+        t_star = break_even_extra_utility(u, n_current, n_fut)
+        assume(math.isfinite(t_star))
+        epsilon = max(1.0, abs(t_star)) * 1e-6
+        above = t_star + epsilon
+        assert expansion_justified(u, above, n_current, n_fut) == (
+            utility_future(n_fut, u, above) > utility_current(n_current, u)
+        )
+
+    @given(u=st.floats(min_value=0.01, max_value=1e5, allow_nan=False),
+           n_current=st.integers(2, 1000),
+           lost_a=st.integers(0, 500), lost_b=st.integers(0, 500))
+    def test_break_even_monotone_in_defaults(self, u, n_current, lost_a, lost_b):
+        """More defaults demand more compensating utility."""
+        assume(lost_a <= lost_b < n_current)
+        smaller = break_even_extra_utility(u, n_current, n_current - lost_a)
+        larger = break_even_extra_utility(u, n_current, n_current - lost_b)
+        assert larger >= smaller
+
+    @given(u=utilities, n=st.integers(1, 10_000))
+    def test_no_defaults_break_even_is_zero(self, u, n):
+        assert break_even_extra_utility(u, n, n) == 0.0
+
+    @given(u=st.floats(min_value=0.01, max_value=1e5, allow_nan=False),
+           n=st.integers(1, 10_000))
+    def test_total_default_is_unjustifiable(self, u, n):
+        assert break_even_extra_utility(u, n, 0) == math.inf
+        assert not expansion_justified(u, 1e30, n, 0)
+
+
+@st.composite
+def cdf_data(draw):
+    n_steps = draw(st.integers(1, 8))
+    population = draw(st.integers(1, 500))
+    increments = draw(
+        st.lists(
+            st.integers(0, 60), min_size=n_steps, max_size=n_steps
+        )
+    )
+    cumulative = []
+    total = 0
+    for increment in increments:
+        total = min(population, total + increment)
+        cumulative.append(total)
+    return DefaultCDF(
+        steps=tuple(range(n_steps)),
+        cumulative_defaults=tuple(cumulative),
+        population_size=population,
+    )
+
+
+class TestDefaultCDFProperties:
+    @given(cdf=cdf_data())
+    def test_step_function_non_decreasing(self, cdf):
+        values = [cdf.defaults_at(step) for step in range(-1, cdf.steps[-1] + 3)]
+        assert values == sorted(values)
+
+    @given(cdf=cdf_data())
+    def test_fraction_bounded(self, cdf):
+        for step in cdf.steps:
+            assert 0.0 <= cdf.fraction_at(step) <= 1.0
+
+    @given(cdf=cdf_data(), budget=st.floats(0.0, 1.0, allow_nan=False))
+    def test_widest_step_within_budget_respects_budget(self, cdf, budget):
+        step = cdf.widest_step_within(budget)
+        assert cdf.fraction_at(step) <= budget or step == 0
+
+    @given(cdf=cdf_data())
+    def test_budget_one_reaches_last_step(self, cdf):
+        assert cdf.widest_step_within(1.0) == cdf.steps[-1]

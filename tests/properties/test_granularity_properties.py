@@ -1,0 +1,86 @@
+"""Property-based tests for granularity degradation.
+
+The safety invariant: coarsening must never reveal *more* as the granted
+rank decreases — formalised as "the set of raw values consistent with the
+rendering never shrinks when the rank drops".
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.storage import EXISTENCE_MARKER, ValueDegrader
+
+numeric_values = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+widths = st.floats(min_value=0.01, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def degraders(draw):
+    exact_rank = draw(st.integers(2, 5))
+    bucket_ranks = draw(
+        st.sets(st.integers(1, exact_rank - 1), max_size=exact_rank - 1)
+    )
+    return ValueDegrader(
+        exact_rank,
+        bucket_widths={rank: draw(widths) for rank in bucket_ranks},
+    )
+
+
+class TestDegradationProperties:
+    @given(degrader=degraders(), value=numeric_values)
+    def test_rank_zero_always_none(self, degrader, value):
+        assert degrader.degrade(str(value), 0) is None
+
+    @given(degrader=degraders(), value=numeric_values)
+    def test_exact_rank_is_identity(self, degrader, value):
+        raw = str(value)
+        assert degrader.degrade(raw, degrader.exact_rank) == raw
+
+    @given(degrader=degraders(), value=numeric_values, rank=st.integers(0, 6))
+    def test_none_input_stays_none(self, degrader, value, rank):
+        assert degrader.degrade(None, rank) is None
+
+    @given(degrader=degraders(), value=numeric_values, rank=st.integers(1, 6))
+    def test_bucket_contains_value(self, degrader, value, rank):
+        rendered = degrader.degrade(str(value), rank)
+        if rendered is None or rendered == EXISTENCE_MARKER:
+            return
+        if rank >= degrader.exact_rank:
+            assert rendered == str(value)
+            return
+        low_text, _, high_text = rendered.partition("..")
+        low, high = float(low_text), float(high_text)
+        assert low <= value < high or value == low
+
+    @given(degrader=degraders(), value=numeric_values)
+    def test_information_never_increases_as_rank_drops(self, degrader, value):
+        """Rendering classes ordered by information content:
+        None < existence marker < bucket < raw.  Dropping the rank must
+        never move up this order."""
+
+        def info(rendered: str | None, rank: int) -> int:
+            if rendered is None:
+                return 0
+            if rendered == EXISTENCE_MARKER:
+                return 1
+            if rank >= degrader.exact_rank:
+                return 3
+            return 2
+
+        raw = str(value)
+        levels = [
+            info(degrader.degrade(raw, rank), rank)
+            for rank in range(0, degrader.exact_rank + 1)
+        ]
+        assert levels == sorted(levels)
+
+    @given(degrader=degraders(), rank=st.integers(1, 6))
+    def test_non_numeric_never_leaks_through_buckets(self, degrader, rank):
+        rendered = degrader.degrade("secret-string", rank)
+        if rank >= degrader.exact_rank:
+            assert rendered == "secret-string"
+        else:
+            assert rendered in (EXISTENCE_MARKER, None)

@@ -1,0 +1,118 @@
+"""Property-based round-trip tests: documents and storage."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    HousePolicy,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+    ViolationEngine,
+)
+from repro.policy_lang import (
+    parse_policy,
+    parse_preferences,
+    policy_to_dict,
+    preferences_to_dict,
+)
+from repro.storage import PrivacyDatabase
+from repro.taxonomy import standard_taxonomy
+
+TAXONOMY = standard_taxonomy(["p1", "p2"])
+
+# Ranks bounded by the canonical ladders: V<=4, G<=3, R<=4.
+v_ranks = st.integers(0, 4)
+g_ranks = st.integers(0, 3)
+r_ranks = st.integers(0, 4)
+purposes = st.sampled_from(["p1", "p2"])
+attributes = st.sampled_from(["alpha", "beta", "gamma"])
+
+
+@st.composite
+def tuples_in_taxonomy(draw):
+    return PrivacyTuple(
+        purpose=draw(purposes),
+        visibility=draw(v_ranks),
+        granularity=draw(g_ranks),
+        retention=draw(r_ranks),
+    )
+
+
+@st.composite
+def policies(draw):
+    n = draw(st.integers(0, 5))
+    return HousePolicy(
+        [(draw(attributes), draw(tuples_in_taxonomy())) for _ in range(n)],
+        name=draw(st.sampled_from(["pol-a", "pol-b"])),
+    )
+
+
+@st.composite
+def preference_sets(draw):
+    n = draw(st.integers(0, 5))
+    return ProviderPreferences(
+        draw(st.sampled_from(["u1", "u2"])),
+        [(draw(attributes), draw(tuples_in_taxonomy())) for _ in range(n)],
+    )
+
+
+class TestDocumentRoundTrips:
+    @given(policy=policies())
+    @settings(max_examples=100)
+    def test_policy_dict_round_trip_with_taxonomy(self, policy):
+        assert parse_policy(policy_to_dict(policy, TAXONOMY), TAXONOMY) == policy
+
+    @given(policy=policies())
+    def test_policy_dict_round_trip_rank_form(self, policy):
+        assert parse_policy(policy_to_dict(policy), TAXONOMY) == policy
+
+    @given(prefs=preference_sets())
+    @settings(max_examples=100)
+    def test_preferences_round_trip(self, prefs):
+        document = preferences_to_dict(prefs, TAXONOMY)
+        assert parse_preferences(document, TAXONOMY) == prefs
+
+
+@st.composite
+def small_populations(draw):
+    n = draw(st.integers(1, 4))
+    providers = []
+    for index in range(n):
+        entries = [
+            (draw(attributes), draw(tuples_in_taxonomy()))
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+        providers.append(
+            Provider(
+                preferences=ProviderPreferences(f"u{index}", entries),
+                threshold=draw(
+                    st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+                ),
+            )
+        )
+    return Population(providers)
+
+
+class TestStorageRoundTrips:
+    @given(policy=policies(), population=small_populations())
+    @settings(max_examples=40, deadline=None)
+    def test_stored_engine_equals_direct_engine(self, policy, population):
+        direct = ViolationEngine(policy, population).report()
+        with PrivacyDatabase.create(":memory:") as db:
+            db.install(policy, population)
+            stored = db.engine().report()
+        assert stored.n_violated == direct.n_violated
+        assert stored.n_defaulted == direct.n_defaulted
+        assert stored.total_violations == direct.total_violations
+
+    @given(policy=policies())
+    @settings(max_examples=40, deadline=None)
+    def test_policy_storage_round_trip(self, policy):
+        with PrivacyDatabase.create(":memory:") as db:
+            for entry in policy:
+                db.repository.ensure_attribute(entry.attribute)
+            db.repository.replace_policy(policy)
+            assert db.repository.load_policy() == policy

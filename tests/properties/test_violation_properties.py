@@ -1,0 +1,192 @@
+"""Property-based tests on the violation model's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    AttributeSensitivities,
+    DimensionSensitivity,
+    HousePolicy,
+    PolicyEntry,
+    PreferenceEntry,
+    PrivacyTuple,
+    ProviderPreferences,
+    ProviderSensitivity,
+    SensitivityModel,
+    comp,
+    conf,
+    diff,
+    exceeded_dimensions,
+    find_violations,
+    provider_violation,
+    violation_indicator,
+)
+
+ranks = st.integers(min_value=0, max_value=8)
+purposes = st.sampled_from(["p1", "p2", "p3"])
+attributes = st.sampled_from(["a1", "a2", "a3"])
+
+
+@st.composite
+def privacy_tuples(draw, purpose=None):
+    return PrivacyTuple(
+        purpose=draw(purposes) if purpose is None else purpose,
+        visibility=draw(ranks),
+        granularity=draw(ranks),
+        retention=draw(ranks),
+    )
+
+
+@st.composite
+def sensitivity_models(draw):
+    weights = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+    attribute_weights = {
+        attribute: draw(weights) for attribute in ("a1", "a2", "a3")
+    }
+    record = DimensionSensitivity(
+        value=draw(weights),
+        visibility=draw(weights),
+        granularity=draw(weights),
+        retention=draw(weights),
+    )
+    return SensitivityModel(
+        AttributeSensitivities(attribute_weights),
+        {"i": ProviderSensitivity("i", {"a1": record})},
+    )
+
+
+class TestDiffProperties:
+    @given(p=ranks, capital_p=ranks)
+    def test_diff_non_negative(self, p, capital_p):
+        assert diff(p, capital_p) >= 0
+
+    @given(p=ranks, capital_p=ranks)
+    def test_diff_positive_iff_strict_exceedance(self, p, capital_p):
+        assert (diff(p, capital_p) > 0) == (capital_p > p)
+
+    @given(p=ranks, capital_p=ranks, shift=st.integers(0, 5))
+    def test_diff_monotone_in_policy(self, p, capital_p, shift):
+        assert diff(p, capital_p + shift) >= diff(p, capital_p)
+
+    @given(p=ranks, capital_p=ranks, shift=st.integers(0, 5))
+    def test_diff_antitone_in_preference(self, p, capital_p, shift):
+        assert diff(p + shift, capital_p) <= diff(p, capital_p)
+
+
+class TestExceededDimensionsProperties:
+    @given(pref=privacy_tuples(), pol=privacy_tuples())
+    def test_exceeded_iff_not_dominating(self, pref, pol):
+        if pref.purpose == pol.purpose:
+            assert (exceeded_dimensions(pref, pol) == ()) == pref.dominates(pol)
+        else:
+            assert exceeded_dimensions(pref, pol) == ()
+
+    @given(t=privacy_tuples())
+    def test_never_exceeds_itself(self, t):
+        assert exceeded_dimensions(t, t) == ()
+
+    @given(pref=privacy_tuples(purpose="p"), pol=privacy_tuples(purpose="p"))
+    def test_exceedance_antisymmetric_per_dimension(self, pref, pol):
+        forward = set(exceeded_dimensions(pref, pol))
+        backward = set(exceeded_dimensions(pol, pref))
+        assert not forward & backward
+
+
+class TestConfProperties:
+    @given(
+        pref=privacy_tuples(purpose="p"),
+        pol=privacy_tuples(purpose="p"),
+        model=sensitivity_models(),
+    )
+    def test_conf_non_negative(self, pref, pol, model):
+        preference = PreferenceEntry("i", "a1", pref)
+        policy = PolicyEntry("a1", pol)
+        assert conf(preference, policy, model) >= 0.0
+
+    @given(pref=privacy_tuples(purpose="p"), pol=privacy_tuples(purpose="p"))
+    def test_conf_zero_iff_no_exceedance_when_weights_positive(self, pref, pol):
+        preference = PreferenceEntry("i", "a1", pref)
+        policy = PolicyEntry("a1", pol)
+        # Neutral model: all weights 1 (strictly positive).
+        value = conf(preference, policy)
+        assert (value == 0.0) == (exceeded_dimensions(pref, pol) == ())
+
+    @given(
+        pref=privacy_tuples(purpose="p"),
+        pol=privacy_tuples(purpose="p"),
+        model=sensitivity_models(),
+    )
+    def test_incomparable_conf_is_zero(self, pref, pol, model):
+        preference = PreferenceEntry("i", "a2", pref)
+        policy = PolicyEntry("a1", pol)
+        assert comp(preference, policy) == 0
+        assert conf(preference, policy, model) == 0.0
+
+
+@st.composite
+def preference_sets(draw):
+    n = draw(st.integers(1, 4))
+    entries = [
+        (draw(attributes), draw(privacy_tuples())) for _ in range(n)
+    ]
+    return ProviderPreferences("i", entries)
+
+
+@st.composite
+def house_policies(draw):
+    n = draw(st.integers(0, 4))
+    entries = [
+        (draw(attributes), draw(privacy_tuples())) for _ in range(n)
+    ]
+    return HousePolicy(entries)
+
+
+class TestIndicatorProperties:
+    @given(prefs=preference_sets(), policy=house_policies())
+    @settings(max_examples=200)
+    def test_indicator_agrees_with_findings(self, prefs, policy):
+        findings = find_violations(prefs, policy)
+        indicator = violation_indicator(prefs, policy)
+        assert indicator == (1 if findings else 0)
+
+    @given(prefs=preference_sets(), policy=house_policies())
+    def test_severity_positive_implies_indicator(self, prefs, policy):
+        severity = provider_violation(prefs, policy)
+        if severity > 0:
+            assert violation_indicator(prefs, policy) == 1
+
+    @given(prefs=preference_sets())
+    def test_empty_policy_never_violates(self, prefs):
+        assert violation_indicator(prefs, HousePolicy([])) == 0
+
+    @given(prefs=preference_sets(), policy=house_policies())
+    def test_widening_never_removes_violation(self, prefs, policy):
+        """Monotonicity: widening the policy can only add violations."""
+        from repro.core import Dimension
+
+        before = violation_indicator(prefs, policy)
+        widened = policy.widened(
+            {
+                Dimension.VISIBILITY: 1,
+                Dimension.GRANULARITY: 1,
+                Dimension.RETENTION: 1,
+            }
+        )
+        after = violation_indicator(prefs, widened)
+        assert after >= before
+
+    @given(prefs=preference_sets(), policy=house_policies())
+    def test_severity_monotone_under_widening(self, prefs, policy):
+        from repro.core import Dimension
+
+        before = provider_violation(prefs, policy)
+        widened = policy.widened({Dimension.RETENTION: 2})
+        after = provider_violation(prefs, widened)
+        assert after >= before
+
+    @given(prefs=preference_sets(), policy=house_policies())
+    def test_implicit_zero_only_adds_violations(self, prefs, policy):
+        with_rule = violation_indicator(prefs, policy, implicit_zero=True)
+        without_rule = violation_indicator(prefs, policy, implicit_zero=False)
+        assert with_rule >= without_rule

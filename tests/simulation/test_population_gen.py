@@ -1,0 +1,186 @@
+"""Unit tests for Westin population synthesis."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import HousePolicy, PrivacyTuple, ViolationEngine
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    PopulationSpec,
+    WestinSegment,
+    generate_population,
+    standard_segments,
+)
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing", "research"])
+
+
+def _spec(taxonomy, **overrides):
+    kwargs = dict(
+        taxonomy=taxonomy,
+        attributes={"weight": 2.0, "age": 1.0},
+        n_providers=60,
+        seed=13,
+    )
+    kwargs.update(overrides)
+    return PopulationSpec(**kwargs)
+
+
+class TestSegments:
+    def test_standard_fractions_sum_to_one(self):
+        assert sum(s.fraction for s in standard_segments()) == pytest.approx(1.0)
+
+    def test_fundamentalists_have_no_headroom(self):
+        segments = {s.name: s for s in standard_segments()}
+        assert segments["fundamentalist"].headroom == (0, 0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(SimulationError):
+            WestinSegment(name="x", fraction=1.5, tightness=0.5)
+
+    def test_invalid_tightness_rejected(self):
+        with pytest.raises(SimulationError):
+            WestinSegment(name="x", fraction=0.5, tightness=2.0)
+
+    def test_invalid_headroom_rejected(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            WestinSegment(name="x", fraction=0.5, tightness=0.5, headroom=(2, 1))
+
+
+class TestSpecValidation:
+    def test_fractions_must_sum_to_one(self, taxonomy):
+        bad = (
+            WestinSegment(name="a", fraction=0.5, tightness=0.5),
+            WestinSegment(name="b", fraction=0.1, tightness=0.5),
+        )
+        with pytest.raises(SimulationError):
+            _spec(taxonomy, segments=bad)
+
+    def test_empty_attributes_rejected(self, taxonomy):
+        with pytest.raises(SimulationError):
+            _spec(taxonomy, attributes={})
+
+    def test_unknown_purpose_rejected(self, taxonomy):
+        from repro.exceptions import UnknownPurposeError
+
+        with pytest.raises(UnknownPurposeError):
+            _spec(taxonomy, purposes=["resale"])
+
+    def test_effective_purposes_default_all(self, taxonomy):
+        spec = _spec(taxonomy)
+        assert set(spec.effective_purposes()) == {"billing", "research"}
+
+
+class TestGeneration:
+    def test_population_size(self, taxonomy):
+        population = generate_population(_spec(taxonomy))
+        assert len(population) == 60
+
+    def test_deterministic_given_seed(self, taxonomy):
+        a = generate_population(_spec(taxonomy))
+        b = generate_population(_spec(taxonomy))
+        for provider_a, provider_b in zip(a, b):
+            assert provider_a.preferences == provider_b.preferences
+            assert provider_a.threshold == provider_b.threshold
+            assert provider_a.segment == provider_b.segment
+
+    def test_different_seeds_differ(self, taxonomy):
+        a = generate_population(_spec(taxonomy, seed=1))
+        b = generate_population(_spec(taxonomy, seed=2))
+        assert any(
+            pa.preferences != pb.preferences for pa, pb in zip(a, b)
+        )
+
+    def test_segment_quota_exact(self, taxonomy):
+        population = generate_population(_spec(taxonomy, n_providers=100))
+        counts = Counter(p.segment for p in population)
+        assert counts["fundamentalist"] == 25
+        assert counts["pragmatist"] == 57
+        assert counts["unconcerned"] == 18
+
+    def test_every_provider_covers_all_attribute_purpose_pairs(self, taxonomy):
+        population = generate_population(_spec(taxonomy, n_providers=10))
+        for provider in population:
+            pairs = {
+                (e.attribute, e.purpose) for e in provider.preferences
+            }
+            assert pairs == {
+                (a, p)
+                for a in ("weight", "age")
+                for p in ("billing", "research")
+            }
+
+    def test_attribute_sensitivities_transferred(self, taxonomy):
+        population = generate_population(_spec(taxonomy))
+        assert population.attribute_sensitivities.weight("weight") == 2.0
+
+    def test_ids_use_prefix(self, taxonomy):
+        population = generate_population(_spec(taxonomy, id_prefix="user-"))
+        assert all(str(p.provider_id).startswith("user-") for p in population)
+
+    def test_thresholds_within_segment_bounds(self, taxonomy):
+        population = generate_population(_spec(taxonomy, n_providers=50))
+        bounds = {s.name: s.threshold for s in standard_segments()}
+        for provider in population:
+            low, high = bounds[provider.segment]
+            assert low <= provider.threshold <= high
+
+
+class TestAnchoredGeneration:
+    def test_anchored_population_has_zero_baseline_violations(self, taxonomy):
+        policy = HousePolicy(
+            [
+                ("weight", PrivacyTuple("billing", 2, 2, 2)),
+                ("age", PrivacyTuple("billing", 1, 1, 1)),
+            ]
+        )
+        spec = _spec(
+            taxonomy,
+            purposes=["billing"],
+            anchor_policy=policy,
+            n_providers=40,
+        )
+        population = generate_population(spec)
+        report = ViolationEngine(policy, population).report()
+        assert report.n_violated == 0
+        assert report.total_violations == 0.0
+
+    def test_unanchored_purposes_still_sampled_by_tightness(self, taxonomy):
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+        spec = _spec(taxonomy, anchor_policy=policy, n_providers=40)
+        population = generate_population(spec)
+        # 'research' pairs are not anchored; the policy says nothing about
+        # them so the baseline still causes no violations.
+        report = ViolationEngine(policy, population).report()
+        assert report.n_violated == 0
+
+    def test_anchored_preferences_dominate_policy(self, taxonomy):
+        policy = HousePolicy(
+            [("weight", PrivacyTuple("billing", 2, 1, 2))]
+        )
+        spec = _spec(taxonomy, purposes=["billing"], anchor_policy=policy)
+        population = generate_population(spec)
+        for provider in population:
+            for entry in provider.preferences.for_attribute("weight"):
+                assert entry.tuple.dominates(
+                    PrivacyTuple("billing", 2, 1, 2)
+                )
+
+    def test_widening_violates_zero_headroom_segment(self, taxonomy):
+        policy = HousePolicy([("weight", PrivacyTuple("billing", 1, 1, 1))])
+        spec = _spec(taxonomy, purposes=["billing"], anchor_policy=policy)
+        population = generate_population(spec)
+        widened = HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+        engine = ViolationEngine(widened, population)
+        for outcome in engine.outcomes():
+            if outcome.segment == "fundamentalist":
+                assert outcome.violated

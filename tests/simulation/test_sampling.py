@@ -1,0 +1,105 @@
+"""Unit tests for the seeded samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Dimension
+from repro.exceptions import SimulationError
+from repro.simulation import (
+    sample_dimension_sensitivity,
+    sample_preference_tuple,
+    sample_threshold,
+)
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing"])
+
+
+class TestPreferenceSampler:
+    def test_tightness_one_pins_at_zero(self, taxonomy):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            t = sample_preference_tuple(rng, taxonomy, "billing", 1.0)
+            assert (t.visibility, t.granularity, t.retention) == (0, 0, 0)
+
+    def test_tightness_zero_spans_full_ladder(self, taxonomy):
+        rng = np.random.default_rng(0)
+        seen_v = {
+            sample_preference_tuple(rng, taxonomy, "billing", 0.0).visibility
+            for _ in range(300)
+        }
+        assert seen_v == set(range(5))
+
+    def test_ranks_within_domain(self, taxonomy):
+        rng = np.random.default_rng(1)
+        for tightness in (0.0, 0.3, 0.7, 1.0):
+            for _ in range(50):
+                t = sample_preference_tuple(rng, taxonomy, "billing", tightness)
+                assert 0 <= t.visibility <= 4
+                assert 0 <= t.granularity <= 3
+                assert 0 <= t.retention <= 4
+
+    def test_purpose_carried(self, taxonomy):
+        rng = np.random.default_rng(2)
+        t = sample_preference_tuple(rng, taxonomy, "billing", 0.5)
+        assert t.purpose == "billing"
+
+    def test_deterministic_given_seed(self, taxonomy):
+        a = sample_preference_tuple(
+            np.random.default_rng(7), taxonomy, "billing", 0.5
+        )
+        b = sample_preference_tuple(
+            np.random.default_rng(7), taxonomy, "billing", 0.5
+        )
+        assert a == b
+
+    def test_tightness_above_one_rejected(self, taxonomy):
+        with pytest.raises(SimulationError):
+            sample_preference_tuple(
+                np.random.default_rng(0), taxonomy, "billing", 1.5
+            )
+
+
+class TestSensitivitySampler:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            s = sample_dimension_sensitivity(rng, (1.0, 3.0), (0.5, 2.0))
+            assert 1.0 <= s.value <= 3.0
+            for dim in (
+                Dimension.VISIBILITY,
+                Dimension.GRANULARITY,
+                Dimension.RETENTION,
+            ):
+                assert 0.5 <= s.dimension_weight(dim) <= 2.0
+
+    def test_degenerate_range(self):
+        rng = np.random.default_rng(4)
+        s = sample_dimension_sensitivity(rng, (2.0, 2.0), (1.0, 1.0))
+        assert s.value == 2.0
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_dimension_sensitivity(
+                np.random.default_rng(0), (3.0, 1.0), (1.0, 2.0)
+            )
+        with pytest.raises(SimulationError):
+            sample_dimension_sensitivity(
+                np.random.default_rng(0), (1.0, 3.0), (2.0, 1.0)
+            )
+
+
+class TestThresholdSampler:
+    def test_within_bounds(self):
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            assert 10.0 <= sample_threshold(rng, (10.0, 20.0)) <= 20.0
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_threshold(np.random.default_rng(0), (-1.0, 2.0))

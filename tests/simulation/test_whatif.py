@@ -1,0 +1,72 @@
+"""Unit tests for the what-if analyzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation import WhatIfAnalyzer
+from repro.simulation.widening import WideningStep, widen
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    from repro.datasets import crm_scenario
+
+    return crm_scenario(80, seed=9)
+
+
+@pytest.fixture(scope="module")
+def analyzer(scenario):
+    return WhatIfAnalyzer(
+        scenario.population,
+        scenario.policy,
+        per_provider_utility=scenario.per_provider_utility,
+        alpha=0.1,
+    )
+
+
+class TestWhatIf:
+    def test_baseline_cached(self, analyzer):
+        assert analyzer.baseline_report.violation_probability == 0.0
+
+    def test_identity_candidate_changes_nothing(self, analyzer, scenario):
+        result = analyzer.assess(scenario.policy, extra_utility=0.0)
+        assert result.violation_probability_delta == 0.0
+        assert result.default_probability_delta == 0.0
+        assert result.severity_delta == 0.0
+        assert not result.assessment.justified  # T=0 is never strictly better
+
+    def test_widened_candidate_increases_all_metrics(self, analyzer, scenario):
+        candidate = widen(
+            scenario.policy, WideningStep.uniform(2), scenario.taxonomy
+        )
+        result = analyzer.assess(candidate, extra_utility=1.0)
+        assert result.violation_probability_delta > 0
+        assert result.severity_delta > 0
+
+    def test_certificate_evaluated_on_candidate(self, analyzer, scenario):
+        candidate = widen(
+            scenario.policy, WideningStep.uniform(2), scenario.taxonomy
+        )
+        result = analyzer.assess(candidate, extra_utility=1.0)
+        assert not result.certificate.satisfied  # alpha=0.1, nearly all violated
+
+    def test_named_resale_candidate(self, analyzer, scenario):
+        from repro.datasets.crm import crm_resale_policy
+
+        candidate = crm_resale_policy(scenario.taxonomy)
+        result = analyzer.assess(candidate, extra_utility=2.0)
+        # Resale introduces a brand-new purpose: implicit zero tuples fire
+        # for every provider, so everyone is violated.
+        assert result.candidate.violation_probability == 1.0
+        assert "crm-with-resale" in result.summary()
+
+    def test_summary_mentions_verdict(self, analyzer, scenario):
+        result = analyzer.assess(scenario.policy, extra_utility=0.0)
+        assert "not justified" in result.summary()
+
+    def test_invalid_alpha_rejected(self, scenario):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            WhatIfAnalyzer(scenario.population, scenario.policy, alpha=2.0)

@@ -1,0 +1,151 @@
+"""Unit tests for widening steps and paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dimension, HousePolicy, PrivacyTuple
+from repro.exceptions import SimulationError
+from repro.simulation import WideningStep, widen, widening_path
+from repro.taxonomy import standard_taxonomy
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing"])
+
+
+@pytest.fixture()
+def policy():
+    return HousePolicy(
+        [
+            ("weight", PrivacyTuple("billing", 2, 2, 2)),
+            ("age", PrivacyTuple("billing", 4, 3, 4)),  # at the ladder tops
+        ],
+        name="base",
+    )
+
+
+class TestWideningStep:
+    def test_uniform(self):
+        step = WideningStep.uniform(2)
+        assert step.deltas == {
+            Dimension.VISIBILITY: 2,
+            Dimension.GRANULARITY: 2,
+            Dimension.RETENTION: 2,
+        }
+
+    def test_along(self):
+        step = WideningStep.along(Dimension.RETENTION, 3)
+        assert step.deltas == {Dimension.RETENTION: 3}
+
+    def test_addition_merges(self):
+        combined = WideningStep.along(Dimension.VISIBILITY, 1) + WideningStep.along(
+            Dimension.VISIBILITY, 2
+        )
+        assert combined.deltas[Dimension.VISIBILITY] == 3
+
+    def test_scaled(self):
+        assert WideningStep.uniform(1).scaled(3) == WideningStep.uniform(3)
+
+    def test_noop_detection(self):
+        assert WideningStep({}).is_noop()
+        assert WideningStep({Dimension.VISIBILITY: 0}).is_noop()
+        assert not WideningStep.uniform(1).is_noop()
+
+    def test_purpose_dimension_rejected(self):
+        with pytest.raises(SimulationError):
+            WideningStep({Dimension.PURPOSE: 1})
+
+    def test_equality(self):
+        assert WideningStep.uniform(1) == WideningStep.uniform(1)
+
+
+class TestWiden:
+    def test_ranks_move(self, policy, taxonomy):
+        wider = widen(policy, WideningStep.uniform(1), taxonomy)
+        weight = wider.for_attribute("weight")[0]
+        assert (weight.tuple.visibility, weight.tuple.granularity, weight.tuple.retention) == (
+            3,
+            3,
+            3,
+        )
+
+    def test_clamped_at_ladder_top(self, policy, taxonomy):
+        wider = widen(policy, WideningStep.uniform(5), taxonomy)
+        age = wider.for_attribute("age")[0]
+        assert (age.tuple.visibility, age.tuple.granularity, age.tuple.retention) == (
+            4,
+            3,
+            4,
+        )
+
+    def test_negative_step_narrows_and_floors(self, policy, taxonomy):
+        narrower = widen(policy, WideningStep.uniform(-10), taxonomy)
+        assert all(
+            (e.tuple.visibility, e.tuple.granularity, e.tuple.retention)
+            == (0, 0, 0)
+            for e in narrower
+        )
+
+    def test_attribute_scope(self, policy, taxonomy):
+        wider = widen(
+            policy, WideningStep.uniform(1), taxonomy, attributes=["weight"]
+        )
+        assert wider.for_attribute("age") == policy.for_attribute("age")
+
+    def test_purpose_scope(self, policy, taxonomy):
+        wider = widen(
+            policy, WideningStep.uniform(1), taxonomy, purposes=["research"]
+        )
+        assert wider == policy  # nothing matches
+
+    def test_original_untouched(self, policy, taxonomy):
+        widen(policy, WideningStep.uniform(1), taxonomy)
+        assert policy.for_attribute("weight")[0].tuple.visibility == 2
+
+    def test_custom_name(self, policy, taxonomy):
+        wider = widen(policy, WideningStep.uniform(1), taxonomy, name="v2")
+        assert wider.name == "v2"
+
+
+class TestWideningPath:
+    def test_step_zero_is_base(self, policy, taxonomy):
+        path = list(widening_path(policy, WideningStep.uniform(1), taxonomy, 3))
+        assert path[0][0] == 0
+        assert path[0][1] == policy
+
+    def test_path_length(self, policy, taxonomy):
+        path = list(widening_path(policy, WideningStep.uniform(1), taxonomy, 3))
+        assert [k for k, _ in path] == [0, 1, 2, 3]
+
+    def test_names_carry_step(self, policy, taxonomy):
+        path = list(widening_path(policy, WideningStep.uniform(1), taxonomy, 2))
+        assert [p.name for _, p in path] == ["base+0", "base+1", "base+2"]
+
+    def test_cumulative_widening(self, policy, taxonomy):
+        path = dict(widening_path(policy, WideningStep.uniform(1), taxonomy, 2))
+        weight_2 = path[2].for_attribute("weight")[0]
+        assert weight_2.tuple.visibility == 4
+
+    def test_saturation(self, policy, taxonomy):
+        path = dict(widening_path(policy, WideningStep.uniform(1), taxonomy, 10))
+        assert path[10] == path[9]  # fully saturated
+
+    def test_monotone_exposure(self, policy, taxonomy):
+        previous = None
+        for _, current in widening_path(
+            policy, WideningStep.uniform(1), taxonomy, 5
+        ):
+            if previous is not None:
+                for before, after in zip(previous, current):
+                    assert after.tuple.dominates(before.tuple)
+            previous = current
+
+    def test_noop_step_rejected(self, policy, taxonomy):
+        with pytest.raises(SimulationError):
+            list(widening_path(policy, WideningStep({}), taxonomy, 3))
+
+    def test_zero_steps_yields_only_base(self, policy, taxonomy):
+        path = list(widening_path(policy, WideningStep.uniform(1), taxonomy, 0))
+        assert len(path) == 1

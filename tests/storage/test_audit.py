@@ -1,0 +1,131 @@
+"""Unit tests for the append-only audit log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrivacyTuple, ProviderPreferences
+from repro.exceptions import AccessDeniedError
+from repro.storage import (
+    AccessRequest,
+    EnforcementMode,
+    PrivacyDatabase,
+)
+
+
+@pytest.fixture()
+def db():
+    database = PrivacyDatabase.create(":memory:")
+    repo = database.repository
+    repo.ensure_attribute("weight")
+    repo.ensure_purpose("billing")
+    repo.add_provider("alice")
+    repo.put_datum("alice", "weight", 60)
+    repo.add_preferences(
+        ProviderPreferences(
+            "alice", [("weight", PrivacyTuple("billing", 2, 2, 2))]
+        )
+    )
+    yield database
+    database.close()
+
+
+def _narrow():
+    return AccessRequest("weight", PrivacyTuple("billing", 1, 1, 1))
+
+
+def _wide():
+    return AccessRequest("weight", PrivacyTuple("billing", 4, 3, 4))
+
+
+class TestEventStream:
+    def test_sequence_numbers_monotone(self, db):
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        for _ in range(3):
+            gate.request(_narrow())
+        seqs = [event.seq for event in db.audit_log.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == 3
+
+    def test_event_kinds(self, db):
+        granted_gate = db.gate(mode=EnforcementMode.AUDIT)
+        granted_gate.request(_narrow())
+        granted_gate.request(_wide())
+        with pytest.raises(AccessDeniedError):
+            db.gate(mode=EnforcementMode.ENFORCE).request(_wide())
+        kinds = [event.event for event in db.audit_log.events()]
+        assert kinds == ["access-granted", "violation-logged", "access-denied"]
+
+    def test_is_violation_flag(self, db):
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        gate.request(_narrow())
+        gate.request(_wide())
+        flags = [event.is_violation for event in db.audit_log.events()]
+        assert flags == [False, True]
+
+    def test_filter_only_violations(self, db):
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        gate.request(_narrow())
+        gate.request(_wide())
+        events = list(db.audit_log.events(only_violations=True))
+        assert len(events) == 1
+        assert events[0].event == "violation-logged"
+
+    def test_filter_by_provider(self, db):
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        gate.request(
+            AccessRequest(
+                "weight", PrivacyTuple("billing", 1, 1, 1), provider_id="alice"
+            )
+        )
+        assert list(db.audit_log.events(provider_id="alice"))
+        assert not list(db.audit_log.events(provider_id="bob"))
+
+    def test_event_carries_request_tuple(self, db):
+        db.gate(mode=EnforcementMode.AUDIT).request(_wide())
+        [event] = list(db.audit_log.events())
+        assert (event.visibility, event.granularity, event.retention) == (4, 3, 4)
+        assert event.purpose == "billing"
+        assert event.attribute == "weight"
+
+
+class TestPolicyChangeEvents:
+    def test_record_policy_change(self, db):
+        db.audit_log.record_policy_change("widened retention by 1")
+        [event] = list(db.audit_log.events())
+        assert event.event == "policy-changed"
+        assert event.detail == {"description": "widened retention by 1"}
+
+    def test_policy_changes_not_counted_as_accesses(self, db):
+        db.audit_log.record_policy_change("x")
+        report = db.audit_log.report()
+        assert report.total_events == 1
+        assert report.observed_violation_rate == 0.0
+
+
+class TestReport:
+    def test_counts(self, db):
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        gate.request(_narrow())
+        gate.request(_narrow())
+        gate.request(_wide())
+        with pytest.raises(AccessDeniedError):
+            db.gate().request(_wide())
+        report = db.audit_log.report()
+        assert report.granted == 2
+        assert report.violations_logged == 1
+        assert report.denied == 1
+        assert report.violating_accesses == 2
+        assert report.observed_violation_rate == pytest.approx(0.5)
+
+    def test_violated_providers_deduplicated(self, db):
+        gate = db.gate(mode=EnforcementMode.AUDIT)
+        gate.request(_wide())
+        gate.request(_wide())
+        report = db.audit_log.report()
+        assert report.violated_providers == ("alice",)
+
+    def test_empty_log(self, db):
+        report = db.audit_log.report()
+        assert report.total_events == 0
+        assert report.observed_violation_rate == 0.0

@@ -1,0 +1,131 @@
+"""Failure injection: the storage layer under adverse conditions."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core import PrivacyTuple, ProviderPreferences
+from repro.exceptions import SchemaMismatchError, StorageError
+from repro.storage import (
+    AccessRequest,
+    EnforcementMode,
+    PrivacyDatabase,
+)
+
+
+@pytest.fixture()
+def populated_path(tmp_path, paper_policy, paper_population):
+    path = str(tmp_path / "ppdb.sqlite")
+    with PrivacyDatabase.create(path) as db:
+        db.install(paper_policy, paper_population)
+    return path
+
+
+class TestCorruptedDatabases:
+    def test_dropped_table_detected_on_open(self, populated_path):
+        connection = sqlite3.connect(populated_path)
+        connection.execute("DROP TABLE preferences")
+        connection.commit()
+        connection.close()
+        with pytest.raises(SchemaMismatchError):
+            PrivacyDatabase.open(populated_path)
+
+    def test_missing_version_row_detected(self, populated_path):
+        connection = sqlite3.connect(populated_path)
+        connection.execute("DELETE FROM meta WHERE key = 'schema_version'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(SchemaMismatchError):
+            PrivacyDatabase.open(populated_path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = str(tmp_path / "not-a-db.sqlite")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not sqlite")
+        with pytest.raises(sqlite3.DatabaseError):
+            PrivacyDatabase.open(path)
+
+    def test_empty_sqlite_file_rejected(self, tmp_path):
+        path = str(tmp_path / "empty.sqlite")
+        sqlite3.connect(path).close()
+        with pytest.raises(SchemaMismatchError):
+            PrivacyDatabase.open(path)
+
+
+class TestClosedHandles:
+    def test_operations_after_close_raise(self, populated_path):
+        db = PrivacyDatabase.open(populated_path)
+        db.close()
+        with pytest.raises(sqlite3.ProgrammingError):
+            db.engine()
+
+    def test_double_close_is_harmless(self, populated_path):
+        db = PrivacyDatabase.open(populated_path)
+        db.close()
+        db.close()
+
+
+class TestConstraintViolations:
+    def test_foreign_keys_enforced(self, populated_path):
+        """Direct SQL cannot attach preferences to a ghost provider."""
+        db = PrivacyDatabase.open(populated_path)
+        with pytest.raises(sqlite3.IntegrityError):
+            db.repository._connection.execute(  # noqa: SLF001 - injection test
+                "INSERT INTO preferences (provider_id, attribute, purpose, "
+                "visibility, granularity, retention) "
+                "VALUES ('ghost', 'Weight', 'pr', 1, 1, 1)"
+            )
+        db.close()
+
+    def test_negative_ranks_rejected_by_schema(self, populated_path):
+        db = PrivacyDatabase.open(populated_path)
+        with pytest.raises(sqlite3.IntegrityError):
+            db.repository._connection.execute(  # noqa: SLF001 - injection test
+                "INSERT INTO policy (attribute, purpose, visibility, "
+                "granularity, retention) VALUES ('Weight', 'pr', -1, 0, 0)"
+            )
+        db.close()
+
+    def test_duplicate_install_leaves_store_intact(self, populated_path, paper_policy, paper_population):
+        db = PrivacyDatabase.open(populated_path)
+        with pytest.raises(StorageError):
+            db.install(paper_policy, paper_population)
+        assert db.engine().report().n_providers == 3
+        db.close()
+
+
+class TestHostileValues:
+    def test_sql_metacharacters_in_ids_are_inert(self):
+        db = PrivacyDatabase.create(":memory:")
+        evil = "alice'; DROP TABLE providers; --"
+        repo = db.repository
+        repo.ensure_attribute("weight")
+        repo.ensure_purpose("billing")
+        repo.add_provider(evil)
+        repo.put_datum(evil, "weight", "60")
+        repo.add_preferences(
+            ProviderPreferences(
+                evil, [("weight", PrivacyTuple("billing", 2, 2, 2))]
+            )
+        )
+        assert repo.get_datum(evil, "weight") == "60"
+        assert repo.provider_ids() == (evil,)
+        # The gate handles the hostile id end-to-end too.
+        decision = db.gate(mode=EnforcementMode.AUDIT).request(
+            AccessRequest(
+                "weight", PrivacyTuple("billing", 1, 1, 1), provider_id=evil
+            )
+        )
+        assert decision.allowed
+        db.close()
+
+    def test_unicode_values_round_trip(self):
+        db = PrivacyDatabase.create(":memory:")
+        repo = db.repository
+        repo.ensure_attribute("name")
+        repo.add_provider("ünïcødé-👤")
+        repo.put_datum("ünïcødé-👤", "name", "Ж日本語🎉")
+        assert repo.get_datum("ünïcødé-👤", "name") == "Ж日本語🎉"
+        db.close()

@@ -1,0 +1,131 @@
+"""Unit tests for granularity-aware value degradation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PrivacyTuple, ProviderPreferences
+from repro.exceptions import ValidationError
+from repro.storage import (
+    AccessRequest,
+    EXISTENCE_MARKER,
+    EnforcementMode,
+    PrivacyDatabase,
+    ValueDegrader,
+    numeric_degrader,
+)
+
+
+class TestValueDegrader:
+    @pytest.fixture()
+    def degrader(self) -> ValueDegrader:
+        # Canonical granularity ladder: none < existential < partial < specific.
+        return ValueDegrader(exact_rank=3, bucket_widths={2: 10.0})
+
+    def test_rank_zero_reveals_nothing(self, degrader):
+        assert degrader.degrade("82", 0) is None
+
+    def test_existential_rank(self, degrader):
+        assert degrader.degrade("82", 1) == EXISTENCE_MARKER
+
+    def test_partial_rank_buckets(self, degrader):
+        assert degrader.degrade("82", 2) == "80..90"
+        assert degrader.degrade("80", 2) == "80..90"
+        assert degrader.degrade("79.5", 2) == "70..80"
+
+    def test_exact_rank_raw(self, degrader):
+        assert degrader.degrade("82", 3) == "82"
+        assert degrader.degrade("82", 5) == "82"
+
+    def test_none_stays_none(self, degrader):
+        for rank in range(4):
+            assert degrader.degrade(None, rank) is None
+
+    def test_non_numeric_bucket_falls_back_to_existence(self, degrader):
+        assert degrader.degrade("heavy", 2) == EXISTENCE_MARKER
+
+    def test_fractional_widths(self):
+        degrader = ValueDegrader(exact_rank=2, bucket_widths={1: 0.5})
+        assert degrader.degrade("1.7", 1) == "1.5..2.0"
+
+    def test_category_map_precedence(self):
+        degrader = ValueDegrader(
+            exact_rank=3,
+            bucket_widths={2: 10.0},
+            category_maps={2: lambda raw: "obese" if float(raw) > 80 else "normal"},
+        )
+        assert degrader.degrade("82", 2) == "obese"
+        assert degrader.degrade("60", 2) == "normal"
+
+    def test_bucket_rank_at_or_above_exact_rejected(self):
+        with pytest.raises(ValidationError):
+            ValueDegrader(exact_rank=2, bucket_widths={2: 10.0})
+
+    def test_non_positive_width_rejected(self):
+        with pytest.raises(ValidationError):
+            ValueDegrader(exact_rank=3, bucket_widths={2: 0.0})
+
+    def test_non_callable_category_rejected(self):
+        with pytest.raises(ValidationError):
+            ValueDegrader(exact_rank=3, category_maps={1: "not callable"})  # type: ignore[dict-item]
+
+    def test_numeric_factory(self):
+        degrader = numeric_degrader(3, {2: 5.0})
+        assert degrader.degrade("12", 2) == "10..15"
+
+
+class TestGateIntegration:
+    @pytest.fixture()
+    def db(self):
+        database = PrivacyDatabase.create(":memory:")
+        repo = database.repository
+        repo.ensure_attribute("weight")
+        repo.ensure_purpose("billing")
+        repo.add_provider("alice")
+        repo.put_datum("alice", "weight", 82)
+        repo.add_preferences(
+            ProviderPreferences(
+                "alice", [("weight", PrivacyTuple("billing", 4, 3, 4))]
+            )
+        )
+        yield database
+        database.close()
+
+    def _gate(self, db):
+        return db.gate(
+            mode=EnforcementMode.ENFORCE,
+            degraders={
+                "weight": ValueDegrader(exact_rank=3, bucket_widths={2: 10.0})
+            },
+        )
+
+    def test_specific_request_gets_raw_value(self, db):
+        decision = self._gate(db).request(
+            AccessRequest("weight", PrivacyTuple("billing", 2, 3, 2))
+        )
+        assert decision.values == {"alice": "82"}
+
+    def test_partial_request_gets_bucket(self, db):
+        decision = self._gate(db).request(
+            AccessRequest("weight", PrivacyTuple("billing", 2, 2, 2))
+        )
+        assert decision.values == {"alice": "80..90"}
+
+    def test_existential_request_gets_marker(self, db):
+        decision = self._gate(db).request(
+            AccessRequest("weight", PrivacyTuple("billing", 2, 1, 2))
+        )
+        assert decision.values == {"alice": EXISTENCE_MARKER}
+
+    def test_zero_granularity_reveals_nothing(self, db):
+        decision = self._gate(db).request(
+            AccessRequest("weight", PrivacyTuple("billing", 2, 0, 2))
+        )
+        assert decision.values == {"alice": None}
+
+    def test_attribute_without_degrader_stays_raw(self, db):
+        gate = db.gate(degraders={})
+        decision = gate.request(
+            AccessRequest("weight", PrivacyTuple("billing", 2, 1, 2))
+        )
+        assert decision.values == {"alice": "82"}

@@ -1,0 +1,209 @@
+"""Unit tests for row-level CRUD."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    DimensionSensitivity,
+    HousePolicy,
+    PrivacyTuple,
+    ProviderPreferences,
+)
+from repro.exceptions import StorageError, UnknownAttributeError, UnknownProviderError
+from repro.storage import PrivacyDatabase
+
+
+@pytest.fixture()
+def db():
+    database = PrivacyDatabase.create(":memory:")
+    yield database
+    database.close()
+
+
+@pytest.fixture()
+def repo(db):
+    repo = db.repository
+    repo.ensure_attribute("weight", 4.0)
+    repo.ensure_attribute("age")
+    repo.ensure_purpose("billing")
+    repo.add_provider("alice", segment="pragmatist", threshold=50.0)
+    return repo
+
+
+class TestVocabulary:
+    def test_attribute_weights(self, repo):
+        assert repo.attributes() == {"weight": 4.0, "age": 1.0}
+
+    def test_ensure_attribute_without_weight_does_not_clobber(self, repo):
+        repo.ensure_attribute("weight")
+        assert repo.attributes()["weight"] == 4.0
+
+    def test_ensure_attribute_with_weight_updates(self, repo):
+        repo.ensure_attribute("weight", 9.0)
+        assert repo.attributes()["weight"] == 9.0
+
+    def test_purposes(self, repo):
+        repo.ensure_purpose("research")
+        repo.ensure_purpose("billing")  # idempotent
+        assert repo.purposes() == ("billing", "research")
+
+
+class TestProviders:
+    def test_provider_ids(self, repo):
+        assert repo.provider_ids() == ("alice",)
+
+    def test_duplicate_provider_raises(self, repo):
+        with pytest.raises(StorageError):
+            repo.add_provider("alice")
+
+    def test_remove_provider_cascades(self, repo):
+        repo.put_datum("alice", "weight", 60)
+        repo.add_preferences(
+            ProviderPreferences(
+                "alice", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+            )
+        )
+        repo.remove_provider("alice")
+        assert repo.provider_ids() == ()
+        assert repo.data_for_attribute("weight") == {}
+
+    def test_remove_unknown_raises(self, repo):
+        with pytest.raises(UnknownProviderError):
+            repo.remove_provider("nobody")
+
+
+class TestData:
+    def test_put_and_get(self, repo):
+        repo.put_datum("alice", "weight", 60)
+        assert repo.get_datum("alice", "weight") == "60"
+
+    def test_overwrite(self, repo):
+        repo.put_datum("alice", "weight", 60)
+        repo.put_datum("alice", "weight", 61)
+        assert repo.get_datum("alice", "weight") == "61"
+
+    def test_missing_returns_none(self, repo):
+        assert repo.get_datum("alice", "weight") is None
+
+    def test_null_value(self, repo):
+        repo.put_datum("alice", "weight", None)
+        assert repo.get_datum("alice", "weight") is None
+
+    def test_unknown_provider_rejected(self, repo):
+        with pytest.raises(UnknownProviderError):
+            repo.put_datum("bob", "weight", 1)
+
+    def test_unknown_attribute_rejected(self, repo):
+        with pytest.raises(UnknownAttributeError):
+            repo.put_datum("alice", "height", 1)
+
+    def test_data_for_attribute(self, repo):
+        repo.add_provider("bob")
+        repo.put_datum("alice", "weight", 60)
+        repo.put_datum("bob", "weight", 82)
+        assert repo.data_for_attribute("weight") == {"alice": "60", "bob": "82"}
+
+
+class TestPolicyStorage:
+    def test_replace_and_load_round_trip(self, repo):
+        policy = HousePolicy(
+            [
+                ("weight", PrivacyTuple("billing", 2, 2, 2)),
+                ("age", PrivacyTuple("billing", 1, 1, 1)),
+            ],
+            name="stored",
+        )
+        repo.replace_policy(policy)
+        assert repo.load_policy() == policy
+        assert repo.load_policy().name == "stored"
+
+    def test_replace_overwrites(self, repo):
+        repo.replace_policy(
+            HousePolicy([("weight", PrivacyTuple("billing", 2, 2, 2))])
+        )
+        repo.replace_policy(HousePolicy([], name="empty"))
+        assert len(repo.load_policy()) == 0
+
+    def test_empty_load_is_empty_policy(self, repo):
+        assert len(repo.load_policy()) == 0
+
+    def test_unknown_attribute_rejected(self, repo):
+        with pytest.raises(UnknownAttributeError):
+            repo.replace_policy(
+                HousePolicy([("height", PrivacyTuple("billing", 1, 1, 1))])
+            )
+
+    def test_new_purpose_registered_automatically(self, repo):
+        repo.replace_policy(
+            HousePolicy([("weight", PrivacyTuple("marketing", 1, 1, 1))])
+        )
+        assert "marketing" in repo.purposes()
+
+
+class TestPreferencesStorage:
+    def test_round_trip(self, repo):
+        prefs = ProviderPreferences(
+            "alice",
+            [
+                ("weight", PrivacyTuple("billing", 2, 2, 2)),
+                ("age", PrivacyTuple("billing", 3, 3, 3)),
+            ],
+        )
+        repo.add_preferences(prefs)
+        loaded = repo.load_preferences("alice")
+        assert set(loaded.entries) == set(prefs.entries)
+
+    def test_attributes_provided_includes_data(self, repo):
+        repo.put_datum("alice", "age", 30)
+        repo.add_preferences(
+            ProviderPreferences(
+                "alice", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+            )
+        )
+        loaded = repo.load_preferences("alice")
+        assert loaded.attributes_provided == {"weight", "age"}
+
+    def test_unknown_provider_rejected(self, repo):
+        with pytest.raises(UnknownProviderError):
+            repo.load_preferences("bob")
+
+
+class TestSensitivityStorage:
+    def test_round_trip(self, repo):
+        record = DimensionSensitivity(3.0, 1.0, 5.0, 2.0)
+        repo.put_sensitivity("alice", "weight", record)
+        assert repo.load_sensitivities("alice") == {"weight": record}
+
+    def test_upsert(self, repo):
+        repo.put_sensitivity("alice", "weight", DimensionSensitivity(1.0))
+        repo.put_sensitivity("alice", "weight", DimensionSensitivity(2.0))
+        assert repo.load_sensitivities("alice")["weight"].value == 2.0
+
+
+class TestPopulationRoundTrip:
+    def test_full_round_trip(self, db, paper_population):
+        db.repository.store_population(paper_population)
+        loaded = db.repository.load_population()
+        assert loaded.ids() == tuple(sorted(paper_population.ids()))
+        for provider in paper_population:
+            stored = loaded.get(provider.provider_id)
+            assert set(stored.preferences.entries) == set(
+                provider.preferences.entries
+            )
+            assert stored.threshold == provider.threshold
+            assert stored.sensitivity == provider.sensitivity
+
+    def test_infinite_threshold_round_trips(self, db):
+        from repro.core import Population, Provider
+
+        provider = Provider(
+            preferences=ProviderPreferences(
+                "immortal", [("weight", PrivacyTuple("billing", 1, 1, 1))]
+            )
+        )
+        db.repository.store_population(Population([provider]))
+        loaded = db.repository.load_population()
+        assert loaded.get("immortal").threshold == math.inf

@@ -1,0 +1,64 @@
+"""Unit tests for the canonical ladders."""
+
+from __future__ import annotations
+
+from repro.core import Dimension
+from repro.taxonomy import (
+    GRANULARITY_LEVELS,
+    RETENTION_LEVELS,
+    VISIBILITY_LEVELS,
+    granularity_domain,
+    retention_domain,
+    visibility_domain,
+)
+from repro.taxonomy.levels import PURPOSE_LEVELS, purpose_breadth_chain
+
+
+class TestCanonicalLadders:
+    def test_visibility_order(self):
+        assert VISIBILITY_LEVELS == ("none", "owner", "house", "third-party", "all")
+
+    def test_granularity_order(self):
+        assert GRANULARITY_LEVELS == ("none", "existential", "partial", "specific")
+
+    def test_retention_order(self):
+        assert RETENTION_LEVELS[0] == "none"
+        assert RETENTION_LEVELS[-1] == "indefinite"
+
+    def test_none_is_always_rank_zero(self):
+        assert visibility_domain().rank_of("none") == 0
+        assert granularity_domain().rank_of("none") == 0
+        assert retention_domain().rank_of("none") == 0
+
+    def test_domains_bind_correct_dimensions(self):
+        assert visibility_domain().dimension is Dimension.VISIBILITY
+        assert granularity_domain().dimension is Dimension.GRANULARITY
+        assert retention_domain().dimension is Dimension.RETENTION
+
+    def test_factories_return_fresh_objects(self):
+        assert visibility_domain() is not visibility_domain()
+        assert visibility_domain() == visibility_domain()
+
+    def test_third_party_more_exposed_than_house(self):
+        domain = visibility_domain()
+        assert domain.rank_of("third-party") > domain.rank_of("house")
+
+    def test_specific_most_exposed_granularity(self):
+        domain = granularity_domain()
+        assert domain.rank_of("specific") == domain.max_rank
+
+
+class TestPurposeBreadthChain:
+    def test_is_chain(self):
+        assert purpose_breadth_chain().is_chain()
+
+    def test_order_matches_levels(self):
+        order = purpose_breadth_chain().total_order()
+        for rank, name in enumerate(PURPOSE_LEVELS):
+            assert order[name] == rank
+
+    def test_any_is_broadest(self):
+        lattice = purpose_breadth_chain()
+        assert all(
+            lattice.leq(purpose, "any") for purpose in lattice.purposes
+        )

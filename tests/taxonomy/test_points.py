@@ -1,0 +1,122 @@
+"""Unit tests for the Figure 1 geometry (boxes and containment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Dimension, PrivacyTuple
+from repro.exceptions import ValidationError
+from repro.taxonomy import PrivacyBox, PrivacyPoint, violation_dimensions
+
+
+class TestPrivacyPoint:
+    def test_projection_default_all_ordered(self):
+        point = PrivacyPoint.of(PrivacyTuple("p", 1, 2, 3))
+        assert point.coordinates == (1, 2, 3)
+
+    def test_two_dimensional_projection(self):
+        point = PrivacyPoint.of(
+            PrivacyTuple("p", 1, 2, 3),
+            (Dimension.VISIBILITY, Dimension.RETENTION),
+        )
+        assert point.coordinates == (1, 3)
+
+    def test_dominated_by(self):
+        small = PrivacyPoint.of(PrivacyTuple("p", 1, 1, 1))
+        big = PrivacyPoint.of(PrivacyTuple("p", 2, 2, 2))
+        assert small.dominated_by(big)
+        assert not big.dominated_by(small)
+
+    def test_mismatched_projections_raise(self):
+        a = PrivacyPoint.of(PrivacyTuple("p", 1, 1, 1), (Dimension.VISIBILITY,))
+        b = PrivacyPoint.of(PrivacyTuple("p", 1, 1, 1), (Dimension.RETENTION,))
+        with pytest.raises(ValidationError):
+            a.dominated_by(b)
+
+    def test_purpose_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyPoint((Dimension.PURPOSE,), (1,))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            PrivacyPoint((Dimension.VISIBILITY,), (1, 2))
+
+
+class TestPrivacyBox:
+    def test_containment_panel_a(self):
+        # Figure 1a: policy box inside preference box -> no violation.
+        preference = PrivacyBox.of(PrivacyTuple("p", 3, 3, 3))
+        policy = PrivacyBox.of(PrivacyTuple("p", 2, 2, 2))
+        assert preference.contains(policy)
+        assert policy.escape_dimensions(preference) == ()
+
+    def test_escape_one_dimension_panel_b(self):
+        preference = PrivacyBox.of(PrivacyTuple("p", 3, 1, 3))
+        policy = PrivacyBox.of(PrivacyTuple("p", 2, 2, 2))
+        assert not preference.contains(policy)
+        assert policy.escape_dimensions(preference) == (Dimension.GRANULARITY,)
+
+    def test_escape_two_dimensions_panel_c(self):
+        preference = PrivacyBox.of(PrivacyTuple("p", 1, 1, 3))
+        policy = PrivacyBox.of(PrivacyTuple("p", 2, 2, 2))
+        assert policy.escape_dimensions(preference) == (
+            Dimension.VISIBILITY,
+            Dimension.GRANULARITY,
+        )
+
+    def test_volume(self):
+        box = PrivacyBox.of(PrivacyTuple("p", 2, 3, 4))
+        assert box.volume() == 24
+
+    def test_zero_rank_gives_zero_volume(self):
+        box = PrivacyBox.of(PrivacyTuple("p", 0, 3, 4))
+        assert box.volume() == 0
+
+    def test_intersection_volume(self):
+        a = PrivacyBox.of(PrivacyTuple("p", 2, 3, 4))
+        b = PrivacyBox.of(PrivacyTuple("p", 3, 2, 4))
+        assert a.intersection_volume(b) == 2 * 2 * 4
+
+    def test_intersection_symmetric(self):
+        a = PrivacyBox.of(PrivacyTuple("p", 2, 3, 4))
+        b = PrivacyBox.of(PrivacyTuple("p", 3, 2, 1))
+        assert a.intersection_volume(b) == b.intersection_volume(a)
+
+    def test_contained_box_intersection_is_own_volume(self):
+        outer = PrivacyBox.of(PrivacyTuple("p", 3, 3, 3))
+        inner = PrivacyBox.of(PrivacyTuple("p", 1, 2, 3))
+        assert outer.intersection_volume(inner) == inner.volume()
+
+
+class TestViolationDimensions:
+    def test_agrees_with_core_exceeded_dimensions(self):
+        from repro.core import exceeded_dimensions
+
+        cases = [
+            (PrivacyTuple("p", 3, 3, 3), PrivacyTuple("p", 2, 2, 2)),
+            (PrivacyTuple("p", 1, 3, 3), PrivacyTuple("p", 2, 2, 2)),
+            (PrivacyTuple("p", 1, 1, 1), PrivacyTuple("p", 2, 2, 2)),
+            (PrivacyTuple("p", 0, 0, 0), PrivacyTuple("p", 0, 0, 0)),
+        ]
+        for preference, policy in cases:
+            assert violation_dimensions(preference, policy) == exceeded_dimensions(
+                preference, policy
+            )
+
+    def test_cross_purpose_is_empty(self):
+        assert (
+            violation_dimensions(
+                PrivacyTuple("p", 0, 0, 0), PrivacyTuple("q", 9, 9, 9)
+            )
+            == ()
+        )
+
+    def test_two_dimensional_figure_projection(self):
+        # The figure's S_i x S_j view: restrict to two axes.
+        dims = (Dimension.VISIBILITY, Dimension.GRANULARITY)
+        result = violation_dimensions(
+            PrivacyTuple("p", 1, 1, 0),
+            PrivacyTuple("p", 2, 2, 9),
+            dims,
+        )
+        assert result == dims

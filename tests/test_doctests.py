@@ -1,0 +1,21 @@
+"""Run the doctests embedded in module and class docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro
+import repro.taxonomy.builder
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro, repro.taxonomy.builder],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest"

@@ -1,0 +1,23 @@
+"""The tutorial's code blocks must stay runnable as the library evolves."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+TUTORIAL = (
+    pathlib.Path(__file__).resolve().parents[1] / "docs" / "model_tutorial.md"
+)
+
+
+def test_tutorial_blocks_execute_in_sequence():
+    text = TUTORIAL.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", text, re.S)
+    assert len(blocks) >= 8, "tutorial lost its code blocks"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial block {index}>", "exec"), namespace)
+    # Spot-check the load-bearing results the prose claims.
+    assert namespace["engine"].outcome("ted").violation == 60.0
+    assert namespace["decision"].values == {"ted": "80..90"}
+    assert namespace["decision"].violates
