@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples lint all
+.PHONY: install test bench bench-tables examples lint lint-policy all
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,4 +22,30 @@ examples:
 		$(PYTHON) $$script > /dev/null || exit 1; \
 	done; echo "all examples ran"
 
-all: test bench
+# Static analysis of the source tree.  ruff and mypy are optional
+# (CI installs them; minimal dev environments may not have them), so
+# each step is skipped with a notice when the tool is unavailable.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src/repro tests; \
+	else \
+		echo "ruff not installed; skipping ruff check"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro; \
+	else \
+		echo "mypy not installed; skipping mypy"; \
+	fi
+
+# Static analysis of the shipped policy documents via `repro lint`.
+# The Section 8 example legitimately violates Ted and Bob, so the alpha
+# gate is set above the paper's P(W) = 2/3.
+lint-policy:
+	PYTHONPATH=src $(PYTHON) -m repro.cli lint \
+		--taxonomy examples/documents/taxonomy.json \
+		--policy examples/documents/policy.json \
+		--population examples/documents/population.json \
+		--candidate examples/documents/candidate.json \
+		--alpha 0.7
+
+all: test lint lint-policy bench

@@ -82,6 +82,13 @@ from .exceptions import (
     UnknownPurposeError,
     ValidationError,
 )
+from .lint import (
+    Diagnostic,
+    LintConfig,
+    LintReport,
+    Severity,
+    lint_documents,
+)
 from .taxonomy import Taxonomy, TaxonomyBuilder, standard_taxonomy
 
 __version__ = "1.0.0"
@@ -136,6 +143,12 @@ __all__ = [
     "Taxonomy",
     "TaxonomyBuilder",
     "standard_taxonomy",
+    # lint
+    "Diagnostic",
+    "LintConfig",
+    "LintReport",
+    "Severity",
+    "lint_documents",
     # exceptions
     "AccessDeniedError",
     "DomainError",

@@ -1,0 +1,42 @@
+"""Analysis-layer view over static-analysis results.
+
+:class:`LintReport` (defined in :mod:`repro.lint.report`, re-exported
+here as part of the analysis surface) aggregates the linter's coded
+diagnostics; :func:`lint_report_table` renders it as the same fixed-width
+table style the rest of the analysis layer uses, so audit pipelines can
+print violation reports and lint reports side by side.
+"""
+
+from __future__ import annotations
+
+from ..lint.report import LintReport
+from .tables import format_table
+
+__all__ = ["LintReport", "lint_report_table"]
+
+
+def lint_report_table(report: LintReport, *, title: str = "lint report") -> str:
+    """A fixed-width table of the report's diagnostics.
+
+    One row per diagnostic: code, severity, location, message.  An empty
+    report renders a single "no findings" row so the table is always
+    printable.
+    """
+    if not report.diagnostics:
+        return format_table(
+            ["code", "severity", "location", "message"],
+            [["-", "-", "-", "no findings"]],
+            title=title,
+        )
+    rows = [
+        [
+            diagnostic.code,
+            diagnostic.severity.value,
+            diagnostic.location.describe(),
+            diagnostic.message,
+        ]
+        for diagnostic in report.diagnostics
+    ]
+    return format_table(
+        ["code", "severity", "location", "message"], rows, title=title
+    )

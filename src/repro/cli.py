@@ -11,6 +11,7 @@ Commands
 ``sweep``      Section 9: widening ledger with break-even T* per level
 ``whatif``     compare a candidate policy against the baseline
 ``validate``   semantic document validation (exit code 1 on problems)
+``lint``       static policy analysis with coded diagnostics (PVL...)
 ``init-db``    create a sqlite privacy database from the documents
 ``db-report``  evaluate the stored state of a privacy database
 ``db-evict``   remove defaulted providers from a privacy database
@@ -41,6 +42,7 @@ from .policy_lang import (
     parse_policy,
     parse_population,
     parse_taxonomy,
+    preference_documents,
     validate_policy_document,
     validate_preference_document,
 )
@@ -283,26 +285,39 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if args.policy:
         problems += validate_policy_document(_load_json(args.policy), taxonomy)
     if args.population:
-        document = _load_json(args.population)
-        for entry in document.get("providers", []):
-            problems += validate_preference_document(
-                {
-                    "provider": entry.get("provider"),
-                    "preferences": entry.get("preferences", []),
-                    **(
-                        {"attributes_provided": entry["attributes_provided"]}
-                        if "attributes_provided" in entry
-                        else {}
-                    ),
-                },
-                taxonomy,
-            )
+        for document in preference_documents(_load_json(args.population)):
+            problems += validate_preference_document(document, taxonomy)
     if problems:
         for problem in problems:
             print(f"PROBLEM: {problem}")
         return 1
     print("OK: documents are valid against the taxonomy")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static policy analysis; exit code gated on diagnostic severity."""
+    from .lint import LintConfig, Severity, lint_documents, render
+
+    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
+    report = lint_documents(
+        taxonomy,
+        policy=_load_json(args.policy) if args.policy else None,
+        population=_load_json(args.population) if args.population else None,
+        candidate=_load_json(args.candidate) if args.candidate else None,
+        config=LintConfig(
+            alpha=args.alpha,
+            utility=args.utility,
+            max_extra_utility=args.max_extra_utility,
+        ),
+        select=args.select.split(",") if args.select else None,
+        ignore=args.ignore.split(",") if args.ignore else None,
+    )
+    print(render(report, args.format))
+    fail_on = (
+        None if args.fail_on == "never" else Severity.from_name(args.fail_on)
+    )
+    return report.exit_code(fail_on)
 
 
 def cmd_init_db(args: argparse.Namespace) -> int:
@@ -416,6 +431,50 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--policy")
     validate.add_argument("--population")
     validate.set_defaults(func=cmd_validate)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static policy analysis with coded diagnostics (PVL...)",
+    )
+    lint.add_argument("--taxonomy", required=True, help="taxonomy JSON file")
+    lint.add_argument("--policy", help="policy JSON file")
+    lint.add_argument("--population", help="population JSON file")
+    lint.add_argument(
+        "--candidate", help="candidate widened policy JSON file"
+    )
+    lint.add_argument(
+        "--alpha",
+        type=float,
+        help="enable static alpha-PPDB certification (PVL110)",
+    )
+    lint.add_argument(
+        "--utility",
+        type=float,
+        default=1.0,
+        help="per-provider utility U for the economics rules (default 1.0)",
+    )
+    lint.add_argument(
+        "--max-extra-utility",
+        type=float,
+        help="attainable extra-utility bound for PVL202",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="output format (default text)",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=["error", "warning", "info", "never"],
+        default="error",
+        help="lowest severity that makes the exit code 1 (default error)",
+    )
+    lint.add_argument(
+        "--select", help="comma-separated rule codes to run exclusively"
+    )
+    lint.add_argument("--ignore", help="comma-separated rule codes to skip")
+    lint.set_defaults(func=cmd_lint)
 
     init_db = subparsers.add_parser(
         "init-db", help="create a sqlite privacy database"

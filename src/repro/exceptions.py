@@ -59,6 +59,16 @@ class PolicyDocumentError(ValidationError):
     """A policy/preference document could not be parsed or serialized."""
 
 
+class LintConfigurationError(ValidationError):
+    """The static analyzer was configured inconsistently.
+
+    Raised for unknown rule codes in ``--select``/``--ignore``, unknown
+    severities, unknown output formats, and malformed lint options — not
+    for problems *in* the analyzed documents, which are reported as
+    diagnostics instead.
+    """
+
+
 class StorageError(PrivacyModelError):
     """Base class for errors raised by the sqlite-backed privacy store."""
 

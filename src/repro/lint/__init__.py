@@ -1,0 +1,69 @@
+"""``repro.lint`` — a static policy analyzer with coded diagnostics.
+
+The paper's violation model is decidable from the documents alone: a
+house policy tuple exceeding a provider preference tuple (Definition 1)
+can be detected before any data is collected, and alpha-PPDB
+certification (Definition 3) is a static property of the
+policy/population pair.  This package performs that reasoning as a
+linter: a registry of rules with stable codes (``PVL001``...), each
+consuming the parsed documents and emitting structured
+:class:`Diagnostic` objects with severities, source locations, and
+machine-readable payloads.
+
+Three layers (see ``docs/linting.md`` for the full catalogue):
+
+* **document** (``PVL0xx``) — each document against the taxonomy:
+  unknown purposes/levels, undeclared attributes, duplicate rows,
+  non-monotone ladders;
+* **model** (``PVL1xx``) — cross-document analysis: guaranteed
+  violations, shadowed rules, unreachable purposes, zero sensitivities,
+  dead rules, inert/dominated preferences, static alpha-PPDB
+  certification with the witness segment;
+* **economics** (``PVL2xx``) — Eq. 31 sanity for candidate widenings:
+  annihilated populations and unattainable break-even utilities.
+
+Entry points: :func:`lint_documents` (documents in, :class:`LintReport`
+out) and the ``repro lint`` CLI subcommand (``--format
+text|json|sarif``, severity-gated exit codes).
+"""
+
+from .diagnostics import Diagnostic, Severity, SourceLocation
+from .formats import (
+    FORMATS,
+    render,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .registry import (
+    Layer,
+    LintConfig,
+    LintContext,
+    RuleInfo,
+    all_rules,
+    get_rule,
+    run_rules,
+)
+from .report import LintReport
+from .runner import build_context, lint_documents
+
+__all__ = [
+    "Diagnostic",
+    "FORMATS",
+    "Layer",
+    "LintConfig",
+    "LintContext",
+    "LintReport",
+    "RuleInfo",
+    "Severity",
+    "SourceLocation",
+    "all_rules",
+    "build_context",
+    "get_rule",
+    "lint_documents",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+    "run_rules",
+]

@@ -1,0 +1,118 @@
+"""Render a :class:`LintReport` as text, JSON, or SARIF.
+
+The text form is for terminals, the JSON form for scripting, and the
+SARIF 2.1.0 form for code-scanning UIs (GitHub code scanning consumes it
+directly).  SARIF maps severities ``error``/``warning``/``info`` onto its
+``error``/``warning``/``note`` levels.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..exceptions import LintConfigurationError
+from .diagnostics import Diagnostic, Severity
+from .registry import all_rules
+from .report import LintReport
+
+#: The output formats the CLI accepts.
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def render(report: LintReport, format: str = "text") -> str:
+    """Render *report* in the named format."""
+    if format == "text":
+        return render_text(report)
+    if format == "json":
+        return render_json(report)
+    if format == "sarif":
+        return render_sarif(report)
+    raise LintConfigurationError(
+        f"unknown lint output format {format!r}; expected one of "
+        f"{', '.join(FORMATS)}"
+    )
+
+
+def render_text(report: LintReport) -> str:
+    """One line per diagnostic plus a summary line."""
+    lines = [str(diagnostic) for diagnostic in report.diagnostics]
+    summary = report.summary()
+    if summary["total"]:
+        lines.append(
+            f"{summary['total']} finding(s): {summary['errors']} error(s), "
+            f"{summary['warnings']} warning(s), {summary['infos']} info(s)"
+        )
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, *, indent: int = 2) -> str:
+    """The report's dict form as JSON text."""
+    return json.dumps(report.as_dict(), indent=indent)
+
+
+def render_sarif(report: LintReport, *, indent: int = 2) -> str:
+    """A minimal SARIF 2.1.0 log with the full rule catalogue attached."""
+    rules = [
+        {
+            "id": info.code,
+            "name": info.title.title().replace(" ", "").replace("-", ""),
+            "shortDescription": {"text": info.title},
+            "fullDescription": {"text": info.description},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[info.severity]},
+        }
+        for info in all_rules()
+    ]
+    results = [_sarif_result(diagnostic) for diagnostic in report.diagnostics]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/linting"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=indent)
+
+
+def _sarif_result(diagnostic: Diagnostic) -> dict:
+    location = diagnostic.location
+    fq_name = location.describe()
+    if location.field:
+        fq_name = f"{fq_name}.{location.field}"
+    return {
+        "ruleId": diagnostic.code,
+        "level": _SARIF_LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": fq_name,
+                        "kind": location.document,
+                    }
+                ]
+            }
+        ],
+        "properties": dict(diagnostic.payload),
+    }

@@ -1,0 +1,104 @@
+"""The :class:`LintReport` aggregate: diagnostics plus gating logic.
+
+The report is what the CLI, the analysis layer, and CI consume: counts by
+severity and code, filtering, and the severity-gated exit code that lets
+``repro lint`` gate deployments the same way ``repro certify`` does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from .diagnostics import Diagnostic, Severity
+
+
+@dataclass(frozen=True, slots=True)
+class LintReport:
+    """An immutable bundle of diagnostics with aggregate views."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        """How many diagnostics carry exactly *severity*."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        """All error-severity diagnostics."""
+        return self.at_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        """All warning-severity diagnostics."""
+        return self.at_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        """All info-severity diagnostics."""
+        return self.at_severity(Severity.INFO)
+
+    def at_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        """Diagnostics carrying exactly *severity*."""
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    def with_code(self, code: str) -> tuple[Diagnostic, ...]:
+        """Diagnostics emitted under *code*."""
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def codes(self) -> tuple[str, ...]:
+        """The distinct codes present, sorted."""
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def max_severity(self) -> Severity | None:
+        """The most severe diagnostic's severity (None when clean)."""
+        if not self.diagnostics:
+            return None
+        return max((d.severity for d in self.diagnostics), key=lambda s: s.rank)
+
+    def code_counts(self) -> dict[str, int]:
+        """Finding count per code, sorted by code."""
+        counts = Counter(d.code for d in self.diagnostics)
+        return dict(sorted(counts.items()))
+
+    def exit_code(self, fail_on: Severity | None = Severity.ERROR) -> int:
+        """1 when any diagnostic reaches the *fail_on* floor, else 0.
+
+        ``fail_on=None`` never fails (report-only mode).
+        """
+        if fail_on is None:
+            return 0
+        worst = self.max_severity()
+        return 1 if worst is not None and worst >= fail_on else 0
+
+    def summary(self) -> dict[str, object]:
+        """JSON-safe aggregate: totals per severity and per code."""
+        return {
+            "total": len(self.diagnostics),
+            "errors": self.count(Severity.ERROR),
+            "warnings": self.count(Severity.WARNING),
+            "infos": self.count(Severity.INFO),
+            "codes": self.code_counts(),
+        }
+
+    def as_dict(self) -> dict[str, object]:
+        """The whole report as a JSON-safe dict."""
+        return {
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "summary": self.summary(),
+        }
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: Iterable[Diagnostic]) -> "LintReport":
+        """Build a report from any iterable of diagnostics."""
+        return cls(diagnostics=tuple(diagnostics))

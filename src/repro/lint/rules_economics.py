@@ -1,0 +1,93 @@
+"""Economics sanity rules (``PVL201``-``PVL202``).
+
+Section 9's break-even condition (Eq. 31) — ``T* = U x (N_current /
+N_future - 1)`` — is itself static: given the population's default
+thresholds, the defaults a candidate widening causes (and hence its
+break-even extra utility) are decidable from the documents.  These rules
+flag widening proposals whose break-even is unattainable before anyone
+runs a sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+from ..core.economics import assess_expansion
+from .diagnostics import SourceLocation, Severity
+from .registry import Layer, LintContext, rule
+
+
+def _assessment(ctx: LintContext):
+    """The candidate's expansion assessment, or None when not applicable."""
+    if ctx.candidate is None or ctx.population is None or not len(ctx.population):
+        return None
+    return assess_expansion(
+        ctx.population,
+        ctx.candidate,
+        per_provider_utility=ctx.config.utility,
+        extra_utility=0.0,
+    )
+
+
+@rule(
+    "PVL201",
+    title="widening annihilates population",
+    severity=Severity.ERROR,
+    layer=Layer.ECONOMICS,
+    description=(
+        "The candidate widening pushes every provider past their default "
+        "threshold: N_future = 0, the break-even extra utility is "
+        "infinite, and no finite gain can justify the expansion."
+    ),
+)
+def check_widening_annihilates(
+    ctx: LintContext, emit: Callable[..., None]
+) -> None:
+    assessment = _assessment(ctx)
+    if assessment is None or assessment.n_future > 0:
+        return
+    emit(
+        SourceLocation("candidate", name=assessment.policy_name),
+        f"widening defaults all {assessment.n_current} providers "
+        f"(N_future = 0); break-even extra utility is infinite",
+        n_current=assessment.n_current,
+        n_future=assessment.n_future,
+        defaulted_providers=[str(p) for p in assessment.defaulted_providers],
+        per_provider_utility=assessment.per_provider_utility,
+    )
+
+
+@rule(
+    "PVL202",
+    title="unattainable break-even utility",
+    severity=Severity.WARNING,
+    layer=Layer.ECONOMICS,
+    description=(
+        "Eq. 31's break-even extra utility T* for the candidate widening "
+        "exceeds the configured attainable bound: the defaults it causes "
+        "cannot be paid for."
+    ),
+)
+def check_unattainable_break_even(
+    ctx: LintContext, emit: Callable[..., None]
+) -> None:
+    if ctx.config.max_extra_utility is None:
+        return
+    assessment = _assessment(ctx)
+    if assessment is None or assessment.n_future == 0:
+        return  # N_future == 0 is PVL201's (stronger) finding
+    threshold = assessment.break_even_extra_utility
+    if threshold <= ctx.config.max_extra_utility or math.isinf(threshold):
+        return
+    emit(
+        SourceLocation("candidate", name=assessment.policy_name),
+        f"break-even extra utility T* = {threshold:.4g} exceeds the "
+        f"attainable bound {ctx.config.max_extra_utility:g} "
+        f"({assessment.n_current} -> {assessment.n_future} providers)",
+        break_even_extra_utility=threshold,
+        max_extra_utility=ctx.config.max_extra_utility,
+        n_current=assessment.n_current,
+        n_future=assessment.n_future,
+        defaulted_providers=[str(p) for p in assessment.defaulted_providers],
+    )

@@ -1,0 +1,339 @@
+"""Cross-document model rules (``PVL101``-``PVL110``).
+
+The paper's central observation is that violations are decidable from the
+documents alone: a house policy tuple exceeding a provider preference
+tuple (Definition 1) is detectable before any data is collected, and
+alpha-PPDB certification (Definition 3) is a static property of the
+policy/population pair.  These rules perform that static reasoning.  They
+deliberately reuse the dynamic machinery (:func:`violation_indicator`,
+:func:`certify_alpha_ppdb`) entry-by-entry, so the linter can never
+disagree with a live :class:`~repro.core.engine.ViolationEngine`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Hashable
+
+from ..core.policy import HousePolicy
+from ..core.ppdb import certify_alpha_ppdb
+from ..core.violation import violation_indicator
+from .diagnostics import SourceLocation, Severity
+from .registry import Layer, LintContext, rule
+
+
+@rule(
+    "PVL101",
+    title="guaranteed violation",
+    severity=Severity.ERROR,
+    layer=Layer.MODEL,
+    description=(
+        "A policy rule exceeds the preferences (explicit or implicit-zero) "
+        "of every provider supplying its attribute: deploying it violates "
+        "that entire population segment with probability 1."
+    ),
+)
+def check_guaranteed_violation(
+    ctx: LintContext, emit: Callable[..., None]
+) -> None:
+    if ctx.policy is None or ctx.population is None or not len(ctx.population):
+        return
+    population_ids = set(ctx.population.ids())
+    for index, entry in enumerate(ctx.policy.entries):
+        suppliers = [
+            provider
+            for provider in ctx.population
+            if entry.attribute in provider.preferences.attributes_provided
+        ]
+        if not suppliers:
+            continue
+        single = HousePolicy([entry], name=ctx.policy.name)
+        violated: list[Hashable] = [
+            provider.provider_id
+            for provider in suppliers
+            if violation_indicator(provider.preferences, single)
+        ]
+        if len(violated) != len(suppliers):
+            continue
+        forces_pw_one = set(violated) == population_ids
+        message = (
+            f"rule guarantees a violation for all {len(violated)} "
+            f"provider(s) supplying {entry.attribute!r} under purpose "
+            f"{entry.purpose!r}"
+        )
+        if forces_pw_one:
+            message += "; the policy forces P(W) = 1"
+        emit(
+            SourceLocation("policy", name=ctx.policy.name, index=index),
+            message,
+            attribute=entry.attribute,
+            purpose=entry.purpose,
+            violated_providers=[str(p) for p in violated],
+            n_suppliers=len(suppliers),
+            forces_violation_probability_one=forces_pw_one,
+        )
+
+
+@rule(
+    "PVL102",
+    title="shadowed policy rule",
+    severity=Severity.WARNING,
+    layer=Layer.MODEL,
+    description=(
+        "A policy rule is dominated by another rule on the same attribute "
+        "and purpose: every violation it can cause, the wider rule already "
+        "causes, and keeping both double-counts severity."
+    ),
+)
+def check_shadowed_rule(ctx: LintContext, emit: Callable[..., None]) -> None:
+    if ctx.policy is None:
+        return
+    entries = ctx.policy.entries
+    for index, entry in enumerate(entries):
+        for other_index, other in enumerate(entries):
+            if other_index == index:
+                continue
+            if other.attribute != entry.attribute:
+                continue
+            if other.tuple == entry.tuple:
+                continue
+            if other.tuple.dominates(entry.tuple):
+                emit(
+                    SourceLocation("policy", name=ctx.policy.name, index=index),
+                    f"rule is shadowed by rule {other_index}: "
+                    f"{other.tuple} dominates {entry.tuple} for "
+                    f"{entry.attribute!r}",
+                    attribute=entry.attribute,
+                    purpose=entry.purpose,
+                    shadowed_by=other_index,
+                )
+                break
+
+
+@rule(
+    "PVL103",
+    title="unreachable purpose",
+    severity=Severity.INFO,
+    layer=Layer.MODEL,
+    description=(
+        "The taxonomy registers a purpose no policy rule uses; providers "
+        "can state preferences for it but nothing can ever violate them."
+    ),
+)
+def check_unreachable_purpose(
+    ctx: LintContext, emit: Callable[..., None]
+) -> None:
+    if ctx.policy_doc is None:
+        return
+    used = {spec.purpose for spec in ctx.policy_doc.rules}
+    for purpose in sorted(ctx.taxonomy.purposes.purposes - used):
+        emit(
+            SourceLocation("taxonomy", field="purpose"),
+            f"purpose {purpose!r} is registered but unused by policy "
+            f"{ctx.policy_doc.name!r}",
+            purpose=purpose,
+            policy=ctx.policy_doc.name,
+        )
+
+
+@rule(
+    "PVL104",
+    title="zero sensitivity weight",
+    severity=Severity.WARNING,
+    layer=Layer.MODEL,
+    description=(
+        "A sensitivity weight of 0 silences every violation on the datum: "
+        "Violation_i stays 0 no matter how far the policy exceeds the "
+        "preference, so default thresholds can never trip."
+    ),
+)
+def check_zero_sensitivity(ctx: LintContext, emit: Callable[..., None]) -> None:
+    for attribute, weight in sorted(ctx.attribute_sensitivities.items()):
+        if weight == 0:
+            emit(
+                SourceLocation("population", field="attribute_sensitivities"),
+                f"attribute sensitivity Sigma^{attribute} is 0; violations "
+                f"of {attribute!r} carry no severity for any provider",
+                attribute=attribute,
+                field="attribute_sensitivities",
+            )
+    if ctx.population is None:
+        return
+    for provider in ctx.population:
+        for attribute, record in sorted(provider.sensitivity.items()):
+            zeroed = [
+                name
+                for name in ("value", "visibility", "granularity", "retention")
+                if getattr(record, name) == 0
+            ]
+            for name in zeroed:
+                emit(
+                    SourceLocation(
+                        "population",
+                        name=str(provider.provider_id),
+                        field="sensitivities",
+                    ),
+                    f"sensitivity {name!r} for {attribute!r} is 0; "
+                    f"exceedances on that datum contribute no severity",
+                    attribute=attribute,
+                    field=name,
+                )
+
+
+@rule(
+    "PVL105",
+    title="dead policy rule",
+    severity=Severity.INFO,
+    layer=Layer.MODEL,
+    description=(
+        "A policy rule covers an attribute no provider in the population "
+        "supplies; it cannot affect any outcome (collecting nothing "
+        "violates nobody)."
+    ),
+)
+def check_dead_policy_rule(ctx: LintContext, emit: Callable[..., None]) -> None:
+    if ctx.policy is None or ctx.population is None:
+        return
+    supplied: set[str] = set()
+    for provider in ctx.population:
+        supplied |= provider.preferences.attributes_provided
+    empty = not len(ctx.population)
+    reported: set[str] = set()
+    for index, entry in enumerate(ctx.policy.entries):
+        if entry.attribute in supplied or entry.attribute in reported:
+            continue
+        reported.add(entry.attribute)
+        reason = (
+            "the population is empty"
+            if empty
+            else "no provider supplies it"
+        )
+        emit(
+            SourceLocation("policy", name=ctx.policy.name, index=index),
+            f"rule covers attribute {entry.attribute!r} but {reason}; "
+            f"it cannot affect any outcome",
+            attribute=entry.attribute,
+            population_empty=empty,
+        )
+
+
+@rule(
+    "PVL106",
+    title="inert preference",
+    severity=Severity.INFO,
+    layer=Layer.MODEL,
+    description=(
+        "A provider states a preference for an attribute the policy never "
+        "collects; the preference can never be violated (nor honoured)."
+    ),
+)
+def check_inert_preference(ctx: LintContext, emit: Callable[..., None]) -> None:
+    if ctx.policy is None:
+        return
+    covered = set(ctx.policy.attributes())
+    for location, spec, _document in ctx.iter_preference_specs():
+        if spec.attribute not in covered:
+            emit(
+                SourceLocation(
+                    "population",
+                    name=location.name,
+                    index=location.index,
+                    field="attribute",
+                ),
+                f"preference for {spec.attribute!r} is inert: the policy "
+                f"has no rule for that attribute",
+                attribute=spec.attribute,
+            )
+
+
+@rule(
+    "PVL107",
+    title="dominated preference",
+    severity=Severity.WARNING,
+    layer=Layer.MODEL,
+    description=(
+        "A provider holds two preferences for the same attribute and "
+        "purpose where one dominates the other; the looser tuple never "
+        "changes w_i but double-counts severity when both are exceeded."
+    ),
+)
+def check_dominated_preference(
+    ctx: LintContext, emit: Callable[..., None]
+) -> None:
+    for document in ctx.preference_docs:
+        specs = document.preferences
+        for index, spec in enumerate(specs):
+            for other_index, other in enumerate(specs):
+                if other_index == index or other == spec:
+                    continue
+                if (other.attribute, other.purpose) != (
+                    spec.attribute,
+                    spec.purpose,
+                ):
+                    continue
+                if _spec_dominates(ctx, spec, other):
+                    emit(
+                        SourceLocation(
+                            "population",
+                            name=str(document.provider),
+                            index=index,
+                        ),
+                        f"preference dominates entry {other_index} for "
+                        f"{spec.attribute!r} @ {spec.purpose!r}; the "
+                        f"stricter entry alone decides w_i",
+                        attribute=spec.attribute,
+                        purpose=spec.purpose,
+                        dominates=other_index,
+                    )
+                    break
+
+
+def _spec_dominates(ctx: LintContext, spec, other) -> bool:
+    """Whether *spec*'s tuple dominates *other*'s, resolving level names."""
+    try:
+        left = ctx.taxonomy.tuple(
+            spec.purpose, spec.visibility, spec.granularity, spec.retention
+        )
+        right = ctx.taxonomy.tuple(
+            other.purpose, other.visibility, other.granularity, other.retention
+        )
+    except Exception:
+        return False  # unresolvable specs are PVL001/PVL002's business
+    return left != right and left.dominates(right)
+
+
+@rule(
+    "PVL110",
+    title="static alpha-PPDB failure",
+    severity=Severity.ERROR,
+    layer=Layer.MODEL,
+    description=(
+        "Definition 3 evaluated statically: the fraction of providers the "
+        "policy violates already exceeds alpha, so the deployment cannot "
+        "be an alpha-PPDB.  The witness segment is attached."
+    ),
+)
+def check_static_alpha_ppdb(
+    ctx: LintContext, emit: Callable[..., None]
+) -> None:
+    if (
+        ctx.config.alpha is None
+        or ctx.policy is None
+        or ctx.population is None
+    ):
+        return
+    certificate = certify_alpha_ppdb(ctx.population, ctx.policy, ctx.config.alpha)
+    if certificate.satisfied:
+        return
+    emit(
+        SourceLocation("policy", name=ctx.policy.name),
+        f"alpha-PPDB fails statically: P(W) = "
+        f"{certificate.violation_probability:.4f} > alpha = "
+        f"{certificate.alpha:g} "
+        f"({len(certificate.violated_providers)}/{certificate.n_providers} "
+        f"providers violated)",
+        alpha=certificate.alpha,
+        violation_probability=certificate.violation_probability,
+        violated_providers=[str(p) for p in certificate.violated_providers],
+        n_providers=certificate.n_providers,
+    )

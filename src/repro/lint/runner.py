@@ -1,0 +1,123 @@
+"""Orchestration: raw documents in, :class:`LintReport` out.
+
+:func:`lint_documents` is the linter's one entry point.  It parses the
+supplied documents structurally (structural breakage is a hard
+:class:`~repro.exceptions.PolicyDocumentError` — there is nothing
+meaningful to lint), runs the document-layer rules on the ASTs, attempts
+to lower each document onto the core model, and runs the model and
+economics layers over whatever lowered successfully.  A document that
+fails semantic lowering silently disables the deeper layers that need it;
+the document-layer diagnostics explain why.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..exceptions import PrivacyModelError
+from ..policy_lang.ast import PolicyDocument, PreferenceDocument
+from ..policy_lang.parser import parse_policy, policy_document
+from ..policy_lang.population_doc import parse_population, preference_documents
+from ..taxonomy.builder import Taxonomy
+from .registry import LintConfig, LintContext, run_rules
+from .report import LintReport
+
+
+def build_context(
+    taxonomy: Taxonomy,
+    *,
+    policy: Mapping | PolicyDocument | None = None,
+    population: Mapping | None = None,
+    candidate: Mapping | PolicyDocument | None = None,
+    config: LintConfig | None = None,
+) -> LintContext:
+    """Parse/lower the documents into the context the rules consume."""
+    policy_doc = _as_policy_doc(policy)
+    candidate_doc = _as_policy_doc(candidate)
+    preference_docs: tuple[PreferenceDocument, ...] = ()
+    attribute_sensitivities: dict[str, float] = {}
+    if population is not None:
+        preference_docs = preference_documents(population)
+        attribute_sensitivities = dict(
+            population.get("attribute_sensitivities", {})
+        )
+    lowered_policy = _lower_policy(policy_doc, taxonomy)
+    lowered_candidate = _lower_policy(candidate_doc, taxonomy)
+    lowered_population = _lower_population(population, taxonomy)
+    return LintContext(
+        taxonomy=taxonomy,
+        policy_doc=policy_doc,
+        preference_docs=preference_docs,
+        candidate_doc=candidate_doc,
+        policy=lowered_policy,
+        population=lowered_population,
+        candidate=lowered_candidate,
+        attribute_sensitivities=attribute_sensitivities,
+        config=config if config is not None else LintConfig(),
+    )
+
+
+def lint_documents(
+    taxonomy: Taxonomy,
+    *,
+    policy: Mapping | PolicyDocument | None = None,
+    population: Mapping | None = None,
+    candidate: Mapping | PolicyDocument | None = None,
+    config: LintConfig | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Run the full rule catalogue over the documents.
+
+    Parameters
+    ----------
+    taxonomy:
+        The deployment vocabulary (already parsed).
+    policy, population, candidate:
+        Raw document dicts (or pre-parsed policy ASTs).  All optional;
+        rules needing an absent document stay silent.
+    config:
+        Analysis parameters (``alpha``, ``utility``, ``max_extra_utility``).
+    select, ignore:
+        Restrict the run to these codes / suppress these codes.
+    """
+    context = build_context(
+        taxonomy,
+        policy=policy,
+        population=population,
+        candidate=candidate,
+        config=config,
+    )
+    return LintReport(run_rules(context, select=select, ignore=ignore))
+
+
+def _as_policy_doc(
+    raw: Mapping | PolicyDocument | None,
+) -> PolicyDocument | None:
+    if raw is None or isinstance(raw, PolicyDocument):
+        return raw
+    return policy_document(raw)
+
+
+def _lower_policy(
+    document: PolicyDocument | None, taxonomy: Taxonomy
+) -> HousePolicy | None:
+    if document is None:
+        return None
+    try:
+        return parse_policy(document, taxonomy)
+    except PrivacyModelError:
+        return None  # the document layer reports the cause
+
+
+def _lower_population(
+    raw: Mapping | None, taxonomy: Taxonomy
+) -> Population | None:
+    if raw is None:
+        return None
+    try:
+        return parse_population(raw, taxonomy)
+    except PrivacyModelError:
+        return None  # the document layer reports the cause

@@ -49,6 +49,7 @@ from .population_doc import (
     population_from_json,
     population_to_dict,
     population_to_json,
+    preference_documents,
 )
 
 __all__ = [
@@ -60,6 +61,7 @@ __all__ = [
     "population_from_json",
     "population_to_dict",
     "population_to_json",
+    "preference_documents",
     "PolicyDocument",
     "PreferenceDocument",
     "SensitivityDocument",

@@ -32,7 +32,8 @@ from ..core.population import Population, Provider
 from ..core.sensitivity import DimensionSensitivity
 from ..exceptions import PolicyDocumentError
 from ..taxonomy.builder import Taxonomy
-from .parser import parse_preferences
+from .ast import PreferenceDocument
+from .parser import parse_preferences, preference_document
 
 _PROVIDER_KEYS = {
     "provider",
@@ -57,6 +58,45 @@ def _parse_sensitivity_record(raw: Mapping, *, context: str) -> DimensionSensiti
         granularity=raw.get("granularity", 1.0),
         retention=raw.get("retention", 1.0),
     )
+
+
+def _entry_preference_document(entry: Mapping) -> PreferenceDocument:
+    """One provider entry's embedded preference document (structural only)."""
+    return preference_document(
+        {
+            "provider": entry.get("provider"),
+            "preferences": entry.get("preferences", []),
+            **(
+                {"attributes_provided": entry["attributes_provided"]}
+                if "attributes_provided" in entry
+                else {}
+            ),
+        }
+    )
+
+
+def preference_documents(raw: Mapping) -> tuple[PreferenceDocument, ...]:
+    """The per-provider preference documents embedded in a population doc.
+
+    A population document is, among other things, a bundle of preference
+    documents.  Both the CLI's ``validate`` command and the linter need
+    those documents individually; extracting them here keeps the two
+    paths from drifting.  Structural breakage raises
+    :class:`PolicyDocumentError`; semantic checking is the validator's
+    and linter's job.
+    """
+    if not isinstance(raw, Mapping):
+        raise PolicyDocumentError(
+            f"population document must be a mapping, got {type(raw).__name__}"
+        )
+    documents = []
+    for entry in raw.get("providers", []):
+        if not isinstance(entry, Mapping):
+            raise PolicyDocumentError(
+                f"provider entries must be mappings, got {type(entry).__name__}"
+            )
+        documents.append(_entry_preference_document(entry))
+    return tuple(documents)
 
 
 def parse_population(raw: Mapping, taxonomy: Taxonomy) -> Population:
@@ -84,16 +124,7 @@ def parse_population(raw: Mapping, taxonomy: Taxonomy) -> Population:
                 f"provider entry has unknown keys {sorted(unknown)}"
             )
         preferences = parse_preferences(
-            {
-                "provider": entry.get("provider"),
-                "preferences": entry.get("preferences", []),
-                **(
-                    {"attributes_provided": entry["attributes_provided"]}
-                    if "attributes_provided" in entry
-                    else {}
-                ),
-            },
-            taxonomy,
+            _entry_preference_document(entry), taxonomy
         )
         sensitivities = {
             attribute: _parse_sensitivity_record(

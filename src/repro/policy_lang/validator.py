@@ -6,48 +6,40 @@ registered, level names exist on their ladders, ranks are in range, and —
 for preference documents — explicit preferences only mention attributes
 the provider claims to have supplied.
 
-Validators return a list of human-readable problem strings (empty when the
-document is valid) rather than raising on first error, so UIs and audit
-pipelines can present everything at once.  ``strict=True`` converts a
-non-empty result into a :class:`PolicyDocumentError`.
+These checks are implemented as the document-layer rules of the
+:mod:`repro.lint` static analyzer (codes ``PVL001``-``PVL003``); the
+``validate_*`` functions below are thin back-compat wrappers that run
+those rules and flatten the coded diagnostics into the historical
+human-readable problem strings (empty when the document is valid) rather
+than raising on first error, so UIs and audit pipelines can present
+everything at once.  ``strict=True`` converts a non-empty result into a
+:class:`PolicyDocumentError`.  New code should prefer
+:func:`repro.lint.lint_documents`, which keeps codes, severities,
+locations, and payloads intact.
 """
 
 from __future__ import annotations
 
 from collections.abc import Mapping
 
-from ..core.dimensions import Dimension
-from ..exceptions import DomainError, PolicyDocumentError, UnknownPurposeError
+from ..exceptions import PolicyDocumentError
 from ..taxonomy.builder import Taxonomy
-from .ast import PolicyDocument, PreferenceDocument, TupleSpec
+from .ast import PolicyDocument, PreferenceDocument
 from .parser import policy_document, preference_document
 
-_SPEC_DIMENSIONS = (
-    ("visibility", Dimension.VISIBILITY),
-    ("granularity", Dimension.GRANULARITY),
-    ("retention", Dimension.RETENTION),
-)
+#: The lint codes equivalent to the historical validator checks.
+POLICY_VALIDATION_CODES = ("PVL001", "PVL002")
+PREFERENCE_VALIDATION_CODES = ("PVL001", "PVL002", "PVL003")
 
 
-def _check_spec(
-    spec: TupleSpec, taxonomy: Taxonomy, *, context: str
-) -> list[str]:
-    """All semantic problems with one rule/preference line."""
-    problems: list[str] = []
-    try:
-        taxonomy.purposes.validate(spec.purpose)
-    except UnknownPurposeError:
-        problems.append(f"{context}: unknown purpose {spec.purpose!r}")
-    for field_name, dimension in _SPEC_DIMENSIONS:
-        value = getattr(spec, field_name)
-        try:
-            taxonomy.domain(dimension).rank_of(value)
-        except DomainError:
-            problems.append(
-                f"{context}: {field_name} value {value!r} is not on the "
-                f"{taxonomy.domain(dimension).name!r} ladder"
-            )
-    return problems
+def _run_document_rules(context, codes) -> list[str]:
+    """Run the selected lint rules and flatten to legacy problem strings."""
+    from ..lint.registry import run_rules
+
+    return [
+        f"{diagnostic.location.describe()}: {diagnostic.message}"
+        for diagnostic in run_rules(context, select=codes)
+    ]
 
 
 def validate_policy_document(
@@ -57,16 +49,13 @@ def validate_policy_document(
     strict: bool = False,
 ) -> list[str]:
     """Semantic problems in a policy document (empty list when valid)."""
+    from ..lint.registry import LintContext
+
     document = raw if isinstance(raw, PolicyDocument) else policy_document(raw)
-    problems: list[str] = []
-    for index, spec in enumerate(document.rules):
-        problems.extend(
-            _check_spec(
-                spec,
-                taxonomy,
-                context=f"policy {document.name!r} rule {index}",
-            )
-        )
+    problems = _run_document_rules(
+        LintContext(taxonomy=taxonomy, policy_doc=document),
+        POLICY_VALIDATION_CODES,
+    )
     if strict and problems:
         raise PolicyDocumentError("; ".join(problems))
     return problems
@@ -79,21 +68,15 @@ def validate_preference_document(
     strict: bool = False,
 ) -> list[str]:
     """Semantic problems in a preference document (empty list when valid)."""
+    from ..lint.registry import LintContext
+
     document = (
         raw if isinstance(raw, PreferenceDocument) else preference_document(raw)
     )
-    problems: list[str] = []
-    for index, spec in enumerate(document.preferences):
-        context = f"preferences of {document.provider!r} entry {index}"
-        problems.extend(_check_spec(spec, taxonomy, context=context))
-        if (
-            document.attributes_provided is not None
-            and spec.attribute not in document.attributes_provided
-        ):
-            problems.append(
-                f"{context}: preference for attribute {spec.attribute!r} "
-                f"not listed in attributes_provided"
-            )
+    problems = _run_document_rules(
+        LintContext(taxonomy=taxonomy, preference_docs=(document,)),
+        PREFERENCE_VALIDATION_CODES,
+    )
     if strict and problems:
         raise PolicyDocumentError("; ".join(problems))
     return problems

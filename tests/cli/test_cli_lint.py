@@ -1,0 +1,134 @@
+"""`repro lint` and `repro validate` exit-code and format behaviour."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DOCUMENTS = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "documents"
+)
+
+
+@pytest.fixture(scope="module")
+def base_args():
+    return [
+        "--taxonomy",
+        str(DOCUMENTS / "taxonomy.json"),
+        "--policy",
+        str(DOCUMENTS / "policy.json"),
+        "--population",
+        str(DOCUMENTS / "population.json"),
+    ]
+
+
+@pytest.fixture()
+def broken_documents(tmp_path):
+    """A policy with an unknown purpose plus a duplicated preference."""
+    taxonomy = json.loads((DOCUMENTS / "taxonomy.json").read_text())
+    policy = json.loads((DOCUMENTS / "policy.json").read_text())
+    policy["rules"][0]["purpose"] = "resale"
+    population = json.loads((DOCUMENTS / "population.json").read_text())
+    population["providers"][0]["preferences"].append(
+        dict(population["providers"][0]["preferences"][0])
+    )
+    paths = {}
+    for name, payload in (
+        ("taxonomy", taxonomy),
+        ("policy", policy),
+        ("population", population),
+    ):
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(payload))
+        paths[name] = str(path)
+    return [
+        "--taxonomy", paths["taxonomy"],
+        "--policy", paths["policy"],
+        "--population", paths["population"],
+    ]
+
+
+class TestLintExitCodes:
+    def test_clean_documents_exit_zero(self, base_args, capsys):
+        assert main(["lint", *base_args]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_error_findings_exit_one(self, broken_documents, capsys):
+        assert main(["lint", *broken_documents]) == 1
+        out = capsys.readouterr().out
+        assert "error[PVL001]" in out
+        assert "warning[PVL005]" in out
+
+    def test_default_gate_ignores_warnings(self, broken_documents, capsys):
+        # Suppress the error; only the duplicate-preference warning remains,
+        # which the default --fail-on error gate lets through.
+        code = main(["lint", *broken_documents, "--ignore", "PVL001"])
+        assert code == 0
+        assert "warning[PVL005]" in capsys.readouterr().out
+
+    def test_fail_on_warning_tightens_gate(self, broken_documents, capsys):
+        code = main(
+            ["lint", *broken_documents, "--ignore", "PVL001",
+             "--fail-on", "warning"]
+        )
+        assert code == 1
+
+    def test_fail_on_never_always_exits_zero(self, broken_documents, capsys):
+        assert main(["lint", *broken_documents, "--fail-on", "never"]) == 0
+
+    def test_select_restricts_to_named_codes(self, broken_documents, capsys):
+        assert main(["lint", *broken_documents, "--select", "PVL005"]) == 0
+        out = capsys.readouterr().out
+        assert "PVL005" in out
+        assert "PVL001" not in out
+
+    def test_alpha_gate_fails_on_paper_example(self, base_args, capsys):
+        assert main(["lint", *base_args, "--alpha", "0.5"]) == 1
+        assert "PVL110" in capsys.readouterr().out
+
+    def test_candidate_break_even_bound(self, base_args, capsys):
+        code = main(
+            ["lint", *base_args,
+             "--candidate", str(DOCUMENTS / "candidate.json"),
+             "--max-extra-utility", "1", "--fail-on", "warning"]
+        )
+        assert code == 1
+        assert "PVL202" in capsys.readouterr().out
+
+
+class TestLintFormats:
+    def test_json_format_is_parseable(self, broken_documents, capsys):
+        main(["lint", *broken_documents, "--format", "json",
+              "--fail-on", "never"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] >= 2
+        assert "PVL001" in payload["summary"]["codes"]
+
+    def test_sarif_format_is_parseable(self, broken_documents, capsys):
+        main(["lint", *broken_documents, "--format", "sarif",
+              "--fail-on", "never"])
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+    def test_taxonomy_only_run(self, capsys):
+        code = main(
+            ["lint", "--taxonomy", str(DOCUMENTS / "taxonomy.json")]
+        )
+        assert code == 0
+
+
+class TestValidateExitCodes:
+    def test_clean_documents_exit_zero(self, base_args, capsys):
+        assert main(["validate", *base_args]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_problems_exit_one_with_legacy_prefix(self, broken_documents,
+                                                  capsys):
+        assert main(["validate", *broken_documents]) == 1
+        out = capsys.readouterr().out
+        assert "PROBLEM: policy 'section-8' rule 0: unknown purpose" in out

@@ -1,0 +1,65 @@
+"""Shared document fixtures for the linter tests.
+
+The clean documents are constructed so that *no* rule fires on them:
+every purpose is used, every attribute is supplied and collected, no
+tuple dominates another, sensitivities are positive, and the policy
+violates some — but not all — providers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.taxonomy import standard_taxonomy
+
+
+def rule(**overrides):
+    """One policy-rule / preference row with sensible defaults."""
+    spec = {
+        "attribute": "weight",
+        "purpose": "billing",
+        "visibility": "house",
+        "granularity": "partial",
+        "retention": "short-term",
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture()
+def taxonomy():
+    return standard_taxonomy(["billing"])
+
+
+@pytest.fixture()
+def clean_policy():
+    return {"name": "base", "rules": [rule()]}
+
+
+@pytest.fixture()
+def clean_population():
+    # "high" prefers more exposure than the policy grants (never violated);
+    # "low" prefers less (violated, but not defaulted) — so neither the
+    # guaranteed-violation rule nor the alpha rule (at alpha=1) fires.
+    return {
+        "attribute_sensitivities": {"weight": 2.0},
+        "providers": [
+            {
+                "provider": "high",
+                "threshold": 100,
+                "preferences": [
+                    rule(visibility="all", granularity="specific",
+                         retention="indefinite")
+                ],
+                "sensitivities": {"weight": {"value": 1.0}},
+            },
+            {
+                "provider": "low",
+                "threshold": 100,
+                "preferences": [
+                    rule(visibility="owner", granularity="existential",
+                         retention="transaction")
+                ],
+            },
+        ],
+    }

@@ -1,0 +1,101 @@
+"""Unit tests for the diagnostic primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LintConfigurationError
+from repro.lint import Diagnostic, Severity, SourceLocation
+from repro.lint.diagnostics import sort_key
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING >= Severity.INFO
+        assert not Severity.ERROR < Severity.INFO
+
+    def test_from_name(self):
+        assert Severity.from_name("error") is Severity.ERROR
+        assert Severity.from_name(" WARNING ") is Severity.WARNING
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(LintConfigurationError):
+            Severity.from_name("fatal")
+
+
+class TestSourceLocation:
+    def test_policy_describe_matches_legacy_context(self):
+        loc = SourceLocation("policy", name="base", index=2)
+        assert loc.describe() == "policy 'base' rule 2"
+
+    def test_population_describe_matches_legacy_context(self):
+        loc = SourceLocation("population", name="alice", index=0)
+        assert loc.describe() == "preferences of 'alice' entry 0"
+
+    def test_taxonomy_and_candidate_describe(self):
+        assert SourceLocation("taxonomy").describe() == "taxonomy"
+        assert (
+            SourceLocation("candidate", name="wider", index=1).describe()
+            == "candidate 'wider' rule 1"
+        )
+
+    def test_unknown_document_kind_rejected(self):
+        with pytest.raises(LintConfigurationError):
+            SourceLocation("sensitivities")
+
+
+class TestDiagnostic:
+    def _diag(self, **overrides):
+        values = dict(
+            code="PVL001",
+            severity=Severity.ERROR,
+            message="unknown purpose 'x'",
+            location=SourceLocation("policy", name="base", index=0),
+            payload={"purpose": "x"},
+        )
+        values.update(overrides)
+        return Diagnostic(**values)
+
+    def test_str_carries_code_and_severity(self):
+        text = str(self._diag())
+        assert "error[PVL001]" in text
+        assert text.startswith("policy 'base' rule 0: ")
+
+    def test_payload_is_read_only(self):
+        diagnostic = self._diag()
+        with pytest.raises(TypeError):
+            diagnostic.payload["purpose"] = "y"
+
+    def test_as_dict_round_trips_to_json_types(self):
+        payload = self._diag().as_dict()
+        assert payload["code"] == "PVL001"
+        assert payload["severity"] == "error"
+        assert payload["location"]["index"] == 0
+        assert payload["payload"] == {"purpose": "x"}
+
+    def test_sort_key_orders_by_document_then_index_then_field(self):
+        diagnostics = [
+            self._diag(
+                location=SourceLocation("population", name="a", index=0)
+            ),
+            self._diag(
+                location=SourceLocation(
+                    "policy", name="base", index=1, field="retention"
+                )
+            ),
+            self._diag(
+                location=SourceLocation(
+                    "policy", name="base", index=1, field="purpose"
+                )
+            ),
+            self._diag(location=SourceLocation("taxonomy")),
+        ]
+        ordered = sorted(diagnostics, key=sort_key)
+        assert [d.location.document for d in ordered] == [
+            "taxonomy",
+            "policy",
+            "policy",
+            "population",
+        ]
+        assert ordered[1].location.field == "purpose"

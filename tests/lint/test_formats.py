@@ -1,0 +1,101 @@
+"""Tests for the text/json/sarif renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import LintConfigurationError
+from repro.lint import (
+    FORMATS,
+    LintConfig,
+    LintReport,
+    lint_documents,
+    render,
+    render_sarif,
+    render_text,
+)
+
+from .conftest import rule
+
+
+@pytest.fixture()
+def findings_report(taxonomy, clean_population):
+    policy = {
+        "name": "base",
+        "rules": [rule(purpose="resale"), rule(), rule()],
+    }
+    return lint_documents(
+        taxonomy, policy=policy, population=clean_population,
+        config=LintConfig(alpha=0.25),
+    )
+
+
+class TestRenderText:
+    def test_one_line_per_diagnostic_plus_summary(self, findings_report):
+        text = render_text(findings_report)
+        lines = text.splitlines()
+        assert len(lines) == len(findings_report) + 1
+        assert "error[PVL001]" in text
+        assert lines[-1].startswith(f"{len(findings_report)} finding(s): ")
+
+    def test_clean_report_says_no_findings(self):
+        assert render_text(LintReport(diagnostics=())) == "no findings"
+
+
+class TestRenderJson:
+    def test_round_trips_and_matches_as_dict(self, findings_report):
+        payload = json.loads(render(findings_report, "json"))
+        assert payload == findings_report.as_dict()
+        assert payload["summary"]["total"] == len(findings_report)
+
+
+class TestRenderSarif:
+    def test_is_valid_sarif_shape(self, findings_report):
+        log = json.loads(render_sarif(findings_report))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert len(run["results"]) == len(findings_report)
+
+    def test_rule_catalogue_attached(self, findings_report):
+        log = json.loads(render_sarif(findings_report))
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = [entry["id"] for entry in rules]
+        assert len(ids) >= 10
+        assert ids == sorted(ids)
+        assert all(entry["fullDescription"]["text"] for entry in rules)
+
+    def test_severity_level_mapping(self, findings_report):
+        log = json.loads(render_sarif(findings_report))
+        levels = {
+            result["ruleId"]: result["level"]
+            for result in log["runs"][0]["results"]
+        }
+        assert levels["PVL001"] == "error"
+        assert levels["PVL004"] == "warning"
+
+    def test_logical_location_carries_field(self, findings_report):
+        log = json.loads(render_sarif(findings_report))
+        pvl001 = next(
+            result
+            for result in log["runs"][0]["results"]
+            if result["ruleId"] == "PVL001"
+        )
+        logical = pvl001["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"] == "policy 'base' rule 0.purpose"
+        assert logical["kind"] == "policy"
+
+    def test_empty_report_renders_empty_results(self):
+        log = json.loads(render_sarif(LintReport(diagnostics=())))
+        assert log["runs"][0]["results"] == []
+
+
+class TestRenderDispatch:
+    def test_formats_constant(self):
+        assert FORMATS == ("text", "json", "sarif")
+
+    def test_unknown_format_raises(self, findings_report):
+        with pytest.raises(LintConfigurationError):
+            render(findings_report, "xml")

@@ -1,0 +1,155 @@
+"""Unit tests for LintReport aggregation and the registry plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LintConfigurationError, ValidationError
+from repro.lint import (
+    Diagnostic,
+    Layer,
+    LintConfig,
+    LintReport,
+    Severity,
+    SourceLocation,
+    all_rules,
+    get_rule,
+    lint_documents,
+)
+
+
+def diag(code, severity, message="m"):
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        message=message,
+        location=SourceLocation("taxonomy"),
+    )
+
+
+@pytest.fixture()
+def mixed_report():
+    return LintReport.from_diagnostics(
+        [
+            diag("PVL001", Severity.ERROR),
+            diag("PVL004", Severity.WARNING),
+            diag("PVL004", Severity.WARNING),
+            diag("PVL103", Severity.INFO),
+        ]
+    )
+
+
+class TestLintReport:
+    def test_counts_and_accessors(self, mixed_report):
+        assert len(mixed_report) == 4
+        assert mixed_report.count(Severity.WARNING) == 2
+        assert len(mixed_report.errors) == 1
+        assert len(mixed_report.warnings) == 2
+        assert len(mixed_report.infos) == 1
+        assert mixed_report.codes() == ("PVL001", "PVL004", "PVL103")
+        assert mixed_report.code_counts() == {
+            "PVL001": 1,
+            "PVL004": 2,
+            "PVL103": 1,
+        }
+        assert len(mixed_report.with_code("PVL004")) == 2
+
+    def test_max_severity(self, mixed_report):
+        assert mixed_report.max_severity() is Severity.ERROR
+        assert LintReport(diagnostics=()).max_severity() is None
+
+    def test_exit_code_gating(self, mixed_report):
+        assert mixed_report.exit_code() == 1
+        assert mixed_report.exit_code(fail_on=Severity.INFO) == 1
+        assert mixed_report.exit_code(fail_on=None) == 0
+        warnings_only = LintReport.from_diagnostics(
+            [diag("PVL004", Severity.WARNING)]
+        )
+        assert warnings_only.exit_code(fail_on=Severity.ERROR) == 0
+        assert warnings_only.exit_code(fail_on=Severity.WARNING) == 1
+        assert LintReport(diagnostics=()).exit_code(fail_on=Severity.INFO) == 0
+
+    def test_summary_and_as_dict(self, mixed_report):
+        summary = mixed_report.summary()
+        assert summary["total"] == 4
+        assert summary["errors"] == 1
+        payload = mixed_report.as_dict()
+        assert len(payload["diagnostics"]) == 4
+        assert payload["summary"] == summary
+
+    def test_bool_and_iter(self, mixed_report):
+        assert mixed_report
+        assert not LintReport(diagnostics=())
+        assert [d.code for d in mixed_report][0] == "PVL001"
+
+
+class TestRegistry:
+    def test_catalogue_meets_issue_floor(self):
+        rules = all_rules()
+        assert len({info.code for info in rules}) >= 10
+        layers = {info.layer for info in rules}
+        assert layers == {Layer.DOCUMENT, Layer.MODEL, Layer.ECONOMICS}
+
+    def test_get_rule_and_unknown_code(self):
+        assert get_rule("PVL001").title == "unknown purpose"
+        with pytest.raises(LintConfigurationError):
+            get_rule("PVL999")
+
+    def test_select_unknown_code_raises(self, taxonomy, clean_policy):
+        with pytest.raises(LintConfigurationError):
+            lint_documents(taxonomy, policy=clean_policy, select=["PVL999"])
+
+    def test_ignore_suppresses_code(self, taxonomy, clean_population):
+        policy = {"name": "base", "rules": [rule_with_bad_purpose()]}
+        report = lint_documents(
+            taxonomy, policy=policy, population=clean_population,
+            ignore=["PVL001"],
+        )
+        assert "PVL001" not in report.codes()
+
+    def test_clean_documents_produce_no_findings(
+        self, taxonomy, clean_policy, clean_population
+    ):
+        report = lint_documents(
+            taxonomy, policy=clean_policy, population=clean_population
+        )
+        assert report.codes() == ()
+
+    def test_taxonomy_alone_is_lintable(self, taxonomy):
+        report = lint_documents(taxonomy)
+        assert report.codes() == ()
+
+
+class TestLintConfig:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            LintConfig(alpha=1.5)
+        with pytest.raises(ValidationError):
+            LintConfig(alpha=-0.1)
+
+    def test_rejects_negative_utility(self):
+        with pytest.raises(ValidationError):
+            LintConfig(utility=-1.0)
+
+    def test_rejects_negative_bound(self):
+        with pytest.raises(ValidationError):
+            LintConfig(max_extra_utility=-2.0)
+
+
+def rule_with_bad_purpose():
+    from .conftest import rule
+
+    return rule(purpose="resale")
+
+
+class TestRunnerDegradation:
+    def test_unlowerable_policy_still_gets_document_diagnostics(
+        self, taxonomy, clean_population
+    ):
+        policy = {"name": "base", "rules": [rule_with_bad_purpose()]}
+        report = lint_documents(
+            taxonomy, policy=policy, population=clean_population
+        )
+        assert "PVL001" in report.codes()
+        # The model layer needed a lowered policy and stayed out of the way.
+        assert "PVL101" not in report.codes()

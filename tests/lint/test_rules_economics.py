@@ -1,0 +1,128 @@
+"""Fire/silent tests for the economics sanity rules PVL201-PVL202."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import LintConfig, lint_documents
+
+from .conftest import rule
+
+WIDE = dict(visibility="all", granularity="specific", retention="indefinite")
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+def run(taxonomy, code, **kwargs):
+    return lint_documents(taxonomy, select=[code], **kwargs)
+
+
+@pytest.fixture()
+def fragile_population():
+    """Two providers that default as soon as anything violates them."""
+    return {
+        "providers": [
+            {
+                "provider": "alice",
+                "threshold": 0,
+                "preferences": [
+                    rule(visibility="owner", granularity="existential",
+                         retention="transaction")
+                ],
+            },
+            {
+                "provider": "bob",
+                "threshold": 0,
+                "preferences": [
+                    rule(visibility="owner", granularity="existential",
+                         retention="transaction")
+                ],
+            },
+        ],
+    }
+
+
+class TestPVL201WideningAnnihilates:
+    def test_fires_when_all_providers_default(self, taxonomy, clean_policy,
+                                              fragile_population):
+        candidate = {"name": "wider", "rules": [rule(**WIDE)]}
+        report = run(taxonomy, "PVL201", policy=clean_policy,
+                     population=fragile_population, candidate=candidate)
+        assert codes(report) == ["PVL201"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.location.document == "candidate"
+        assert diagnostic.payload["n_future"] == 0
+        assert sorted(diagnostic.payload["defaulted_providers"]) == [
+            "alice",
+            "bob",
+        ]
+
+    def test_silent_when_someone_survives(self, taxonomy, clean_policy,
+                                          fragile_population):
+        fragile_population["providers"][0]["preferences"] = [rule(**WIDE)]
+        candidate = {"name": "wider", "rules": [rule(**WIDE)]}
+        report = run(taxonomy, "PVL201", policy=clean_policy,
+                     population=fragile_population, candidate=candidate)
+        assert codes(report) == []
+
+    def test_silent_without_candidate(self, taxonomy, clean_policy,
+                                      fragile_population):
+        report = run(taxonomy, "PVL201", policy=clean_policy,
+                     population=fragile_population)
+        assert codes(report) == []
+
+
+class TestPVL202UnattainableBreakEven:
+    def _survivor_population(self, fragile_population):
+        # alice tolerates everything; bob defaults -> N: 2 -> 1, T* = U.
+        fragile_population["providers"][0]["preferences"] = [rule(**WIDE)]
+        return fragile_population
+
+    def test_fires_when_break_even_exceeds_bound(self, taxonomy, clean_policy,
+                                                 fragile_population):
+        population = self._survivor_population(fragile_population)
+        candidate = {"name": "wider", "rules": [rule(**WIDE)]}
+        report = run(
+            taxonomy, "PVL202", policy=clean_policy, population=population,
+            candidate=candidate,
+            config=LintConfig(utility=1.0, max_extra_utility=0.5),
+        )
+        assert codes(report) == ["PVL202"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.payload["break_even_extra_utility"] == 1.0
+        assert diagnostic.payload["n_current"] == 2
+        assert diagnostic.payload["n_future"] == 1
+        assert diagnostic.payload["defaulted_providers"] == ["bob"]
+
+    def test_silent_when_bound_is_attainable(self, taxonomy, clean_policy,
+                                             fragile_population):
+        population = self._survivor_population(fragile_population)
+        candidate = {"name": "wider", "rules": [rule(**WIDE)]}
+        report = run(
+            taxonomy, "PVL202", policy=clean_policy, population=population,
+            candidate=candidate,
+            config=LintConfig(utility=1.0, max_extra_utility=2.0),
+        )
+        assert codes(report) == []
+
+    def test_silent_without_configured_bound(self, taxonomy, clean_policy,
+                                             fragile_population):
+        population = self._survivor_population(fragile_population)
+        candidate = {"name": "wider", "rules": [rule(**WIDE)]}
+        report = run(taxonomy, "PVL202", policy=clean_policy,
+                     population=population, candidate=candidate)
+        assert codes(report) == []
+
+    def test_defers_to_pvl201_when_population_annihilated(
+        self, taxonomy, clean_policy, fragile_population
+    ):
+        candidate = {"name": "wider", "rules": [rule(**WIDE)]}
+        report = lint_documents(
+            taxonomy, policy=clean_policy, population=fragile_population,
+            candidate=candidate,
+            config=LintConfig(utility=1.0, max_extra_utility=0.5),
+            select=["PVL201", "PVL202"],
+        )
+        assert codes(report) == ["PVL201"]

@@ -150,3 +150,70 @@ class TestRoundTrips:
             restored = again.get(provider.provider_id)
             assert restored.threshold == provider.threshold
             assert restored.preferences == provider.preferences
+
+
+class TestPreferenceDocuments:
+    """The shared population -> PreferenceDocument extraction helper."""
+
+    def test_one_document_per_provider(self):
+        from repro.policy_lang import preference_documents
+
+        documents = preference_documents(DOC)
+        assert [d.provider for d in documents] == ["ted", "immortal"]
+
+    def test_documents_carry_preferences_verbatim(self):
+        from repro.policy_lang import preference_documents
+
+        documents = preference_documents(DOC)
+        spec = documents[0].preferences[0]
+        assert spec.attribute == "weight"
+        assert spec.visibility == "all"
+
+    def test_attributes_provided_defaults_to_none(self):
+        from repro.policy_lang import preference_documents
+
+        documents = preference_documents(DOC)
+        assert documents[0].attributes_provided is None
+
+    def test_explicit_attributes_provided_preserved(self):
+        from repro.policy_lang import preference_documents
+
+        doc = {
+            "providers": [
+                {
+                    "provider": "x",
+                    "attributes_provided": ["weight", "age"],
+                    "preferences": [],
+                }
+            ]
+        }
+        (document,) = preference_documents(doc)
+        assert set(document.attributes_provided) == {"weight", "age"}
+
+    def test_empty_population_yields_no_documents(self):
+        from repro.policy_lang import preference_documents
+
+        assert preference_documents({"providers": []}) == ()
+
+    def test_non_mapping_document_raises(self):
+        from repro.policy_lang import preference_documents
+
+        with pytest.raises(PolicyDocumentError):
+            preference_documents(["not", "a", "mapping"])
+
+    def test_non_mapping_entry_raises(self):
+        from repro.policy_lang import preference_documents
+
+        with pytest.raises(PolicyDocumentError):
+            preference_documents({"providers": ["nope"]})
+
+    def test_missing_provider_id_raises(self):
+        from repro.exceptions import PrivacyModelError
+        from repro.policy_lang import preference_documents
+
+        with pytest.raises(PrivacyModelError):
+            preference_documents({"providers": [{"preferences": []}]})
+
+    def test_empty_population_parses_and_lints_clean(self, taxonomy):
+        population = parse_population({"providers": []}, taxonomy)
+        assert len(population) == 0

@@ -75,6 +75,69 @@ class TestPolicyValidation:
         )
 
 
+class TestLegacyStringCompatibility:
+    """The validate_* wrappers must reproduce the historical strings."""
+
+    def test_policy_problem_string_is_verbatim_legacy(self, taxonomy):
+        problems = validate_policy_document(
+            {"name": "x", "rules": [_rule(purpose="resale")]}, taxonomy
+        )
+        assert problems == ["policy 'x' rule 0: unknown purpose 'resale'"]
+
+    def test_unnamed_policy_uses_default_name(self, taxonomy):
+        problems = validate_policy_document(
+            {"rules": [_rule(purpose="resale")]}, taxonomy
+        )
+        assert len(problems) == 1
+        assert problems[0].startswith("policy ")
+        assert "rule 0: unknown purpose 'resale'" in problems[0]
+
+    def test_preference_problem_string_is_verbatim_legacy(self, taxonomy):
+        problems = validate_preference_document(
+            {"provider": "alice", "preferences": [_rule(purpose="resale")]},
+            taxonomy,
+        )
+        assert problems == [
+            "preferences of 'alice' entry 0: unknown purpose 'resale'"
+        ]
+
+    def test_problems_stay_in_per_entry_check_order(self, taxonomy):
+        # Legacy behaviour: per entry, purpose before level problems;
+        # entries in document order.
+        problems = validate_policy_document(
+            {
+                "name": "x",
+                "rules": [
+                    _rule(visibility="galaxy"),
+                    _rule(purpose="resale", retention="forever"),
+                ],
+            },
+            taxonomy,
+        )
+        assert [p.split(":")[0] for p in problems] == [
+            "policy 'x' rule 0",
+            "policy 'x' rule 1",
+            "policy 'x' rule 1",
+        ]
+        assert "galaxy" in problems[0]
+        assert "resale" in problems[1]
+        assert "forever" in problems[2]
+
+    def test_duplicate_policy_rules_are_not_legacy_problems(self, taxonomy):
+        # Duplicates are a lint-only warning (PVL004); the historical
+        # validator never reported them and the wrapper must not start to.
+        assert (
+            validate_policy_document(
+                {"rules": [_rule(), _rule()]}, taxonomy
+            )
+            == []
+        )
+
+    def test_duplicate_preferences_are_not_legacy_problems(self, taxonomy):
+        doc = {"provider": "alice", "preferences": [_rule(), _rule()]}
+        assert validate_preference_document(doc, taxonomy) == []
+
+
 class TestPreferenceValidation:
     def test_valid_document(self, taxonomy):
         doc = {"provider": "alice", "preferences": [_rule()]}
