@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-tables examples lint lint-policy all
+.PHONY: install test bench bench-smoke bench-tables examples lint lint-policy all
 
 install:
 	$(PYTHON) setup.py develop
@@ -10,8 +10,16 @@ install:
 test:
 	$(PYTHON) -m pytest tests/
 
+# Full benchmark run; machine-readable timings (including the sweep
+# speedup of the batch engine vs the reference engine) land in
+# BENCH_2.json via the conftest recorder.
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_JSON=BENCH_2.json $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Tiny-size smoke run of the scaling benches (same code paths, relaxed
+# speedup floor) — what CI executes on every push.
+bench-smoke:
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_scaling.py --benchmark-only
 
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

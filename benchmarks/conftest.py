@@ -16,7 +16,16 @@ Add ``-s`` to see the printed paper-style tables inline.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
+
+#: Machine-readable results collected by the benches this session.
+#: ``record()`` fills it; when ``REPRO_BENCH_JSON`` names a path, the
+#: whole mapping is dumped there at session end (``make bench`` points it
+#: at ``BENCH_2.json``).
+_RESULTS: dict[str, dict] = {}
 
 
 def emit(title: str, text: str) -> None:
@@ -24,6 +33,19 @@ def emit(title: str, text: str) -> None:
     print()
     print(f"=== {title} ===")
     print(text)
+
+
+def record(name: str, **fields) -> None:
+    """Store one benchmark's machine-readable result for the JSON dump."""
+    _RESULTS[name] = fields
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if path and _RESULTS:
+        with open(path, "w") as handle:
+            json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+            handle.write("\n")
 
 
 @pytest.fixture(scope="session")

@@ -3,12 +3,18 @@
 The paper positions the model as deployable inside production relational
 databases, so the harness verifies the computational story: full-model
 evaluation scales linearly in the number of providers (R^2 of a linear fit
-over a size sweep), and the sqlite gate's per-request overhead stays flat
-as the data table grows.
+over a size sweep), the vectorized batch engine beats the reference
+engine by an order of magnitude on policy sweeps, and the sqlite gate's
+per-request overhead stays flat as the data table grows.
+
+Setting ``REPRO_BENCH_SMOKE=1`` shrinks every size so the module doubles
+as a CI smoke test: the same code paths run, but the speedup floor is
+relaxed (tiny problems are dominated by fixed overheads).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -16,18 +22,30 @@ import numpy as np
 from repro.analysis import format_table
 from repro.core import PrivacyTuple, ViolationEngine
 from repro.datasets import healthcare_scenario
+from repro.perf import BatchViolationEngine
+from repro.simulation import WideningStep, widening_policies
 from repro.storage import AccessRequest, EnforcementMode, PrivacyDatabase
 
-from conftest import emit
+from conftest import emit, record
 
-SIZES = (50, 100, 200, 400)
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SIZES = (20, 40) if SMOKE else (50, 100, 200, 400, 800)
+SWEEP_PROVIDERS = 40 if SMOKE else 400
+SWEEP_POLICIES = 20
+# Acceptance floor: >= 10x on the full-size sweep.  At smoke sizes the
+# fixed per-call overhead dominates, so only sanity (not slower) is held.
+MIN_SWEEP_SPEEDUP = 1.0 if SMOKE else 10.0
 
 
-def _evaluate(n: int) -> float:
+def _evaluate(n: int, repeats: int = 3) -> float:
+    """Best-of-*repeats* evaluation time: robust against scheduler noise."""
     scenario = healthcare_scenario(n, seed=3)
-    started = time.perf_counter()
-    ViolationEngine(scenario.policy, scenario.population).report()
-    return time.perf_counter() - started
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ViolationEngine(scenario.policy, scenario.population).report()
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def test_engine_scales_linearly(benchmark):
@@ -61,6 +79,84 @@ def test_engine_scales_linearly(benchmark):
     )
     assert r_squared > 0.95
     assert coeffs[0] > 0
+    record(
+        "engine_scaling",
+        sizes=list(SIZES),
+        seconds=[s for _, s in timings],
+        slope_seconds_per_provider=float(coeffs[0]),
+        r_squared=r_squared,
+    )
+
+
+def test_sweep_batch_vs_reference(benchmark):
+    """The batch engine's policy sweep beats per-policy reference engines.
+
+    A widening sweep of ``SWEEP_POLICIES`` candidates over
+    ``SWEEP_PROVIDERS`` providers is evaluated twice: once the reference
+    way (a fresh :class:`ViolationEngine` per candidate) and once through
+    one :class:`BatchViolationEngine` (one compilation, cached reports,
+    column deltas between consecutive candidates).  Both must agree on
+    every aggregate; the batch path must clear ``MIN_SWEEP_SPEEDUP``.
+    """
+    scenario = healthcare_scenario(SWEEP_PROVIDERS, seed=3)
+    policies = widening_policies(
+        scenario.policy,
+        WideningStep.uniform(1),
+        scenario.taxonomy,
+        SWEEP_POLICIES - 1,
+    )
+    assert len(policies) == SWEEP_POLICIES
+
+    def measure():
+        started = time.perf_counter()
+        reference = [
+            ViolationEngine(policy, scenario.population).report()
+            for policy in policies
+        ]
+        reference_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        engine = BatchViolationEngine(scenario.population)
+        batch = engine.evaluate_policies(policies)
+        batch_seconds = time.perf_counter() - started
+        return reference, reference_seconds, batch, batch_seconds
+
+    reference, reference_seconds, batch, batch_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    for expected, got in zip(reference, batch):
+        assert got.n_violated == expected.n_violated
+        assert got.n_defaulted == expected.n_defaulted
+        assert got.violated_ids() == expected.violated_ids()
+        np.testing.assert_allclose(
+            got.total_violations, expected.total_violations, rtol=1e-9
+        )
+
+    speedup = reference_seconds / batch_seconds if batch_seconds else float("inf")
+    emit(
+        "E7: policy sweep, reference vs batch engine",
+        format_table(
+            ["providers", "policies", "reference s", "batch s", "speedup"],
+            [
+                [
+                    SWEEP_PROVIDERS,
+                    SWEEP_POLICIES,
+                    round(reference_seconds, 4),
+                    round(batch_seconds, 4),
+                    round(speedup, 1),
+                ]
+            ],
+        ),
+    )
+    record(
+        "sweep_batch_vs_reference",
+        providers=SWEEP_PROVIDERS,
+        policies=SWEEP_POLICIES,
+        reference_seconds=reference_seconds,
+        batch_seconds=batch_seconds,
+        speedup=speedup,
+        smoke=SMOKE,
+    )
+    assert speedup >= MIN_SWEEP_SPEEDUP
 
 
 def test_gate_request_throughput(benchmark, crm_200):

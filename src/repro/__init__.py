@@ -89,6 +89,13 @@ from .lint import (
     Severity,
     lint_documents,
 )
+from .perf import (
+    BatchReport,
+    BatchViolationEngine,
+    CompiledPopulation,
+    batch_assess_expansion,
+    policy_fingerprint,
+)
 from .taxonomy import Taxonomy, TaxonomyBuilder, standard_taxonomy
 
 __version__ = "1.0.0"
@@ -139,6 +146,12 @@ __all__ = [
     "utility_future",
     "violation_indicator",
     "violation_probability",
+    # perf (vectorized batch engine)
+    "BatchReport",
+    "BatchViolationEngine",
+    "CompiledPopulation",
+    "batch_assess_expansion",
+    "policy_fingerprint",
     # taxonomy
     "Taxonomy",
     "TaxonomyBuilder",

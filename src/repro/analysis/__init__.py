@@ -15,8 +15,17 @@
 from .reports import ViolationMatrix, violation_matrix
 from .aggregates import PopulationSummary, SegmentStats, summarize
 from .cdf import DefaultCDF, default_cdf_from_sweep
-from .certification import CertificationDocument, certification_document
-from .frontier import FrontierPoint, ParetoFrontier, pareto_frontier
+from .certification import (
+    CertificationDocument,
+    batch_certification_document,
+    certification_document,
+)
+from .frontier import (
+    FrontierPoint,
+    ParetoFrontier,
+    pareto_frontier,
+    sweep_frontier,
+)
 from .lint_report import LintReport, lint_report_table
 from .tables import format_table
 
@@ -26,6 +35,7 @@ __all__ = [
     "FrontierPoint",
     "ParetoFrontier",
     "pareto_frontier",
+    "sweep_frontier",
     "ViolationMatrix",
     "violation_matrix",
     "PopulationSummary",
@@ -34,6 +44,7 @@ __all__ = [
     "DefaultCDF",
     "default_cdf_from_sweep",
     "CertificationDocument",
+    "batch_certification_document",
     "certification_document",
     "format_table",
 ]

@@ -14,7 +14,9 @@ import json
 from dataclasses import dataclass
 
 from ..core.engine import ViolationEngine
+from ..core.policy import HousePolicy
 from ..core.ppdb import PPDBCertificate
+from ..perf import BatchViolationEngine
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,6 +75,25 @@ def certification_document(
     report = engine.report()
     return CertificationDocument(
         certificate=engine.certify(alpha),
+        default_probability=report.default_probability,
+        total_violations=report.total_violations,
+    )
+
+
+def batch_certification_document(
+    engine: BatchViolationEngine, policy: HousePolicy, alpha: float
+) -> CertificationDocument:
+    """Produce the publishable document from a batch engine.
+
+    The batch engine caches per-policy reports, so certifying several
+    candidate policies against one compiled population reuses each
+    evaluation; the certificate and the contextual metrics come from the
+    same cached report, keeping them consistent by construction (the same
+    guarantee :meth:`~repro.core.engine.ViolationEngine.certify` makes).
+    """
+    report = engine.evaluate(policy)
+    return CertificationDocument(
+        certificate=engine.certify(policy, alpha),
         default_probability=report.default_probability,
         total_violations=report.total_violations,
     )

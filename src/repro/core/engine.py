@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
+from .._validation import check_probability
 from ..exceptions import UnknownProviderError, ValidationError
 from .default import DefaultModel
 from .policy import HousePolicy
@@ -215,13 +216,48 @@ class ViolationEngine:
             outcomes=outcomes,
         )
 
-    def certify(self, alpha: float) -> PPDBCertificate:
-        """Definition 3's alpha-PPDB certificate under the current policy."""
-        return certify_alpha_ppdb(
-            self._population,
-            self._policy,
-            alpha,
-            implicit_zero=self._implicit_zero,
+    def certify(self, alpha: float, *, early_exit: bool = False) -> PPDBCertificate:
+        """Definition 3's alpha-PPDB certificate under the current policy.
+
+        The certificate is derived from this engine's own evaluation state
+        — the same outcomes :meth:`report` aggregates — so it always
+        reflects the ``sensitivities``/``default_model`` overrides and
+        ``implicit_zero`` setting in effect.  (``w_i`` itself is purely
+        geometric and never depends on the weight models, but deriving
+        both views from one evaluation keeps them consistent by
+        construction and avoids a second pass over the population.)
+        Contrast :meth:`with_population`, which deliberately *re-derives*
+        the models from the new population, and the free function
+        :func:`~repro.core.ppdb.certify_alpha_ppdb`, which recomputes the
+        indicators from raw preferences.
+
+        With ``early_exit=True`` and no evaluation cached yet, the
+        provider walk stops as soon as the ``alpha x N`` violation budget
+        is exceeded; the resulting certificate is marked non-exhaustive
+        (see :class:`~repro.core.ppdb.PPDBCertificate`).  When outcomes
+        are already cached the flags are free and the exact certificate is
+        returned regardless.
+        """
+        if early_exit and self._outcomes is None:
+            return certify_alpha_ppdb(
+                self._population,
+                self._policy,
+                alpha,
+                implicit_zero=self._implicit_zero,
+                early_exit=True,
+            )
+        alpha = check_probability(alpha, "alpha")
+        outcomes = self.outcomes()
+        violated = tuple(o.provider_id for o in outcomes if o.violated)
+        n = len(outcomes)
+        p_w = len(violated) / n if n else 0.0
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=p_w,
+            satisfied=p_w <= alpha,
+            n_providers=n,
+            violated_providers=violated,
+            policy_name=self._policy.name,
         )
 
     def with_policy(self, policy: HousePolicy) -> "ViolationEngine":
@@ -238,7 +274,11 @@ class ViolationEngine:
         """A sibling engine evaluating the same policy over *population*.
 
         The sensitivity and default models are re-derived from the new
-        population (per-provider data must match the providers evaluated).
+        population (per-provider data must match the providers evaluated)
+        — any overrides passed to this engine are deliberately dropped,
+        because they were keyed to the old population's providers.  This
+        is the opposite convention from :meth:`certify`, which sticks with
+        the models in effect on this engine.
         """
         return ViolationEngine(
             self._policy,

@@ -14,9 +14,9 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from ..core.economics import break_even_extra_utility
-from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
 from ..core.population import Population
+from ..perf import BatchViolationEngine
 from .thresholds import ThresholdEstimator
 
 
@@ -63,28 +63,30 @@ def forecast_defaults(
     ``T*`` (Eq. 31) is evaluated at the *expected* future population,
     which is the planning quantity Section 9 needs.
     """
-    engine = ViolationEngine(candidate, population, implicit_zero=implicit_zero)
+    report = BatchViolationEngine(
+        population, implicit_zero=implicit_zero
+    ).evaluate(candidate)
     by_provider = {obs.provider_id: obs for obs in estimator.observations}
     expected = 0.0
     certain: list[Hashable] = []
     possible: list[Hashable] = []
-    for outcome in engine.outcomes():
-        obs = by_provider.get(outcome.provider_id)
+    for provider_id, severity in zip(report.provider_ids, report.violations):
+        obs = by_provider.get(provider_id)
         if obs is None:
             continue  # no behavioural record: nothing to predict from
-        severity = outcome.violation
+        severity = float(severity)
         if obs.censored:
             # Known to tolerate obs.lower; anything above is unknown —
             # conservatively predict no default (matches the estimator).
             continue
         if severity >= obs.upper:
             expected += 1.0
-            certain.append(outcome.provider_id)
+            certain.append(provider_id)
         elif severity > obs.lower:
             width = obs.upper - obs.lower
             probability = 1.0 if width <= 0 else (severity - obs.lower) / width
             expected += probability
-            possible.append(outcome.provider_id)
+            possible.append(provider_id)
     n = len(population)
     n_future_expected = max(1, round(n - expected))
     return DefaultForecast(

@@ -21,10 +21,10 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 from typing import Hashable
 
-from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import ValidationError
+from ..perf import BatchViolationEngine
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,30 +83,37 @@ def observe_widening_history(
     """
     if not policies:
         raise ValidationError("need at least one policy to observe")
-    remaining = population
+    # A provider's severity and default verdict depend only on their own
+    # preferences and threshold, never on who else is present — so the
+    # whole history is evaluated once against the *full* population
+    # through the batch engine (consecutive deployed policies usually
+    # share most columns, which its delta path exploits), and the
+    # departure bookkeeping replays over the resulting arrays.
+    engine = BatchViolationEngine(population, implicit_zero=implicit_zero)
+    remaining: set[Hashable] = {provider.provider_id for provider in population}
     last_tolerated: dict[Hashable, float] = {
         provider.provider_id: 0.0 for provider in population
     }
     departures: dict[Hashable, float] = {}
     for policy in policies:
-        if len(remaining) == 0:
+        if not remaining:
             break
-        engine = ViolationEngine(policy, remaining, implicit_zero=implicit_zero)
-        defaulted: list[Hashable] = []
-        for outcome in engine.outcomes():
-            previous = last_tolerated[outcome.provider_id]
-            if outcome.violation < previous - 1e-9:
+        report = engine.evaluate(policy)
+        for row, provider_id in enumerate(report.provider_ids):
+            if provider_id not in remaining:
+                continue
+            violation = float(report.violations[row])
+            previous = last_tolerated[provider_id]
+            if violation < previous - 1e-9:
                 raise ValidationError(
                     "severities decreased along the policy sequence; "
                     "observations would not bracket thresholds"
                 )
-            if outcome.defaulted:
-                departures[outcome.provider_id] = outcome.violation
-                defaulted.append(outcome.provider_id)
+            if report.defaulted[row]:
+                departures[provider_id] = violation
+                remaining.discard(provider_id)
             else:
-                last_tolerated[outcome.provider_id] = outcome.violation
-        if defaulted:
-            remaining = remaining.without(defaulted)
+                last_tolerated[provider_id] = violation
     observations = []
     for provider in population:
         provider_id = provider.provider_id

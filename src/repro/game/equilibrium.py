@@ -23,10 +23,10 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from .._validation import check_real
-from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import GameError
+from ..perf import BatchViolationEngine
 from ..simulation.widening import widen
 from ..taxonomy.builder import Taxonomy
 from .players import HouseStrategy
@@ -106,11 +106,13 @@ def play_widening_game(
     )
     round_index = 0
     stopped_by_strategy = False
+    # Compile once and re-evaluate candidate policies against the arrays;
+    # recompile only when defaults shrink the population.  Strategies that
+    # revisit a policy (or widen within a single column) hit the batch
+    # engine's cache and delta paths.
+    engine = BatchViolationEngine(current_population, implicit_zero=implicit_zero)
     while len(current_population) > 0:
-        engine = ViolationEngine(
-            current_policy, current_population, implicit_zero=implicit_zero
-        )
-        report = engine.report()
+        report = engine.evaluate(current_policy)
         defaulted = report.defaulted_ids()
         n_start = len(current_population)
         n_remaining = n_start - len(defaulted)
@@ -131,6 +133,9 @@ def play_widening_game(
         )
         if defaulted:
             current_population = current_population.without(defaulted)
+            engine = BatchViolationEngine(
+                current_population, implicit_zero=implicit_zero
+            )
         next_step = strategy.propose(rounds)
         if next_step is None:
             stopped_by_strategy = True

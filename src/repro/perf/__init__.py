@@ -1,0 +1,40 @@
+"""Vectorized batch evaluation of the violation model.
+
+The reference engine (:class:`~repro.core.engine.ViolationEngine`)
+evaluates one policy over one population with a per-provider Python loop
+— ideal as an executable specification, linear but slow as a serving
+path.  This package is the production path:
+
+* :class:`~repro.perf.compiled.CompiledPopulation` — a one-time
+  compilation of a population (plus its sensitivity and default models)
+  into dense NumPy arrays;
+* :class:`~repro.perf.batch.BatchViolationEngine` — vectorized
+  Definition 1 / Eqs. 12-16 / Definitions 2-5 over those arrays, with
+  policy fingerprinting, report caching, and incremental re-evaluation
+  of single-rule policy deltas;
+* :func:`~repro.perf.sweep.batch_assess_expansion` — Section 9 economics
+  read directly off a batch report.
+
+The batch engine matches the reference engine exactly (see
+``tests/properties/test_batch_parity.py``); ``docs/performance.md``
+describes the compile/evaluate/sweep lifecycle and when to prefer which
+engine.
+"""
+
+from .batch import (
+    BatchReport,
+    BatchViolationEngine,
+    policy_fingerprint,
+)
+from .compiled import CompiledColumn, CompiledPopulation, RANK_AXES
+from .sweep import batch_assess_expansion
+
+__all__ = [
+    "BatchReport",
+    "BatchViolationEngine",
+    "CompiledColumn",
+    "CompiledPopulation",
+    "RANK_AXES",
+    "batch_assess_expansion",
+    "policy_fingerprint",
+]

@@ -1,0 +1,528 @@
+"""The vectorized batch violation engine and its sweep-aware cache.
+
+:class:`BatchViolationEngine` evaluates Definition 1, Eqs. 12-16, and
+Definitions 2-5 over a :class:`~repro.perf.compiled.CompiledPopulation`
+using NumPy kernels instead of the reference engine's per-provider Python
+loop.  Semantics match :class:`~repro.core.engine.ViolationEngine`
+exactly, including the implicit-zero completion of Section 5; the parity
+suite in ``tests/properties/test_batch_parity.py`` holds the two engines
+bit-for-bit equal on the paper's worked example and hundreds of
+randomized scenarios.
+
+Three layers of reuse make policy sweeps cheap:
+
+1. **Compilation** — the population is flattened once (see
+   :mod:`repro.perf.compiled`); evaluating another policy touches only
+   arrays.
+2. **Report caching** — policies are fingerprinted by their entry *set*
+   (names are ignored: two equally-named policies with different entries
+   never collide, two differently-named but identical policies share one
+   evaluation).
+3. **Delta evaluation** — the total severity decomposes as a sum of
+   independent per-``(attribute, purpose)`` column contributions, so a
+   candidate differing from the previously evaluated policy in only a few
+   columns (the shape produced by single-rule widening and best-response
+   search) recomputes just those columns and patches the cached totals.
+
+Severity per provider and column is tracked as a pair
+``(violation, findings)`` where ``findings`` counts dimension-level
+exceedances; ``w_i`` is ``findings > 0``, which keeps the binary and
+severity views consistent by construction — the same invariant the
+reference engine derives from :func:`~repro.core.violation.find_violations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .._validation import check_probability
+from ..core.default import DefaultModel
+from ..core.engine import ViolationEngine
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..core.ppdb import PPDBCertificate
+from ..core.sensitivity import SensitivityModel
+from ..exceptions import UnknownProviderError, ValidationError
+from .compiled import CompiledPopulation
+
+#: A policy fingerprint: the entry set rendered as plain tuples.
+PolicyFingerprint = frozenset[tuple[str, str, int, int, int]]
+
+#: One column's policy side: the (V, G, R) rank triples of every policy
+#: entry sharing the column's (attribute, purpose), in sorted order.
+_ColumnEntries = tuple[tuple[int, int, int], ...]
+
+
+def policy_fingerprint(policy: HousePolicy) -> PolicyFingerprint:
+    """A name-independent, order-independent identity for *policy*.
+
+    Two policies with equal fingerprints produce identical evaluations
+    (``HousePolicy`` equality is the same entry-set comparison).
+    """
+    return frozenset(
+        (
+            entry.attribute,
+            entry.tuple.purpose,
+            entry.tuple.visibility,
+            entry.tuple.granularity,
+            entry.tuple.retention,
+        )
+        for entry in policy.entries
+    )
+
+
+def _policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries]:
+    """Group a policy's entries by ``(attribute, purpose)`` column."""
+    grouped: dict[tuple[str, str], list[tuple[int, int, int]]] = {}
+    for entry in policy.entries:
+        key = (entry.attribute, entry.tuple.purpose)
+        grouped.setdefault(key, []).append(
+            (
+                entry.tuple.visibility,
+                entry.tuple.granularity,
+                entry.tuple.retention,
+            )
+        )
+    return {key: tuple(sorted(ranks)) for key, ranks in grouped.items()}
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """An :class:`~repro.core.engine.EngineReport`-compatible batch result.
+
+    The aggregate fields (``n_providers`` .. ``total_violations``) carry
+    the same names and meanings as the reference report; the per-provider
+    view is array-backed instead of materialising
+    :class:`~repro.core.engine.ProviderOutcome` objects, which is what
+    keeps sweep evaluation allocation-free.  All arrays are row-aligned
+    with ``provider_ids``.
+    """
+
+    policy_name: str
+    n_providers: int
+    n_violated: int
+    n_defaulted: int
+    violation_probability: float
+    default_probability: float
+    total_violations: float
+    provider_ids: tuple[Hashable, ...]
+    violations: np.ndarray  # (N,) float64 — Violation_i (Eq. 15)
+    violated: np.ndarray  # (N,) bool — w_i (Definition 1)
+    defaulted: np.ndarray  # (N,) bool — default_i (Definition 4)
+    thresholds: np.ndarray  # (N,) float64 — v_i
+    segments: tuple[str | None, ...]
+
+    def violated_ids(self) -> tuple[Hashable, ...]:
+        """Providers with ``w_i = 1``, in population order."""
+        return tuple(
+            pid for pid, flag in zip(self.provider_ids, self.violated) if flag
+        )
+
+    def defaulted_ids(self) -> tuple[Hashable, ...]:
+        """Providers with ``default_i = 1``, in population order."""
+        return tuple(
+            pid for pid, flag in zip(self.provider_ids, self.defaulted) if flag
+        )
+
+    def violation_of(self, provider_id: Hashable) -> float:
+        """``Violation_i`` for one provider."""
+        return float(self.violations[self._row(provider_id)])
+
+    def is_violated(self, provider_id: Hashable) -> bool:
+        """``w_i`` for one provider."""
+        return bool(self.violated[self._row(provider_id)])
+
+    def is_defaulted(self, provider_id: Hashable) -> bool:
+        """``default_i`` for one provider."""
+        return bool(self.defaulted[self._row(provider_id)])
+
+    def _row(self, provider_id: Hashable) -> int:
+        try:
+            return self.provider_ids.index(provider_id)
+        except ValueError:
+            raise UnknownProviderError(provider_id) from None
+
+    def __str__(self) -> str:
+        return (
+            f"BatchReport[{self.policy_name}]: N={self.n_providers}, "
+            f"P(W)={self.violation_probability:.4f}, "
+            f"P(Default)={self.default_probability:.4f}, "
+            f"Violations={self.total_violations:g}"
+        )
+
+
+@dataclass(frozen=True)
+class _Evaluation:
+    """Cached per-policy arrays: severity and finding counts per provider."""
+
+    violations: np.ndarray  # (N,) float64
+    counts: np.ndarray  # (N,) float64 (integer-valued)
+
+
+class BatchViolationEngine:
+    """Vectorized multi-policy evaluation over one compiled population.
+
+    Parameters
+    ----------
+    population:
+        A :class:`~repro.core.population.Population` (compiled on the
+        spot) or an existing :class:`CompiledPopulation` to share the
+        compilation across engines.
+    sensitivities, default_model:
+        Optional overrides, honoured exactly like the reference engine's.
+        Only valid when *population* is not already compiled (a compiled
+        population has its models baked into the weight tensors).
+    implicit_zero:
+        Whether Section 5's implicit-zero completion applies
+        (default True, as in the paper).
+    max_cached_reports:
+        Upper bound on memoised per-policy evaluations; the oldest entry
+        is evicted first.  Each cached evaluation holds two ``float64[N]``
+        arrays.
+    """
+
+    __slots__ = (
+        "_compiled",
+        "_implicit_zero",
+        "_max_cached",
+        "_cache",
+        "_base_fingerprint",
+        "_base_columns",
+        "_base_column_arrays",
+    )
+
+    def __init__(
+        self,
+        population: Population | CompiledPopulation,
+        *,
+        sensitivities: SensitivityModel | None = None,
+        default_model: DefaultModel | None = None,
+        implicit_zero: bool = True,
+        max_cached_reports: int = 128,
+    ) -> None:
+        if isinstance(population, CompiledPopulation):
+            if sensitivities is not None or default_model is not None:
+                raise ValidationError(
+                    "model overrides must be given when compiling, not when "
+                    "wrapping an already-compiled population"
+                )
+            self._compiled = population
+        else:
+            self._compiled = CompiledPopulation(
+                population,
+                sensitivities=sensitivities,
+                default_model=default_model,
+            )
+        self._implicit_zero = bool(implicit_zero)
+        if max_cached_reports < 1:
+            raise ValidationError("max_cached_reports must be >= 1")
+        self._max_cached = int(max_cached_reports)
+        self._cache: dict[PolicyFingerprint, _Evaluation] = {}
+        # Delta-evaluation base: the most recent fully decomposed policy.
+        self._base_fingerprint: PolicyFingerprint | None = None
+        self._base_columns: dict[tuple[str, str], _ColumnEntries] = {}
+        self._base_column_arrays: dict[
+            tuple[str, str], tuple[np.ndarray, np.ndarray]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledPopulation:
+        """The compiled population this engine evaluates against."""
+        return self._compiled
+
+    @property
+    def population(self) -> Population:
+        """The underlying population."""
+        return self._compiled.population
+
+    @property
+    def implicit_zero(self) -> bool:
+        """Whether the implicit-zero completion is applied."""
+        return self._implicit_zero
+
+    @property
+    def cached_policies(self) -> int:
+        """Number of memoised per-policy evaluations."""
+        return len(self._cache)
+
+    def evaluate(self, policy: HousePolicy) -> BatchReport:
+        """The full :class:`BatchReport` for *policy* (cached by content)."""
+        if not isinstance(policy, HousePolicy):
+            raise ValidationError(
+                f"policy must be a HousePolicy, got {type(policy).__name__}"
+            )
+        evaluation = self._evaluate(policy)
+        return self._to_report(policy.name, evaluation)
+
+    # ``report`` mirrors ViolationEngine.report()'s name for callers that
+    # hold a policy-bound pair (engine, policy).
+    def report(self, policy: HousePolicy) -> BatchReport:
+        """Alias of :meth:`evaluate`."""
+        return self.evaluate(policy)
+
+    def evaluate_policies(
+        self, policies: Iterable[HousePolicy]
+    ) -> list[BatchReport]:
+        """Evaluate a policy sweep, reusing work across candidates.
+
+        Candidates are evaluated in order; each one is served from the
+        report cache when its fingerprint was already seen, from the delta
+        path when it shares most columns with the previous candidate, and
+        from a full (still vectorized) pass otherwise.
+        """
+        return [self.evaluate(policy) for policy in policies]
+
+    def certify(
+        self, policy: HousePolicy, alpha: float, *, early_exit: bool = False
+    ) -> PPDBCertificate:
+        """Definition 3's alpha-PPDB certificate under *policy*.
+
+        With ``early_exit=True`` and an uncached policy, evaluation stops
+        as soon as the violated-provider count exceeds the budget
+        ``alpha x N`` — the certificate is then marked non-exhaustive and
+        its ``violation_probability`` is a lower bound (sufficient to
+        prove the check failed).
+        """
+        alpha = check_probability(alpha, "alpha")
+        n = len(self._compiled)
+        if n == 0:
+            return PPDBCertificate(
+                alpha=alpha,
+                violation_probability=0.0,
+                satisfied=True,
+                n_providers=0,
+                violated_providers=(),
+                policy_name=policy.name,
+            )
+        fingerprint = policy_fingerprint(policy)
+        if early_exit and fingerprint not in self._cache:
+            certificate = self._certify_early_exit(policy, alpha)
+            if certificate is not None:
+                return certificate
+        evaluation = self._evaluate(policy)
+        violated = tuple(
+            pid
+            for pid, count in zip(self._compiled.ids, evaluation.counts)
+            if count > 0
+        )
+        p_w = len(violated) / n
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=p_w,
+            satisfied=p_w <= alpha,
+            n_providers=n,
+            violated_providers=violated,
+            policy_name=policy.name,
+        )
+
+    def reference_engine(self, policy: HousePolicy) -> ViolationEngine:
+        """The reference oracle for *policy*: same inputs, Python loop.
+
+        Used by the parity suite and available for spot-checking a batch
+        result against the slow-but-simple implementation.
+        """
+        return ViolationEngine(
+            policy,
+            self._compiled.population,
+            sensitivities=self._compiled.sensitivities,
+            default_model=self._compiled.default_model,
+            implicit_zero=self._implicit_zero,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation core
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, policy: HousePolicy) -> _Evaluation:
+        fingerprint = policy_fingerprint(policy)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        columns = _policy_columns(policy)
+        if self._base_fingerprint is not None:
+            changed = self._changed_columns(columns)
+            # Patch the cached totals when the candidate shares at least
+            # one untouched column with the base; otherwise recompute.
+            if len(changed) < len(set(self._base_columns) | set(columns)):
+                evaluation = self._evaluate_delta(columns, changed)
+                self._base_fingerprint = fingerprint
+                self._remember(fingerprint, evaluation)
+                return evaluation
+        evaluation = self._evaluate_full(columns)
+        self._base_fingerprint = fingerprint
+        self._remember(fingerprint, evaluation)
+        return evaluation
+
+    def _changed_columns(
+        self, columns: Mapping[tuple[str, str], _ColumnEntries]
+    ) -> list[tuple[str, str]]:
+        keys = set(self._base_columns) | set(columns)
+        return [
+            key
+            for key in keys
+            if self._base_columns.get(key) != columns.get(key)
+        ]
+
+    def _evaluate_full(
+        self, columns: Mapping[tuple[str, str], _ColumnEntries]
+    ) -> _Evaluation:
+        n = len(self._compiled)
+        violations = np.zeros(n, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.float64)
+        column_arrays: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        for key, entries in columns.items():
+            contribution = self._column_contribution(key, entries)
+            column_arrays[key] = contribution
+            violations += contribution[0]
+            counts += contribution[1]
+        self._base_columns = dict(columns)
+        self._base_column_arrays = column_arrays
+        return _Evaluation(violations=violations, counts=counts)
+
+    def _evaluate_delta(
+        self,
+        columns: Mapping[tuple[str, str], _ColumnEntries],
+        changed: Sequence[tuple[str, str]],
+    ) -> _Evaluation:
+        base = self._cache.get(self._base_fingerprint)  # type: ignore[arg-type]
+        if base is None:  # base evicted from the cache: rebuild from columns
+            return self._evaluate_full(columns)
+        violations = base.violations.copy()
+        counts = base.counts.copy()
+        new_columns = dict(self._base_columns)
+        new_arrays = dict(self._base_column_arrays)
+        for key in changed:
+            old = new_arrays.pop(key, None)
+            if old is not None:
+                violations -= old[0]
+                counts -= old[1]
+                del new_columns[key]
+            entries = columns.get(key)
+            if entries:
+                contribution = self._column_contribution(key, entries)
+                new_arrays[key] = contribution
+                new_columns[key] = entries
+                violations += contribution[0]
+                counts += contribution[1]
+        self._base_columns = new_columns
+        self._base_column_arrays = new_arrays
+        return _Evaluation(violations=violations, counts=counts)
+
+    def _column_contribution(
+        self, key: tuple[str, str], entries: _ColumnEntries
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One column's ``(violation, finding-count)`` vectors (Eq. 14).
+
+        Every policy entry in the column is compared against every
+        matching explicit preference row and, when the completion is on,
+        against the implicit zero tuple of the providers that supplied the
+        attribute without covering the purpose.
+        """
+        n = len(self._compiled)
+        column = self._compiled.column(*key)
+        violations = np.zeros(n, dtype=np.float64)
+        counts = np.zeros(n, dtype=np.float64)
+        for ranks in entries:
+            policy_ranks = np.array(ranks, dtype=np.int64)
+            if column.n_rows:
+                exceed = np.maximum(policy_ranks - column.row_ranks, 0)
+                weighted = (exceed * column.row_weights).sum(axis=1)
+                found = (exceed > 0).sum(axis=1).astype(np.float64)
+                violations += np.bincount(
+                    column.row_providers, weights=weighted, minlength=n
+                )
+                counts += np.bincount(
+                    column.row_providers, weights=found, minlength=n
+                )
+            if self._implicit_zero and column.n_implicit:
+                # The implicit preference is <pr, 0, 0, 0>: the exceedance
+                # equals the policy ranks themselves.
+                weighted = (policy_ranks * column.implicit_weights).sum(axis=1)
+                found = float((policy_ranks > 0).sum())
+                violations[column.implicit_providers] += weighted
+                counts[column.implicit_providers] += found
+        return violations, counts
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _remember(
+        self, fingerprint: PolicyFingerprint, evaluation: _Evaluation
+    ) -> None:
+        if fingerprint not in self._cache and len(self._cache) >= self._max_cached:
+            # Evict the oldest memoised evaluation.  If it happens to be
+            # the delta base, _evaluate_delta notices the missing cache
+            # entry and falls back to a full pass — no state to clean.
+            del self._cache[next(iter(self._cache))]
+        self._cache[fingerprint] = evaluation
+
+    def _to_report(self, policy_name: str, evaluation: _Evaluation) -> BatchReport:
+        compiled = self._compiled
+        n = len(compiled)
+        violated = evaluation.counts > 0
+        if compiled.strict:
+            defaulted = evaluation.violations > compiled.thresholds
+        else:
+            defaulted = evaluation.violations >= compiled.thresholds
+        n_violated = int(violated.sum())
+        n_defaulted = int(defaulted.sum())
+        return BatchReport(
+            policy_name=policy_name,
+            n_providers=n,
+            n_violated=n_violated,
+            n_defaulted=n_defaulted,
+            violation_probability=(n_violated / n) if n else 0.0,
+            default_probability=(n_defaulted / n) if n else 0.0,
+            total_violations=float(evaluation.violations.sum()),
+            provider_ids=compiled.ids,
+            violations=evaluation.violations,
+            violated=violated,
+            defaulted=defaulted,
+            thresholds=compiled.thresholds,
+            segments=compiled.segments,
+        )
+
+    def _certify_early_exit(
+        self, policy: HousePolicy, alpha: float
+    ) -> PPDBCertificate | None:
+        """Stop counting once the ``alpha x N`` violation budget is blown.
+
+        Walks the policy's columns, accumulating per-provider finding
+        counts; as soon as the number of violated providers exceeds the
+        budget, Definition 3 is already refuted and a non-exhaustive
+        certificate is returned.  Returns ``None`` when the walk finishes
+        within budget — the caller then produces the exact certificate
+        (and the full evaluation lands in the cache, so nothing is wasted).
+        """
+        compiled = self._compiled
+        n = len(compiled)
+        budget = alpha * n
+        counts = np.zeros(n, dtype=np.float64)
+        for key, entries in _policy_columns(policy).items():
+            contribution = self._column_contribution(key, entries)
+            counts += contribution[1]
+            n_violated = int((counts > 0).sum())
+            if n_violated > budget:
+                violated = tuple(
+                    pid
+                    for pid, count in zip(compiled.ids, counts)
+                    if count > 0
+                )
+                return PPDBCertificate(
+                    alpha=alpha,
+                    violation_probability=n_violated / n,
+                    satisfied=False,
+                    n_providers=n,
+                    violated_providers=violated,
+                    policy_name=policy.name,
+                    exhaustive=False,
+                )
+        return None

@@ -1,0 +1,72 @@
+"""Sweep-level conveniences on top of the batch engine.
+
+The Section 9 workloads pair every policy evaluation with the expansion
+economics (Eqs. 25-31).  The reference path
+(:func:`~repro.core.economics.assess_expansion`) re-runs the per-provider
+severity loop to count defaults; when a :class:`~repro.perf.batch.BatchReport`
+is already in hand the defaults are sitting in an array, so the
+assessment is pure arithmetic.  :func:`batch_assess_expansion` builds the
+identical :class:`~repro.core.economics.ExpansionAssessment` from the
+report without touching the model again.
+"""
+
+from __future__ import annotations
+
+from .._validation import check_real
+from ..core.economics import (
+    ExpansionAssessment,
+    break_even_extra_utility,
+    expansion_justified,
+    n_future,
+    utility_current,
+    utility_future,
+)
+from .batch import BatchReport
+
+
+def batch_assess_expansion(
+    report: BatchReport,
+    per_provider_utility: float,
+    extra_utility: float,
+) -> ExpansionAssessment:
+    """Section 9's trade-off evaluated from an existing batch report.
+
+    Produces exactly what
+    :func:`~repro.core.economics.assess_expansion` would for the same
+    policy and population — the defaulted-provider set is read off the
+    report instead of being recomputed provider by provider.
+
+    Parameters
+    ----------
+    report:
+        The candidate policy's batch evaluation.
+    per_provider_utility:
+        ``U``, the utility each provider currently yields.
+    extra_utility:
+        ``T``, the extra per-provider utility the widening unlocks.
+    """
+    per_provider_utility = check_real(
+        per_provider_utility, "per_provider_utility", minimum=0.0
+    )
+    extra_utility = check_real(extra_utility, "extra_utility", minimum=0.0)
+    defaulted = report.defaulted_ids()
+    current_n = report.n_providers
+    future_n = n_future(current_n, len(defaulted))
+    return ExpansionAssessment(
+        policy_name=report.policy_name,
+        n_current=current_n,
+        n_future=future_n,
+        defaulted_providers=defaulted,
+        per_provider_utility=float(per_provider_utility),
+        extra_utility=float(extra_utility),
+        utility_current=utility_current(current_n, per_provider_utility),
+        utility_future=utility_future(
+            future_n, per_provider_utility, extra_utility
+        ),
+        break_even_extra_utility=break_even_extra_utility(
+            per_provider_utility, current_n, future_n
+        ),
+        justified=expansion_justified(
+            per_provider_utility, extra_utility, current_n, future_n
+        ),
+    )

@@ -35,6 +35,7 @@ from .widening import (
     WideningStep,
     widen,
     widening_path,
+    widening_policies,
 )
 from .scenario import ExpansionSweep, SweepRow, run_expansion_sweep
 from .dynamics import RoundOutcome, run_dynamics
@@ -51,6 +52,7 @@ __all__ = [
     "WideningStep",
     "widen",
     "widening_path",
+    "widening_policies",
     "ExpansionSweep",
     "SweepRow",
     "run_expansion_sweep",

@@ -20,9 +20,9 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from .._validation import check_int, check_real
-from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
 from ..core.population import Population
+from ..perf import BatchViolationEngine
 from ..taxonomy.builder import Taxonomy
 from .widening import WideningStep, widen
 
@@ -77,6 +77,9 @@ def run_dynamics(
     outcomes: list[RoundOutcome] = []
     current_population = population
     current_policy = HousePolicy(base_policy.entries, name=f"{base_policy.name}@r0")
+    # The compilation is reused across rounds until departures shrink the
+    # population; only then is the survivor set recompiled.
+    engine = BatchViolationEngine(current_population, implicit_zero=implicit_zero)
     for round_index in range(rounds):
         if len(current_population) == 0:
             break
@@ -87,10 +90,7 @@ def run_dynamics(
                 taxonomy,
                 name=f"{base_policy.name}@r{round_index}",
             )
-        engine = ViolationEngine(
-            current_policy, current_population, implicit_zero=implicit_zero
-        )
-        report = engine.report()
+        report = engine.evaluate(current_policy)
         defaulted = report.defaulted_ids()
         n_start = len(current_population)
         n_remaining = n_start - len(defaulted)
@@ -112,6 +112,9 @@ def run_dynamics(
         )
         if defaulted:
             current_population = current_population.without(defaulted)
+            engine = BatchViolationEngine(
+                current_population, implicit_zero=implicit_zero
+            )
     return outcomes
 
 

@@ -24,10 +24,10 @@ from ..core.economics import (
     utility_current,
     utility_future,
 )
-from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import SimulationError
+from ..perf import BatchViolationEngine
 from ..taxonomy.builder import Taxonomy
 from .widening import WideningStep, widening_path
 
@@ -141,9 +141,10 @@ def run_expansion_sweep(
     if step is None:
         step = WideningStep.uniform(1)
     n_current = len(population)
-    engine = ViolationEngine(
-        base_policy, population, implicit_zero=implicit_zero
-    )
+    # One compilation serves the whole sweep; consecutive widening levels
+    # share most (attribute, purpose) columns, so the batch engine's delta
+    # path re-evaluates only what each step moved.
+    engine = BatchViolationEngine(population, implicit_zero=implicit_zero)
     rows: list[SweepRow] = []
     for k, policy in widening_path(
         base_policy,
@@ -153,7 +154,7 @@ def run_expansion_sweep(
         attributes=attributes,
         purposes=purposes,
     ):
-        report = engine.with_policy(policy).report()
+        report = engine.evaluate(policy)
         defaulted = report.defaulted_ids()
         n_fut = n_current - len(defaulted)
         extra = extra_utility_per_step * k

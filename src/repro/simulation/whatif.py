@@ -12,19 +12,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .._validation import check_probability, check_real
-from ..core.economics import ExpansionAssessment, assess_expansion
-from ..core.engine import EngineReport, ViolationEngine
+from ..core.economics import ExpansionAssessment
+from ..core.engine import EngineReport
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..core.ppdb import PPDBCertificate
+from ..perf import BatchReport, BatchViolationEngine, batch_assess_expansion
 
 
 @dataclass(frozen=True, slots=True)
 class WhatIfResult:
     """A candidate policy's full consequences, next to the baseline."""
 
-    baseline: EngineReport
-    candidate: EngineReport
+    baseline: EngineReport | BatchReport
+    candidate: EngineReport | BatchReport
     assessment: ExpansionAssessment
     certificate: PPDBCertificate
 
@@ -95,13 +96,17 @@ class WhatIfAnalyzer:
         )
         self._alpha = check_probability(alpha, "alpha")
         self._implicit_zero = bool(implicit_zero)
-        self._baseline_engine = ViolationEngine(
-            baseline_policy, population, implicit_zero=implicit_zero
+        # One compiled population serves every candidate; the batch
+        # engine's report cache means asking about the same candidate
+        # twice (or needing both the report and the certificate, as
+        # ``assess`` does) evaluates the model once.
+        self._engine = BatchViolationEngine(
+            population, implicit_zero=implicit_zero
         )
-        self._baseline_report = self._baseline_engine.report()
+        self._baseline_report = self._engine.evaluate(baseline_policy)
 
     @property
-    def baseline_report(self) -> EngineReport:
+    def baseline_report(self) -> BatchReport:
         """The cached baseline evaluation."""
         return self._baseline_report
 
@@ -113,17 +118,13 @@ class WhatIfAnalyzer:
         *extra_utility* is Section 9's ``T`` — the additional per-provider
         utility the candidate would unlock.
         """
-        candidate_report = self._baseline_engine.with_policy(candidate).report()
-        assessment = assess_expansion(
-            self._population,
-            candidate,
+        candidate_report = self._engine.evaluate(candidate)
+        assessment = batch_assess_expansion(
+            candidate_report,
             self._per_provider_utility,
             extra_utility,
-            implicit_zero=self._implicit_zero,
         )
-        certificate = self._baseline_engine.with_policy(candidate).certify(
-            self._alpha
-        )
+        certificate = self._engine.certify(candidate, self._alpha)
         return WhatIfResult(
             baseline=self._baseline_report,
             candidate=candidate_report,

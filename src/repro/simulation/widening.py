@@ -112,6 +112,37 @@ def widen(
     )
 
 
+def widening_policies(
+    policy: HousePolicy,
+    step: WideningStep,
+    taxonomy: Taxonomy,
+    max_steps: int,
+    *,
+    attributes: Iterable[str] | None = None,
+    purposes: Iterable[str] | None = None,
+) -> tuple[HousePolicy, ...]:
+    """The materialised widening path, base policy first.
+
+    Convenience for batch APIs that want the whole candidate list at once
+    (e.g. :meth:`repro.perf.BatchViolationEngine.evaluate_policies`):
+    ``widening_policies(...)[k]`` equals the ``k``-th policy yielded by
+    :func:`widening_path` with the same arguments.  Consecutive policies
+    differ only in the widened entries, which is exactly the single-rule
+    delta shape the batch engine re-evaluates incrementally.
+    """
+    return tuple(
+        widened
+        for _, widened in widening_path(
+            policy,
+            step,
+            taxonomy,
+            max_steps,
+            attributes=attributes,
+            purposes=purposes,
+        )
+    )
+
+
 def widening_path(
     policy: HousePolicy,
     step: WideningStep,

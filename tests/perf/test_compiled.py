@@ -1,0 +1,153 @@
+"""Unit tests for the one-time population compilation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DefaultModel,
+    DimensionSensitivity,
+    Population,
+    PrivacyTuple,
+    Provider,
+    ProviderPreferences,
+)
+from repro.exceptions import UnknownProviderError, ValidationError
+from repro.perf import RANK_AXES, CompiledPopulation
+
+
+@pytest.fixture()
+def small_population() -> Population:
+    alice = Provider(
+        preferences=ProviderPreferences(
+            "alice",
+            [
+                ("weight", PrivacyTuple("billing", 2, 1, 2)),
+                ("weight", PrivacyTuple("research", 1, 1, 1)),
+                ("name", PrivacyTuple("billing", 3, 3, 3)),
+            ],
+        ),
+        sensitivity={
+            "weight": DimensionSensitivity(
+                value=2.0, visibility=1.5, granularity=1.0, retention=0.5
+            )
+        },
+        threshold=5.0,
+        segment="pragmatist",
+    )
+    # Bob supplies "weight" but states no preference for it at all: every
+    # purpose column on "weight" completes him with an implicit zero.
+    bob = Provider(
+        preferences=ProviderPreferences(
+            "bob",
+            [("name", PrivacyTuple("billing", 1, 1, 1))],
+            attributes_provided=["name", "weight"],
+        ),
+        threshold=math.inf,
+    )
+    return Population([alice, bob], attribute_sensitivities={"weight": 3.0})
+
+
+class TestConstruction:
+    def test_rejects_non_population(self):
+        with pytest.raises(ValidationError):
+            CompiledPopulation(["not a population"])  # type: ignore[arg-type]
+
+    def test_rank_axes_order(self):
+        assert RANK_AXES == ("visibility", "granularity", "retention")
+
+    def test_ids_follow_population_order(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        assert compiled.ids == ("alice", "bob")
+        assert len(compiled) == 2
+        assert compiled.row_of("bob") == 1
+
+    def test_row_of_unknown_provider_raises(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        with pytest.raises(UnknownProviderError):
+            compiled.row_of("mallory")
+
+    def test_thresholds_and_segments(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        assert compiled.thresholds.tolist() == [5.0, math.inf]
+        assert compiled.segments == ("pragmatist", None)
+        assert compiled.strict is True
+
+    def test_default_model_override_changes_thresholds(self, small_population):
+        compiled = CompiledPopulation(
+            small_population,
+            default_model=DefaultModel(
+                {"alice": 1.0}, default_threshold=2.0, strict=False
+            ),
+        )
+        assert compiled.thresholds.tolist() == [1.0, 2.0]
+        assert compiled.strict is False
+
+
+class TestWeights:
+    def test_attribute_weights_shape_and_values(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        weights = compiled.attribute_weights("weight")
+        assert weights.shape == (2, 3)
+        # Alice: Sigma^weight=3, value=2 -> base 6; per-dim 1.5/1.0/0.5.
+        assert weights[0].tolist() == [9.0, 6.0, 3.0]
+        # Bob has no sensitivity record: everything neutral -> 3x1x1.
+        assert weights[1].tolist() == [3.0, 3.0, 3.0]
+
+    def test_attribute_weights_cached(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        assert compiled.attribute_weights("name") is compiled.attribute_weights(
+            "name"
+        )
+
+
+class TestColumns:
+    def test_explicit_rows(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        column = compiled.column("weight", "billing")
+        assert column.n_rows == 1
+        assert column.row_providers.tolist() == [0]
+        assert column.row_ranks.tolist() == [[2, 1, 2]]
+        assert column.row_weights.tolist() == [[9.0, 6.0, 3.0]]
+
+    def test_implicit_completion_only_for_suppliers_without_entry(
+        self, small_population
+    ):
+        compiled = CompiledPopulation(small_population)
+        # Bob supplied "weight" with no preference: implicit on any purpose.
+        assert compiled.column("weight", "billing").implicit_providers.tolist() == [1]
+        assert compiled.column("weight", "research").implicit_providers.tolist() == [1]
+        # Both explicitly cover ("name", "billing"): nobody is implicit.
+        assert compiled.column("name", "billing").n_implicit == 0
+        # Neither covers ("name", "research"): both are implicit.
+        assert compiled.column("name", "research").implicit_providers.tolist() == [0, 1]
+
+    def test_unknown_attribute_column_is_empty(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        column = compiled.column("fingerprint", "billing")
+        assert column.n_rows == 0
+        assert column.n_implicit == 0
+
+    def test_columns_cached(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        assert compiled.column("weight", "billing") is compiled.column(
+            "weight", "billing"
+        )
+
+    def test_several_rows_per_provider(self, small_population):
+        # Alice holds two "weight" tuples for different purposes; within
+        # one column only the matching one appears.
+        compiled = CompiledPopulation(small_population)
+        research = compiled.column("weight", "research")
+        assert research.row_ranks.tolist() == [[1, 1, 1]]
+
+    def test_row_weights_aligned_with_rows(self, small_population):
+        compiled = CompiledPopulation(small_population)
+        column = compiled.column("name", "billing")
+        weights = compiled.attribute_weights("name")
+        assert np.array_equal(
+            column.row_weights, weights[column.row_providers]
+        )
