@@ -2,13 +2,22 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-tables examples lint lint-policy all
+.PHONY: install test chaos bench bench-smoke bench-tables examples lint lint-policy all
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# The chaos suite CI runs in the chaos-smoke job: fault injection,
+# crash recovery, storage hardening, and the CLI error contract, under
+# a tight per-test timeout.  Deterministic — fault plans are seeded.
+chaos:
+	REPRO_TEST_TIMEOUT=60 $(PYTHON) -m pytest -q \
+		tests/resilience \
+		tests/storage/test_hardening.py \
+		tests/cli/test_cli_errors.py
 
 # Full benchmark run; machine-readable timings (including the sweep
 # speedup of the batch engine vs the reference engine) land in

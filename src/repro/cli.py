@@ -15,6 +15,14 @@ Commands
 ``init-db``    create a sqlite privacy database from the documents
 ``db-report``  evaluate the stored state of a privacy database
 ``db-evict``   remove defaulted providers from a privacy database
+``journal``    inspect and verify a run journal
+
+Operational failures — missing or unreadable files, malformed JSON,
+corrupt databases or journals, interrupted runs — exit with code 2 and
+print exactly one coded line on stderr (``error[PVL9xx]: ...``); see
+:mod:`repro.resilience.diagnostics` for the code registry.  ``sweep``
+accepts ``--journal`` to checkpoint each widening level and ``--resume``
+to continue an interrupted run bit-for-bit.
 
 Example
 -------
@@ -30,6 +38,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import sqlite3
 import sys
 from collections.abc import Sequence
 
@@ -37,7 +47,13 @@ from .analysis import format_table, summarize
 from .core import ViolationEngine
 from .core.policy import HousePolicy
 from .core.population import Population
-from .exceptions import PrivacyModelError
+from .exceptions import (
+    JournalError,
+    PrivacyModelError,
+    ProcessKilled,
+    StorageError,
+    ValidationError,
+)
 from .policy_lang import (
     parse_policy,
     parse_population,
@@ -46,9 +62,18 @@ from .policy_lang import (
     validate_policy_document,
     validate_preference_document,
 )
+from .resilience.diagnostics import (
+    CLI_DOCUMENT,
+    CLI_INTERRUPTED,
+    CLI_IO,
+    CLI_JOURNAL,
+    CLI_JSON,
+    CLI_STORAGE,
+    coded_error,
+)
 from .simulation import WideningStep, run_expansion_sweep
 from .simulation.whatif import WhatIfAnalyzer
-from .storage import PrivacyDatabase
+from .storage import PrivacyDatabase, atomic_write_text
 from .taxonomy.builder import Taxonomy
 
 
@@ -58,11 +83,39 @@ def _load_json(path: str) -> dict:
         return json.load(handle)
 
 
+def _parse(kind: str, parser, *args, **kwargs):
+    """Run a document parser, converting structural crashes to model errors.
+
+    A document that is valid JSON but the wrong *shape* (``"providers":
+    42``) makes the parsers trip over builtin exceptions; the CLI
+    contract is one coded line and exit 2, never a traceback.
+    """
+    try:
+        return parser(*args, **kwargs)
+    except PrivacyModelError:
+        raise
+    except (AttributeError, KeyError, TypeError, ValueError) as error:
+        raise ValidationError(f"malformed {kind} document: {error}") from error
+
+
+def _export(args: argparse.Namespace, payload: object) -> None:
+    """Atomically write a command's JSON payload to ``--output``.
+
+    The document appears complete or not at all: a crash (or an injected
+    disk-full fault) mid-export never leaves a truncated file behind.
+    """
+    output = getattr(args, "output", None)
+    if output:
+        atomic_write_text(output, json.dumps(payload, indent=2) + "\n")
+
+
 def _load_inputs(args: argparse.Namespace) -> tuple[Taxonomy, HousePolicy, Population]:
     """The common (taxonomy, policy, population) triple."""
-    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
-    policy = parse_policy(_load_json(args.policy), taxonomy)
-    population = parse_population(_load_json(args.population), taxonomy)
+    taxonomy = _parse("taxonomy", parse_taxonomy, _load_json(args.taxonomy))
+    policy = _parse("policy", parse_policy, _load_json(args.policy), taxonomy)
+    population = _parse(
+        "population", parse_population, _load_json(args.population), taxonomy
+    )
     return taxonomy, policy, population
 
 
@@ -96,6 +149,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     """Full model evaluation over the documents."""
     _, policy, population = _load_inputs(args)
     engine = ViolationEngine(policy, population)
+    _export(args, _report_payload(engine))
     if args.json:
         print(json.dumps(_report_payload(engine), indent=2))
         return 0
@@ -131,41 +185,77 @@ def cmd_certify(args: argparse.Namespace) -> int:
     _, policy, population = _load_inputs(args)
     engine = ViolationEngine(policy, population)
     certificate = engine.certify(args.alpha)
-    if args.json:
+    if args.json or getattr(args, "output", None):
         from .analysis import certification_document
 
-        print(certification_document(engine, args.alpha).to_json())
+        document = certification_document(engine, args.alpha)
+        _export(args, json.loads(document.to_json()))
+        if args.json:
+            print(document.to_json())
+        else:
+            print(certificate)
     else:
         print(certificate)
     return 0 if certificate.satisfied else 1
 
 
+def _sweep_payload(sweep) -> list[dict]:
+    """The sweep command's JSON payload."""
+    return [
+        {
+            "step": row.step,
+            "violation_probability": row.violation_probability,
+            "default_probability": row.default_probability,
+            "n_future": row.n_future,
+            "utility_future": row.utility_future,
+            "break_even_extra_utility": row.break_even_extra_utility,
+            "justified": row.justified,
+        }
+        for row in sweep.rows
+    ]
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """Section 9 widening ledger."""
+    """Section 9 widening ledger, optionally checkpointed to a journal."""
     taxonomy, policy, population = _load_inputs(args)
-    sweep = run_expansion_sweep(
-        population,
-        policy,
-        taxonomy,
-        step=WideningStep.uniform(1),
-        max_steps=args.steps,
-        per_provider_utility=args.utility,
-        extra_utility_per_step=args.extra_per_step,
-    )
+    if args.resume and not args.journal:
+        raise JournalError("--resume requires --journal PATH")
+    if args.journal:
+        from .resilience import resumable_sweep
+
+        if args.resume and not os.path.exists(args.journal):
+            raise JournalError(
+                f"--resume given but there is no journal at {args.journal!r}"
+            )
+        if not args.resume and os.path.exists(args.journal):
+            raise JournalError(
+                f"{args.journal!r} already exists; pass --resume to "
+                f"continue the interrupted run"
+            )
+        sweep = resumable_sweep(
+            population,
+            policy,
+            taxonomy,
+            journal_path=args.journal,
+            step=WideningStep.uniform(1),
+            max_steps=args.steps,
+            per_provider_utility=args.utility,
+            extra_utility_per_step=args.extra_per_step,
+            guarded=args.guarded,
+        )
+    else:
+        sweep = run_expansion_sweep(
+            population,
+            policy,
+            taxonomy,
+            step=WideningStep.uniform(1),
+            max_steps=args.steps,
+            per_provider_utility=args.utility,
+            extra_utility_per_step=args.extra_per_step,
+        )
+    _export(args, _sweep_payload(sweep))
     if args.json:
-        payload = [
-            {
-                "step": row.step,
-                "violation_probability": row.violation_probability,
-                "default_probability": row.default_probability,
-                "n_future": row.n_future,
-                "utility_future": row.utility_future,
-                "break_even_extra_utility": row.break_even_extra_utility,
-                "justified": row.justified,
-            }
-            for row in sweep.rows
-        ]
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(_sweep_payload(sweep), indent=2))
         return 0
     rows = [
         [
@@ -198,7 +288,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_whatif(args: argparse.Namespace) -> int:
     """Compare a candidate policy against the baseline."""
     taxonomy, policy, population = _load_inputs(args)
-    candidate = parse_policy(_load_json(args.candidate), taxonomy)
+    candidate = _parse(
+        "candidate", parse_policy, _load_json(args.candidate), taxonomy
+    )
     analyzer = WhatIfAnalyzer(
         population,
         policy,
@@ -233,12 +325,17 @@ def cmd_forecast(args: argparse.Namespace) -> int:
         observe_widening_history,
     )
 
-    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
-    population = parse_population(_load_json(args.population), taxonomy)
+    taxonomy = _parse("taxonomy", parse_taxonomy, _load_json(args.taxonomy))
+    population = _parse(
+        "population", parse_population, _load_json(args.population), taxonomy
+    )
     history = [
-        parse_policy(_load_json(path), taxonomy) for path in args.history
+        _parse("history policy", parse_policy, _load_json(path), taxonomy)
+        for path in args.history
     ]
-    candidate = parse_policy(_load_json(args.candidate), taxonomy)
+    candidate = _parse(
+        "candidate", parse_policy, _load_json(args.candidate), taxonomy
+    )
     estimator = ThresholdEstimator(
         observe_widening_history(population, history)
     )
@@ -280,7 +377,7 @@ def cmd_forecast(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     """Semantic validation; exit code 1 when problems were found."""
-    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
+    taxonomy = _parse("taxonomy", parse_taxonomy, _load_json(args.taxonomy))
     problems: list[str] = []
     if args.policy:
         problems += validate_policy_document(_load_json(args.policy), taxonomy)
@@ -299,7 +396,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """Static policy analysis; exit code gated on diagnostic severity."""
     from .lint import LintConfig, Severity, lint_documents, render
 
-    taxonomy = parse_taxonomy(_load_json(args.taxonomy))
+    taxonomy = _parse("taxonomy", parse_taxonomy, _load_json(args.taxonomy))
     report = lint_documents(
         taxonomy,
         policy=_load_json(args.policy) if args.policy else None,
@@ -357,6 +454,25 @@ def cmd_db_evict(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_journal(args: argparse.Namespace) -> int:
+    """Inspect and chain-verify a run journal."""
+    from .resilience import journal_summary
+
+    payload = journal_summary(args.journal)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{payload['path']}: {payload['kind']} run, "
+        f"{payload['steps']} steps recorded, chain verified"
+    )
+    print(f"fingerprint {payload['fingerprint']}")
+    print(f"head        {payload['head']}")
+    for key, value in sorted(payload["params"].items()):
+        print(f"  {key} = {value!r}")
+    return 0
+
+
 def _add_document_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--taxonomy", required=True, help="taxonomy JSON file")
     parser.add_argument("--policy", required=True, help="policy JSON file")
@@ -378,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_document_arguments(evaluate)
     evaluate.add_argument("--json", action="store_true", help="JSON output")
+    evaluate.add_argument(
+        "--output", help="atomically export the JSON report to this path"
+    )
     evaluate.set_defaults(func=cmd_evaluate)
 
     certify = subparsers.add_parser(
@@ -386,6 +505,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_document_arguments(certify)
     certify.add_argument("--alpha", type=float, required=True)
     certify.add_argument("--json", action="store_true")
+    certify.add_argument(
+        "--output",
+        help="atomically export the certification document to this path",
+    )
     certify.set_defaults(func=cmd_certify)
 
     sweep = subparsers.add_parser("sweep", help="Section 9 widening ledger")
@@ -394,6 +517,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--utility", type=float, default=1.0)
     sweep.add_argument("--extra-per-step", type=float, default=0.25)
     sweep.add_argument("--json", action="store_true")
+    sweep.add_argument(
+        "--output", help="atomically export the JSON ledger to this path"
+    )
+    sweep.add_argument(
+        "--journal",
+        help="checkpoint each widening level to this run journal",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted run from --journal",
+    )
+    sweep.add_argument(
+        "--guarded",
+        action="store_true",
+        help="spot-check the batch engine against the reference oracle",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     whatif = subparsers.add_parser(
@@ -495,6 +635,13 @@ def build_parser() -> argparse.ArgumentParser:
     db_evict.add_argument("database")
     db_evict.set_defaults(func=cmd_db_evict)
 
+    journal = subparsers.add_parser(
+        "journal", help="inspect and verify a run journal"
+    )
+    journal.add_argument("journal", help="run journal path")
+    journal.add_argument("--json", action="store_true")
+    journal.set_defaults(func=cmd_journal)
+
     return parser
 
 
@@ -514,14 +661,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         except BrokenPipeError:
             pass
         os._exit(0)
-    except FileNotFoundError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
     except json.JSONDecodeError as error:
-        print(f"error: invalid JSON input: {error}", file=sys.stderr)
+        print(coded_error(CLI_JSON, f"invalid JSON input: {error}"), file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(coded_error(CLI_IO, str(error)), file=sys.stderr)
+        return 2
+    except ProcessKilled as error:
+        print(coded_error(CLI_INTERRUPTED, str(error)), file=sys.stderr)
+        return 2
+    except JournalError as error:
+        print(coded_error(CLI_JOURNAL, str(error)), file=sys.stderr)
+        return 2
+    except StorageError as error:
+        print(coded_error(CLI_STORAGE, str(error)), file=sys.stderr)
+        return 2
+    except sqlite3.DatabaseError as error:
+        print(coded_error(CLI_STORAGE, str(error)), file=sys.stderr)
         return 2
     except PrivacyModelError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(coded_error(CLI_DOCUMENT, str(error)), file=sys.stderr)
         return 2
 
 

@@ -56,6 +56,60 @@ class DefaultObservation:
         return self.upper is None
 
 
+def apply_policy_observation(
+    report,
+    remaining: set[Hashable],
+    last_tolerated: dict[Hashable, float],
+    departures: dict[Hashable, float],
+) -> None:
+    """Fold one policy's batch report into the observation state.
+
+    Mutates the three state maps in place: providers whose severity
+    crosses their threshold move from *remaining* into *departures*;
+    survivors' *last_tolerated* advances.  Shared with the resumable
+    forecast runner so checkpointed replays evolve the state through the
+    identical transition.
+
+    Raises
+    ------
+    ValidationError
+        If a provider's severity decreased relative to the severity they
+        last tolerated (the history is not a monotone widening path, so
+        the interval bracketing would be unsound).
+    """
+    for row, provider_id in enumerate(report.provider_ids):
+        if provider_id not in remaining:
+            continue
+        violation = float(report.violations[row])
+        previous = last_tolerated[provider_id]
+        if violation < previous - 1e-9:
+            raise ValidationError(
+                "severities decreased along the policy sequence; "
+                "observations would not bracket thresholds"
+            )
+        if report.defaulted[row]:
+            departures[provider_id] = violation
+            remaining.discard(provider_id)
+        else:
+            last_tolerated[provider_id] = violation
+
+
+def observations_from_state(
+    population: Population,
+    last_tolerated: dict[Hashable, float],
+    departures: dict[Hashable, float],
+) -> list[DefaultObservation]:
+    """The per-provider observation list from a replayed state."""
+    return [
+        DefaultObservation(
+            provider_id=provider.provider_id,
+            lower=last_tolerated[provider.provider_id],
+            upper=departures.get(provider.provider_id),
+        )
+        for provider in population
+    ]
+
+
 def observe_widening_history(
     population: Population,
     policies: Sequence[HousePolicy],
@@ -99,29 +153,5 @@ def observe_widening_history(
         if not remaining:
             break
         report = engine.evaluate(policy)
-        for row, provider_id in enumerate(report.provider_ids):
-            if provider_id not in remaining:
-                continue
-            violation = float(report.violations[row])
-            previous = last_tolerated[provider_id]
-            if violation < previous - 1e-9:
-                raise ValidationError(
-                    "severities decreased along the policy sequence; "
-                    "observations would not bracket thresholds"
-                )
-            if report.defaulted[row]:
-                departures[provider_id] = violation
-                remaining.discard(provider_id)
-            else:
-                last_tolerated[provider_id] = violation
-    observations = []
-    for provider in population:
-        provider_id = provider.provider_id
-        observations.append(
-            DefaultObservation(
-                provider_id=provider_id,
-                lower=last_tolerated[provider_id],
-                upper=departures.get(provider_id),
-            )
-        )
-    return observations
+        apply_policy_observation(report, remaining, last_tolerated, departures)
+    return observations_from_state(population, last_tolerated, departures)

@@ -8,6 +8,8 @@ documents, storage, and simulation.
 
 from __future__ import annotations
 
+import sqlite3
+
 
 class PrivacyModelError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -77,6 +79,15 @@ class SchemaMismatchError(StorageError):
     """The on-disk database schema does not match the library's schema."""
 
 
+class CorruptDatabaseError(StorageError, sqlite3.DatabaseError):
+    """The database file failed sqlite's integrity verification.
+
+    Derives from :class:`sqlite3.DatabaseError` as well so callers
+    catching raw sqlite corruption keep working after the storage layer
+    started classifying it.
+    """
+
+
 class AccessDeniedError(StorageError):
     """An access request was rejected by the enforcement gate.
 
@@ -87,6 +98,47 @@ class AccessDeniedError(StorageError):
     def __init__(self, message: str, decision: object = None) -> None:
         self.decision = decision
         super().__init__(message)
+
+
+class ResilienceError(PrivacyModelError):
+    """Base class for errors raised by the resilience layer."""
+
+
+class FaultConfigError(ResilienceError, ValueError):
+    """A fault plan or fault spec was configured inconsistently."""
+
+
+class ProcessKilled(ResilienceError):
+    """A scripted fault simulated the process dying at an injection site.
+
+    Raised (never silently swallowed) so crash-recovery tests can kill a
+    run at an exact checkpoint boundary and then resume it.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"simulated process kill at fault site {site!r}")
+
+
+class JournalError(ResilienceError):
+    """Base class for run-journal problems (missing, foreign, unreadable)."""
+
+
+class JournalCorruptionError(JournalError):
+    """A run journal failed checksum or structural verification.
+
+    The journal is never trusted past the corruption point: resuming from
+    a corrupt journal is refused outright rather than risking a silently
+    wrong ledger or certificate.
+    """
+
+
+class JournalMismatchError(JournalError):
+    """A run journal belongs to a different run than the one resuming.
+
+    Raised when the journal's kind or input fingerprint does not match
+    the inputs of the run asking to resume from it.
+    """
 
 
 class SimulationError(PrivacyModelError):

@@ -1,0 +1,388 @@
+"""The :class:`RunJournal`: a checksummed, sqlite-backed checkpoint store.
+
+Long runs — widening sweeps, multi-round dynamics, forecast replays —
+checkpoint one journal **step** per unit of work.  Each step stores a
+canonical-JSON payload plus a SHA-256 checksum *chained* through every
+preceding step (``checksum_k = H(checksum_{k-1} | k | payload_k)``), so
+
+* any bit flip in any persisted payload is detected on open;
+* steps cannot be silently reordered, dropped, or truncated from the
+  middle — the chain breaks;
+* the journal head is a compact commitment to the entire recorded run.
+
+The journal also pins the run's identity: a *kind* (``"sweep"``,
+``"dynamics"``, ``"forecast"``) and an input *fingerprint* (a hash over
+the population, policy, and parameters — see
+:func:`repro.resilience.resume.journal_fingerprint`).  Resuming with
+different inputs is refused with :class:`JournalMismatchError` instead
+of producing a ledger that silently mixes two runs.
+
+Writes go through :func:`repro.storage.queries.connect`, so journals get
+the hardened storage behaviour (WAL, busy timeout, locked-database
+retry, fault interposition) for free; each step is committed atomically
+before the runner proceeds, which is what makes kill-between-rounds
+recoverable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+from typing import Any
+
+from ..exceptions import (
+    JournalCorruptionError,
+    JournalError,
+    JournalMismatchError,
+)
+from ..storage.queries import connect, with_locked_retry
+from .faults import active_plan
+
+#: Bump when the journal schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+_DDL = (
+    """
+    CREATE TABLE journal_meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE journal_steps (
+        step     INTEGER PRIMARY KEY,
+        payload  BLOB NOT NULL,
+        checksum TEXT NOT NULL
+    )
+    """,
+)
+
+
+def _canonical(payload: dict[str, Any]) -> str:
+    """The canonical JSON rendering checksums are computed over."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _chain(previous: str, step: int, payload_text: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(previous.encode("utf-8"))
+    digest.update(b"|")
+    digest.update(str(step).encode("ascii"))
+    digest.update(b"|")
+    digest.update(payload_text.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class RunJournal:
+    """Checkpointed run state over one sqlite file.
+
+    Obtain instances through the classmethods::
+
+        journal = RunJournal.create("run.journal", kind="sweep",
+                                    fingerprint=fp)
+        journal = RunJournal.open("run.journal")
+        journal = RunJournal.resume_or_create("run.journal", kind="sweep",
+                                              fingerprint=fp)
+
+    The object is a context manager; leaving the ``with`` block closes
+    the connection (steps are already durable — each
+    :meth:`record_step` commits before returning).
+    """
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        *,
+        path: str,
+        kind: str,
+        fingerprint: str,
+        params: dict[str, Any],
+        payloads: list[dict[str, Any]],
+        head: str,
+    ) -> None:
+        self._connection = connection
+        self._path = path
+        self._kind = kind
+        self._fingerprint = fingerprint
+        self._params = params
+        self._payloads = payloads
+        self._head = head
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str,
+        *,
+        kind: str,
+        fingerprint: str,
+        params: dict[str, Any] | None = None,
+    ) -> "RunJournal":
+        """Create a fresh journal at *path* (refusing to clobber one)."""
+        if path != ":memory:" and os.path.exists(path):
+            raise JournalError(
+                f"{path!r} already exists; use RunJournal.open() or "
+                f"resume_or_create()"
+            )
+        params = dict(params or {})
+        connection = connect(path)
+        try:
+            for statement in _DDL:
+                connection.execute(statement)
+            rows = (
+                ("journal_version", str(JOURNAL_VERSION)),
+                ("kind", kind),
+                ("fingerprint", fingerprint),
+                ("params", _canonical(params)),
+            )
+            connection.executemany(
+                "INSERT INTO journal_meta (key, value) VALUES (?, ?)", rows
+            )
+            connection.commit()
+        except BaseException:
+            connection.close()
+            raise
+        return cls(
+            connection,
+            path=path,
+            kind=kind,
+            fingerprint=fingerprint,
+            params=params,
+            payloads=[],
+            head=fingerprint,
+        )
+
+    @classmethod
+    def open(cls, path: str) -> "RunJournal":
+        """Open an existing journal, verifying the full checksum chain.
+
+        Raises
+        ------
+        JournalError
+            If *path* does not exist or is not a run journal.
+        JournalCorruptionError
+            If the file is unreadable or any step fails verification.
+        """
+        if not os.path.exists(path):
+            raise JournalError(f"no journal at {path!r}")
+        try:
+            connection = connect(path)
+        except sqlite3.DatabaseError as error:
+            raise JournalCorruptionError(
+                f"{path!r} is not a readable journal: {error}"
+            ) from error
+        try:
+            try:
+                meta = {
+                    row["key"]: row["value"]
+                    for row in connection.execute(
+                        "SELECT key, value FROM journal_meta"
+                    )
+                }
+            except sqlite3.DatabaseError as error:
+                raise JournalCorruptionError(
+                    f"{path!r} is not a readable journal: {error}"
+                ) from error
+            version = meta.get("journal_version")
+            if version != str(JOURNAL_VERSION):
+                raise JournalError(
+                    f"{path!r} has journal version {version!r}, "
+                    f"expected {JOURNAL_VERSION!r}"
+                )
+            for key in ("kind", "fingerprint", "params"):
+                if key not in meta:
+                    raise JournalCorruptionError(
+                        f"{path!r} journal metadata is missing {key!r}"
+                    )
+            payloads, head = cls._verify_steps(
+                connection, path, meta["fingerprint"]
+            )
+        except BaseException:
+            connection.close()
+            raise
+        return cls(
+            connection,
+            path=path,
+            kind=meta["kind"],
+            fingerprint=meta["fingerprint"],
+            params=json.loads(meta["params"]),
+            payloads=payloads,
+            head=head,
+        )
+
+    @classmethod
+    def resume_or_create(
+        cls,
+        path: str,
+        *,
+        kind: str,
+        fingerprint: str,
+        params: dict[str, Any] | None = None,
+    ) -> "RunJournal":
+        """Open *path* if it exists (requiring a matching run), else create."""
+        if path != ":memory:" and os.path.exists(path):
+            journal = cls.open(path)
+            try:
+                journal.require(kind=kind, fingerprint=fingerprint)
+            except BaseException:
+                journal.close()
+                raise
+            return journal
+        return cls.create(
+            path, kind=kind, fingerprint=fingerprint, params=params
+        )
+
+    @staticmethod
+    def _verify_steps(
+        connection: sqlite3.Connection, path: str, fingerprint: str
+    ) -> tuple[list[dict[str, Any]], str]:
+        payloads: list[dict[str, Any]] = []
+        head = fingerprint
+        expected_step = 0
+        for row in connection.execute(
+            "SELECT step, payload, checksum FROM journal_steps ORDER BY step"
+        ):
+            step = row["step"]
+            if step != expected_step:
+                raise JournalCorruptionError(
+                    f"{path!r} step sequence broken: expected step "
+                    f"{expected_step}, found {step}"
+                )
+            try:
+                payload_text = bytes(row["payload"]).decode("utf-8")
+                payload = json.loads(payload_text)
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise JournalCorruptionError(
+                    f"{path!r} step {step} payload is corrupt: {error}"
+                ) from error
+            checksum = _chain(head, step, payload_text)
+            if checksum != row["checksum"]:
+                raise JournalCorruptionError(
+                    f"{path!r} step {step} failed checksum verification"
+                )
+            payloads.append(payload)
+            head = checksum
+            expected_step += 1
+        return payloads, head
+
+    def require(self, *, kind: str, fingerprint: str) -> None:
+        """Refuse to continue a run this journal does not belong to."""
+        if self._kind != kind:
+            raise JournalMismatchError(
+                f"{self._path!r} journals a {self._kind!r} run, "
+                f"not a {kind!r} run"
+            )
+        if self._fingerprint != fingerprint:
+            raise JournalMismatchError(
+                f"{self._path!r} was recorded for different inputs "
+                f"(fingerprint {self._fingerprint[:12]}..., "
+                f"resuming run has {fingerprint[:12]}...)"
+            )
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> None:
+        self.close()
+
+    # -- recorded state ----------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Where this journal lives."""
+        return self._path
+
+    @property
+    def kind(self) -> str:
+        """The run kind (``"sweep"``, ``"dynamics"``, ``"forecast"``)."""
+        return self._kind
+
+    @property
+    def fingerprint(self) -> str:
+        """The input fingerprint the run was started with."""
+        return self._fingerprint
+
+    @property
+    def params(self) -> dict[str, Any]:
+        """The run parameters recorded at creation."""
+        return dict(self._params)
+
+    @property
+    def head(self) -> str:
+        """The chained checksum over everything recorded so far."""
+        return self._head
+
+    @property
+    def n_steps(self) -> int:
+        """Number of completed, verified steps."""
+        return len(self._payloads)
+
+    def payloads(self) -> list[dict[str, Any]]:
+        """The recorded step payloads, in step order."""
+        return [dict(payload) for payload in self._payloads]
+
+    # -- writing -----------------------------------------------------------
+
+    def record_step(self, payload: dict[str, Any]) -> int:
+        """Append one step atomically; returns its index.
+
+        The checksum is computed over the clean payload *before* the
+        ``journal.write`` fault site may corrupt the stored bytes — which
+        is exactly how real media corruption relates to a checksum
+        computed at write time, and what lets :meth:`open` detect it.
+        """
+        step = len(self._payloads)
+        payload_text = _canonical(payload)
+        checksum = _chain(self._head, step, payload_text)
+        stored = payload_text.encode("utf-8")
+        plan = active_plan()
+        if plan is not None:
+            stored = plan.corrupt_bytes("journal.write", stored)
+
+        def _write() -> None:
+            try:
+                self._connection.execute(
+                    "INSERT INTO journal_steps (step, payload, checksum) "
+                    "VALUES (?, ?, ?)",
+                    (step, stored, checksum),
+                )
+                self._connection.commit()
+            except sqlite3.Error:
+                # Roll the half-open transaction back so a retry (or a
+                # later step after the caller handles the error) starts
+                # from the journal's last durable state.
+                try:
+                    self._connection.rollback()
+                except sqlite3.Error:
+                    pass
+                raise
+
+        with_locked_retry(_write)
+        self._payloads.append(json.loads(payload_text))
+        self._head = checksum
+        return step
+
+
+def journal_summary(path: str) -> dict[str, Any]:
+    """Inspect and verify a journal; the ``repro journal`` payload.
+
+    Opens (and therefore chain-verifies) the journal, returning its
+    identity and progress as a JSON-safe dict.
+    """
+    with RunJournal.open(path) as journal:
+        return {
+            "path": path,
+            "kind": journal.kind,
+            "fingerprint": journal.fingerprint,
+            "params": journal.params,
+            "steps": journal.n_steps,
+            "head": journal.head,
+            "verified": True,
+        }

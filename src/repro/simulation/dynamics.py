@@ -22,7 +22,7 @@ from typing import Hashable
 from .._validation import check_int, check_real
 from ..core.policy import HousePolicy
 from ..core.population import Population
-from ..perf import BatchViolationEngine
+from ..perf import BatchReport, BatchViolationEngine
 from ..taxonomy.builder import Taxonomy
 from .widening import WideningStep, widen
 
@@ -47,6 +47,54 @@ class RoundOutcome:
         if self.n_start == 0:
             return 1.0
         return self.n_remaining / self.n_start
+
+
+def round_policy(
+    previous: HousePolicy,
+    base_name: str,
+    step: WideningStep,
+    taxonomy: Taxonomy,
+    round_index: int,
+) -> HousePolicy:
+    """The policy in force at *round_index*, widened from *previous*.
+
+    Round 0 is the base policy renamed ``<base>@r0``; each later round
+    widens the previous round's policy once.  Shared with the resumable
+    runner so a resumed run reconstructs the identical policy sequence.
+    """
+    if round_index == 0:
+        return HousePolicy(previous.entries, name=f"{base_name}@r0")
+    return widen(previous, step, taxonomy, name=f"{base_name}@r{round_index}")
+
+
+def build_round_outcome(
+    report: BatchReport,
+    *,
+    round_index: int,
+    per_provider_utility: float,
+    extra_utility_per_round: float,
+) -> RoundOutcome:
+    """One round's :class:`RoundOutcome` from its batch evaluation.
+
+    Like :func:`repro.simulation.scenario.build_sweep_row`, this is the
+    single source of the per-round arithmetic for both
+    :func:`run_dynamics` and the resumable runner.
+    """
+    defaulted = report.defaulted_ids()
+    n_start = report.n_providers
+    n_remaining = n_start - len(defaulted)
+    return RoundOutcome(
+        round_index=round_index,
+        policy_name=report.policy_name,
+        n_start=n_start,
+        n_defaulted=len(defaulted),
+        n_remaining=n_remaining,
+        violation_probability=report.violation_probability,
+        total_violations=report.total_violations,
+        utility=n_remaining
+        * (per_provider_utility + extra_utility_per_round * round_index),
+        defaulted_providers=defaulted,
+    )
 
 
 def run_dynamics(
@@ -76,7 +124,7 @@ def run_dynamics(
         step = WideningStep.uniform(1)
     outcomes: list[RoundOutcome] = []
     current_population = population
-    current_policy = HousePolicy(base_policy.entries, name=f"{base_policy.name}@r0")
+    current_policy = round_policy(base_policy, base_policy.name, step, taxonomy, 0)
     # The compilation is reused across rounds until departures shrink the
     # population; only then is the survivor set recompiled.
     engine = BatchViolationEngine(current_population, implicit_zero=implicit_zero)
@@ -84,34 +132,21 @@ def run_dynamics(
         if len(current_population) == 0:
             break
         if round_index > 0:
-            current_policy = widen(
-                current_policy,
-                step,
-                taxonomy,
-                name=f"{base_policy.name}@r{round_index}",
+            current_policy = round_policy(
+                current_policy, base_policy.name, step, taxonomy, round_index
             )
         report = engine.evaluate(current_policy)
-        defaulted = report.defaulted_ids()
-        n_start = len(current_population)
-        n_remaining = n_start - len(defaulted)
-        utility = n_remaining * (
-            per_provider_utility + extra_utility_per_round * round_index
+        outcome = build_round_outcome(
+            report,
+            round_index=round_index,
+            per_provider_utility=per_provider_utility,
+            extra_utility_per_round=extra_utility_per_round,
         )
-        outcomes.append(
-            RoundOutcome(
-                round_index=round_index,
-                policy_name=current_policy.name,
-                n_start=n_start,
-                n_defaulted=len(defaulted),
-                n_remaining=n_remaining,
-                violation_probability=report.violation_probability,
-                total_violations=report.total_violations,
-                utility=utility,
-                defaulted_providers=defaulted,
+        outcomes.append(outcome)
+        if outcome.defaulted_providers:
+            current_population = current_population.without(
+                outcome.defaulted_providers
             )
-        )
-        if defaulted:
-            current_population = current_population.without(defaulted)
             engine = BatchViolationEngine(
                 current_population, implicit_zero=implicit_zero
             )

@@ -27,7 +27,7 @@ from ..core.economics import (
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import SimulationError
-from ..perf import BatchViolationEngine
+from ..perf import BatchReport, BatchViolationEngine
 from ..taxonomy.builder import Taxonomy
 from .widening import WideningStep, widening_path
 
@@ -97,6 +97,44 @@ class ExpansionSweep:
         return tuple(float(getattr(row, column)) for row in self.rows)
 
 
+def build_sweep_row(
+    report: BatchReport,
+    *,
+    step: int,
+    n_current: int,
+    per_provider_utility: float,
+    extra_utility_per_step: float,
+) -> SweepRow:
+    """One sweep level's :class:`SweepRow` from its batch evaluation.
+
+    The single source of the per-step arithmetic: both
+    :func:`run_expansion_sweep` and the resumable runner in
+    :mod:`repro.resilience.resume` build rows through this function, so
+    an interrupted-and-resumed sweep is bit-for-bit identical to an
+    uninterrupted one by construction.
+    """
+    defaulted = report.defaulted_ids()
+    n_fut = n_current - len(defaulted)
+    extra = extra_utility_per_step * step
+    break_even = break_even_extra_utility(per_provider_utility, n_current, n_fut)
+    return SweepRow(
+        step=step,
+        policy_name=report.policy_name,
+        n_current=n_current,
+        n_future=n_fut,
+        n_violated=report.n_violated,
+        violation_probability=report.violation_probability,
+        default_probability=report.default_probability,
+        total_violations=report.total_violations,
+        extra_utility=extra,
+        utility_current=utility_current(n_current, per_provider_utility),
+        utility_future=utility_future(n_fut, per_provider_utility, extra),
+        break_even_extra_utility=break_even,
+        justified=extra > break_even,
+        defaulted_providers=defaulted,
+    )
+
+
 def run_expansion_sweep(
     population: Population,
     base_policy: HousePolicy,
@@ -155,32 +193,13 @@ def run_expansion_sweep(
         purposes=purposes,
     ):
         report = engine.evaluate(policy)
-        defaulted = report.defaulted_ids()
-        n_fut = n_current - len(defaulted)
-        extra = extra_utility_per_step * k
         rows.append(
-            SweepRow(
+            build_sweep_row(
+                report,
                 step=k,
-                policy_name=policy.name,
                 n_current=n_current,
-                n_future=n_fut,
-                n_violated=report.n_violated,
-                violation_probability=report.violation_probability,
-                default_probability=report.default_probability,
-                total_violations=report.total_violations,
-                extra_utility=extra,
-                utility_current=utility_current(n_current, per_provider_utility),
-                utility_future=utility_future(n_fut, per_provider_utility, extra),
-                break_even_extra_utility=break_even_extra_utility(
-                    per_provider_utility, n_current, n_fut
-                ),
-                justified=(
-                    extra
-                    > break_even_extra_utility(
-                        per_provider_utility, n_current, n_fut
-                    )
-                ),
-                defaulted_providers=defaulted,
+                per_provider_utility=per_provider_utility,
+                extra_utility_per_step=extra_utility_per_step,
             )
         )
     return ExpansionSweep(

@@ -14,17 +14,27 @@ that substrate on stdlib :mod:`sqlite3`:
 * :mod:`repro.storage.enforcement` — the purpose-aware access gate that
   checks each access request against stored preferences and either
   rejects (``enforce`` mode) or logs (``audit`` mode) violations;
-* :mod:`repro.storage.audit` — the append-only audit log and its reports.
+* :mod:`repro.storage.audit` — the append-only audit log and its reports;
+* :mod:`repro.storage.queries` — hardened connection handling (WAL,
+  busy timeout, bounded retry on locked databases, fault interposition);
+* :mod:`repro.storage.atomic` — atomic temp-file-then-rename writes for
+  exported documents.
 """
 
+from .atomic import atomic_write_bytes, atomic_write_text
 from .database import PrivacyDatabase
 from .enforcement import AccessDecision, AccessGate, AccessRequest, EnforcementMode
 from .audit import AuditEvent, AuditReport
 from .granularity import EXISTENCE_MARKER, ValueDegrader, numeric_degrader
+from .queries import connect, with_locked_retry
 from .schema import SCHEMA_VERSION
 
 __all__ = [
     "PrivacyDatabase",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "connect",
+    "with_locked_retry",
     "AccessDecision",
     "AccessGate",
     "AccessRequest",

@@ -23,7 +23,7 @@ from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..core.ppdb import PPDBCertificate
-from ..exceptions import SchemaMismatchError, StorageError
+from ..exceptions import CorruptDatabaseError, SchemaMismatchError, StorageError
 from .audit import AuditLog
 from .enforcement import AccessGate, EnforcementMode
 from .queries import connect
@@ -84,8 +84,42 @@ class PrivacyDatabase:
 
     @classmethod
     def open(cls, path: str) -> "PrivacyDatabase":
-        """Open an existing database, verifying the schema version."""
-        connection = connect(path)
+        """Open an existing database, verifying integrity and schema.
+
+        Runs ``PRAGMA integrity_check`` before trusting the file, then
+        verifies the expected tables and the stored schema version.
+
+        Raises
+        ------
+        CorruptDatabaseError
+            If the file is not a readable sqlite database or fails the
+            integrity check.
+        SchemaMismatchError
+            If the file is a healthy sqlite database but not one of ours
+            (missing tables or wrong schema version).
+        """
+        try:
+            connection = connect(path)
+        except sqlite3.DatabaseError as error:
+            # The connection pragmas already tripped over the file — it
+            # is not sqlite at all (WAL setup reads the header).
+            raise CorruptDatabaseError(
+                f"{path!r} is not a readable sqlite database: {error}"
+            ) from error
+        try:
+            verdicts = [
+                row[0] for row in connection.execute("PRAGMA integrity_check")
+            ]
+        except sqlite3.DatabaseError as error:
+            connection.close()
+            raise CorruptDatabaseError(
+                f"{path!r} is not a readable sqlite database: {error}"
+            ) from error
+        if verdicts != ["ok"]:
+            connection.close()
+            raise CorruptDatabaseError(
+                f"{path!r} failed integrity check: {'; '.join(verdicts[:3])}"
+            )
         tables = {
             row["name"]
             for row in connection.execute(
@@ -124,11 +158,21 @@ class PrivacyDatabase:
         exc: BaseException | None,
         traceback: TracebackType | None,
     ) -> None:
-        if exc_type is None:
-            self._connection.commit()
-        else:
-            self._connection.rollback()
-        self._connection.close()
+        try:
+            if exc_type is None:
+                self._connection.commit()
+            else:
+                # A rollback failure (already-closed or broken connection)
+                # must not mask the exception already unwinding the block.
+                try:
+                    self._connection.rollback()
+                except sqlite3.Error:
+                    pass
+        finally:
+            try:
+                self._connection.close()
+            except sqlite3.Error:
+                pass
 
     # -- accessors ----------------------------------------------------------
 

@@ -1,25 +1,132 @@
-"""Typed row helpers shared by the storage modules.
+"""Hardened connection handling plus typed row helpers.
 
-Small conversion functions between sqlite rows and core model values, so
-the repository and enforcement layers never hand raw tuples around.
+:func:`connect` is the single place the storage layer (and the run
+journal) obtains sqlite connections, so hardening lives here:
+
+* ``PRAGMA foreign_keys = ON`` and :class:`sqlite3.Row` rows, as always;
+* ``PRAGMA busy_timeout`` so concurrent writers block briefly instead of
+  failing instantly;
+* WAL journal mode (file databases only) so readers never block writers;
+* bounded exponential-backoff retry on ``database is locked`` — both at
+  connect time (:func:`connect`) and for arbitrary operations
+  (:func:`with_locked_retry`);
+* fault interposition: while a
+  :class:`~repro.resilience.faults.FaultPlan` is activated, every
+  connection is wrapped in a
+  :class:`~repro.resilience.faults.FaultProxy` so chaos tests can inject
+  locked/disk-full errors at exact statement boundaries.
+
+The small row/tuple conversion helpers shared by the repository and
+enforcement layers also live here, so neither hands raw tuples around.
 """
 
 from __future__ import annotations
 
 import sqlite3
+import time
+from collections.abc import Callable
+from typing import TypeVar
 
 from ..core.tuples import PrivacyTuple
 
+#: Default ``PRAGMA busy_timeout`` in milliseconds.
+BUSY_TIMEOUT_MS = 5000
 
-def connect(path: str) -> sqlite3.Connection:
-    """Open a connection with the library's standard pragmas.
+#: Default bounded-retry attempts for locked databases.
+LOCKED_RETRY_ATTEMPTS = 5
 
-    Foreign keys are enforced and rows come back as :class:`sqlite3.Row`
-    so columns are addressable by name.
+#: First backoff sleep in seconds; doubles per attempt.
+LOCKED_RETRY_BASE_SECONDS = 0.05
+
+_T = TypeVar("_T")
+
+
+def _is_locked(error: sqlite3.OperationalError) -> bool:
+    """Whether *error* is sqlite's transient lock-contention error."""
+    message = str(error).lower()
+    return "database is locked" in message or "table is locked" in message
+
+
+def with_locked_retry(
+    operation: Callable[[], _T],
+    *,
+    attempts: int = LOCKED_RETRY_ATTEMPTS,
+    base_delay: float = LOCKED_RETRY_BASE_SECONDS,
+    sleep: Callable[[float], None] = time.sleep,
+) -> _T:
+    """Run *operation*, retrying locked-database errors with backoff.
+
+    Only ``sqlite3.OperationalError: database is locked`` (and table
+    locks) are retried; every other error propagates immediately.  The
+    final attempt's error propagates unchanged, so callers still see the
+    real sqlite exception once the bounded budget is exhausted.
     """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    for attempt in range(attempts):
+        try:
+            return operation()
+        except sqlite3.OperationalError as error:
+            if not _is_locked(error) or attempt == attempts - 1:
+                raise
+            sleep(base_delay * (2**attempt))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _fault_plan():
+    # Imported lazily: repro.resilience.journal imports this module, so a
+    # top-level import here would be circular.
+    from ..resilience.faults import active_plan
+
+    return active_plan()
+
+
+def _open_connection(path: str, busy_timeout_ms: int) -> sqlite3.Connection:
+    plan = _fault_plan()
+    if plan is not None:
+        plan.check("db.connect")
     connection = sqlite3.connect(path)
-    connection.row_factory = sqlite3.Row
-    connection.execute("PRAGMA foreign_keys = ON")
+    try:
+        connection.row_factory = sqlite3.Row
+        connection.execute("PRAGMA foreign_keys = ON")
+        connection.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+        if path != ":memory:":
+            # WAL lets readers proceed while a writer holds the log; it is
+            # a no-op request for in-memory databases.
+            connection.execute("PRAGMA journal_mode = WAL").fetchone()
+            connection.execute("PRAGMA synchronous = NORMAL")
+    except BaseException:
+        connection.close()
+        raise
+    return connection
+
+
+def connect(
+    path: str,
+    *,
+    busy_timeout_ms: int = BUSY_TIMEOUT_MS,
+    attempts: int = LOCKED_RETRY_ATTEMPTS,
+    base_delay: float = LOCKED_RETRY_BASE_SECONDS,
+    sleep: Callable[[float], None] = time.sleep,
+) -> sqlite3.Connection:
+    """Open a connection with the library's standard pragmas, hardened.
+
+    Locked-database errors during the open/pragma handshake are retried
+    up to *attempts* times with exponential backoff starting at
+    *base_delay* seconds.  While a fault plan is activated the returned
+    connection is a :class:`~repro.resilience.faults.FaultProxy`.
+    """
+    connection = with_locked_retry(
+        lambda: _open_connection(path, busy_timeout_ms),
+        attempts=attempts,
+        base_delay=base_delay,
+        sleep=sleep,
+    )
+    plan = _fault_plan()
+    if plan is not None:
+        from ..resilience.faults import FaultProxy
+
+        return FaultProxy(connection, plan)  # type: ignore[return-value]
     return connection
 
 

@@ -1,6 +1,16 @@
-"""Shared fixtures: the paper's worked example and small scenario instances."""
+"""Shared fixtures: the paper's worked example and small scenario instances.
+
+Also installs a global per-test timeout (``REPRO_TEST_TIMEOUT`` seconds,
+default 120) via ``SIGALRM``, so a hung test — a deadlocked retry loop, a
+fault plan that never releases — fails loudly instead of wedging CI.
+Implemented locally because the environment has no ``pytest-timeout``.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -20,6 +30,35 @@ from repro.datasets import (
     social_network_scenario,
 )
 from repro.taxonomy import standard_taxonomy
+
+#: Per-test wall-clock budget in seconds (0 disables the alarm).
+TEST_TIMEOUT_SECONDS = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+_ALARMS_USABLE = hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    if (
+        not _ALARMS_USABLE
+        or TEST_TIMEOUT_SECONDS <= 0
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {TEST_TIMEOUT_SECONDS}s global timeout "
+            f"(REPRO_TEST_TIMEOUT)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(TEST_TIMEOUT_SECONDS)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture()

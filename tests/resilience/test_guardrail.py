@@ -1,0 +1,122 @@
+"""The engine guardrail: detection, degradation, and correctness after."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import healthcare_scenario
+from repro.perf import BatchViolationEngine
+from repro.resilience import FaultPlan, FaultSpec, GuardedBatchEngine
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return healthcare_scenario(40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def reference_report(scenario):
+    return BatchViolationEngine(scenario.population).evaluate(scenario.policy)
+
+
+class TestCleanPath:
+    def test_matches_batch_engine_exactly(self, scenario, reference_report):
+        guarded = GuardedBatchEngine(scenario.population)
+        report = guarded.evaluate(scenario.policy)
+        assert not guarded.degraded
+        assert guarded.diagnostics == ()
+        assert np.array_equal(report.violations, reference_report.violations)
+        assert report.total_violations == reference_report.total_violations
+
+    def test_certify_matches_batch(self, scenario):
+        guarded = GuardedBatchEngine(scenario.population)
+        batch = BatchViolationEngine(scenario.population)
+        for alpha in (0.0, 0.25, 1.0):
+            assert guarded.certify(scenario.policy, alpha) == batch.certify(
+                scenario.policy, alpha
+            )
+
+    def test_sampling_is_deterministic(self, scenario):
+        a = GuardedBatchEngine(scenario.population, seed=9)
+        b = GuardedBatchEngine(scenario.population, seed=9)
+        a.evaluate(scenario.policy)
+        b.evaluate(scenario.policy)
+        assert a._rng.getstate() == b._rng.getstate()
+
+
+class TestDegradation:
+    def test_nan_poisoning_caught_and_corrected(self, scenario, reference_report):
+        guarded = GuardedBatchEngine(scenario.population)
+        plan = FaultPlan(
+            [FaultSpec(site="engine.violations", kind="nan", at=0)]
+        )
+        with plan.activate():
+            report = guarded.evaluate(scenario.policy)
+        assert guarded.degraded
+        assert [d.code for d in guarded.diagnostics] == ["PVL302", "PVL303"]
+        # The served report carries the reference numbers, not the NaN.
+        assert np.isfinite(report.violations).all()
+        assert np.array_equal(report.violations, reference_report.violations)
+
+    def test_scale_divergence_caught_by_sampling(
+        self, scenario, reference_report
+    ):
+        # Sample every provider so the single poisoned element is found.
+        guarded = GuardedBatchEngine(
+            scenario.population, sample_size=len(scenario.population)
+        )
+        plan = FaultPlan(
+            [FaultSpec(site="engine.violations", kind="scale", at=0)]
+        )
+        with plan.activate():
+            report = guarded.evaluate(scenario.policy)
+        assert guarded.degraded
+        codes = [d.code for d in guarded.diagnostics]
+        assert codes == ["PVL301", "PVL303"]
+        assert np.array_equal(report.violations, reference_report.violations)
+
+    def test_degraded_mode_persists_and_stays_correct(
+        self, scenario, reference_report
+    ):
+        guarded = GuardedBatchEngine(scenario.population)
+        plan = FaultPlan(
+            [FaultSpec(site="engine.violations", kind="nan", at=0)]
+        )
+        with plan.activate():
+            guarded.evaluate(scenario.policy)
+        assert guarded.degraded
+        # Later evaluations — fault long gone — still use the oracle and
+        # still agree with the batch engine's correct output.
+        again = guarded.evaluate(scenario.policy)
+        assert np.array_equal(again.violations, reference_report.violations)
+        assert len(guarded.diagnostics) == 2
+
+    def test_certify_after_degradation_matches_reference(self, scenario):
+        guarded = GuardedBatchEngine(scenario.population)
+        plan = FaultPlan(
+            [FaultSpec(site="engine.violations", kind="nan", at=0)]
+        )
+        with plan.activate():
+            certificate = guarded.certify(scenario.policy, 0.5)
+        reference = BatchViolationEngine(scenario.population).certify(
+            scenario.policy, 0.5
+        )
+        assert guarded.degraded
+        assert certificate == reference
+
+    def test_divergence_diagnostic_payload_names_provider(self, scenario):
+        guarded = GuardedBatchEngine(
+            scenario.population, sample_size=len(scenario.population)
+        )
+        plan = FaultPlan(
+            [FaultSpec(site="engine.violations", kind="scale", at=0)]
+        )
+        with plan.activate():
+            guarded.evaluate(scenario.policy)
+        divergence = guarded.diagnostics[0]
+        assert divergence.code == "PVL301"
+        assert "provider" in divergence.payload
+        assert divergence.payload["batch_violation"] != pytest.approx(
+            divergence.payload["reference_violation"]
+        )

@@ -1,0 +1,209 @@
+"""The run journal: round trips, tamper evidence, identity pinning."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.exceptions import (
+    JournalCorruptionError,
+    JournalError,
+    JournalMismatchError,
+)
+from repro.resilience import FaultPlan, FaultSpec, RunJournal, journal_summary
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "run.journal")
+
+
+class TestRoundTrip:
+    def test_payloads_survive_reopen(self, path):
+        steps = [
+            {"k": 0, "x": 0.1 + 0.2, "ids": ["a", "b"]},
+            {"k": 1, "x": float("inf"), "ids": []},
+        ]
+        with RunJournal.create(path, kind="sweep", fingerprint="fp") as journal:
+            for step in steps:
+                journal.record_step(step)
+        with RunJournal.open(path) as journal:
+            assert journal.payloads() == steps
+            assert journal.kind == "sweep"
+            assert journal.fingerprint == "fp"
+            assert journal.n_steps == 2
+
+    def test_floats_round_trip_bit_for_bit(self, path):
+        value = 0.1 + 0.2 + 1e-17
+        with RunJournal.create(path, kind="sweep", fingerprint="fp") as journal:
+            journal.record_step({"v": value})
+        with RunJournal.open(path) as journal:
+            assert journal.payloads()[0]["v"] == value
+
+    def test_params_preserved(self, path):
+        params = {"steps": 5, "utility": 1.5}
+        with RunJournal.create(
+            path, kind="sweep", fingerprint="fp", params=params
+        ):
+            pass
+        with RunJournal.open(path) as journal:
+            assert journal.params == params
+
+    def test_record_step_returns_indices(self, path):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp") as journal:
+            assert journal.record_step({"a": 1}) == 0
+            assert journal.record_step({"a": 2}) == 1
+
+    def test_head_advances_per_step(self, path):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp") as journal:
+            heads = {journal.head}
+            journal.record_step({"a": 1})
+            heads.add(journal.head)
+            journal.record_step({"a": 2})
+            heads.add(journal.head)
+            assert len(heads) == 3
+
+    def test_create_refuses_existing_file(self, path):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp"):
+            pass
+        with pytest.raises(JournalError, match="already exists"):
+            RunJournal.create(path, kind="sweep", fingerprint="fp")
+
+    def test_open_missing_path(self, path):
+        with pytest.raises(JournalError, match="no journal"):
+            RunJournal.open(path)
+
+    def test_open_garbage_file(self, tmp_path):
+        path = str(tmp_path / "garbage")
+        with open(path, "wb") as handle:
+            handle.write(b"not a journal at all")
+        with pytest.raises(JournalCorruptionError):
+            RunJournal.open(path)
+
+
+class TestTamperEvidence:
+    def _recorded(self, path, n=3):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp") as journal:
+            for k in range(n):
+                journal.record_step({"k": k, "value": k * 1.5})
+
+    def test_flipped_payload_byte_detected(self, path):
+        self._recorded(path)
+        connection = sqlite3.connect(path)
+        (blob,) = connection.execute(
+            "SELECT payload FROM journal_steps WHERE step = 1"
+        ).fetchone()
+        tampered = bytearray(blob)
+        tampered[3] ^= 0x01
+        connection.execute(
+            "UPDATE journal_steps SET payload = ? WHERE step = 1",
+            (bytes(tampered),),
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(JournalCorruptionError):
+            RunJournal.open(path)
+
+    def test_semantically_valid_rewrite_detected(self, path):
+        # Not a bit flip: replace a payload with different *valid* JSON.
+        self._recorded(path)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE journal_steps SET payload = ? WHERE step = 0",
+            (json.dumps({"k": 0, "value": 99.0}).encode(),),
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(JournalCorruptionError, match="checksum"):
+            RunJournal.open(path)
+
+    def test_deleted_middle_step_detected(self, path):
+        self._recorded(path)
+        connection = sqlite3.connect(path)
+        connection.execute("DELETE FROM journal_steps WHERE step = 1")
+        connection.commit()
+        connection.close()
+        with pytest.raises(JournalCorruptionError, match="sequence"):
+            RunJournal.open(path)
+
+    def test_truncated_tail_is_a_valid_shorter_journal(self, path):
+        # Losing the most recent steps is exactly the crash model — the
+        # journal must still open and report the surviving prefix.
+        self._recorded(path)
+        connection = sqlite3.connect(path)
+        connection.execute("DELETE FROM journal_steps WHERE step = 2")
+        connection.commit()
+        connection.close()
+        with RunJournal.open(path) as journal:
+            assert journal.n_steps == 2
+
+    def test_corrupting_write_fault_detected_on_reopen(self, path):
+        plan = FaultPlan(
+            [FaultSpec(site="journal.write", kind="corrupt", at=1)], seed=5
+        )
+        with plan.activate():
+            with RunJournal.create(
+                path, kind="sweep", fingerprint="fp"
+            ) as journal:
+                journal.record_step({"k": 0})
+                journal.record_step({"k": 1})  # persisted bytes corrupted
+        with pytest.raises(JournalCorruptionError):
+            RunJournal.open(path)
+
+    def test_missing_meta_key_detected(self, path):
+        self._recorded(path)
+        connection = sqlite3.connect(path)
+        connection.execute("DELETE FROM journal_meta WHERE key = 'kind'")
+        connection.commit()
+        connection.close()
+        with pytest.raises(JournalCorruptionError, match="kind"):
+            RunJournal.open(path)
+
+    def test_wrong_version_rejected(self, path):
+        self._recorded(path)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE journal_meta SET value = '999' "
+            "WHERE key = 'journal_version'"
+        )
+        connection.commit()
+        connection.close()
+        with pytest.raises(JournalError, match="version"):
+            RunJournal.open(path)
+
+
+class TestIdentityPinning:
+    def test_resume_or_create_resumes_matching_run(self, path):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp") as journal:
+            journal.record_step({"k": 0})
+        with RunJournal.resume_or_create(
+            path, kind="sweep", fingerprint="fp"
+        ) as journal:
+            assert journal.n_steps == 1
+
+    def test_fingerprint_mismatch_refused(self, path):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp"):
+            pass
+        with pytest.raises(JournalMismatchError, match="different inputs"):
+            RunJournal.resume_or_create(path, kind="sweep", fingerprint="other")
+
+    def test_kind_mismatch_refused(self, path):
+        with RunJournal.create(path, kind="sweep", fingerprint="fp"):
+            pass
+        with pytest.raises(JournalMismatchError, match="sweep"):
+            RunJournal.resume_or_create(path, kind="dynamics", fingerprint="fp")
+
+
+class TestSummary:
+    def test_summary_reports_verified_progress(self, path):
+        with RunJournal.create(
+            path, kind="dynamics", fingerprint="fp", params={"rounds": 4}
+        ) as journal:
+            journal.record_step({"k": 0})
+        summary = journal_summary(path)
+        assert summary["kind"] == "dynamics"
+        assert summary["steps"] == 1
+        assert summary["params"] == {"rounds": 4}
+        assert summary["verified"] is True
