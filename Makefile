@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-smoke bench-tables examples lint lint-policy all
+.PHONY: install test chaos obs bench bench-smoke bench-tables examples lint lint-policy all
 
 install:
 	$(PYTHON) setup.py develop
@@ -18,6 +18,13 @@ chaos:
 		tests/resilience \
 		tests/storage/test_hardening.py \
 		tests/cli/test_cli_errors.py
+
+# The observability suite CI runs in the obs-smoke job: the metrics
+# registry, span tracing, the zero-cost-when-disabled guard, and the
+# CLI's --metrics / --trace / obs surface end to end (including fault
+# counters under an injected chaos plan).
+obs:
+	REPRO_TEST_TIMEOUT=60 $(PYTHON) -m pytest -q tests/obs
 
 # Full benchmark run; machine-readable timings (including the sweep
 # speedup of the batch engine vs the reference engine) land in

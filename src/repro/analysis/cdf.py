@@ -14,6 +14,7 @@ must be non-decreasing — a property test guards it).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -57,14 +58,25 @@ class DefaultCDF:
     def widest_step_within(self, budget_fraction: float) -> int:
         """The widest step whose default fraction stays within budget.
 
+        A budget landing exactly on a step's fraction admits that step:
+        fractions are computed by float division, so an exact-boundary
+        budget (say ``1/3`` against 5 of 15 providers) may differ from
+        the stored fraction by one ulp and must not be rejected by a
+        strict comparison.
+
         Returns 0 when even the first widening exceeds the budget (the
         base policy is step 0 and, by Section 9's setup, defaults nobody).
         """
         budget_fraction = check_probability(budget_fraction, "budget_fraction")
         best = 0
         for step, defaults in zip(self.steps, self.cumulative_defaults):
-            if self.population_size and defaults / self.population_size > budget_fraction:
-                break
+            if self.population_size:
+                fraction = defaults / self.population_size
+                within = fraction <= budget_fraction or math.isclose(
+                    fraction, budget_fraction, rel_tol=1e-9
+                )
+                if not within:
+                    break
             best = step
         return best
 
@@ -76,13 +88,21 @@ class DefaultCDF:
 
 
 def default_cdf_from_sweep(sweep: ExpansionSweep) -> DefaultCDF:
-    """Build the CDF from a widening sweep's rows."""
+    """Build the CDF from a widening sweep's rows.
+
+    Cumulative counts are anchored to the *baseline* population
+    (``rows[0].n_current``), not each row's own ``n_current``: rows built
+    over a shrinking population (multi-phase or resumed sweeps) carry
+    per-row ``n_current`` values, and differencing within each row would
+    yield incremental rather than cumulative defaults.
+    """
     if not sweep.rows:
         raise ValidationError("cannot build a CDF from an empty sweep")
+    baseline = sweep.rows[0].n_current
     steps = tuple(row.step for row in sweep.rows)
-    cumulative = tuple(row.n_current - row.n_future for row in sweep.rows)
+    cumulative = tuple(baseline - row.n_future for row in sweep.rows)
     return DefaultCDF(
         steps=steps,
         cumulative_defaults=cumulative,
-        population_size=sweep.rows[0].n_current,
+        population_size=baseline,
     )

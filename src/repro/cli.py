@@ -16,6 +16,12 @@ Commands
 ``db-report``  evaluate the stored state of a privacy database
 ``db-evict``   remove defaulted providers from a privacy database
 ``journal``    inspect and verify a run journal
+``obs``        render a saved metrics snapshot (text/prometheus/json)
+
+Every command also accepts the observability flags ``--metrics PATH``
+(write a JSON metrics snapshot on exit), ``--trace`` (print the span
+tree to stderr), and ``-v``/``-vv`` (structured logs on stderr); see
+:mod:`repro.obs`.
 
 Operational failures — missing or unreadable files, malformed JSON,
 corrupt databases or journals, interrupted runs — exit with code 2 and
@@ -38,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import sqlite3
 import sys
@@ -54,6 +61,8 @@ from .exceptions import (
     StorageError,
     ValidationError,
 )
+from .obs import Observability, disable_observability, enable_observability
+from .obs.render import FORMATS as OBS_FORMATS
 from .policy_lang import (
     parse_policy,
     parse_population,
@@ -106,7 +115,9 @@ def _export(args: argparse.Namespace, payload: object) -> None:
     """
     output = getattr(args, "output", None)
     if output:
-        atomic_write_text(output, json.dumps(payload, indent=2) + "\n")
+        atomic_write_text(
+            output, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 def _load_inputs(args: argparse.Namespace) -> tuple[Taxonomy, HousePolicy, Population]:
@@ -151,7 +162,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     engine = ViolationEngine(policy, population)
     _export(args, _report_payload(engine))
     if args.json:
-        print(json.dumps(_report_payload(engine), indent=2))
+        print(json.dumps(_report_payload(engine), indent=2, sort_keys=True))
         return 0
     report = engine.report()
     rows = [
@@ -255,7 +266,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
     _export(args, _sweep_payload(sweep))
     if args.json:
-        print(json.dumps(_sweep_payload(sweep), indent=2))
+        print(json.dumps(_sweep_payload(sweep), indent=2, sort_keys=True))
         return 0
     rows = [
         [
@@ -310,6 +321,7 @@ def cmd_whatif(args: argparse.Namespace) -> int:
                     "alpha_ppdb_satisfied": result.certificate.satisfied,
                 },
                 indent=2,
+                sort_keys=True,
             )
         )
     else:
@@ -362,6 +374,7 @@ def cmd_forecast(args: argparse.Namespace) -> int:
                     "break_even_extra_utility": forecast.break_even_extra_utility,
                 },
                 indent=2,
+                sort_keys=True,
             )
         )
     else:
@@ -460,7 +473,7 @@ def cmd_journal(args: argparse.Namespace) -> int:
 
     payload = journal_summary(args.journal)
     if args.json:
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     print(
         f"{payload['path']}: {payload['kind']} run, "
@@ -473,6 +486,14 @@ def cmd_journal(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Render a saved metrics snapshot (see ``--metrics``)."""
+    from .obs import render_snapshot
+
+    print(render_snapshot(_load_json(args.snapshot), args.format))
+    return 0
+
+
 def _add_document_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--taxonomy", required=True, help="taxonomy JSON file")
     parser.add_argument("--policy", required=True, help="policy JSON file")
@@ -481,15 +502,44 @@ def _add_document_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _obs_options() -> argparse.ArgumentParser:
+    """The shared observability flags, attached to every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON metrics snapshot to PATH when the command exits",
+    )
+    group.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the recorded span tree to stderr when the command exits",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured logs on stderr (-v INFO, -vv DEBUG)",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Quantify privacy violations (Banerjee et al., SDM 2011).",
     )
+    obs_options = _obs_options()
+
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return subparsers.add_parser(name, parents=[obs_options], **kwargs)
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    evaluate = subparsers.add_parser(
+    evaluate = add_parser(
         "evaluate", help="full model evaluation over documents"
     )
     _add_document_arguments(evaluate)
@@ -499,7 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.set_defaults(func=cmd_evaluate)
 
-    certify = subparsers.add_parser(
+    certify = add_parser(
         "certify", help="alpha-PPDB verdict (exit 1 when violated)"
     )
     _add_document_arguments(certify)
@@ -511,7 +561,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     certify.set_defaults(func=cmd_certify)
 
-    sweep = subparsers.add_parser("sweep", help="Section 9 widening ledger")
+    sweep = add_parser("sweep", help="Section 9 widening ledger")
     _add_document_arguments(sweep)
     sweep.add_argument("--steps", type=int, default=5)
     sweep.add_argument("--utility", type=float, default=1.0)
@@ -536,7 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.set_defaults(func=cmd_sweep)
 
-    whatif = subparsers.add_parser(
+    whatif = add_parser(
         "whatif", help="compare a candidate policy against the baseline"
     )
     _add_document_arguments(whatif)
@@ -547,7 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     whatif.add_argument("--json", action="store_true")
     whatif.set_defaults(func=cmd_whatif)
 
-    forecast = subparsers.add_parser(
+    forecast = add_parser(
         "forecast",
         help="forecast a candidate policy's defaults from observed history",
     )
@@ -564,7 +614,7 @@ def build_parser() -> argparse.ArgumentParser:
     forecast.add_argument("--json", action="store_true")
     forecast.set_defaults(func=cmd_forecast)
 
-    validate = subparsers.add_parser(
+    validate = add_parser(
         "validate", help="validate documents against the taxonomy"
     )
     validate.add_argument("--taxonomy", required=True)
@@ -572,7 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--population")
     validate.set_defaults(func=cmd_validate)
 
-    lint = subparsers.add_parser(
+    lint = add_parser(
         "lint",
         help="static policy analysis with coded diagnostics (PVL...)",
     )
@@ -616,39 +666,100 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--ignore", help="comma-separated rule codes to skip")
     lint.set_defaults(func=cmd_lint)
 
-    init_db = subparsers.add_parser(
+    init_db = add_parser(
         "init-db", help="create a sqlite privacy database"
     )
     _add_document_arguments(init_db)
     init_db.add_argument("--database", required=True, help="sqlite path")
     init_db.set_defaults(func=cmd_init_db)
 
-    db_report = subparsers.add_parser(
+    db_report = add_parser(
         "db-report", help="evaluate a privacy database's stored state"
     )
     db_report.add_argument("database")
     db_report.set_defaults(func=cmd_db_report)
 
-    db_evict = subparsers.add_parser(
+    db_evict = add_parser(
         "db-evict", help="remove defaulted providers"
     )
     db_evict.add_argument("database")
     db_evict.set_defaults(func=cmd_db_evict)
 
-    journal = subparsers.add_parser(
+    journal = add_parser(
         "journal", help="inspect and verify a run journal"
     )
     journal.add_argument("journal", help="run journal path")
     journal.add_argument("--json", action="store_true")
     journal.set_defaults(func=cmd_journal)
 
+    obs = add_parser(
+        "obs", help="render a saved metrics snapshot"
+    )
+    obs.add_argument("snapshot", help="snapshot JSON written by --metrics")
+    obs.add_argument(
+        "--format",
+        choices=list(OBS_FORMATS),
+        default="text",
+        help="output format (default text)",
+    )
+    obs.set_defaults(func=cmd_obs)
+
     return parser
+
+
+def _setup_observability(args: argparse.Namespace) -> Observability | None:
+    """Enable the observer (and stderr logging) per the global flags."""
+    verbose = getattr(args, "verbose", 0)
+    if verbose:
+        logging.basicConfig(
+            stream=sys.stderr,
+            level=logging.DEBUG if verbose >= 2 else logging.INFO,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
+        logging.getLogger("repro").setLevel(
+            logging.DEBUG if verbose >= 2 else logging.INFO
+        )
+    if getattr(args, "metrics", None) or getattr(args, "trace", False) or verbose:
+        return enable_observability()
+    return None
+
+
+def _finish_observability(
+    args: argparse.Namespace, observer: Observability | None
+) -> None:
+    """Export the snapshot / span tree the global flags asked for."""
+    if observer is None:
+        return
+    disable_observability()
+    snapshot = observer.snapshot()
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path:
+        try:
+            atomic_write_text(
+                metrics_path,
+                json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+            )
+        except OSError as error:
+            # The command's own outcome stands; the snapshot is advisory.
+            print(coded_error(CLI_IO, str(error)), file=sys.stderr)
+    if getattr(args, "trace", False):
+        tree = observer.tracer.tree_text()
+        print(tree if tree else "trace: no spans recorded", file=sys.stderr)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    observer = _setup_observability(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _finish_observability(args, observer)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, mapping failures to coded exit-2 lines."""
     try:
         return args.func(args)
     except BrokenPipeError:

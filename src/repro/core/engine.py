@@ -11,10 +11,12 @@ widening sweep in :mod:`repro.simulation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Hashable
 
 from .._validation import check_probability
 from ..exceptions import UnknownProviderError, ValidationError
+from ..obs import active_observer
 from .default import DefaultModel
 from .policy import HousePolicy
 from .population import Population
@@ -161,6 +163,8 @@ class ViolationEngine:
     def _evaluate(self) -> dict[Hashable, ProviderOutcome]:
         if self._outcomes is not None:
             return self._outcomes
+        obs = active_observer()
+        start = perf_counter() if obs is not None else 0.0
         outcomes: dict[Hashable, ProviderOutcome] = {}
         for provider in self._population:
             findings = find_violations(
@@ -184,6 +188,11 @@ class ViolationEngine:
                 segment=provider.segment,
             )
         self._outcomes = outcomes
+        if obs is not None:
+            obs.inc("engine.reference.evaluations")
+            obs.observe(
+                "engine.reference.evaluate_seconds", perf_counter() - start
+            )
         return outcomes
 
     def outcome(self, provider_id: Hashable) -> ProviderOutcome:

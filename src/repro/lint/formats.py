@@ -54,8 +54,8 @@ def render_text(report: LintReport) -> str:
 
 
 def render_json(report: LintReport, *, indent: int = 2) -> str:
-    """The report's dict form as JSON text."""
-    return json.dumps(report.as_dict(), indent=indent)
+    """The report's dict form as JSON text (key-sorted, so byte-stable)."""
+    return json.dumps(report.as_dict(), indent=indent, sort_keys=True)
 
 
 def render_sarif(report: LintReport, *, indent: int = 2) -> str:
@@ -92,7 +92,7 @@ def render_sarif(report: LintReport, *, indent: int = 2) -> str:
             }
         ],
     }
-    return json.dumps(log, indent=indent)
+    return json.dumps(log, indent=indent, sort_keys=True)
 
 
 def _sarif_result(diagnostic: Diagnostic) -> dict:

@@ -1,0 +1,104 @@
+"""Render a saved metrics snapshot (the ``repro obs`` subcommand).
+
+A snapshot is the JSON document ``repro <command> --metrics PATH``
+writes: sorted ``counters`` / ``gauges`` / ``timers`` lists plus the
+recorded ``spans`` trees.  :func:`render_snapshot` turns one back into a
+human-readable report, the Prometheus exposition format (for feeding a
+pushgateway or diffing against a live scrape), or canonical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..exceptions import ValidationError
+from .metrics import snapshot_to_prometheus
+
+#: The formats ``repro obs`` accepts.
+FORMATS = ("text", "prometheus", "json")
+
+
+def _labels_suffix(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    rendered = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{{{rendered}}}"
+
+
+def _check_snapshot(snapshot: Mapping[str, Any]) -> None:
+    sections = ("counters", "gauges", "timers")
+    if not isinstance(snapshot, Mapping) or not any(
+        section in snapshot for section in sections
+    ):
+        raise ValidationError(
+            "not a metrics snapshot: expected at least one of "
+            "'counters', 'gauges', 'timers' (was this written by --metrics?)"
+        )
+    for section in sections:
+        entries = snapshot.get(section, [])
+        if not isinstance(entries, list) or any(
+            not isinstance(entry, dict) or "name" not in entry
+            for entry in entries
+        ):
+            raise ValidationError(
+                f"not a metrics snapshot: {section!r} must be a list of "
+                f"named entries"
+            )
+
+
+def render_snapshot_text(snapshot: Mapping[str, Any]) -> str:
+    """The snapshot as an aligned, grep-friendly text report."""
+    _check_snapshot(snapshot)
+    lines: list[str] = []
+    counters = snapshot.get("counters", [])
+    gauges = snapshot.get("gauges", [])
+    timers = snapshot.get("timers", [])
+    lines.append(
+        f"metrics snapshot: {len(counters)} counter(s), "
+        f"{len(gauges)} gauge(s), {len(timers)} timer(s)"
+    )
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        for entry in counters:
+            name = f"{entry['name']}{_labels_suffix(entry.get('labels', {}))}"
+            lines.append(f"  {name} = {entry['value']:g}")
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        for entry in gauges:
+            name = f"{entry['name']}{_labels_suffix(entry.get('labels', {}))}"
+            lines.append(f"  {name} = {entry['value']:g}")
+    if timers:
+        lines.append("")
+        lines.append("timers:")
+        for entry in timers:
+            name = f"{entry['name']}{_labels_suffix(entry.get('labels', {}))}"
+            lines.append(
+                f"  {name}: count={entry['count']:g} "
+                f"total={entry['total']:.6f}s mean={entry['mean']:.6f}s "
+                f"p50={entry['p50']:.6f}s p95={entry['p95']:.6f}s "
+                f"max={entry['max']:.6f}s"
+            )
+    spans = snapshot.get("spans", [])
+    if spans:
+        lines.append("")
+        lines.append(f"span trees: {len(spans)} root(s) recorded")
+    return "\n".join(lines)
+
+
+def render_snapshot(snapshot: Mapping[str, Any], format: str = "text") -> str:
+    """Render *snapshot* in the named format (see :data:`FORMATS`)."""
+    if format == "text":
+        return render_snapshot_text(snapshot)
+    if format == "prometheus":
+        _check_snapshot(snapshot)
+        return snapshot_to_prometheus(snapshot)
+    if format == "json":
+        _check_snapshot(snapshot)
+        return json.dumps(snapshot, indent=2, sort_keys=True)
+    raise ValidationError(
+        f"unknown obs output format {format!r}; expected one of "
+        f"{', '.join(FORMATS)}"
+    )

@@ -1,0 +1,173 @@
+"""Span-based tracing with a structured-``logging`` backend.
+
+A :class:`Tracer` records a tree of :class:`SpanRecord` nodes per run:
+``with tracer.span("engine.violations", providers=n):`` opens a span,
+nested ``span`` calls attach as children, and closing a span stamps its
+duration and emits one structured ``logging`` record on the
+``repro.obs`` logger (``DEBUG`` level, with the span name, depth, and
+duration in the record's ``extra``).  The finished trees render as an
+indented ASCII tree (:meth:`Tracer.tree_text`) or a JSON-safe document
+(:meth:`Tracer.as_dict`) — the ``--trace`` CLI flag prints the former to
+stderr after the command completes.
+
+Spans are tracked per thread (the active-span stack lives in a
+``threading.local``), so concurrent workloads produce one well-formed
+tree per thread instead of interleaved garbage.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from time import perf_counter
+from typing import Any, Mapping
+
+logger = logging.getLogger("repro.obs")
+
+
+class SpanRecord:
+    """One finished (or in-flight) span: name, attributes, timing, children."""
+
+    __slots__ = ("name", "attributes", "children", "duration", "error", "_start")
+
+    def __init__(self, name: str, attributes: Mapping[str, Any]) -> None:
+        self.name = name
+        self.attributes = dict(attributes)
+        self.children: list[SpanRecord] = []
+        self.duration: float | None = None
+        self.error: str | None = None
+        self._start = perf_counter()
+
+    def as_dict(self) -> dict[str, Any]:
+        """The span subtree as a JSON-safe document."""
+        document: dict[str, Any] = {
+            "name": self.name,
+            "attributes": {k: self.attributes[k] for k in sorted(self.attributes)},
+            "duration_seconds": self.duration,
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        document["children"] = [child.as_dict() for child in self.children]
+        return document
+
+
+class _ActiveSpan:
+    """The context manager :meth:`Tracer.span` hands out."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach further attributes to the open span."""
+        self._record.attributes.update(attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._push(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        if exc_type is not None:
+            self._record.error = exc_type.__name__
+        self._tracer._pop(self._record)
+        return False
+
+
+class Tracer:
+    """Per-run span trees, one root list shared across threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._roots: list[SpanRecord] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("name", key=value):``."""
+        return _ActiveSpan(self, SpanRecord(name, attributes))
+
+    def _push(self, record: SpanRecord) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(record)
+        else:
+            with self._lock:
+                self._roots.append(record)
+        stack.append(record)
+
+    def _pop(self, record: SpanRecord) -> None:
+        record.duration = perf_counter() - record._start
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "span %s finished in %.6fs",
+                record.name,
+                record.duration,
+                extra={
+                    "span_name": record.name,
+                    "span_depth": len(stack),
+                    "span_duration": record.duration,
+                    "span_error": record.error,
+                },
+            )
+
+    @property
+    def roots(self) -> tuple[SpanRecord, ...]:
+        """The root spans recorded so far."""
+        with self._lock:
+            return tuple(self._roots)
+
+    def as_dict(self) -> list[dict[str, Any]]:
+        """Every root span subtree as a JSON-safe list."""
+        return [root.as_dict() for root in self.roots]
+
+    def tree_text(self) -> str:
+        """The recorded trees as an indented ASCII rendering."""
+        lines: list[str] = []
+        for root in self.roots:
+            _render(root, "", True, lines, is_root=True)
+        return "\n".join(lines)
+
+
+def _render(
+    record: SpanRecord,
+    prefix: str,
+    last: bool,
+    lines: list[str],
+    *,
+    is_root: bool = False,
+) -> None:
+    attrs = " ".join(
+        f"{key}={record.attributes[key]!r}" for key in sorted(record.attributes)
+    )
+    duration = (
+        "..." if record.duration is None else f"{record.duration * 1000:.2f}ms"
+    )
+    suffix = f" [error: {record.error}]" if record.error else ""
+    body = f"{record.name} {duration}{suffix}"
+    if attrs:
+        body = f"{body} ({attrs})"
+    if is_root:
+        lines.append(body)
+        child_prefix = ""
+    else:
+        connector = "`-- " if last else "|-- "
+        lines.append(f"{prefix}{connector}{body}")
+        child_prefix = prefix + ("    " if last else "|   ")
+    for index, child in enumerate(record.children):
+        _render(
+            child,
+            child_prefix,
+            index == len(record.children) - 1,
+            lines,
+        )

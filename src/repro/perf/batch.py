@@ -34,11 +34,13 @@ reference engine derives from :func:`~repro.core.violation.find_violations`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from .._validation import check_probability
+from ..obs import active_observer
 from ..core.default import DefaultModel
 from ..core.engine import ViolationEngine
 from ..core.policy import HousePolicy
@@ -343,8 +345,12 @@ class BatchViolationEngine:
     def _evaluate(self, policy: HousePolicy) -> _Evaluation:
         fingerprint = policy_fingerprint(policy)
         cached = self._cache.get(fingerprint)
+        obs = active_observer()
         if cached is not None:
+            if obs is not None:
+                obs.inc("engine.batch.cache_hits")
             return cached
+        start = perf_counter() if obs is not None else 0.0
         columns = _policy_columns(policy)
         if self._base_fingerprint is not None:
             changed = self._changed_columns(columns)
@@ -354,10 +360,24 @@ class BatchViolationEngine:
                 evaluation = self._evaluate_delta(columns, changed)
                 self._base_fingerprint = fingerprint
                 self._remember(fingerprint, evaluation)
+                if obs is not None:
+                    obs.inc("engine.batch.delta_evaluations")
+                    obs.observe(
+                        "engine.batch.evaluate_seconds",
+                        perf_counter() - start,
+                        path="delta",
+                    )
                 return evaluation
         evaluation = self._evaluate_full(columns)
         self._base_fingerprint = fingerprint
         self._remember(fingerprint, evaluation)
+        if obs is not None:
+            obs.inc("engine.batch.full_evaluations")
+            obs.observe(
+                "engine.batch.evaluate_seconds",
+                perf_counter() - start,
+                path="full",
+            )
         return evaluation
 
     def _changed_columns(
@@ -511,6 +531,9 @@ class BatchViolationEngine:
             counts += contribution[1]
             n_violated = int((counts > 0).sum())
             if n_violated > budget:
+                obs = active_observer()
+                if obs is not None:
+                    obs.inc("engine.batch.early_exits")
                 violated = tuple(
                     pid
                     for pid, count in zip(compiled.ids, counts)

@@ -26,6 +26,7 @@ touching the same columns repeatedly pays the gather cost once.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Hashable
 
 import numpy as np
@@ -34,6 +35,7 @@ from ..core.default import DefaultModel
 from ..core.population import Population
 from ..core.sensitivity import SensitivityModel
 from ..exceptions import UnknownProviderError, ValidationError
+from ..obs import active_observer
 
 #: The ordered-dimension axis order used by every rank/weight array:
 #: column 0 = visibility, 1 = granularity, 2 = retention (the paper's
@@ -123,6 +125,8 @@ class CompiledPopulation:
             if default_model is not None
             else population.default_model()
         )
+        obs = active_observer()
+        start = perf_counter() if obs is not None else 0.0
         ids = population.ids()
         self._ids: tuple[Hashable, ...] = ids
         self._index: dict[Hashable, int] = {pid: i for i, pid in enumerate(ids)}
@@ -164,6 +168,10 @@ class CompiledPopulation:
         }
         self._weights_by_attribute: dict[str, np.ndarray] = {}
         self._columns: dict[tuple[str, str], CompiledColumn] = {}
+        if obs is not None:
+            obs.inc("perf.compilations")
+            obs.set_gauge("perf.compiled_providers", len(ids))
+            obs.observe("perf.compile_seconds", perf_counter() - start)
 
     # ------------------------------------------------------------------
     # identity

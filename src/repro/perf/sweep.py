@@ -13,6 +13,7 @@ report without touching the model again.
 from __future__ import annotations
 
 from .._validation import check_real
+from ..obs import active_observer
 from ..core.economics import (
     ExpansionAssessment,
     break_even_extra_utility,
@@ -49,6 +50,9 @@ def batch_assess_expansion(
         per_provider_utility, "per_provider_utility", minimum=0.0
     )
     extra_utility = check_real(extra_utility, "extra_utility", minimum=0.0)
+    obs = active_observer()
+    if obs is not None:
+        obs.inc("sweep.assessments")
     defaulted = report.defaulted_ids()
     current_n = report.n_providers
     future_n = n_future(current_n, len(defaulted))

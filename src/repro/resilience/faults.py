@@ -57,6 +57,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import FaultConfigError, ProcessKilled
+from ..obs import active_observer
 
 #: The recognised fault kinds.
 FAULT_KINDS = ("locked", "disk_full", "kill", "corrupt", "nan", "scale")
@@ -160,6 +161,9 @@ class FaultPlan:
         for spec in self._faults:
             if spec.site == site and spec._fires(visit, self._rng):
                 self._fired.append((site, visit, spec.kind))
+                obs = active_observer()
+                if obs is not None:
+                    obs.inc("faults.fired", site=site, kind=spec.kind)
                 return spec
         return None
 

@@ -39,6 +39,7 @@ from ..core.ppdb import PPDBCertificate
 from ..core.sensitivity import SensitivityModel
 from ..core.violation import find_violations
 from ..lint.diagnostics import Diagnostic
+from ..obs import active_observer
 from ..perf.batch import BatchReport, BatchViolationEngine
 from .diagnostics import (
     GUARDRAIL_DEGRADED,
@@ -120,7 +121,10 @@ class GuardedBatchEngine:
 
     def evaluate(self, policy: HousePolicy) -> BatchReport:
         """Evaluate *policy*, spot-checked; degraded mode uses the oracle."""
+        obs = active_observer()
         if self._degraded:
+            if obs is not None:
+                obs.inc("guardrail.reference_evaluations")
             return self._reference_report(policy)
         report = self._batch.evaluate(policy)
         plan = active_plan()
@@ -129,9 +133,13 @@ class GuardedBatchEngine:
             if poisoned is not report.violations:
                 report = self._repoison(report, poisoned)
         failure = self._check(policy, report)
+        if obs is not None:
+            obs.inc("guardrail.checks")
         if failure is None:
             return report
         self._degrade(policy, failure)
+        if obs is not None:
+            obs.inc("guardrail.reference_evaluations")
         return self._reference_report(policy)
 
     # ``report`` mirrors the batch engine's alias.
@@ -240,6 +248,10 @@ class GuardedBatchEngine:
 
     def _degrade(self, policy: HousePolicy, failure: Diagnostic) -> None:
         self._degraded = True
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("guardrail.failures", code=failure.code)
+            obs.inc("guardrail.degradations")
         self._diagnostics.append(failure)
         self._diagnostics.append(
             guardrail_diagnostic(

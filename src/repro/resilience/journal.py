@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import sqlite3
+from time import perf_counter
 from typing import Any
 
 from ..exceptions import (
@@ -37,6 +38,7 @@ from ..exceptions import (
     JournalError,
     JournalMismatchError,
 )
+from ..obs import active_observer
 from ..storage.queries import connect, with_locked_retry
 from .faults import active_plan
 
@@ -266,6 +268,9 @@ class RunJournal:
             payloads.append(payload)
             head = checksum
             expected_step += 1
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("journal.steps_verified", len(payloads))
         return payloads, head
 
     def require(self, *, kind: str, fingerprint: str) -> None:
@@ -338,6 +343,8 @@ class RunJournal:
         is exactly how real media corruption relates to a checksum
         computed at write time, and what lets :meth:`open` detect it.
         """
+        obs = active_observer()
+        start = perf_counter() if obs is not None else 0.0
         step = len(self._payloads)
         payload_text = _canonical(payload)
         checksum = _chain(self._head, step, payload_text)
@@ -367,6 +374,9 @@ class RunJournal:
         with_locked_retry(_write)
         self._payloads.append(json.loads(payload_text))
         self._head = checksum
+        if obs is not None:
+            obs.inc("journal.steps_recorded")
+            obs.observe("journal.record_step_seconds", perf_counter() - start)
         return step
 
 

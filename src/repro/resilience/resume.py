@@ -35,6 +35,7 @@ from ..estimation.observation import (
 )
 from ..estimation.thresholds import ThresholdEstimator
 from ..exceptions import ResilienceError
+from ..obs import active_observer, span
 from ..perf import BatchViolationEngine
 from ..policy_lang.serializer import policy_to_dict, preferences_to_dict
 from ..policy_lang.serializer import sensitivities_to_dict
@@ -234,8 +235,13 @@ def resumable_sweep(
     )
     with RunJournal.resume_or_create(
         journal_path, kind="sweep", fingerprint=fingerprint, params=params
-    ) as journal:
+    ) as journal, span(
+        "resume.sweep", journal=journal_path, max_steps=max_steps
+    ):
         rows = [_sweep_row_from_payload(p) for p in journal.payloads()]
+        obs = active_observer()
+        if obs is not None and rows:
+            obs.inc("resume.replayed_steps", len(rows), kind="sweep")
         engine = None
         n_current = len(population)
         for k, policy in widening_path(
@@ -262,6 +268,8 @@ def resumable_sweep(
             )
             journal.record_step(_sweep_row_payload(row))
             rows.append(row)
+            if obs is not None:
+                obs.inc("resume.live_steps", kind="sweep")
             _fire("sweep.step")
         return ExpansionSweep(
             scenario_name=scenario_name,
@@ -339,8 +347,11 @@ def resumable_dynamics(
     )
     with RunJournal.resume_or_create(
         journal_path, kind="dynamics", fingerprint=fingerprint, params=params
-    ) as journal:
+    ) as journal, span("resume.dynamics", journal=journal_path, rounds=rounds):
         recorded = [_round_from_payload(p) for p in journal.payloads()]
+        obs = active_observer()
+        if obs is not None and recorded:
+            obs.inc("resume.replayed_steps", len(recorded), kind="dynamics")
         outcomes: list[RoundOutcome] = []
         current_population = population
         current_policy = round_policy(
@@ -379,6 +390,8 @@ def resumable_dynamics(
             )
             journal.record_step(_round_payload(outcome))
             outcomes.append(outcome)
+            if obs is not None:
+                obs.inc("resume.live_steps", kind="dynamics")
             _fire("dynamics.round")
             if outcome.defaulted_providers:
                 current_population = current_population.without(
@@ -439,8 +452,13 @@ def resumable_forecast(
     )
     with RunJournal.resume_or_create(
         journal_path, kind="forecast", fingerprint=fingerprint, params=params
-    ) as journal:
+    ) as journal, span(
+        "resume.forecast", journal=journal_path, n_history=len(history)
+    ):
         payloads = journal.payloads()
+        obs = active_observer()
+        if obs is not None and payloads:
+            obs.inc("resume.replayed_steps", len(payloads), kind="forecast")
         if payloads:
             state = payloads[-1]
             remaining: set[Hashable] = set(state["remaining"])
@@ -477,6 +495,8 @@ def resumable_forecast(
                     "departures": _pairs(departures),
                 }
             )
+            if obs is not None:
+                obs.inc("resume.live_steps", kind="forecast")
             _fire("forecast.observe")
         observations = observations_from_state(
             population, last_tolerated, departures

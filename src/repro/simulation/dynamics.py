@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from .._validation import check_int, check_real
+from ..obs import active_observer, span
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..perf import BatchReport, BatchViolationEngine
@@ -128,28 +129,33 @@ def run_dynamics(
     # The compilation is reused across rounds until departures shrink the
     # population; only then is the survivor set recompiled.
     engine = BatchViolationEngine(current_population, implicit_zero=implicit_zero)
-    for round_index in range(rounds):
-        if len(current_population) == 0:
-            break
-        if round_index > 0:
-            current_policy = round_policy(
-                current_policy, base_policy.name, step, taxonomy, round_index
+    obs = active_observer()
+    with span("dynamics.run", providers=len(population), rounds=rounds):
+        for round_index in range(rounds):
+            if len(current_population) == 0:
+                break
+            if round_index > 0:
+                current_policy = round_policy(
+                    current_policy, base_policy.name, step, taxonomy, round_index
+                )
+            report = engine.evaluate(current_policy)
+            outcome = build_round_outcome(
+                report,
+                round_index=round_index,
+                per_provider_utility=per_provider_utility,
+                extra_utility_per_round=extra_utility_per_round,
             )
-        report = engine.evaluate(current_policy)
-        outcome = build_round_outcome(
-            report,
-            round_index=round_index,
-            per_provider_utility=per_provider_utility,
-            extra_utility_per_round=extra_utility_per_round,
-        )
-        outcomes.append(outcome)
-        if outcome.defaulted_providers:
-            current_population = current_population.without(
-                outcome.defaulted_providers
-            )
-            engine = BatchViolationEngine(
-                current_population, implicit_zero=implicit_zero
-            )
+            outcomes.append(outcome)
+            if obs is not None:
+                obs.inc("dynamics.rounds")
+                obs.inc("dynamics.departures", outcome.n_defaulted)
+            if outcome.defaulted_providers:
+                current_population = current_population.without(
+                    outcome.defaulted_providers
+                )
+                engine = BatchViolationEngine(
+                    current_population, implicit_zero=implicit_zero
+                )
     return outcomes
 
 

@@ -16,9 +16,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Hashable
 
 from .._validation import check_int, check_real
+from ..obs import active_observer, span
 from ..core.economics import (
     break_even_extra_utility,
     utility_current,
@@ -87,10 +89,17 @@ class ExpansionSweep:
         return None
 
     def default_counts(self) -> tuple[int, ...]:
-        """Cumulative defaulted-provider counts per step (for the CDF)."""
-        return tuple(
-            row.n_current - row.n_future for row in self.rows
-        )
+        """Cumulative defaulted-provider counts per step (for the CDF).
+
+        Anchored to the first row's population so rows whose ``n_current``
+        shrinks (multi-phase sweeps) still report cumulative, not
+        incremental, defaults — mirroring
+        :func:`repro.analysis.cdf.default_cdf_from_sweep`.
+        """
+        if not self.rows:
+            return ()
+        baseline = self.rows[0].n_current
+        return tuple(baseline - row.n_future for row in self.rows)
 
     def series(self, column: str) -> tuple[float, ...]:
         """One named column across all rows (for plots and benches)."""
@@ -184,24 +193,35 @@ def run_expansion_sweep(
     # path re-evaluates only what each step moved.
     engine = BatchViolationEngine(population, implicit_zero=implicit_zero)
     rows: list[SweepRow] = []
-    for k, policy in widening_path(
-        base_policy,
-        step,
-        taxonomy,
-        max_steps,
-        attributes=attributes,
-        purposes=purposes,
+    obs = active_observer()
+    with span(
+        "sweep.run",
+        scenario=scenario_name,
+        providers=n_current,
+        max_steps=max_steps,
     ):
-        report = engine.evaluate(policy)
-        rows.append(
-            build_sweep_row(
-                report,
-                step=k,
-                n_current=n_current,
-                per_provider_utility=per_provider_utility,
-                extra_utility_per_step=extra_utility_per_step,
+        for k, policy in widening_path(
+            base_policy,
+            step,
+            taxonomy,
+            max_steps,
+            attributes=attributes,
+            purposes=purposes,
+        ):
+            start = perf_counter() if obs is not None else 0.0
+            report = engine.evaluate(policy)
+            rows.append(
+                build_sweep_row(
+                    report,
+                    step=k,
+                    n_current=n_current,
+                    per_provider_utility=per_provider_utility,
+                    extra_utility_per_step=extra_utility_per_step,
+                )
             )
-        )
+            if obs is not None:
+                obs.inc("sweep.steps")
+                obs.observe("sweep.step_seconds", perf_counter() - start)
     return ExpansionSweep(
         scenario_name=scenario_name,
         per_provider_utility=per_provider_utility,

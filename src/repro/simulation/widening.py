@@ -14,6 +14,7 @@ from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
 from .._validation import check_int
+from ..obs import active_observer
 from ..core.dimensions import Dimension, ORDERED_DIMENSIONS
 from ..core.policy import HousePolicy
 from ..core.tuples import PolicyEntry
@@ -87,6 +88,9 @@ def widen(
     into the corresponding ladder, so widening saturates at the ladder top
     instead of producing out-of-domain ranks.
     """
+    obs = active_observer()
+    if obs is not None:
+        obs.inc("widening.applications")
     attribute_filter = None if attributes is None else set(attributes)
     purpose_filter = None if purposes is None else set(purposes)
     new_entries: list[PolicyEntry] = []

@@ -24,6 +24,7 @@ from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..core.ppdb import PPDBCertificate
 from ..exceptions import CorruptDatabaseError, SchemaMismatchError, StorageError
+from ..obs import active_observer
 from .audit import AuditLog
 from .enforcement import AccessGate, EnforcementMode
 from .queries import connect
@@ -106,17 +107,24 @@ class PrivacyDatabase:
             raise CorruptDatabaseError(
                 f"{path!r} is not a readable sqlite database: {error}"
             ) from error
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("storage.integrity_checks")
         try:
             verdicts = [
                 row[0] for row in connection.execute("PRAGMA integrity_check")
             ]
         except sqlite3.DatabaseError as error:
             connection.close()
+            if obs is not None:
+                obs.inc("storage.integrity_failures")
             raise CorruptDatabaseError(
                 f"{path!r} is not a readable sqlite database: {error}"
             ) from error
         if verdicts != ["ok"]:
             connection.close()
+            if obs is not None:
+                obs.inc("storage.integrity_failures")
             raise CorruptDatabaseError(
                 f"{path!r} failed integrity check: {'; '.join(verdicts[:3])}"
             )

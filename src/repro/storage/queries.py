@@ -28,6 +28,7 @@ from collections.abc import Callable
 from typing import TypeVar
 
 from ..core.tuples import PrivacyTuple
+from ..obs import active_observer
 
 #: Default ``PRAGMA busy_timeout`` in milliseconds.
 BUSY_TIMEOUT_MS = 5000
@@ -69,6 +70,9 @@ def with_locked_retry(
         except sqlite3.OperationalError as error:
             if not _is_locked(error) or attempt == attempts - 1:
                 raise
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("storage.locked_retries")
             sleep(base_delay * (2**attempt))
     raise AssertionError("unreachable")  # pragma: no cover
 
@@ -122,6 +126,9 @@ def connect(
         base_delay=base_delay,
         sleep=sleep,
     )
+    obs = active_observer()
+    if obs is not None:
+        obs.inc("storage.connections")
     plan = _fault_plan()
     if plan is not None:
         from ..resilience.faults import FaultProxy

@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import DefaultCDF, default_cdf_from_sweep
 from repro.exceptions import ValidationError
 from repro.simulation import run_expansion_sweep
+from repro.simulation.scenario import ExpansionSweep, SweepRow
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +88,93 @@ class TestQueries:
         )
         assert saturated.is_saturated()
         assert not growing.is_saturated()
+
+
+class TestExactBoundaryBudget:
+    """Regression: a budget landing exactly on a step's fraction admits it.
+
+    The fraction is ``defaults / population_size`` in floats, so a budget
+    that is mathematically equal can differ by one ulp; the old strict
+    ``>`` comparison then rejected the boundary step.
+    """
+
+    @pytest.fixture()
+    def boundary_cdf(self) -> DefaultCDF:
+        return DefaultCDF(
+            steps=(0, 1, 2),
+            cumulative_defaults=(0, 3, 7),
+            population_size=10,
+        )
+
+    def test_budget_one_ulp_below_fraction_admitted(self, boundary_cdf):
+        # 0.7 - 0.4 == 0.29999999999999993, one ulp below 3/10; it is
+        # mathematically 0.3 and must admit step 1.
+        assert (0.7 - 0.4) < 0.3
+        assert boundary_cdf.widest_step_within(0.7 - 0.4) == 1
+
+    def test_exact_float_budget_admitted(self, boundary_cdf):
+        assert boundary_cdf.widest_step_within(0.3) == 1
+
+    def test_budget_clearly_below_still_rejected(self, boundary_cdf):
+        assert boundary_cdf.widest_step_within(0.29) == 0
+
+    def test_budget_clearly_above_admits_next_step(self, boundary_cdf):
+        assert boundary_cdf.widest_step_within(0.7) == 2
+
+
+def _phase_row(step: int, n_current: int, n_future: int) -> SweepRow:
+    return SweepRow(
+        step=step,
+        policy_name=f"base+{step}",
+        n_current=n_current,
+        n_future=n_future,
+        n_violated=n_current - n_future,
+        violation_probability=0.0,
+        default_probability=0.0,
+        total_violations=0.0,
+        extra_utility=0.0,
+        utility_current=float(n_current),
+        utility_future=float(n_future),
+        break_even_extra_utility=0.0,
+        justified=False,
+        defaulted_providers=(),
+    )
+
+
+class TestBaselineAnchoring:
+    """Regression: cumulative defaults anchor to the baseline population.
+
+    Rows produced over a shrinking population carry per-row ``n_current``
+    values; differencing within each row yields *incremental* counts
+    (0, 2, 3 below), not the cumulative CDF (0, 2, 5).
+    """
+
+    @pytest.fixture()
+    def shrinking_sweep(self) -> ExpansionSweep:
+        return ExpansionSweep(
+            scenario_name="multi-phase",
+            per_provider_utility=1.0,
+            extra_utility_per_step=0.0,
+            rows=(
+                _phase_row(0, 10, 10),
+                _phase_row(1, 10, 8),
+                _phase_row(2, 8, 5),
+            ),
+        )
+
+    def test_cdf_counts_are_cumulative(self, shrinking_sweep):
+        cdf = default_cdf_from_sweep(shrinking_sweep)
+        assert cdf.cumulative_defaults == (0, 2, 5)
+        assert cdf.population_size == 10
+        assert cdf.fraction_at(2) == pytest.approx(0.5)
+
+    def test_sweep_default_counts_agree_with_cdf(self, shrinking_sweep):
+        cdf = default_cdf_from_sweep(shrinking_sweep)
+        assert shrinking_sweep.default_counts() == cdf.cumulative_defaults
+
+    def test_fixed_population_sweep_unchanged(self, cdf, sweep):
+        # The anchored formula is identical to the per-row one when every
+        # row shares the baseline n_current (the ordinary sweep case).
+        assert cdf.cumulative_defaults == tuple(
+            row.n_current - row.n_future for row in sweep.rows
+        )

@@ -1,0 +1,127 @@
+"""Unit tests for span tracing: nesting, error capture, rendering."""
+
+from __future__ import annotations
+
+import logging
+import threading
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("sweep.run", steps=3):
+            with tracer.span("sweep.step", k=0):
+                pass
+            with tracer.span("sweep.step", k=1):
+                pass
+        [root] = tracer.roots
+        assert root.name == "sweep.run"
+        assert [child.name for child in root.children] == [
+            "sweep.step",
+            "sweep.step",
+        ]
+        assert [child.attributes["k"] for child in root.children] == [0, 1]
+
+    def test_sequential_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_stamped_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        [root] = tracer.roots
+        assert root.duration is not None and root.duration >= 0
+        assert root.children[0].duration is not None
+        assert root.children[0].duration <= root.duration
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        [root] = tracer.roots
+        assert root.error == "RuntimeError"
+        assert root.duration is not None
+
+    def test_annotate_attaches_attributes(self):
+        tracer = Tracer()
+        with tracer.span("run") as span:
+            span.annotate(rows=5)
+        [root] = tracer.roots
+        assert root.attributes["rows"] == 5
+
+    def test_threads_get_their_own_stacks(self):
+        tracer = Tracer()
+
+        def worker(tag):
+            with tracer.span("worker", tag=tag):
+                pass
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        with tracer.span("main"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # Worker spans opened on other threads become roots of their own
+        # trees, never children of this thread's open span.
+        [main_root] = [r for r in tracer.roots if r.name == "main"]
+        assert main_root.children == []
+        assert sum(1 for r in tracer.roots if r.name == "worker") == 4
+
+
+class TestRendering:
+    def _tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("sweep.run", steps=2):
+            with tracer.span("sweep.step", k=0):
+                pass
+            with tracer.span("sweep.step", k=1):
+                pass
+        return tracer
+
+    def test_tree_text_layout(self):
+        lines = self._tracer().tree_text().splitlines()
+        assert lines[0].startswith("sweep.run")
+        assert "(steps=2)" in lines[0]
+        assert lines[1].startswith("|-- sweep.step")
+        assert lines[2].startswith("`-- sweep.step")
+
+    def test_empty_tracer_renders_empty(self):
+        assert Tracer().tree_text() == ""
+
+    def test_as_dict_shape(self):
+        [document] = [
+            root
+            for root in self._tracer().as_dict()
+        ]
+        assert document["name"] == "sweep.run"
+        assert document["attributes"] == {"steps": 2}
+        assert document["duration_seconds"] >= 0
+        assert len(document["children"]) == 2
+        assert "error" not in document
+
+    def test_debug_log_emitted_per_span(self, caplog):
+        tracer = Tracer()
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            with tracer.span("engine.violations", providers=3):
+                pass
+        [record] = [
+            record
+            for record in caplog.records
+            if getattr(record, "span_name", None) == "engine.violations"
+        ]
+        assert record.span_duration >= 0
+        assert record.span_error is None
