@@ -20,9 +20,9 @@ import time
 import numpy as np
 
 from repro.analysis import format_table
-from repro.core import PrivacyTuple, ViolationEngine
+from repro.core import HousePolicy, PrivacyTuple, ViolationEngine
 from repro.datasets import healthcare_scenario
-from repro.perf import BatchViolationEngine
+from repro.perf import BatchViolationEngine, ShardExecutor, make_batch_engine
 from repro.simulation import WideningStep, widening_policies
 from repro.storage import AccessRequest, EnforcementMode, PrivacyDatabase
 
@@ -32,9 +32,35 @@ SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 SIZES = (20, 40) if SMOKE else (50, 100, 200, 400, 800)
 SWEEP_PROVIDERS = 40 if SMOKE else 400
 SWEEP_POLICIES = 20
+#: Best-of-k repeats for every timing: robust against scheduler noise.
+TIMING_REPEATS = 3
 # Acceptance floor: >= 10x on the full-size sweep.  At smoke sizes the
 # fixed per-call overhead dominates, so only sanity (not slower) is held.
 MIN_SWEEP_SPEEDUP = 1.0 if SMOKE else 10.0
+
+PARALLEL_PROVIDERS = 60 if SMOKE else 2000
+PARALLEL_POLICIES = 8 if SMOKE else 40
+PARALLEL_WORKERS = 2 if SMOKE else 4
+#: Acceptance floor for the sharded executor — only meaningful when the
+#: machine actually has a core per worker (and the problem is full-size).
+MIN_PARALLEL_SPEEDUP = 2.5
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _best_of(repeats: int, run) -> float:
+    """Best-of-*repeats* wall time of ``run()`` (fresh state per repeat)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def _evaluate(n: int, repeats: int = 3) -> float:
@@ -97,6 +123,9 @@ def test_sweep_batch_vs_reference(benchmark):
     one :class:`BatchViolationEngine` (one compilation, cached reports,
     column deltas between consecutive candidates).  Both must agree on
     every aggregate; the batch path must clear ``MIN_SWEEP_SPEEDUP``.
+    Each path is timed best-of-``TIMING_REPEATS`` with a fresh engine per
+    repeat (the report cache is content-keyed, so a reused engine would
+    measure cache hits, not evaluation).
     """
     scenario = healthcare_scenario(SWEEP_PROVIDERS, seed=3)
     policies = widening_policies(
@@ -108,16 +137,26 @@ def test_sweep_batch_vs_reference(benchmark):
     assert len(policies) == SWEEP_POLICIES
 
     def measure():
-        started = time.perf_counter()
         reference = [
             ViolationEngine(policy, scenario.population).report()
             for policy in policies
         ]
-        reference_seconds = time.perf_counter() - started
-        started = time.perf_counter()
-        engine = BatchViolationEngine(scenario.population)
-        batch = engine.evaluate_policies(policies)
-        batch_seconds = time.perf_counter() - started
+        reference_seconds = _best_of(
+            TIMING_REPEATS,
+            lambda: [
+                ViolationEngine(policy, scenario.population).report()
+                for policy in policies
+            ],
+        )
+        batch = BatchViolationEngine(scenario.population).evaluate_policies(
+            policies
+        )
+        batch_seconds = _best_of(
+            TIMING_REPEATS,
+            lambda: BatchViolationEngine(
+                scenario.population
+            ).evaluate_policies(policies),
+        )
         return reference, reference_seconds, batch, batch_seconds
 
     reference, reference_seconds, batch, batch_seconds = benchmark.pedantic(
@@ -157,6 +196,137 @@ def test_sweep_batch_vs_reference(benchmark):
         smoke=SMOKE,
     )
     assert speedup >= MIN_SWEEP_SPEEDUP
+
+
+def test_parallel_sweep_speedup(benchmark):
+    """The sharded executor vs the serial batch engine on a policy sweep.
+
+    Compilation and pool startup are excluded from every timed region
+    (the executor is built and warmed before the clock starts; the
+    serial engines wrap an already-compiled population), so the numbers
+    compare steady-state sweep evaluation only.  Each repeat uses a
+    fresh engine/executor because report caches are content-keyed.
+
+    The ``MIN_PARALLEL_SPEEDUP`` floor is asserted only on the full-size
+    problem *and* when the machine has at least one core per worker —
+    on a single-core box the workers time-slice one CPU and parallelism
+    cannot win; the recorded numbers still document that configuration.
+    """
+    cores = _available_cores()
+    scenario = healthcare_scenario(PARALLEL_PROVIDERS, seed=7)
+    policies = widening_policies(
+        scenario.policy,
+        WideningStep.uniform(1),
+        scenario.taxonomy,
+        PARALLEL_POLICIES - 1,
+    )
+    assert len(policies) == PARALLEL_POLICIES
+    # A warm-up policy outside the measured list: forks the workers and
+    # pays the import/attach cost without pre-caching measured content
+    # (the caches are content-keyed, so it must not equal any candidate;
+    # an attribute nobody provides guarantees that).
+    warm_policy = HousePolicy(
+        [("__warmup__", PrivacyTuple("billing", 1, 1, 1))], name="warmup"
+    )
+    compiled = BatchViolationEngine(scenario.population).compiled
+
+    def measure():
+        serial_reports = BatchViolationEngine(compiled).evaluate_policies(
+            policies
+        )
+        serial_seconds = _best_of(
+            TIMING_REPEATS,
+            lambda: BatchViolationEngine(compiled).evaluate_policies(policies),
+        )
+        workers1_seconds = _best_of(
+            TIMING_REPEATS,
+            lambda: make_batch_engine(
+                scenario.population, workers=1
+            ).evaluate_policies(policies),
+        )
+        baseline_seconds = _best_of(
+            TIMING_REPEATS,
+            lambda: BatchViolationEngine(
+                scenario.population
+            ).evaluate_policies(policies),
+        )
+        parallel_seconds = float("inf")
+        for _ in range(TIMING_REPEATS):
+            with ShardExecutor(
+                scenario.population, workers=PARALLEL_WORKERS
+            ) as executor:
+                executor.evaluate(warm_policy)
+                started = time.perf_counter()
+                parallel_reports = executor.evaluate_policies(policies)
+                parallel_seconds = min(
+                    parallel_seconds, time.perf_counter() - started
+                )
+        return (
+            serial_reports,
+            serial_seconds,
+            workers1_seconds,
+            baseline_seconds,
+            parallel_reports,
+            parallel_seconds,
+        )
+
+    (
+        serial_reports,
+        serial_seconds,
+        workers1_seconds,
+        baseline_seconds,
+        parallel_reports,
+        parallel_seconds,
+    ) = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    for expected, got in zip(serial_reports, parallel_reports):
+        assert got.policy_name == expected.policy_name
+        assert got.n_violated == expected.n_violated
+        assert got.n_defaulted == expected.n_defaulted
+        assert got.total_violations == expected.total_violations
+        assert got.violated_ids() == expected.violated_ids()
+
+    speedup = (
+        serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+    )
+    emit(
+        "E7: policy sweep, serial vs sharded executor",
+        format_table(
+            ["providers", "policies", "workers", "cores",
+             "serial s", "workers=1 s", "parallel s", "speedup"],
+            [
+                [
+                    PARALLEL_PROVIDERS,
+                    PARALLEL_POLICIES,
+                    PARALLEL_WORKERS,
+                    cores,
+                    round(serial_seconds, 4),
+                    round(workers1_seconds, 4),
+                    round(parallel_seconds, 4),
+                    round(speedup, 2),
+                ]
+            ],
+        ),
+    )
+    record(
+        "parallel_sweep",
+        providers=PARALLEL_PROVIDERS,
+        policies=PARALLEL_POLICIES,
+        workers=PARALLEL_WORKERS,
+        cores=cores,
+        smoke=SMOKE,
+        serial_seconds=serial_seconds,
+        workers1_seconds=workers1_seconds,
+        baseline_seconds=baseline_seconds,
+        parallel_seconds=parallel_seconds,
+        speedup=speedup,
+    )
+    # workers=1 must stay the serial code path: same engine type, and no
+    # more than 5% over a direct construction (compile included in both).
+    if not SMOKE:
+        assert workers1_seconds <= baseline_seconds * 1.05 + 0.001
+    if not SMOKE and cores >= PARALLEL_WORKERS:
+        assert speedup >= MIN_PARALLEL_SPEEDUP
 
 
 def test_gate_request_throughput(benchmark, crm_200):

@@ -85,11 +85,14 @@ def batch_certification_document(
 ) -> CertificationDocument:
     """Produce the publishable document from a batch engine.
 
-    The batch engine caches per-policy reports, so certifying several
-    candidate policies against one compiled population reuses each
-    evaluation; the certificate and the contextual metrics come from the
-    same cached report, keeping them consistent by construction (the same
-    guarantee :meth:`~repro.core.engine.ViolationEngine.certify` makes).
+    Accepts anything with the batch evaluation surface — the serial
+    :class:`~repro.perf.batch.BatchViolationEngine` or the parallel
+    :class:`~repro.perf.parallel.ShardExecutor` — both cache per-policy
+    reports, so certifying several candidate policies against one
+    compiled population reuses each evaluation; the certificate and the
+    contextual metrics come from the same cached report, keeping them
+    consistent by construction (the same guarantee
+    :meth:`~repro.core.engine.ViolationEngine.certify` makes).
     """
     report = engine.evaluate(policy)
     return CertificationDocument(

@@ -28,7 +28,11 @@ corrupt databases or journals, interrupted runs — exit with code 2 and
 print exactly one coded line on stderr (``error[PVL9xx]: ...``); see
 :mod:`repro.resilience.diagnostics` for the code registry.  ``sweep``
 accepts ``--journal`` to checkpoint each widening level and ``--resume``
-to continue an interrupted run bit-for-bit.
+to continue an interrupted run bit-for-bit.  ``sweep`` and ``certify``
+accept ``--workers N`` to fan the evaluation over a process pool with
+shared-memory compiled populations (``1`` = serial, ``0`` = one worker
+per CPU; results are bit-for-bit identical); a worker death surfaces as
+``error[PVL907]``.
 
 Example
 -------
@@ -56,6 +60,7 @@ from .core.policy import HousePolicy
 from .core.population import Population
 from .exceptions import (
     JournalError,
+    ParallelExecutionError,
     PrivacyModelError,
     ProcessKilled,
     StorageError,
@@ -77,6 +82,7 @@ from .resilience.diagnostics import (
     CLI_IO,
     CLI_JOURNAL,
     CLI_JSON,
+    CLI_PARALLEL,
     CLI_STORAGE,
     coded_error,
 )
@@ -194,12 +200,23 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_certify(args: argparse.Namespace) -> int:
     """Definition 3 verdict; exit code 1 when the threshold is exceeded."""
     _, policy, population = _load_inputs(args)
-    engine = ViolationEngine(policy, population)
-    certificate = engine.certify(args.alpha)
-    if args.json or getattr(args, "output", None):
+    if args.workers != 1:
+        # The parallel path compiles the population and shards the
+        # evaluation over worker processes; the verdict is identical to
+        # the serial engine's (see tests/perf/test_parallel_parity.py).
+        from .analysis.certification import batch_certification_document
+        from .perf import make_batch_engine
+
+        with make_batch_engine(population, workers=args.workers) as engine:
+            document = batch_certification_document(engine, policy, args.alpha)
+    else:
         from .analysis import certification_document
 
-        document = certification_document(engine, args.alpha)
+        document = certification_document(
+            ViolationEngine(policy, population), args.alpha
+        )
+    certificate = document.certificate
+    if args.json or getattr(args, "output", None):
         _export(args, json.loads(document.to_json()))
         if args.json:
             print(document.to_json())
@@ -231,6 +248,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     taxonomy, policy, population = _load_inputs(args)
     if args.resume and not args.journal:
         raise JournalError("--resume requires --journal PATH")
+    if args.journal and args.workers != 1:
+        raise JournalError(
+            "--journal checkpointing runs serially; drop --workers "
+            "(or set it to 1)"
+        )
     if args.journal:
         from .resilience import resumable_sweep
 
@@ -263,6 +285,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_steps=args.steps,
             per_provider_utility=args.utility,
             extra_utility_per_step=args.extra_per_step,
+            workers=args.workers,
         )
     _export(args, _sweep_payload(sweep))
     if args.json:
@@ -554,6 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_document_arguments(certify)
     certify.add_argument("--alpha", type=float, required=True)
+    certify.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the evaluation (1 serial, 0 one per CPU)",
+    )
     certify.add_argument("--json", action="store_true")
     certify.add_argument(
         "--output",
@@ -566,6 +595,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--steps", type=int, default=5)
     sweep.add_argument("--utility", type=float, default=1.0)
     sweep.add_argument("--extra-per-step", type=float, default=0.25)
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the per-level evaluations "
+            "(1 serial, 0 one per CPU); incompatible with --journal"
+        ),
+    )
     sweep.add_argument("--json", action="store_true")
     sweep.add_argument(
         "--output", help="atomically export the JSON ledger to this path"
@@ -786,6 +824,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 2
     except StorageError as error:
         print(coded_error(CLI_STORAGE, str(error)), file=sys.stderr)
+        return 2
+    except ParallelExecutionError as error:
+        print(coded_error(CLI_PARALLEL, str(error)), file=sys.stderr)
         return 2
     except sqlite3.DatabaseError as error:
         print(coded_error(CLI_STORAGE, str(error)), file=sys.stderr)

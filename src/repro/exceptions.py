@@ -141,6 +141,17 @@ class JournalMismatchError(JournalError):
     """
 
 
+class ParallelExecutionError(PrivacyModelError):
+    """The parallel shard executor lost a worker or its shared state.
+
+    Raised when a worker process dies mid-task (a real crash, an OOM
+    kill, or the chaos suite's scripted ``kill`` fault), or when the
+    shared-memory segment backing the compiled population cannot be
+    attached.  The executor cleans up its shared-memory block before
+    raising, so no segments leak past the error.
+    """
+
+
 class SimulationError(PrivacyModelError):
     """A simulation scenario was configured inconsistently."""
 

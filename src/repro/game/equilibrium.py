@@ -26,7 +26,7 @@ from .._validation import check_real
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import GameError
-from ..perf import BatchViolationEngine
+from ..perf import make_batch_engine
 from ..simulation.widening import widen
 from ..taxonomy.builder import Taxonomy
 from .players import HouseStrategy
@@ -95,8 +95,14 @@ def play_widening_game(
     per_provider_utility: float = 1.0,
     extra_utility_per_round: float = 0.25,
     implicit_zero: bool = True,
+    workers: int = 1,
 ) -> GameTrace:
-    """Play the iterated widening game to completion."""
+    """Play the iterated widening game to completion.
+
+    ``workers`` selects the execution policy for the per-round
+    evaluations (see :func:`~repro.perf.parallel.make_batch_engine`);
+    the realised play is identical across settings.
+    """
     check_real(per_provider_utility, "per_provider_utility", minimum=0.0)
     check_real(extra_utility_per_round, "extra_utility_per_round", minimum=0.0)
     rounds: list[GameRound] = []
@@ -110,41 +116,47 @@ def play_widening_game(
     # recompile only when defaults shrink the population.  Strategies that
     # revisit a policy (or widen within a single column) hit the batch
     # engine's cache and delta paths.
-    engine = BatchViolationEngine(current_population, implicit_zero=implicit_zero)
-    while len(current_population) > 0:
-        report = engine.evaluate(current_policy)
-        defaulted = report.defaulted_ids()
-        n_start = len(current_population)
-        n_remaining = n_start - len(defaulted)
-        utility = n_remaining * (
-            per_provider_utility + extra_utility_per_round * round_index
-        )
-        rounds.append(
-            GameRound(
-                round_index=round_index,
-                policy_name=current_policy.name,
-                n_start=n_start,
-                n_defaulted=len(defaulted),
-                n_remaining=n_remaining,
-                violation_probability=report.violation_probability,
-                utility=utility,
-                defaulted_providers=defaulted,
+    engine = make_batch_engine(
+        current_population, workers=workers, implicit_zero=implicit_zero
+    )
+    try:
+        while len(current_population) > 0:
+            report = engine.evaluate(current_policy)
+            defaulted = report.defaulted_ids()
+            n_start = len(current_population)
+            n_remaining = n_start - len(defaulted)
+            utility = n_remaining * (
+                per_provider_utility + extra_utility_per_round * round_index
             )
-        )
-        if defaulted:
-            current_population = current_population.without(defaulted)
-            engine = BatchViolationEngine(
-                current_population, implicit_zero=implicit_zero
+            rounds.append(
+                GameRound(
+                    round_index=round_index,
+                    policy_name=current_policy.name,
+                    n_start=n_start,
+                    n_defaulted=len(defaulted),
+                    n_remaining=n_remaining,
+                    violation_probability=report.violation_probability,
+                    utility=utility,
+                    defaulted_providers=defaulted,
+                )
             )
-        next_step = strategy.propose(rounds)
-        if next_step is None:
-            stopped_by_strategy = True
-            break
-        round_index += 1
-        current_policy = widen(
-            current_policy,
-            next_step,
-            taxonomy,
-            name=f"{base_policy.name}@g{round_index}",
-        )
+            if defaulted:
+                current_population = current_population.without(defaulted)
+                engine.close()
+                engine = make_batch_engine(
+                    current_population, workers=workers, implicit_zero=implicit_zero
+                )
+            next_step = strategy.propose(rounds)
+            if next_step is None:
+                stopped_by_strategy = True
+                break
+            round_index += 1
+            current_policy = widen(
+                current_policy,
+                next_step,
+                taxonomy,
+                name=f"{base_policy.name}@g{round_index}",
+            )
+    finally:
+        engine.close()
     return GameTrace(rounds=tuple(rounds), stopped_by_strategy=stopped_by_strategy)

@@ -13,20 +13,39 @@ path.  This package is the production path:
   policy fingerprinting, report caching, and incremental re-evaluation
   of single-rule policy deltas;
 * :func:`~repro.perf.sweep.batch_assess_expansion` — Section 9 economics
-  read directly off a batch report.
+  read directly off a batch report;
+* :class:`~repro.perf.parallel.ShardExecutor` — the same evaluation
+  fanned over a process pool attached zero-copy to one shared-memory
+  export of the compilation, behind the ``workers=N`` execution policy
+  (:func:`~repro.perf.parallel.make_batch_engine`);
+* :func:`~repro.perf.streaming.evaluate_chunked` — bounded-memory
+  chunk-by-chunk evaluation for populations larger than RAM.
 
 The batch engine matches the reference engine exactly (see
-``tests/properties/test_batch_parity.py``); ``docs/performance.md``
-describes the compile/evaluate/sweep lifecycle and when to prefer which
-engine.
+``tests/properties/test_batch_parity.py``), and the parallel and
+chunked modes match the batch engine bit-for-bit
+(``tests/perf/test_parallel_parity.py``); ``docs/performance.md``
+describes the compile/evaluate/sweep lifecycle, the shard model, and
+when to prefer which engine.
 """
 
 from .batch import (
     BatchReport,
     BatchViolationEngine,
+    assemble_report,
+    column_contribution,
     policy_fingerprint,
 )
 from .compiled import CompiledColumn, CompiledPopulation, RANK_AXES
+from .parallel import (
+    ShardExecutor,
+    available_cpus,
+    make_batch_engine,
+    resolve_workers,
+)
+from .shards import shard_bounds
+from .shm import SharedArrayPack, attach_arrays
+from .streaming import evaluate_chunked, iter_population_chunks, merge_reports
 from .sweep import batch_assess_expansion
 
 __all__ = [
@@ -35,6 +54,18 @@ __all__ = [
     "CompiledColumn",
     "CompiledPopulation",
     "RANK_AXES",
+    "ShardExecutor",
+    "SharedArrayPack",
+    "assemble_report",
+    "attach_arrays",
+    "available_cpus",
     "batch_assess_expansion",
+    "column_contribution",
+    "evaluate_chunked",
+    "iter_population_chunks",
+    "make_batch_engine",
+    "merge_reports",
     "policy_fingerprint",
+    "resolve_workers",
+    "shard_bounds",
 ]

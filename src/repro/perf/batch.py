@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from time import perf_counter
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping, Protocol, Sequence
 
 import numpy as np
 
@@ -48,7 +48,7 @@ from ..core.population import Population
 from ..core.ppdb import PPDBCertificate
 from ..core.sensitivity import SensitivityModel
 from ..exceptions import UnknownProviderError, ValidationError
-from .compiled import CompiledPopulation
+from .compiled import CompiledColumn, CompiledPopulation
 
 #: A policy fingerprint: the entry set rendered as plain tuples.
 PolicyFingerprint = frozenset[tuple[str, str, int, int, int]]
@@ -89,6 +89,117 @@ def _policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries
             )
         )
     return {key: tuple(sorted(ranks)) for key, ranks in grouped.items()}
+
+
+class CompiledLike(Protocol):
+    """What the batch kernels need from a compiled population.
+
+    :class:`~repro.perf.compiled.CompiledPopulation` is the canonical
+    implementation; the parallel layer's shard views
+    (:mod:`repro.perf.parallel`) implement the same surface over
+    shared-memory arrays restricted to one provider shard.
+    """
+
+    def __len__(self) -> int: ...
+
+    def column(self, attribute: str, purpose: str) -> CompiledColumn: ...
+
+    @property
+    def ids(self) -> tuple[Hashable, ...]: ...
+
+    @property
+    def segments(self) -> tuple[str | None, ...]: ...
+
+    @property
+    def thresholds(self) -> np.ndarray: ...
+
+    @property
+    def strict(self) -> bool: ...
+
+
+def column_contribution(
+    compiled: CompiledLike,
+    key: tuple[str, str],
+    entries: _ColumnEntries,
+    *,
+    implicit_zero: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One column's ``(violation, finding-count)`` vectors (Eq. 14).
+
+    Every policy entry in the column is compared against every matching
+    explicit preference row and, when the completion is on, against the
+    implicit zero tuple of the providers that supplied the attribute
+    without covering the purpose.  Shared by the serial engine and the
+    parallel shard workers: both accumulate the same per-column vectors
+    in the same order, which is what keeps parallel evaluation
+    bit-for-bit equal to the serial path.
+    """
+    n = len(compiled)
+    column = compiled.column(*key)
+    violations = np.zeros(n, dtype=np.float64)
+    counts = np.zeros(n, dtype=np.float64)
+    for ranks in entries:
+        policy_ranks = np.array(ranks, dtype=np.int64)
+        if column.n_rows:
+            exceed = np.maximum(policy_ranks - column.row_ranks, 0)
+            weighted = (exceed * column.row_weights).sum(axis=1)
+            found = (exceed > 0).sum(axis=1).astype(np.float64)
+            violations += np.bincount(
+                column.row_providers, weights=weighted, minlength=n
+            )
+            counts += np.bincount(
+                column.row_providers, weights=found, minlength=n
+            )
+        if implicit_zero and column.n_implicit:
+            # The implicit preference is <pr, 0, 0, 0>: the exceedance
+            # equals the policy ranks themselves.
+            weighted = (policy_ranks * column.implicit_weights).sum(axis=1)
+            found = float((policy_ranks > 0).sum())
+            violations[column.implicit_providers] += weighted
+            counts[column.implicit_providers] += found
+    return violations, counts
+
+
+def assemble_report(
+    policy_name: str,
+    violations: np.ndarray,
+    counts: np.ndarray,
+    *,
+    ids: tuple[Hashable, ...],
+    segments: tuple[str | None, ...],
+    thresholds: np.ndarray,
+    strict: bool,
+) -> BatchReport:
+    """A :class:`BatchReport` from raw severity/count arrays.
+
+    The single place the aggregate arithmetic lives: the serial engine,
+    the parallel shard merge, and the chunked-evaluation merge all build
+    their reports here, so every execution mode derives ``P(W)``,
+    ``P(Default)``, and the Eq. 16 total identically.
+    """
+    n = len(ids)
+    violated = counts > 0
+    if strict:
+        defaulted = violations > thresholds
+    else:
+        defaulted = violations >= thresholds
+    n_violated = int(violated.sum())
+    n_defaulted = int(defaulted.sum())
+    return BatchReport(
+        policy_name=policy_name,
+        n_providers=n,
+        n_violated=n_violated,
+        n_defaulted=n_defaulted,
+        violation_probability=(n_violated / n) if n else 0.0,
+        default_probability=(n_defaulted / n) if n else 0.0,
+        total_violations=float(violations.sum()),
+        provider_ids=ids,
+        violations=violations,
+        violated=violated,
+        defaulted=defaulted,
+        thresholds=thresholds,
+        segments=segments,
+    )
 
 
 @dataclass(frozen=True)
@@ -171,8 +282,9 @@ class BatchViolationEngine:
     ----------
     population:
         A :class:`~repro.core.population.Population` (compiled on the
-        spot) or an existing :class:`CompiledPopulation` to share the
-        compilation across engines.
+        spot), an existing :class:`CompiledPopulation` to share the
+        compilation across engines, or any other :class:`CompiledLike`
+        view (the parallel layer evaluates shard views this way).
     sensitivities, default_model:
         Optional overrides, honoured exactly like the reference engine's.
         Only valid when *population* is not already compiled (a compiled
@@ -198,14 +310,23 @@ class BatchViolationEngine:
 
     def __init__(
         self,
-        population: Population | CompiledPopulation,
+        population: Population | CompiledLike,
         *,
         sensitivities: SensitivityModel | None = None,
         default_model: DefaultModel | None = None,
         implicit_zero: bool = True,
         max_cached_reports: int = 128,
     ) -> None:
-        if isinstance(population, CompiledPopulation):
+        if isinstance(population, Population):
+            self._compiled = CompiledPopulation(
+                population,
+                sensitivities=sensitivities,
+                default_model=default_model,
+            )
+        elif all(
+            hasattr(population, attr)
+            for attr in ("column", "ids", "thresholds", "strict")
+        ):
             if sensitivities is not None or default_model is not None:
                 raise ValidationError(
                     "model overrides must be given when compiling, not when "
@@ -213,10 +334,8 @@ class BatchViolationEngine:
                 )
             self._compiled = population
         else:
-            self._compiled = CompiledPopulation(
-                population,
-                sensitivities=sensitivities,
-                default_model=default_model,
+            raise ValidationError(
+                f"population must be a Population, got {type(population).__name__}"
             )
         self._implicit_zero = bool(implicit_zero)
         if max_cached_reports < 1:
@@ -235,13 +354,13 @@ class BatchViolationEngine:
     # ------------------------------------------------------------------
 
     @property
-    def compiled(self) -> CompiledPopulation:
-        """The compiled population this engine evaluates against."""
+    def compiled(self) -> CompiledLike:
+        """The compiled population (or view) this engine evaluates against."""
         return self._compiled
 
     @property
     def population(self) -> Population:
-        """The underlying population."""
+        """The underlying population (full compilations only)."""
         return self._compiled.population
 
     @property
@@ -268,6 +387,37 @@ class BatchViolationEngine:
     def report(self, policy: HousePolicy) -> BatchReport:
         """Alias of :meth:`evaluate`."""
         return self.evaluate(policy)
+
+    def evaluate_arrays(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
+        """Raw per-provider ``(violations, counts)`` arrays for *policy*.
+
+        The parallel layer's shard workers call this instead of
+        :meth:`evaluate`: the parent merges shard arrays by concatenation
+        and assembles one report, so no per-shard :class:`BatchReport`
+        objects cross the process boundary.  Served from the same cache
+        and delta paths as :meth:`evaluate` — the returned arrays may be
+        cached state and must not be mutated.
+        """
+        if not isinstance(policy, HousePolicy):
+            raise ValidationError(
+                f"policy must be a HousePolicy, got {type(policy).__name__}"
+            )
+        evaluation = self._evaluate(policy)
+        return evaluation.violations, evaluation.counts
+
+    def close(self) -> None:
+        """Release resources.  A no-op for the in-process engine.
+
+        Exists so callers can treat this engine and the parallel
+        :class:`~repro.perf.parallel.ShardExecutor` uniformly (both
+        support the context-manager protocol).
+        """
+
+    def __enter__(self) -> "BatchViolationEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def evaluate_policies(
         self, policies: Iterable[HousePolicy]
@@ -438,37 +588,9 @@ class BatchViolationEngine:
     def _column_contribution(
         self, key: tuple[str, str], entries: _ColumnEntries
     ) -> tuple[np.ndarray, np.ndarray]:
-        """One column's ``(violation, finding-count)`` vectors (Eq. 14).
-
-        Every policy entry in the column is compared against every
-        matching explicit preference row and, when the completion is on,
-        against the implicit zero tuple of the providers that supplied the
-        attribute without covering the purpose.
-        """
-        n = len(self._compiled)
-        column = self._compiled.column(*key)
-        violations = np.zeros(n, dtype=np.float64)
-        counts = np.zeros(n, dtype=np.float64)
-        for ranks in entries:
-            policy_ranks = np.array(ranks, dtype=np.int64)
-            if column.n_rows:
-                exceed = np.maximum(policy_ranks - column.row_ranks, 0)
-                weighted = (exceed * column.row_weights).sum(axis=1)
-                found = (exceed > 0).sum(axis=1).astype(np.float64)
-                violations += np.bincount(
-                    column.row_providers, weights=weighted, minlength=n
-                )
-                counts += np.bincount(
-                    column.row_providers, weights=found, minlength=n
-                )
-            if self._implicit_zero and column.n_implicit:
-                # The implicit preference is <pr, 0, 0, 0>: the exceedance
-                # equals the policy ranks themselves.
-                weighted = (policy_ranks * column.implicit_weights).sum(axis=1)
-                found = float((policy_ranks > 0).sum())
-                violations[column.implicit_providers] += weighted
-                counts[column.implicit_providers] += found
-        return violations, counts
+        return column_contribution(
+            self._compiled, key, entries, implicit_zero=self._implicit_zero
+        )
 
     # ------------------------------------------------------------------
     # helpers
@@ -486,28 +608,14 @@ class BatchViolationEngine:
 
     def _to_report(self, policy_name: str, evaluation: _Evaluation) -> BatchReport:
         compiled = self._compiled
-        n = len(compiled)
-        violated = evaluation.counts > 0
-        if compiled.strict:
-            defaulted = evaluation.violations > compiled.thresholds
-        else:
-            defaulted = evaluation.violations >= compiled.thresholds
-        n_violated = int(violated.sum())
-        n_defaulted = int(defaulted.sum())
-        return BatchReport(
-            policy_name=policy_name,
-            n_providers=n,
-            n_violated=n_violated,
-            n_defaulted=n_defaulted,
-            violation_probability=(n_violated / n) if n else 0.0,
-            default_probability=(n_defaulted / n) if n else 0.0,
-            total_violations=float(evaluation.violations.sum()),
-            provider_ids=compiled.ids,
-            violations=evaluation.violations,
-            violated=violated,
-            defaulted=defaulted,
-            thresholds=compiled.thresholds,
+        return assemble_report(
+            policy_name,
+            evaluation.violations,
+            evaluation.counts,
+            ids=compiled.ids,
             segments=compiled.segments,
+            thresholds=compiled.thresholds,
+            strict=compiled.strict,
         )
 
     def _certify_early_exit(

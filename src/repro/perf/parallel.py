@@ -1,0 +1,818 @@
+"""Parallel sharded evaluation over shared-memory compiled populations.
+
+:class:`ShardExecutor` is the machine-wide counterpart of the in-process
+:class:`~repro.perf.batch.BatchViolationEngine`.  It exports a
+:class:`~repro.perf.compiled.CompiledPopulation`'s policy-independent
+arrays into one :class:`~repro.perf.shm.SharedArrayPack`, partitions the
+provider rows into contiguous shards (:func:`~repro.perf.shards.shard_bounds`),
+and fans ``(policy, shard)`` tasks across a ``ProcessPoolExecutor``.
+Workers attach the block zero-copy, rebuild shard-restricted column
+views (:class:`_ShardView`), and run the *same* kernels as the serial
+engine — per-provider sums inside a shard perform identical floating
+point operations in identical order, so merged reports are bit-for-bit
+equal to serial ones (``tests/perf/test_parallel_parity.py``).
+
+Execution model
+---------------
+* **Evaluate** — each shard returns raw ``(violations, counts)`` arrays;
+  the parent concatenates them in shard order (deterministic regardless
+  of completion order) and assembles one
+  :class:`~repro.perf.batch.BatchReport` through the shared
+  :func:`~repro.perf.batch.assemble_report`.
+* **Certify with early exit** — shards walk the policy's columns and
+  share an "already failed" flag: a shard whose *local* violated count
+  alone exceeds the global ``alpha x N`` budget trips the flag, other
+  shards abort between columns, and the merged certificate is a
+  non-exhaustive refutation (its verdict always matches the serial
+  engine's; the partial violated set may differ, as documented for the
+  serial early-exit path too).
+* **Observability** — when the parent has an active observer, each task
+  runs under a fresh worker-side observer and ships back a metrics
+  snapshot (with raw timer samples); the parent merges them via
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`, so
+  ``--metrics`` output stays complete under parallelism.  Worker span
+  trees are process-local and are not reparented.
+
+Failure model: a worker dying mid-task (crash, OOM kill, or the chaos
+suite's scripted ``kill`` fault via ``worker_faults``) surfaces as
+:class:`~repro.exceptions.ParallelExecutionError` (CLI code ``PVL907``)
+after the executor has shut the pool down and unlinked its
+shared-memory block — errors never leak segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
+from typing import Any, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from .._validation import check_probability
+from ..core.default import DefaultModel
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..core.ppdb import PPDBCertificate
+from ..core.sensitivity import SensitivityModel
+from ..exceptions import ParallelExecutionError, ProcessKilled, ValidationError
+from ..obs import active_observer, observed
+from .batch import (
+    BatchReport,
+    PolicyFingerprint,
+    _policy_columns,
+    assemble_report,
+    column_contribution,
+    policy_fingerprint,
+)
+from .compiled import CompiledColumn, CompiledPopulation
+from .shards import shard_bounds
+from .shm import ArrayLayout, SharedArrayPack, attach_arrays
+
+#: The fault-injection site visited once per worker task; a ``kill``
+#: fault here terminates the worker process for real (SIGKILL), which is
+#: how the chaos suite exercises the broken-pool error path.
+TASK_FAULT_SITE = "parallel.task"
+
+
+def resolve_workers(workers: int) -> int:
+    """The effective worker count for a ``workers=N`` execution policy.
+
+    ``0`` means auto: the number of CPUs available to this process
+    (``sched_getaffinity`` where supported, ``cpu_count`` otherwise).
+    Negative or non-integer values are rejected.
+    """
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValidationError(
+            f"workers must be an int, got {type(workers).__name__}"
+        )
+    if workers < 0:
+        raise ValidationError("workers must be >= 0 (0 = one per CPU)")
+    if workers == 0:
+        return max(1, available_cpus())
+    return workers
+
+
+def available_cpus() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class _ShardView:
+    """A :class:`~repro.perf.batch.CompiledLike` view over shared arrays.
+
+    Restricts the exported compilation to population rows ``[lo, hi)``.
+    Because every exported row/provider array is non-decreasing (rows
+    are emitted in population order), restriction is a ``searchsorted``
+    slice; provider indices are re-based to shard-local rows so the
+    batch kernels' ``bincount`` calls stay dense.
+    """
+
+    __slots__ = (
+        "_arrays",
+        "_lo",
+        "_hi",
+        "_ids",
+        "_segments",
+        "_thresholds",
+        "_strict",
+        "_attr_index",
+        "_col_index",
+        "_columns",
+        "_zero_weights",
+    )
+
+    def __init__(
+        self,
+        meta: dict[str, Any],
+        arrays: dict[str, np.ndarray],
+        lo: int,
+        hi: int,
+    ) -> None:
+        self._arrays = arrays
+        self._lo = int(lo)
+        self._hi = int(hi)
+        self._ids: tuple[Hashable, ...] = tuple(meta["ids"][lo:hi])
+        self._segments: tuple[str | None, ...] = tuple(meta["segments"][lo:hi])
+        self._thresholds = arrays["thresholds"][lo:hi]
+        self._strict = bool(meta["strict"])
+        self._attr_index = {a: i for i, a in enumerate(meta["attributes"])}
+        self._col_index = {
+            tuple(k): j for j, k in enumerate(meta["column_keys"])
+        }
+        self._columns: dict[tuple[str, str], CompiledColumn] = {}
+        self._zero_weights: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    @property
+    def ids(self) -> tuple[Hashable, ...]:
+        return self._ids
+
+    @property
+    def segments(self) -> tuple[str | None, ...]:
+        return self._segments
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        return self._thresholds
+
+    @property
+    def strict(self) -> bool:
+        return self._strict
+
+    def column(self, attribute: str, purpose: str) -> CompiledColumn:
+        key = (attribute, purpose)
+        cached = self._columns.get(key)
+        if cached is not None:
+            return cached
+        lo, hi = self._lo, self._hi
+        attr_slot = self._attr_index.get(attribute)
+        if attr_slot is None:
+            # Attribute nobody supplied: the column has no explicit rows
+            # and no implicit completion, so the weight values are never
+            # read — a shared zero tensor keeps the gathers well-formed.
+            weights = self._zeros()
+            supplied = np.empty(0, dtype=np.int64)
+        else:
+            weights = self._arrays[f"w{attr_slot}"][lo:hi]
+            supplied_all = self._arrays[f"p{attr_slot}"]
+            s0, s1 = np.searchsorted(supplied_all, (lo, hi))
+            supplied = supplied_all[s0:s1] - lo
+        col_slot = self._col_index.get(key)
+        if col_slot is None:
+            row_providers = np.empty(0, dtype=np.int64)
+            row_ranks = np.empty((0, 3), dtype=np.int64)
+        else:
+            providers_all = self._arrays[f"cp{col_slot}"]
+            r0, r1 = np.searchsorted(providers_all, (lo, hi))
+            row_providers = providers_all[r0:r1] - lo
+            row_ranks = self._arrays[f"cr{col_slot}"][r0:r1]
+        row_weights = weights[row_providers]
+        if supplied.size == 0:
+            implicit_providers = np.empty(0, dtype=np.int64)
+        else:
+            holders = np.unique(row_providers)
+            if holders.size:
+                implicit_providers = supplied[
+                    np.isin(supplied, holders, invert=True)
+                ]
+            else:
+                implicit_providers = supplied
+        column = CompiledColumn(
+            attribute=attribute,
+            purpose=purpose,
+            row_providers=row_providers,
+            row_ranks=row_ranks,
+            row_weights=row_weights,
+            implicit_providers=implicit_providers,
+            implicit_weights=weights[implicit_providers],
+        )
+        self._columns[key] = column
+        return column
+
+    def _zeros(self) -> np.ndarray:
+        if self._zero_weights is None:
+            self._zero_weights = np.zeros((len(self), 3), dtype=np.float64)
+        return self._zero_weights
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by :func:`_init_worker`.
+_WORKER: dict[str, Any] | None = None
+
+
+def _init_worker(
+    shm_name: str,
+    layout: ArrayLayout,
+    meta: dict[str, Any],
+    implicit_zero: bool,
+    flag: Any,
+    fault_specs: tuple[Any, ...],
+    fault_seed: int,
+) -> None:
+    global _WORKER
+    try:
+        segment, arrays = attach_arrays(shm_name, layout)
+    except FileNotFoundError as exc:
+        raise ParallelExecutionError(
+            f"shared-memory segment {shm_name!r} has vanished"
+        ) from exc
+    plan = None
+    if fault_specs:
+        # A fresh plan built *after* the fork is owned by this worker,
+        # so it is armed — unlike any plan inherited from the parent
+        # (see FaultPlan's fork awareness).
+        from ..resilience.faults import FaultPlan
+
+        plan = FaultPlan(fault_specs, seed=fault_seed)
+    _WORKER = {
+        "segment": segment,
+        "arrays": arrays,
+        "meta": meta,
+        "implicit_zero": bool(implicit_zero),
+        "flag": flag,
+        "engines": {},
+        "plan": plan,
+    }
+
+
+def _worker_state() -> dict[str, Any]:
+    state = _WORKER
+    if state is None:  # pragma: no cover - initializer always runs first
+        raise ParallelExecutionError("worker used before initialization")
+    return state
+
+
+def _visit_task_site(state: dict[str, Any]) -> None:
+    plan = state["plan"]
+    if plan is None:
+        return
+    try:
+        plan.check(TASK_FAULT_SITE)
+    except ProcessKilled:
+        # Make the scripted death real: the parent must observe an
+        # actual broken pool, not a picklable exception.
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _shard_engine(state: dict[str, Any], lo: int, hi: int):
+    engines = state["engines"]
+    engine = engines.get((lo, hi))
+    if engine is None:
+        # Imported lazily: batch imports this module's sibling package
+        # members at module scope and workers only pay it once.
+        from .batch import BatchViolationEngine
+
+        view = _ShardView(state["meta"], state["arrays"], lo, hi)
+        engine = BatchViolationEngine(
+            view, implicit_zero=state["implicit_zero"]
+        )
+        engines[(lo, hi)] = engine
+    return engine
+
+
+def _eval_task(
+    policy: HousePolicy, lo: int, hi: int, collect_obs: bool
+) -> tuple[int, np.ndarray, np.ndarray, dict[str, Any] | None]:
+    state = _worker_state()
+    _visit_task_site(state)
+    engine = _shard_engine(state, lo, hi)
+    if collect_obs:
+        with observed() as obs:
+            violations, counts = engine.evaluate_arrays(policy)
+            snapshot = obs.registry.snapshot(include_samples=True)
+    else:
+        violations, counts = engine.evaluate_arrays(policy)
+        snapshot = None
+    return lo, violations, counts, snapshot
+
+
+def _certify_task(
+    policy: HousePolicy,
+    lo: int,
+    hi: int,
+    budget: float,
+    collect_obs: bool,
+) -> tuple[int, np.ndarray, bool, dict[str, Any] | None]:
+    state = _worker_state()
+    _visit_task_site(state)
+    if collect_obs:
+        with observed() as obs:
+            counts, exhausted = _certify_walk(state, policy, lo, hi, budget)
+            snapshot = obs.registry.snapshot(include_samples=True)
+    else:
+        counts, exhausted = _certify_walk(state, policy, lo, hi, budget)
+        snapshot = None
+    return lo, counts, exhausted, snapshot
+
+
+def _certify_walk(
+    state: dict[str, Any],
+    policy: HousePolicy,
+    lo: int,
+    hi: int,
+    budget: float,
+) -> tuple[np.ndarray, bool]:
+    """Column walk with the shared "already failed" flag.
+
+    Accumulates this shard's finding counts column by column; trips the
+    flag as soon as the shard-local violated count *alone* blows the
+    global budget (a sufficient refutation), and aborts between columns
+    once any shard has tripped it.
+    """
+    view = _ShardView(state["meta"], state["arrays"], lo, hi)
+    implicit_zero = state["implicit_zero"]
+    flag = state["flag"]
+    counts = np.zeros(len(view), dtype=np.float64)
+    for key, entries in _policy_columns(policy).items():
+        if flag.value:
+            return counts, False
+        contribution = column_contribution(
+            view, key, entries, implicit_zero=implicit_zero
+        )
+        counts += contribution[1]
+        if int((counts > 0).sum()) > budget:
+            with flag.get_lock():
+                flag.value = 1
+            return counts, False
+    return counts, True
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+class ShardExecutor:
+    """Fan ``(policy, shard)`` tasks over a worker pool; merge exactly.
+
+    Mirrors :class:`~repro.perf.batch.BatchViolationEngine`'s public
+    surface (``evaluate`` / ``evaluate_policies`` / ``evaluate_arrays``
+    / ``certify`` / ``report``) so callers can hold either behind the
+    ``workers=N`` execution policy (:func:`make_batch_engine`).  The
+    executor owns one shared-memory block for the life of the pool;
+    always :meth:`close` it (or use ``with``) — segments outlive the
+    process otherwise.
+
+    Parameters
+    ----------
+    population:
+        A :class:`~repro.core.population.Population` (compiled here) or
+        a ready :class:`~repro.perf.compiled.CompiledPopulation`.
+    workers:
+        Worker processes (``0`` = one per CPU).  Also the default shard
+        count.
+    shards:
+        Override the shard count (e.g. more shards than workers for
+        better load balancing on skewed populations).
+    sensitivities, default_model, implicit_zero, max_cached_reports:
+        As for the serial engine.
+    worker_faults, fault_seed:
+        Chaos hook: :class:`~repro.resilience.faults.FaultSpec`\\ s for a
+        *fresh* plan built inside each worker after the fork (inherited
+        parent plans are disarmed in children by design).  A ``kill``
+        fault at :data:`TASK_FAULT_SITE` terminates the worker with
+        SIGKILL, exercising the real broken-pool path.
+    """
+
+    def __init__(
+        self,
+        population: Population | CompiledPopulation,
+        *,
+        workers: int = 0,
+        shards: int | None = None,
+        sensitivities: SensitivityModel | None = None,
+        default_model: DefaultModel | None = None,
+        implicit_zero: bool = True,
+        max_cached_reports: int = 128,
+        worker_faults: Iterable[Any] = (),
+        fault_seed: int = 0,
+    ) -> None:
+        count = resolve_workers(workers)
+        if isinstance(population, Population):
+            compiled = CompiledPopulation(
+                population,
+                sensitivities=sensitivities,
+                default_model=default_model,
+            )
+        elif isinstance(population, CompiledPopulation):
+            if sensitivities is not None or default_model is not None:
+                raise ValidationError(
+                    "model overrides must be given when compiling, not when "
+                    "wrapping an already-compiled population"
+                )
+            compiled = population
+        else:
+            raise ValidationError(
+                f"population must be a Population, got {type(population).__name__}"
+            )
+        if shards is not None and shards < 1:
+            raise ValidationError("shards must be >= 1")
+        if max_cached_reports < 1:
+            raise ValidationError("max_cached_reports must be >= 1")
+        self._compiled = compiled
+        self._implicit_zero = bool(implicit_zero)
+        self._workers = count
+        self._bounds = shard_bounds(
+            len(compiled), shards if shards is not None else count
+        )
+        meta, arrays = compiled.shared_state()
+        self._meta = meta
+        self._pack = SharedArrayPack(arrays)
+        self._cache: dict[PolicyFingerprint, BatchReport] = {}
+        self._max_cached = int(max_cached_reports)
+        self._closed = False
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else None
+        context = multiprocessing.get_context(start_method)
+        self._flag = context.Value("i", 0)
+        try:
+            self._pool = ProcessPoolExecutor(
+                max_workers=count,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(
+                    self._pack.name,
+                    self._pack.layout,
+                    meta,
+                    self._implicit_zero,
+                    self._flag,
+                    tuple(worker_faults),
+                    int(fault_seed),
+                ),
+            )
+        except Exception:
+            self._pack.close()
+            raise
+        obs = active_observer()
+        if obs is not None:
+            obs.set_gauge("parallel.workers", count)
+            obs.set_gauge("parallel.shards", len(self._bounds))
+            obs.set_gauge("parallel.shm_bytes", self._pack.nbytes)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledPopulation:
+        """The compiled population backing the shared block."""
+        return self._compiled
+
+    @property
+    def population(self) -> Population:
+        """The underlying population."""
+        return self._compiled.population
+
+    @property
+    def implicit_zero(self) -> bool:
+        """Whether the implicit-zero completion is applied."""
+        return self._implicit_zero
+
+    @property
+    def workers(self) -> int:
+        """The worker-process count."""
+        return self._workers
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """The ``(lo, hi)`` provider-row range of every shard."""
+        return tuple(self._bounds)
+
+    @property
+    def segment_name(self) -> str:
+        """The shared-memory segment's name (for leak diagnostics)."""
+        return self._pack.name
+
+    @property
+    def cached_policies(self) -> int:
+        """Number of memoised merged reports."""
+        return len(self._cache)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared block.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # a broken pool may refuse a clean shutdown
+            pass
+        self._pack.close()
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort leak guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, policy: HousePolicy) -> BatchReport:
+        """The merged :class:`BatchReport` for *policy* (cached by content)."""
+        self._check_policy(policy)
+        fingerprint = policy_fingerprint(policy)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.cache_hits")
+            return cached
+        violations, counts = self._fan_out(policy)
+        report = self._assemble(policy.name, violations, counts)
+        self._remember(fingerprint, report)
+        return report
+
+    def report(self, policy: HousePolicy) -> BatchReport:
+        """Alias of :meth:`evaluate` (mirrors the serial engine)."""
+        return self.evaluate(policy)
+
+    def evaluate_arrays(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
+        """Raw merged ``(violations, counts)`` arrays for *policy*.
+
+        Always fans out (the report cache keeps merged reports, not the
+        raw finding counts); workers still serve repeats from their own
+        per-shard caches.
+        """
+        self._check_policy(policy)
+        return self._fan_out(policy)
+
+    def evaluate_policies(
+        self, policies: Iterable[HousePolicy]
+    ) -> list[BatchReport]:
+        """Evaluate a policy sweep with cross-policy pipelining.
+
+        All uncached ``(policy, shard)`` tasks are submitted up front,
+        so workers flow straight from one policy's shards into the
+        next's while the parent merges completed ones in order.
+        """
+        policies = list(policies)
+        for policy in policies:
+            self._check_policy(policy)
+        pending: dict[int, list[Future]] = {}
+        collect = active_observer() is not None
+        self._ensure_open()
+        for index, policy in enumerate(policies):
+            if policy_fingerprint(policy) in self._cache:
+                continue
+            pending[index] = [
+                self._pool.submit(_eval_task, policy, lo, hi, collect)
+                for lo, hi in self._bounds
+            ]
+        reports: list[BatchReport] = []
+        for index, policy in enumerate(policies):
+            fingerprint = policy_fingerprint(policy)
+            cached = self._cache.get(fingerprint)
+            if cached is not None and index not in pending:
+                reports.append(cached)
+                continue
+            parts = self._gather(pending[index])
+            violations, counts = self._merge_parts(parts)
+            report = self._assemble(policy.name, violations, counts)
+            self._remember(fingerprint, report)
+            reports.append(report)
+        return reports
+
+    def certify(
+        self, policy: HousePolicy, alpha: float, *, early_exit: bool = False
+    ) -> PPDBCertificate:
+        """Definition 3's alpha-PPDB certificate under *policy*.
+
+        The exact path (the default, and any cached policy) derives the
+        certificate from a merged evaluation — identical to the serial
+        engine's.  With ``early_exit=True`` the shards share the
+        "already failed" flag described in the module docstring; a
+        tripped run yields a non-exhaustive certificate whose
+        ``violation_probability`` is a lower bound sufficient to prove
+        the check failed.  Verdicts always match the serial engine.
+        """
+        self._check_policy(policy)
+        alpha = check_probability(alpha, "alpha")
+        n = len(self._compiled)
+        if n == 0:
+            return PPDBCertificate(
+                alpha=alpha,
+                violation_probability=0.0,
+                satisfied=True,
+                n_providers=0,
+                violated_providers=(),
+                policy_name=policy.name,
+            )
+        fingerprint = policy_fingerprint(policy)
+        if early_exit and fingerprint not in self._cache:
+            return self._certify_early_exit(policy, alpha, n)
+        report = self.evaluate(policy)
+        violated = report.violated_ids()
+        p_w = len(violated) / n
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=p_w,
+            satisfied=p_w <= alpha,
+            n_providers=n,
+            violated_providers=violated,
+            policy_name=policy.name,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _certify_early_exit(
+        self, policy: HousePolicy, alpha: float, n: int
+    ) -> PPDBCertificate:
+        self._ensure_open()
+        with self._flag.get_lock():
+            self._flag.value = 0
+        budget = alpha * n
+        collect = active_observer() is not None
+        futures = [
+            self._pool.submit(_certify_task, policy, lo, hi, budget, collect)
+            for lo, hi in self._bounds
+        ]
+        parts = self._gather(futures)
+        parts.sort(key=lambda part: part[0])
+        counts = (
+            np.concatenate([part[1] for part in parts])
+            if parts
+            else np.zeros(0, dtype=np.float64)
+        )
+        exhaustive = all(part[2] for part in parts)
+        violated = tuple(
+            pid
+            for pid, count in zip(self._meta["ids"], counts)
+            if count > 0
+        )
+        p_w = len(violated) / n
+        if exhaustive:
+            return PPDBCertificate(
+                alpha=alpha,
+                violation_probability=p_w,
+                satisfied=p_w <= alpha,
+                n_providers=n,
+                violated_providers=violated,
+                policy_name=policy.name,
+            )
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("parallel.certify_early_exits")
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=p_w,
+            satisfied=False,
+            n_providers=n,
+            violated_providers=violated,
+            policy_name=policy.name,
+            exhaustive=False,
+        )
+
+    def _fan_out(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
+        self._ensure_open()
+        collect = active_observer() is not None
+        futures = [
+            self._pool.submit(_eval_task, policy, lo, hi, collect)
+            for lo, hi in self._bounds
+        ]
+        return self._merge_parts(self._gather(futures))
+
+    def _merge_parts(
+        self, parts: list[tuple]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        parts.sort(key=lambda part: part[0])
+        if not parts:  # pragma: no cover - bounds are never empty
+            empty = np.zeros(0, dtype=np.float64)
+            return empty, empty.copy()
+        violations = np.concatenate([part[1] for part in parts])
+        counts = np.concatenate([part[2] for part in parts])
+        return violations, counts
+
+    def _gather(self, futures: Sequence[Future]) -> list[tuple]:
+        try:
+            results = [future.result() for future in futures]
+        except BrokenExecutor as exc:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.worker_failures")
+            self.close()
+            raise ParallelExecutionError(
+                "a parallel worker died mid-task; the pool was shut down "
+                "and its shared-memory block unlinked"
+            ) from exc
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("parallel.tasks", len(results))
+            for result in results:
+                snapshot = result[-1]
+                if snapshot:
+                    obs.merge_snapshot(snapshot)
+        return results
+
+    def _assemble(
+        self, policy_name: str, violations: np.ndarray, counts: np.ndarray
+    ) -> BatchReport:
+        return assemble_report(
+            policy_name,
+            violations,
+            counts,
+            ids=self._meta["ids"],
+            segments=self._meta["segments"],
+            thresholds=self._compiled.thresholds,
+            strict=bool(self._meta["strict"]),
+        )
+
+    def _remember(
+        self, fingerprint: PolicyFingerprint, report: BatchReport
+    ) -> None:
+        if fingerprint not in self._cache and len(self._cache) >= self._max_cached:
+            del self._cache[next(iter(self._cache))]
+        self._cache[fingerprint] = report
+
+    def _check_policy(self, policy: HousePolicy) -> None:
+        if not isinstance(policy, HousePolicy):
+            raise ValidationError(
+                f"policy must be a HousePolicy, got {type(policy).__name__}"
+            )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ParallelExecutionError(
+                "executor is closed; create a new ShardExecutor"
+            )
+
+
+def make_batch_engine(
+    population: Population | CompiledPopulation,
+    *,
+    workers: int = 1,
+    sensitivities: SensitivityModel | None = None,
+    default_model: DefaultModel | None = None,
+    implicit_zero: bool = True,
+    max_cached_reports: int = 128,
+):
+    """The ``workers=N`` execution policy: serial engine or shard executor.
+
+    ``workers=1`` (the default) returns the in-process
+    :class:`~repro.perf.batch.BatchViolationEngine` — byte-identical to
+    the pre-parallel behaviour with zero process overhead.  ``workers=0``
+    resolves to one worker per CPU; any resolved count above 1 returns a
+    :class:`ShardExecutor`.  Both results support ``close()`` and the
+    context-manager protocol, so callers can treat them uniformly::
+
+        with make_batch_engine(population, workers=workers) as engine:
+            reports = engine.evaluate_policies(policies)
+    """
+    count = resolve_workers(workers)
+    if count <= 1:
+        from .batch import BatchViolationEngine
+
+        return BatchViolationEngine(
+            population,
+            sensitivities=sensitivities,
+            default_model=default_model,
+            implicit_zero=implicit_zero,
+            max_cached_reports=max_cached_reports,
+        )
+    return ShardExecutor(
+        population,
+        workers=count,
+        sensitivities=sensitivities,
+        default_model=default_model,
+        implicit_zero=implicit_zero,
+        max_cached_reports=max_cached_reports,
+    )

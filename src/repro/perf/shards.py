@@ -1,0 +1,42 @@
+"""Provider shard partitioning for the parallel execution layer.
+
+A shard is a contiguous ``[lo, hi)`` slice of population row indices.
+Contiguity is what makes sharding cheap *and* exact: every compiled
+per-column array (explicit rows, supplied rows) is emitted in population
+row order, so restricting a column to a shard is a ``searchsorted``
+slice, and per-provider sums inside a shard accumulate the same floating
+point operations in the same order as the full-population kernel — the
+invariant the parity suite (``tests/perf/test_parallel_parity.py``)
+holds the executor to.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+
+
+def shard_bounds(n_providers: int, n_shards: int) -> list[tuple[int, int]]:
+    """Split ``n_providers`` rows into ``n_shards`` contiguous shards.
+
+    The first ``n_providers % n_shards`` shards carry one extra row
+    (the :func:`numpy.array_split` convention), so sizes differ by at
+    most one.  When ``n_shards > n_providers`` the tail shards are empty
+    ``(lo, lo)`` ranges — legal, and evaluated to empty contributions.
+
+    >>> shard_bounds(7, 3)
+    [(0, 3), (3, 5), (5, 7)]
+    >>> shard_bounds(2, 4)
+    [(0, 1), (1, 2), (2, 2), (2, 2)]
+    """
+    if n_providers < 0:
+        raise ValidationError("n_providers must be >= 0")
+    if n_shards < 1:
+        raise ValidationError("n_shards must be >= 1")
+    base, extra = divmod(n_providers, n_shards)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for shard in range(n_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds

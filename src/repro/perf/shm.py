@@ -1,0 +1,153 @@
+"""Shared-memory packing of compiled-population arrays.
+
+A :class:`SharedArrayPack` copies a dict of NumPy arrays into **one**
+``multiprocessing.shared_memory`` block with a picklable offset table,
+so a worker pool attaches the whole compilation with a single ``shm_open``
+instead of re-pickling megabytes of arrays per task.  Ownership is
+strictly parent-side:
+
+* the creating process registers the segment with its resource tracker,
+  and is the only one that ever unlinks it (:meth:`SharedArrayPack.close`);
+* workers attach through :func:`attach_arrays`, which suppresses the
+  child-side resource-tracker registration — otherwise a worker exiting
+  (or being killed) would prompt *its* tracker to unlink a segment the
+  parent still owns, and clean shutdowns would log spurious leak
+  warnings for segments that were never theirs.
+
+Segment names carry a recognisable ``pvl_`` prefix so the chaos suite
+can assert nothing leaked by listing ``/dev/shm`` (see
+``tests/perf/test_parallel_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import resource_tracker, shared_memory
+from typing import Mapping
+
+import numpy as np
+
+#: ``(offset, dtype string, shape)`` per array — the picklable layout.
+ArrayLayout = dict[str, tuple[int, str, tuple[int, ...]]]
+
+#: Byte alignment of each packed array within the block.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return -(-offset // _ALIGN) * _ALIGN
+
+
+class SharedArrayPack:
+    """One shared-memory block holding many named arrays.
+
+    The block is created and filled eagerly; :attr:`name` and
+    :attr:`layout` are all a worker needs to map every array back with
+    :func:`attach_arrays`.  The pack owns the segment: :meth:`close`
+    (idempotent, also the context-manager exit) closes the mapping and
+    unlinks the name, after which no new attachments are possible.
+    """
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        layout: ArrayLayout = {}
+        offset = 0
+        contiguous: dict[str, np.ndarray] = {}
+        for name, array in arrays.items():
+            array = np.ascontiguousarray(array)
+            contiguous[name] = array
+            layout[name] = (offset, array.dtype.str, tuple(array.shape))
+            offset = _aligned(offset + array.nbytes)
+        self._layout = layout
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(offset, 1), name=_fresh_name()
+        )
+        for name, array in contiguous.items():
+            start, dtype, shape = layout[name]
+            view = np.ndarray(
+                shape, dtype=dtype, buffer=self._shm.buf, offset=start
+            )
+            view[...] = array
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The segment name workers attach to."""
+        return self._shm.name
+
+    @property
+    def layout(self) -> ArrayLayout:
+        """The picklable offset table (name -> offset, dtype, shape)."""
+        return self._layout
+
+    @property
+    def nbytes(self) -> int:
+        """Total size of the shared block in bytes."""
+        return self._shm.size
+
+    @property
+    def closed(self) -> bool:
+        """Whether the segment has been closed and unlinked."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the mapping and unlink the segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # already gone (e.g. external cleanup)
+            pass
+
+    def __enter__(self) -> "SharedArrayPack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort leak guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_arrays(
+    name: str, layout: ArrayLayout
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Worker-side attach: map every packed array out of segment *name*.
+
+    Returns the open segment (the caller must keep it referenced —
+    the arrays are views into its buffer) and the name -> array mapping.
+    The attachment is **untracked**: the worker's resource tracker never
+    learns about the segment, leaving unlink authority with the parent.
+    """
+    shm = _attach_untracked(name)
+    arrays = {
+        array_name: np.ndarray(
+            shape, dtype=dtype, buffer=shm.buf, offset=offset
+        )
+        for array_name, (offset, dtype, shape) in layout.items()
+    }
+    return shm, arrays
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    try:
+        # Python >= 3.13 supports opting out of tracking directly.
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        pass
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = register
+
+
+def _fresh_name() -> str:
+    # Recognisable prefix (leak checks grep /dev/shm for it) + pid +
+    # random suffix against collisions with concurrent executors.
+    return f"pvl_{os.getpid()}_{os.urandom(4).hex()}"

@@ -1,0 +1,163 @@
+"""Chunked (streaming) evaluation for populations larger than RAM.
+
+:class:`~repro.perf.compiled.CompiledPopulation` holds every weight
+tensor of every provided attribute at once — fine for millions of rows
+of a few attributes, not for a population that only exists as a stream.
+This module evaluates policies **chunk by chunk**: each chunk of
+providers is compiled, evaluated (serially or through the parallel
+executor), reduced to its per-provider arrays, and released before the
+next chunk is compiled, so peak memory is bounded by the chunk size
+rather than the population size.
+
+Exactness: chunks are contiguous provider slices and every per-provider
+quantity (weights, thresholds, finding counts) depends only on that
+provider and the population-level models, which are resolved **once**
+from the full population and passed to every chunk compilation.  The
+concatenated result is therefore bit-for-bit the report the one-shot
+engine produces (``tests/perf/test_parallel_parity.py`` holds this).
+
+Aggregates that need the whole population (``P(W)``, ``P(Default)``,
+Eq. 16 totals) are computed after the merge through the same
+:func:`~repro.perf.batch.assemble_report` as every other execution mode.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..exceptions import ValidationError
+from ..obs import active_observer
+from .batch import BatchReport, assemble_report
+from .parallel import make_batch_engine
+
+
+def iter_population_chunks(
+    population: Population, chunk_size: int
+) -> Iterator[Population]:
+    """Contiguous sub-populations of at most *chunk_size* providers.
+
+    Chunks carry the parent's ``Sigma`` vector; provider order (and
+    hence row order after concatenation) is preserved.
+    """
+    if not isinstance(population, Population):
+        raise ValidationError(
+            f"population must be a Population, got {type(population).__name__}"
+        )
+    if chunk_size < 1:
+        raise ValidationError("chunk_size must be >= 1")
+    providers = population.providers
+    for start in range(0, len(providers), chunk_size):
+        yield Population(
+            providers[start : start + chunk_size],
+            population.attribute_sensitivities,
+        )
+
+
+def merge_reports(
+    policy_name: str, parts: Sequence[BatchReport], *, strict: bool = True
+) -> BatchReport:
+    """One population-wide report from per-chunk reports, in chunk order.
+
+    Concatenates the row-aligned arrays and recomputes the aggregates
+    over the full population — chunk-level probabilities are *not*
+    averaged (they would weight small tail chunks incorrectly).
+    *strict* must match the default model the parts were evaluated with
+    (``violated`` is fed back as the finding indicator, so the per-row
+    flags survive the round trip either way).
+    """
+    if not parts:
+        raise ValidationError("merge_reports needs at least one part")
+    violations = np.concatenate([part.violations for part in parts])
+    counts = np.concatenate(
+        [part.violated.astype(np.float64) for part in parts]
+    )
+    ids: tuple = ()
+    segments: tuple = ()
+    for part in parts:
+        ids += part.provider_ids
+        segments += part.segments
+    thresholds = np.concatenate([part.thresholds for part in parts])
+    return assemble_report(
+        policy_name,
+        violations,
+        counts,
+        ids=ids,
+        segments=segments,
+        thresholds=thresholds,
+        strict=strict,
+    )
+
+
+def evaluate_chunked(
+    population: Population,
+    policies: Iterable[HousePolicy],
+    *,
+    chunk_size: int,
+    workers: int = 1,
+    implicit_zero: bool = True,
+) -> list[BatchReport]:
+    """Evaluate *policies* over *population* in bounded-memory chunks.
+
+    Each chunk is compiled against the **full population's** sensitivity
+    and default models (so chunking never changes a weight or threshold),
+    evaluated for every policy through the ``workers=N`` execution
+    policy (:func:`~repro.perf.parallel.make_batch_engine`), and dropped
+    before the next chunk compiles.  Returns one merged
+    :class:`~repro.perf.batch.BatchReport` per policy, in policy order —
+    bit-for-bit what a one-shot engine over the whole population returns.
+    """
+    policies = list(policies)
+    if not policies:
+        return []
+    if len(population) == 0:
+        engine = make_batch_engine(population, implicit_zero=implicit_zero)
+        return engine.evaluate_policies(policies)
+    sensitivities = population.sensitivity_model()
+    default_model = population.default_model()
+    per_policy: list[list[tuple[np.ndarray, np.ndarray]]] = [
+        [] for _ in policies
+    ]
+    ids: tuple = ()
+    segments: tuple = ()
+    thresholds_parts: list[np.ndarray] = []
+    n_chunks = 0
+    for chunk in iter_population_chunks(population, chunk_size):
+        n_chunks += 1
+        with make_batch_engine(
+            chunk,
+            workers=workers,
+            sensitivities=sensitivities,
+            default_model=default_model,
+            implicit_zero=implicit_zero,
+        ) as engine:
+            compiled = engine.compiled
+            ids += compiled.ids
+            segments += compiled.segments
+            thresholds_parts.append(np.array(compiled.thresholds, copy=True))
+            for slot, policy in enumerate(policies):
+                per_policy[slot].append(engine.evaluate_arrays(policy))
+    thresholds = np.concatenate(thresholds_parts)
+    strict = default_model.strict
+    obs = active_observer()
+    if obs is not None:
+        obs.inc("parallel.chunks", n_chunks)
+    reports = []
+    for slot, policy in enumerate(policies):
+        violations = np.concatenate([part[0] for part in per_policy[slot]])
+        counts = np.concatenate([part[1] for part in per_policy[slot]])
+        reports.append(
+            assemble_report(
+                policy.name,
+                violations,
+                counts,
+                ids=ids,
+                segments=segments,
+                thresholds=thresholds,
+                strict=strict,
+            )
+        )
+    return reports

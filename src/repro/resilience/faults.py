@@ -48,6 +48,7 @@ Injection sites
 
 from __future__ import annotations
 
+import os
 import random
 import sqlite3
 from collections.abc import Iterable, Iterator
@@ -133,6 +134,17 @@ class FaultPlan:
     firing, which byte to flip, which element to poison) comes from one
     ``random.Random(seed)``, so a plan is a pure function of its
     construction arguments and the visit sequence.
+
+    Fork awareness: a plan is armed only in the process that constructed
+    it.  A child process forked while a plan is active (the parallel
+    executor's worker pool, for instance) inherits the plan object and
+    the global activation, but its visits are no-ops — otherwise every
+    worker would replay the parent's seed-driven schedule from wherever
+    the fork happened to land, double-firing faults the scenario
+    scripted exactly once.  Workers that *should* fault construct a
+    fresh plan after the fork (see
+    :class:`~repro.perf.parallel.ShardExecutor`'s ``worker_faults``), or
+    call :meth:`rearm` to adopt an inherited plan deliberately.
     """
 
     def __init__(self, faults: Iterable[FaultSpec] = (), *, seed: int = 0) -> None:
@@ -142,20 +154,48 @@ class FaultPlan:
                 raise FaultConfigError(
                     f"faults must be FaultSpec, got {type(spec).__name__}"
                 )
+        self._seed = seed
         self._rng = random.Random(seed)
         self._visits: dict[str, int] = {}
         self._fired: list[tuple[str, int, str]] = []
+        self._owner_pid = os.getpid()
 
     @property
     def fired(self) -> tuple[tuple[str, int, str], ...]:
         """Every fault that fired so far, as ``(site, visit, kind)``."""
         return tuple(self._fired)
 
+    @property
+    def armed(self) -> bool:
+        """Whether visits in *this* process can fire faults."""
+        return os.getpid() == self._owner_pid
+
+    def rearm(self, *, seed: int | None = None) -> None:
+        """Adopt the plan in the current process, restarting its schedule.
+
+        Resets the visit counts, the fired log, and the RNG (to *seed*,
+        or the construction seed) and makes the calling process the
+        owner.  This is the explicit opt-in for a forked child that
+        wants its own copy of the schedule instead of the default
+        disabled state.
+        """
+        self._owner_pid = os.getpid()
+        if seed is not None:
+            self._seed = seed
+        self._rng = random.Random(self._seed)
+        self._visits = {}
+        self._fired = []
+
     def visits(self, site: str) -> int:
         """How many times *site* has been visited."""
         return self._visits.get(site, 0)
 
     def _visit(self, site: str) -> FaultSpec | None:
+        if os.getpid() != self._owner_pid:
+            # Forked child: the inherited plan is disarmed (see class
+            # docstring).  Visits do not advance the schedule either, so
+            # the parent's counters stay consistent if pages are shared.
+            return None
         visit = self._visits.get(site, 0)
         self._visits[site] = visit + 1
         for spec in self._faults:

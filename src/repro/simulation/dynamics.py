@@ -23,7 +23,7 @@ from .._validation import check_int, check_real
 from ..obs import active_observer, span
 from ..core.policy import HousePolicy
 from ..core.population import Population
-from ..perf import BatchReport, BatchViolationEngine
+from ..perf import BatchReport, make_batch_engine
 from ..taxonomy.builder import Taxonomy
 from .widening import WideningStep, widen
 
@@ -108,6 +108,7 @@ def run_dynamics(
     per_provider_utility: float = 1.0,
     extra_utility_per_round: float = 0.25,
     implicit_zero: bool = True,
+    workers: int = 1,
 ) -> list[RoundOutcome]:
     """Run *rounds* rounds of widen-then-default over a shrinking population.
 
@@ -117,6 +118,9 @@ def run_dynamics(
 
     Returns one :class:`RoundOutcome` per round, including rounds where
     nobody defaults.  Stops early when the population empties.
+    ``workers`` selects the execution policy (see
+    :func:`~repro.perf.parallel.make_batch_engine`); outcomes are
+    identical across settings.
     """
     check_int(rounds, "rounds", minimum=1)
     check_real(per_provider_utility, "per_provider_utility", minimum=0.0)
@@ -127,35 +131,44 @@ def run_dynamics(
     current_population = population
     current_policy = round_policy(base_policy, base_policy.name, step, taxonomy, 0)
     # The compilation is reused across rounds until departures shrink the
-    # population; only then is the survivor set recompiled.
-    engine = BatchViolationEngine(current_population, implicit_zero=implicit_zero)
+    # population; only then is the survivor set recompiled (and, under a
+    # parallel execution policy, re-exported to a fresh worker pool).
+    engine = make_batch_engine(
+        current_population, workers=workers, implicit_zero=implicit_zero
+    )
     obs = active_observer()
-    with span("dynamics.run", providers=len(population), rounds=rounds):
-        for round_index in range(rounds):
-            if len(current_population) == 0:
-                break
-            if round_index > 0:
-                current_policy = round_policy(
-                    current_policy, base_policy.name, step, taxonomy, round_index
+    try:
+        with span("dynamics.run", providers=len(population), rounds=rounds):
+            for round_index in range(rounds):
+                if len(current_population) == 0:
+                    break
+                if round_index > 0:
+                    current_policy = round_policy(
+                        current_policy, base_policy.name, step, taxonomy, round_index
+                    )
+                report = engine.evaluate(current_policy)
+                outcome = build_round_outcome(
+                    report,
+                    round_index=round_index,
+                    per_provider_utility=per_provider_utility,
+                    extra_utility_per_round=extra_utility_per_round,
                 )
-            report = engine.evaluate(current_policy)
-            outcome = build_round_outcome(
-                report,
-                round_index=round_index,
-                per_provider_utility=per_provider_utility,
-                extra_utility_per_round=extra_utility_per_round,
-            )
-            outcomes.append(outcome)
-            if obs is not None:
-                obs.inc("dynamics.rounds")
-                obs.inc("dynamics.departures", outcome.n_defaulted)
-            if outcome.defaulted_providers:
-                current_population = current_population.without(
-                    outcome.defaulted_providers
-                )
-                engine = BatchViolationEngine(
-                    current_population, implicit_zero=implicit_zero
-                )
+                outcomes.append(outcome)
+                if obs is not None:
+                    obs.inc("dynamics.rounds")
+                    obs.inc("dynamics.departures", outcome.n_defaulted)
+                if outcome.defaulted_providers:
+                    current_population = current_population.without(
+                        outcome.defaulted_providers
+                    )
+                    engine.close()
+                    engine = make_batch_engine(
+                        current_population,
+                        workers=workers,
+                        implicit_zero=implicit_zero,
+                    )
+    finally:
+        engine.close()
     return outcomes
 
 

@@ -29,7 +29,7 @@ from ..core.economics import (
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import SimulationError
-from ..perf import BatchReport, BatchViolationEngine
+from ..perf import BatchReport, make_batch_engine
 from ..taxonomy.builder import Taxonomy
 from .widening import WideningStep, widening_path
 
@@ -157,6 +157,7 @@ def run_expansion_sweep(
     purposes: Iterable[str] | None = None,
     scenario_name: str = "expansion-sweep",
     implicit_zero: bool = True,
+    workers: int = 1,
 ) -> ExpansionSweep:
     """Walk a widening path, evaluating the full model at every level.
 
@@ -181,6 +182,11 @@ def run_expansion_sweep(
         at level ``k`` the house enjoys ``T x k``.
     attributes, purposes:
         Restrict the widening's scope (see :func:`widen`).
+    workers:
+        The execution policy: ``1`` (default) evaluates in-process,
+        ``0`` uses one worker per CPU, ``N > 1`` fans each level's
+        evaluation over a :class:`~repro.perf.parallel.ShardExecutor`.
+        Results are bit-for-bit identical across settings.
     """
     check_int(max_steps, "max_steps", minimum=0)
     check_real(per_provider_utility, "per_provider_utility", minimum=0.0)
@@ -188,10 +194,6 @@ def run_expansion_sweep(
     if step is None:
         step = WideningStep.uniform(1)
     n_current = len(population)
-    # One compilation serves the whole sweep; consecutive widening levels
-    # share most (attribute, purpose) columns, so the batch engine's delta
-    # path re-evaluates only what each step moved.
-    engine = BatchViolationEngine(population, implicit_zero=implicit_zero)
     rows: list[SweepRow] = []
     obs = active_observer()
     with span(
@@ -200,28 +202,35 @@ def run_expansion_sweep(
         providers=n_current,
         max_steps=max_steps,
     ):
-        for k, policy in widening_path(
-            base_policy,
-            step,
-            taxonomy,
-            max_steps,
-            attributes=attributes,
-            purposes=purposes,
-        ):
-            start = perf_counter() if obs is not None else 0.0
-            report = engine.evaluate(policy)
-            rows.append(
-                build_sweep_row(
-                    report,
-                    step=k,
-                    n_current=n_current,
-                    per_provider_utility=per_provider_utility,
-                    extra_utility_per_step=extra_utility_per_step,
+        # One compilation serves the whole sweep; consecutive widening
+        # levels share most (attribute, purpose) columns, so the batch
+        # engine's delta path (per shard, under the parallel executor)
+        # re-evaluates only what each step moved.
+        with make_batch_engine(
+            population, workers=workers, implicit_zero=implicit_zero
+        ) as engine:
+            for k, policy in widening_path(
+                base_policy,
+                step,
+                taxonomy,
+                max_steps,
+                attributes=attributes,
+                purposes=purposes,
+            ):
+                start = perf_counter() if obs is not None else 0.0
+                report = engine.evaluate(policy)
+                rows.append(
+                    build_sweep_row(
+                        report,
+                        step=k,
+                        n_current=n_current,
+                        per_provider_utility=per_provider_utility,
+                        extra_utility_per_step=extra_utility_per_step,
+                    )
                 )
-            )
-            if obs is not None:
-                obs.inc("sweep.steps")
-                obs.observe("sweep.step_seconds", perf_counter() - start)
+                if obs is not None:
+                    obs.inc("sweep.steps")
+                    obs.observe("sweep.step_seconds", perf_counter() - start)
     return ExpansionSweep(
         scenario_name=scenario_name,
         per_provider_utility=per_provider_utility,

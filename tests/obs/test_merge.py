@@ -1,0 +1,106 @@
+"""Merging worker metric snapshots into a parent registry.
+
+The parallel executor runs each worker task under its own in-process
+registry and ships ``snapshot(include_samples=True)`` documents back
+with the results; the parent folds them in via ``merge_snapshot``.
+These tests pin the merge semantics: counters add, gauges take the
+last-written value, timers absorb exact count/total/max (samples are
+best-effort, capped at ``MAX_TIMER_SAMPLES``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import MAX_TIMER_SAMPLES
+
+
+class TestTimerAbsorb:
+    def test_absorb_is_exact_on_count_total_max(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        timer.observe(1.0)
+        timer.absorb(3, 6.0, 4.0, (0.5, 1.5, 4.0))
+        assert timer.count == 4
+        assert timer.total == 7.0
+        assert timer.summary()["max"] == 4.0
+
+    def test_absorb_keeps_samples_up_to_cap(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("t")
+        timer.absorb(MAX_TIMER_SAMPLES + 10, float(MAX_TIMER_SAMPLES + 10),
+                     1.0, [1.0] * (MAX_TIMER_SAMPLES + 10))
+        assert len(timer.samples) == MAX_TIMER_SAMPLES
+        # The aggregate stays exact even though samples were dropped.
+        assert timer.count == MAX_TIMER_SAMPLES + 10
+
+    def test_absorb_rejects_negative_aggregates(self):
+        timer = MetricsRegistry().timer("t")
+        with pytest.raises(ValueError):
+            timer.absorb(-1, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            timer.absorb(1, -0.5, 0.0)
+
+
+class TestMergeSnapshot:
+    def test_counters_add_gauges_set_timers_absorb(self):
+        worker = MetricsRegistry()
+        worker.counter("engine.batch.full_evaluations").inc(3)
+        worker.gauge("pool.depth").set(7.0)
+        worker.timer("engine.batch.evaluate_seconds").observe(0.25)
+        worker.timer("engine.batch.evaluate_seconds").observe(0.75)
+
+        parent = MetricsRegistry()
+        parent.counter("engine.batch.full_evaluations").inc(1)
+        parent.gauge("pool.depth").set(2.0)
+        parent.merge_snapshot(worker.snapshot(include_samples=True))
+
+        merged = parent.snapshot()
+        counters = {c["name"]: c["value"] for c in merged["counters"]}
+        gauges = {g["name"]: g["value"] for g in merged["gauges"]}
+        timers = {t["name"]: t for t in merged["timers"]}
+        assert counters["engine.batch.full_evaluations"] == 4.0
+        assert gauges["pool.depth"] == 7.0
+        assert timers["engine.batch.evaluate_seconds"]["count"] == 2
+        assert timers["engine.batch.evaluate_seconds"]["total"] == 1.0
+        assert timers["engine.batch.evaluate_seconds"]["max"] == 0.75
+
+    def test_merge_preserves_labels(self):
+        worker = MetricsRegistry()
+        worker.counter("faults.fired", site="db.execute", kind="locked").inc()
+        parent = MetricsRegistry()
+        parent.merge_snapshot(worker.snapshot())
+        assert (
+            parent.counter("faults.fired", site="db.execute", kind="locked").value
+            == 1.0
+        )
+
+    def test_merge_is_associative_on_counters_and_timers(self):
+        """Folding worker snapshots one by one equals folding them merged."""
+        workers = []
+        for k in range(3):
+            registry = MetricsRegistry()
+            registry.counter("tasks").inc(k + 1)
+            registry.timer("seconds").observe(0.5 * (k + 1))
+            workers.append(registry.snapshot(include_samples=True))
+        one_by_one = MetricsRegistry()
+        for snapshot in workers:
+            one_by_one.merge_snapshot(snapshot)
+        assert one_by_one.counter("tasks").value == 6.0
+        assert one_by_one.timer("seconds").count == 3
+        assert one_by_one.timer("seconds").total == 3.0
+
+    def test_merge_ignores_span_trees(self):
+        parent = MetricsRegistry()
+        parent.merge_snapshot({"counters": [], "spans": [{"name": "x"}]})
+        assert parent.snapshot()["counters"] == []
+
+    def test_default_snapshot_shape_is_unchanged(self):
+        """``include_samples`` defaults off so exported JSON stays stable."""
+        registry = MetricsRegistry()
+        registry.timer("t").observe(0.1)
+        (entry,) = registry.snapshot()["timers"]
+        assert "samples" not in entry
+        (entry,) = registry.snapshot(include_samples=True)["timers"]
+        assert entry["samples"] == [0.1]

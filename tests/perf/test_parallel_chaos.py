@@ -1,0 +1,77 @@
+"""Chaos: a worker death must surface as a coded error, never a leak.
+
+The executor's ``worker_faults`` build a *fresh* fault plan inside each
+worker after the fork (an inherited parent plan is disarmed — see
+:class:`~repro.resilience.faults.FaultPlan`), so a ``kill`` spec at the
+``parallel.task`` site SIGKILLs a real worker process mid-task.  The
+parent must then (a) raise :class:`~repro.exceptions.ParallelExecutionError`
+— surfaced by the CLI as ``error[PVL907]`` — and (b) shut the pool down
+and unlink the shared-memory block before the exception propagates, so
+nothing under ``/dev/shm`` outlives the failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import random
+
+import pytest
+
+from repro.exceptions import ParallelExecutionError
+from repro.perf import ShardExecutor
+from repro.perf.parallel import TASK_FAULT_SITE
+from repro.resilience import FaultSpec
+from repro.resilience.diagnostics import CLI_PARALLEL, RUNTIME_CODES
+
+from tests.properties.test_batch_parity import (
+    _random_policy,
+    _random_population,
+)
+
+
+def test_worker_kill_surfaces_coded_error_and_releases_shm():
+    rng = random.Random(99)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos")
+    executor = ShardExecutor(
+        population,
+        workers=2,
+        worker_faults=[FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0)],
+    )
+    segment = executor.segment_name
+    assert glob.glob(f"/dev/shm/{segment}")
+    with pytest.raises(ParallelExecutionError):
+        executor.evaluate(policy)
+    # The failure path already shut the pool down and unlinked the block.
+    assert glob.glob(f"/dev/shm/{segment}") == []
+    assert glob.glob("/dev/shm/pvl_*") == []
+    executor.close()  # still safe after the failure path
+
+
+def test_parent_plan_never_fires_without_worker_faults():
+    """A healthy executor with no worker faults completes normally."""
+    rng = random.Random(100)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="healthy")
+    with ShardExecutor(population, workers=2) as executor:
+        report = executor.evaluate(policy)
+        assert report.n_providers == len(population)
+    assert glob.glob("/dev/shm/pvl_*") == []
+
+
+def test_pvl907_registered():
+    assert CLI_PARALLEL == "PVL907"
+    assert CLI_PARALLEL in RUNTIME_CODES
+
+
+def test_cli_maps_parallel_failure_to_pvl907(capsys):
+    from repro.cli import _dispatch
+
+    def boom(args):
+        raise ParallelExecutionError("a parallel worker died mid-task")
+
+    assert _dispatch(argparse.Namespace(func=boom)) == 2
+    err = capsys.readouterr().err
+    assert "error[PVL907]" in err
+    assert "worker died" in err

@@ -1,0 +1,405 @@
+"""Parity: the parallel shard executor must equal the serial batch engine.
+
+The :class:`~repro.perf.parallel.ShardExecutor` fans ``(policy, shard)``
+tasks over worker processes attached to a shared-memory export of the
+compiled population.  Because shards are contiguous row ranges and every
+per-shard kernel accumulates the same floating-point operations in the
+same order as the full-population kernel, the merged reports must be
+**bit-for-bit identical** to the serial engine's — not merely close.
+These tests hold it to that, reusing the randomized dyadic scenario
+corpus from :mod:`tests.properties.test_batch_parity` plus the awkward
+partitions: ``n_providers % workers != 0``, ``workers > n_providers``,
+empty shards, and the empty population.
+"""
+
+from __future__ import annotations
+
+import glob
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import HousePolicy, Population, PrivacyTuple, ViolationEngine
+from repro.exceptions import ValidationError
+from repro.game import FixedWidening, play_widening_game
+from repro.perf import (
+    BatchViolationEngine,
+    ShardExecutor,
+    SharedArrayPack,
+    attach_arrays,
+    evaluate_chunked,
+    make_batch_engine,
+    resolve_workers,
+    shard_bounds,
+)
+from repro.analysis import sweep_frontier
+from repro.simulation import run_dynamics, run_expansion_sweep
+from repro.simulation.widening import WideningStep
+
+from tests.properties.test_batch_parity import (
+    _dyadic,
+    _random_policy,
+    _random_population,
+    _random_provider,
+)
+
+
+def _assert_reports_identical(parallel, serial) -> None:
+    """Every field of two BatchReports, compared exactly."""
+    assert parallel.policy_name == serial.policy_name
+    assert parallel.n_providers == serial.n_providers
+    assert parallel.n_violated == serial.n_violated
+    assert parallel.n_defaulted == serial.n_defaulted
+    assert parallel.violation_probability == serial.violation_probability
+    assert parallel.default_probability == serial.default_probability
+    assert parallel.total_violations == serial.total_violations
+    assert parallel.provider_ids == serial.provider_ids
+    assert parallel.segments == serial.segments
+    assert np.array_equal(parallel.violations, serial.violations)
+    assert np.array_equal(parallel.thresholds, serial.thresholds)
+    assert np.array_equal(parallel.violated, serial.violated)
+    assert np.array_equal(parallel.defaulted, serial.defaulted)
+
+
+def _no_leaked_segments() -> bool:
+    return glob.glob("/dev/shm/pvl_*") == []
+
+
+# ---------------------------------------------------------------------------
+# shard partitioning and worker-count resolution
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "n,shards", [(0, 1), (1, 1), (7, 3), (2, 4), (100, 7), (5, 5), (6, 2)]
+)
+def test_shard_bounds_cover_exactly(n, shards):
+    bounds = shard_bounds(n, shards)
+    assert len(bounds) == shards
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == n
+    for (lo, hi), (next_lo, _) in zip(bounds, bounds[1:]):
+        assert hi == next_lo  # contiguous, no gaps, no overlap
+    sizes = [hi - lo for lo, hi in bounds]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1  # balanced to within one row
+
+
+def test_shard_bounds_empty_tails():
+    assert shard_bounds(2, 4) == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+
+def test_shard_bounds_validation():
+    with pytest.raises(ValidationError):
+        shard_bounds(-1, 2)
+    with pytest.raises(ValidationError):
+        shard_bounds(5, 0)
+
+
+def test_resolve_workers():
+    assert resolve_workers(1) == 1
+    assert resolve_workers(4) == 4
+    assert resolve_workers(0) >= 1  # auto: one per CPU, at least one
+    for bad in (True, False, -1, 2.0, "2", None):
+        with pytest.raises(ValidationError):
+            resolve_workers(bad)
+
+
+def test_shared_array_pack_roundtrip():
+    arrays = {
+        "a": np.arange(17, dtype=np.float64),
+        "b": np.arange(6, dtype=np.int64).reshape(2, 3),
+        "empty": np.zeros(0, dtype=np.float64),
+    }
+    with SharedArrayPack(arrays) as pack:
+        shm, attached = attach_arrays(pack.name, pack.layout)
+        try:
+            for key, original in arrays.items():
+                assert attached[key].dtype == original.dtype
+                assert attached[key].shape == original.shape
+                assert np.array_equal(attached[key], original)
+        finally:
+            del attached
+            shm.close()
+    assert _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------------
+# executor vs serial engine over the randomized corpus
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_randomized_corpus_parity(seed):
+    """workers=2 equals the serial engine on random scenarios, bit for bit.
+
+    Each scenario pushes several policies through ONE executor so the
+    per-worker shard engines exercise their cache and delta paths, then
+    repeats one policy to hit the merged-report cache.
+    """
+    rng = random.Random(31_000 + seed)
+    population = _random_population(rng)
+    policies = [
+        _random_policy(rng, name=f"par-{seed}-{k}") for k in range(3)
+    ]
+    implicit_zero = seed % 3 != 0
+    serial = BatchViolationEngine(population, implicit_zero=implicit_zero)
+    with ShardExecutor(
+        population, workers=2, implicit_zero=implicit_zero
+    ) as executor:
+        for policy in policies:
+            _assert_reports_identical(
+                executor.evaluate(policy), serial.evaluate(policy)
+            )
+        # Repeat: served from the executor's merged-report cache.
+        _assert_reports_identical(
+            executor.evaluate(policies[0]), serial.evaluate(policies[0])
+        )
+        for alpha in (0.0, 0.25, 1.0):
+            assert executor.certify(policies[0], alpha) == serial.certify(
+                policies[0], alpha
+            )
+    assert _no_leaked_segments()
+
+
+@pytest.mark.parametrize(
+    "n_providers,workers,shards",
+    [
+        (5, 2, None),  # n % workers != 0
+        (3, 7, None),  # workers > n_providers
+        (4, 2, 9),  # explicit empty shards
+        (1, 3, None),  # single provider, several workers
+    ],
+)
+def test_awkward_partitions_parity(n_providers, workers, shards):
+    rng = random.Random(77_000 + n_providers * 31 + workers)
+    population = Population(
+        [_random_provider(rng, index) for index in range(n_providers)],
+        attribute_sensitivities={"name": _dyadic(rng), "weight": _dyadic(rng)},
+    )
+    policy = _random_policy(rng, name=f"awkward-{n_providers}-{workers}")
+    serial = BatchViolationEngine(population)
+    with ShardExecutor(population, workers=workers, shards=shards) as executor:
+        if shards is not None:
+            assert len(executor.bounds) == shards
+        _assert_reports_identical(
+            executor.evaluate(policy), serial.evaluate(policy)
+        )
+    assert _no_leaked_segments()
+
+
+def test_empty_population_parity():
+    population = Population([], attribute_sensitivities={"name": 1.0})
+    policy = HousePolicy(
+        [("name", PrivacyTuple("billing", 1, 1, 1))], name="empty-pop"
+    )
+    serial = BatchViolationEngine(population)
+    with ShardExecutor(population, workers=2) as executor:
+        _assert_reports_identical(
+            executor.evaluate(policy), serial.evaluate(policy)
+        )
+        certificate = executor.certify(policy, 0.5)
+        assert certificate == serial.certify(policy, 0.5)
+        assert certificate.satisfied
+    assert _no_leaked_segments()
+
+
+def test_evaluate_policies_preserves_order():
+    rng = random.Random(123)
+    population = _random_population(rng)
+    policies = [_random_policy(rng, name=f"batch-{k}") for k in range(5)]
+    serial = BatchViolationEngine(population)
+    with ShardExecutor(population, workers=2) as executor:
+        reports = executor.evaluate_policies(policies)
+        assert [r.policy_name for r in reports] == [p.name for p in policies]
+        for policy, report in zip(policies, reports):
+            _assert_reports_identical(report, serial.evaluate(policy))
+    assert _no_leaked_segments()
+
+
+def test_parallel_matches_reference_oracle():
+    """Transitively: parallel == serial batch == reference ViolationEngine."""
+    rng = random.Random(9)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="oracle")
+    reference = ViolationEngine(policy, population).report()
+    with ShardExecutor(population, workers=2) as executor:
+        report = executor.evaluate(policy)
+    assert report.violated_ids() == reference.violated_ids()
+    assert report.defaulted_ids() == reference.defaulted_ids()
+    assert report.total_violations == reference.total_violations
+    assert report.violation_probability == reference.violation_probability
+
+
+# ---------------------------------------------------------------------------
+# certification
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_certify_exact_parity(seed):
+    rng = random.Random(41_000 + seed)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name=f"cert-{seed}")
+    serial = BatchViolationEngine(population)
+    with ShardExecutor(population, workers=2) as executor:
+        for alpha in (0.0, 0.1, 0.3, 0.5, 1.0):
+            assert executor.certify(policy, alpha) == serial.certify(
+                policy, alpha
+            )
+    assert _no_leaked_segments()
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_certify_early_exit_verdict_parity(seed):
+    """Early exit may skip columns but the *verdict* always matches.
+
+    When no shard trips the budget flag every shard ran exhaustively and
+    the certificate is exact; a tripped flag means the shard alone
+    refutes the global budget, so ``satisfied=False`` is guaranteed
+    correct.  Only the serial certificate is compared field-by-field
+    when the parallel one claims exhaustiveness.
+    """
+    rng = random.Random(43_000 + seed)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name=f"early-{seed}")
+    serial = BatchViolationEngine(population)
+    with ShardExecutor(population, workers=2) as executor:
+        for alpha in (0.0, 0.1, 0.5, 1.0):
+            exact = serial.certify(policy, alpha)
+            early = executor.certify(policy, alpha, early_exit=True)
+            assert early.satisfied == exact.satisfied
+            if early.exhaustive:
+                assert early == exact
+    assert _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------------
+# chunked / streaming evaluation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("chunk_size", [1, 2, 5])
+def test_chunked_evaluation_parity(chunk_size):
+    rng = random.Random(55_000 + chunk_size)
+    population = _random_population(rng)
+    policies = [_random_policy(rng, name=f"chunk-{k}") for k in range(3)]
+    serial = BatchViolationEngine(population)
+    reports = evaluate_chunked(population, policies, chunk_size=chunk_size)
+    assert len(reports) == len(policies)
+    for policy, report in zip(policies, reports):
+        _assert_reports_identical(report, serial.evaluate(policy))
+
+
+def test_chunked_parallel_evaluation_parity():
+    rng = random.Random(56_000)
+    population = _random_population(rng)
+    policies = [_random_policy(rng, name=f"cpk-{k}") for k in range(2)]
+    serial = BatchViolationEngine(population)
+    reports = evaluate_chunked(
+        population, policies, chunk_size=3, workers=2
+    )
+    for policy, report in zip(policies, reports):
+        _assert_reports_identical(report, serial.evaluate(policy))
+    assert _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------------
+# callers: the workers knob must not change results
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_parity_across_workers(small_crm):
+    serial = run_expansion_sweep(
+        small_crm.population, small_crm.policy, small_crm.taxonomy, max_steps=3
+    )
+    parallel = run_expansion_sweep(
+        small_crm.population,
+        small_crm.policy,
+        small_crm.taxonomy,
+        max_steps=3,
+        workers=2,
+    )
+    assert parallel.rows == serial.rows
+    assert _no_leaked_segments()
+
+
+def test_frontier_parity_across_workers(small_crm):
+    serial = sweep_frontier(
+        small_crm.population, small_crm.policy, small_crm.taxonomy, max_steps=3
+    )
+    parallel = sweep_frontier(
+        small_crm.population,
+        small_crm.policy,
+        small_crm.taxonomy,
+        max_steps=3,
+        workers=2,
+    )
+    assert parallel.points == serial.points
+    assert parallel.dominated_steps == serial.dominated_steps
+    assert _no_leaked_segments()
+
+
+def test_dynamics_parity_across_workers(small_crm):
+    serial = run_dynamics(
+        small_crm.population, small_crm.policy, small_crm.taxonomy, rounds=3
+    )
+    parallel = run_dynamics(
+        small_crm.population,
+        small_crm.policy,
+        small_crm.taxonomy,
+        rounds=3,
+        workers=2,
+    )
+    assert parallel == serial
+    assert _no_leaked_segments()
+
+
+def test_game_parity_across_workers(small_crm):
+    strategy = FixedWidening(WideningStep.uniform(1), 3)
+    serial = play_widening_game(
+        small_crm.population, small_crm.policy, small_crm.taxonomy, strategy
+    )
+    parallel = play_widening_game(
+        small_crm.population,
+        small_crm.policy,
+        small_crm.taxonomy,
+        FixedWidening(WideningStep.uniform(1), 3),
+        workers=2,
+    )
+    assert parallel == serial
+    assert _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------------
+# lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_make_batch_engine_dispatch():
+    rng = random.Random(7)
+    population = _random_population(rng)
+    engine = make_batch_engine(population, workers=1)
+    assert isinstance(engine, BatchViolationEngine)
+    engine.close()
+    engine = make_batch_engine(population, workers=2)
+    assert isinstance(engine, ShardExecutor)
+    engine.close()
+    assert _no_leaked_segments()
+
+
+def test_close_is_idempotent_and_segment_released():
+    rng = random.Random(8)
+    population = _random_population(rng)
+    executor = ShardExecutor(population, workers=2)
+    name = executor.segment_name
+    assert glob.glob(f"/dev/shm/{name}")
+    executor.close()
+    executor.close()  # second close is a no-op
+    assert _no_leaked_segments()
+
+
+def test_executor_rejects_invalid_population():
+    with pytest.raises(ValidationError):
+        ShardExecutor(object(), workers=2)  # type: ignore[arg-type]
