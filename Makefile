@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy all
+.PHONY: install test chaos obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
 
 install:
 	$(PYTHON) setup.py develop
@@ -76,13 +76,36 @@ lint:
 
 # Static analysis of the shipped policy documents via `repro lint`.
 # The Section 8 example legitimately violates Ted and Bob, so the alpha
-# gate is set above the paper's P(W) = 2/3.
+# gate is set above the paper's P(W) = 2/3.  Runs the incremental path
+# with worker fan-out (--workers 0 = one per core) so the default local
+# check exercises the same code CI's lint-populations job does.
 lint-policy:
 	PYTHONPATH=src $(PYTHON) -m repro.cli lint \
 		--taxonomy examples/documents/taxonomy.json \
 		--policy examples/documents/policy.json \
 		--population examples/documents/population.json \
 		--candidate examples/documents/candidate.json \
-		--alpha 0.7
+		--alpha 0.7 --workers 0
 
-all: test lint lint-policy bench
+# Population-scale static analysis: export every bundled dataset to
+# documents, lint each with worker fan-out (gate disabled — the bundled
+# populations intentionally carry findings; the golden tests pin them),
+# emit SARIF per dataset, then hold the SARIF schema and golden
+# snapshot suites.  What CI's lint-populations job runs.
+lint-populations:
+	PYTHONPATH=src $(PYTHON) -m repro.datasets.export --out build/datasets
+	@set -e; for dir in build/datasets/*/; do \
+		name=$$(basename $$dir); \
+		echo "== lint $$name"; \
+		PYTHONPATH=src $(PYTHON) -m repro.cli lint \
+			--taxonomy $$dir/taxonomy.json \
+			--policy $$dir/policy.json \
+			--population $$dir/population.json \
+			--alpha 0.5 --workers 0 --fail-on never \
+			--format sarif > build/datasets/$$name.sarif; \
+	done
+	PYTHONPATH=src $(PYTHON) -m pytest -q \
+		tests/lint/test_sarif_schema.py \
+		tests/lint/test_datasets_golden.py
+
+all: test lint lint-policy lint-populations bench

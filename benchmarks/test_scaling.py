@@ -18,6 +18,7 @@ import os
 import time
 
 import numpy as np
+import pytest
 
 from repro.analysis import format_table
 from repro.core import HousePolicy, PrivacyTuple, ViolationEngine
@@ -210,9 +211,26 @@ def test_parallel_sweep_speedup(benchmark):
     The ``MIN_PARALLEL_SPEEDUP`` floor is asserted only on the full-size
     problem *and* when the machine has at least one core per worker —
     on a single-core box the workers time-slice one CPU and parallelism
-    cannot win; the recorded numbers still document that configuration.
+    cannot win.  A full-size run on such a box is skipped loudly (a
+    BENCH record with ``"skipped"`` set) rather than publishing a
+    meaningless sub-1x "speedup" that downstream dashboards would read
+    as a regression.
     """
     cores = _available_cores()
+    if not SMOKE and cores < PARALLEL_WORKERS:
+        record(
+            "parallel_sweep",
+            providers=PARALLEL_PROVIDERS,
+            policies=PARALLEL_POLICIES,
+            workers=PARALLEL_WORKERS,
+            cores=cores,
+            smoke=SMOKE,
+            skipped="cores<workers",
+        )
+        pytest.skip(
+            f"parallel sweep needs >= {PARALLEL_WORKERS} cores "
+            f"(have {cores}); timings would be meaningless"
+        )
     scenario = healthcare_scenario(PARALLEL_PROVIDERS, seed=7)
     policies = widening_policies(
         scenario.policy,

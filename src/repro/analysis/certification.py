@@ -81,7 +81,11 @@ def certification_document(
 
 
 def batch_certification_document(
-    engine: BatchViolationEngine, policy: HousePolicy, alpha: float
+    engine: BatchViolationEngine,
+    policy: HousePolicy,
+    alpha: float,
+    *,
+    static: bool = False,
 ) -> CertificationDocument:
     """Produce the publishable document from a batch engine.
 
@@ -93,7 +97,31 @@ def batch_certification_document(
     contextual metrics come from the same cached report, keeping them
     consistent by construction (the same guarantee
     :meth:`~repro.core.engine.ViolationEngine.certify` makes).
+
+    With ``static=True`` nothing is evaluated: the certificate comes
+    from the engine's static path (``certify(..., static=True)``) and
+    the contextual metrics from the same provider-exact severity
+    intervals (:mod:`repro.lint.intervals`), which determine
+    ``P(Default)`` and Eq. 16's total exactly.  The verdict is identical
+    to the evaluated document's; the floating-point metrics are computed
+    by the static summation order.
     """
+    if static:
+        from ..lint.intervals import interval_analysis
+
+        intervals = interval_analysis(
+            policy,
+            engine.compiled.population,
+            sensitivities=engine.compiled.sensitivities,
+            default_model=engine.compiled.default_model,
+            implicit_zero=engine.implicit_zero,
+            weight_bounds="provider",
+        )
+        return CertificationDocument(
+            certificate=engine.certify(policy, alpha, static=True),
+            default_probability=intervals.default_probability_bounds().lower,
+            total_violations=intervals.house.lower,
+        )
     report = engine.evaluate(policy)
     return CertificationDocument(
         certificate=engine.certify(policy, alpha),

@@ -200,15 +200,19 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 def cmd_certify(args: argparse.Namespace) -> int:
     """Definition 3 verdict; exit code 1 when the threshold is exceeded."""
     _, policy, population = _load_inputs(args)
-    if args.workers != 1:
+    if args.workers != 1 or args.static:
         # The parallel path compiles the population and shards the
         # evaluation over worker processes; the verdict is identical to
         # the serial engine's (see tests/perf/test_parallel_parity.py).
+        # --static skips evaluation entirely: the verdict comes from the
+        # lint layer's severity intervals, with the same certificate.
         from .analysis.certification import batch_certification_document
         from .perf import make_batch_engine
 
         with make_batch_engine(population, workers=args.workers) as engine:
-            document = batch_certification_document(engine, policy, args.alpha)
+            document = batch_certification_document(
+                engine, policy, args.alpha, static=args.static
+            )
     else:
         from .analysis import certification_document
 
@@ -433,20 +437,67 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from .lint import LintConfig, Severity, lint_documents, render
 
     taxonomy = _parse("taxonomy", parse_taxonomy, _load_json(args.taxonomy))
-    report = lint_documents(
-        taxonomy,
+    documents = dict(
         policy=_load_json(args.policy) if args.policy else None,
         population=_load_json(args.population) if args.population else None,
         candidate=_load_json(args.candidate) if args.candidate else None,
-        config=LintConfig(
-            alpha=args.alpha,
-            utility=args.utility,
-            max_extra_utility=args.max_extra_utility,
-        ),
-        select=args.select.split(",") if args.select else None,
-        ignore=args.ignore.split(",") if args.ignore else None,
     )
-    print(render(report, args.format))
+    config = LintConfig(
+        alpha=args.alpha,
+        utility=args.utility,
+        max_extra_utility=args.max_extra_utility,
+    )
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    if args.workers != 1 or args.cache:
+        # The incremental path: identical findings (a parity property of
+        # the test suite), with per-provider caching and fan-out.
+        from .lint import LintCache, incremental_lint
+
+        cache = LintCache(args.cache) if args.cache else None
+        report = incremental_lint(
+            taxonomy,
+            **documents,
+            config=config,
+            select=select,
+            ignore=ignore,
+            cache=cache,
+            workers=args.workers,
+        )
+        if cache is not None:
+            cache.save()
+    else:
+        report = lint_documents(
+            taxonomy, **documents, config=config, select=select, ignore=ignore
+        )
+    if args.write_baseline:
+        from .lint import write_baseline
+
+        recorded = write_baseline(args.write_baseline, report)
+        print(
+            f"wrote {recorded} fingerprint(s) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+    suppressed = 0
+    if args.baseline:
+        from .lint import apply_baseline, load_baseline
+
+        report, suppressed = apply_baseline(
+            report, load_baseline(args.baseline)
+        )
+    artifacts = {
+        kind: path
+        for kind, path in (
+            ("taxonomy", args.taxonomy),
+            ("policy", args.policy),
+            ("population", args.population),
+            ("candidate", args.candidate),
+        )
+        if path
+    }
+    print(render(report, args.format, artifacts=artifacts))
+    if suppressed and args.format == "text":
+        print(f"{suppressed} baselined finding(s) suppressed")
     fail_on = (
         None if args.fail_on == "never" else Severity.from_name(args.fail_on)
     )
@@ -583,6 +634,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the evaluation (1 serial, 0 one per CPU)",
     )
+    certify.add_argument(
+        "--static",
+        action="store_true",
+        help=(
+            "derive the verdict from the lint layer's static severity "
+            "intervals without evaluating the population"
+        ),
+    )
     certify.add_argument("--json", action="store_true")
     certify.add_argument(
         "--output",
@@ -702,6 +761,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--select", help="comma-separated rule codes to run exclusively"
     )
     lint.add_argument("--ignore", help="comma-separated rule codes to skip")
+    lint.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for per-provider passes "
+            "(1 serial, 0 one per CPU)"
+        ),
+    )
+    lint.add_argument(
+        "--cache",
+        help="incremental lint cache file (created when absent)",
+    )
+    lint.add_argument(
+        "--baseline",
+        help=(
+            "suppress the findings recorded in this baseline file; the "
+            "exit code gates on new findings only"
+        ),
+    )
+    lint.add_argument(
+        "--write-baseline",
+        help="record the (unsuppressed) findings as a new baseline file",
+    )
     lint.set_defaults(func=cmd_lint)
 
     init_db = add_parser(

@@ -18,6 +18,8 @@ from .paper_example import (
     PaperExampleExpectations,
     paper_example_policy,
     paper_example_population,
+    paper_example_scenario,
+    paper_example_taxonomy,
 )
 from .healthcare import healthcare_scenario
 from .social_network import social_network_scenario
@@ -31,6 +33,8 @@ __all__ = [
     "PaperExampleExpectations",
     "paper_example_policy",
     "paper_example_population",
+    "paper_example_scenario",
+    "paper_example_taxonomy",
     "healthcare_scenario",
     "social_network_scenario",
     "crm_scenario",

@@ -1,0 +1,149 @@
+"""Export bundled scenarios as policy-language document files.
+
+The linter (and any other document-driven tooling) consumes raw JSON
+documents, while the bundled datasets produce lowered model objects.
+This module is the bridge: :func:`scenario_documents` serialises one
+:class:`~repro.datasets.scenario.Scenario` back into its taxonomy,
+policy, and population documents, and :func:`export_scenario` writes
+them to disk, which is what ``make lint-populations`` and the
+``lint-populations`` CI job lint.
+
+Runnable directly::
+
+    python -m repro.datasets.export --out build/datasets
+    python -m repro.datasets.export --out /tmp/x --providers 25 --seed 3
+
+Exports are deterministic for a given ``(name, providers, seed)``, so
+golden tests can pin their diagnostic snapshots to them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from ..policy_lang.population_doc import population_to_dict
+from ..policy_lang.serializer import policy_to_dict
+from ..policy_lang.taxonomy_doc import taxonomy_to_dict
+from ..storage import atomic_write_text
+from . import (
+    crm_scenario,
+    government_scenario,
+    healthcare_scenario,
+    paper_example_scenario,
+    social_network_scenario,
+)
+from .scenario import Scenario
+
+#: The bundled dataset factories by name.  ``paper_example`` is fixed
+#: (Table 1 has exactly three providers); the domain scenarios accept a
+#: population size and seed.
+DATASETS = {
+    "crm": lambda n, seed: crm_scenario(n, seed=seed),
+    "government": lambda n, seed: government_scenario(n, seed=seed),
+    "healthcare": lambda n, seed: healthcare_scenario(n, seed=seed),
+    "paper_example": lambda n, seed: paper_example_scenario(),
+    "social_network": lambda n, seed: social_network_scenario(n, seed=seed),
+}
+
+#: Default per-dataset population size for exports (kept small: the
+#: export exists for document-level tooling, not throughput tests).
+DEFAULT_PROVIDERS = 12
+
+
+def scenario_documents(scenario: Scenario) -> dict[str, dict]:
+    """The scenario's raw documents, keyed by document kind."""
+    return {
+        "taxonomy": taxonomy_to_dict(scenario.taxonomy),
+        "policy": policy_to_dict(scenario.policy, scenario.taxonomy),
+        "population": population_to_dict(
+            scenario.population, scenario.taxonomy
+        ),
+    }
+
+
+def export_scenario(scenario: Scenario, out_dir: str | os.PathLike) -> dict[str, str]:
+    """Write the scenario's documents under ``<out_dir>/<scenario.name>/``.
+
+    Returns the written paths keyed by document kind.  Files are written
+    atomically and byte-stably (key-sorted JSON, trailing newline).
+    """
+    target = os.path.join(os.fspath(out_dir), scenario.name)
+    os.makedirs(target, exist_ok=True)
+    paths: dict[str, str] = {}
+    for kind, document in scenario_documents(scenario).items():
+        path = os.path.join(target, f"{kind}.json")
+        atomic_write_text(
+            path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        paths[kind] = path
+    return paths
+
+
+def export_all(
+    out_dir: str | os.PathLike,
+    *,
+    n_providers: int = DEFAULT_PROVIDERS,
+    seed: int | None = None,
+) -> dict[str, dict[str, str]]:
+    """Export every bundled dataset; returns paths by dataset and kind.
+
+    *seed* of ``None`` keeps each dataset's own default seed, so the
+    default export matches what the test suite and benchmarks use.
+    """
+    written: dict[str, dict[str, str]] = {}
+    for name in sorted(DATASETS):
+        if seed is None:
+            scenario = (
+                paper_example_scenario()
+                if name == "paper_example"
+                else _default_seed_scenario(name, n_providers)
+            )
+        else:
+            scenario = DATASETS[name](n_providers, seed)
+        written[name] = export_scenario(scenario, out_dir)
+    return written
+
+
+def _default_seed_scenario(name: str, n_providers: int) -> Scenario:
+    factory = {
+        "crm": lambda n: crm_scenario(n),
+        "government": lambda n: government_scenario(n),
+        "healthcare": lambda n: healthcare_scenario(n),
+        "social_network": lambda n: social_network_scenario(n),
+    }[name]
+    return factory(n_providers)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.datasets.export",
+        description="Export the bundled scenarios as JSON documents.",
+    )
+    parser.add_argument(
+        "--out", required=True, help="directory to write <dataset>/<kind>.json under"
+    )
+    parser.add_argument(
+        "--providers",
+        type=int,
+        default=DEFAULT_PROVIDERS,
+        help=f"population size per domain dataset (default {DEFAULT_PROVIDERS})",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="override every dataset's seed (default: each dataset's own)",
+    )
+    args = parser.parse_args(argv)
+    written = export_all(
+        args.out, n_providers=args.providers, seed=args.seed
+    )
+    for name in sorted(written):
+        print(f"{name}: {', '.join(sorted(written[name]))}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

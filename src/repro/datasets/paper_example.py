@@ -37,6 +37,8 @@ from ..core.population import Population, Provider
 from ..core.preferences import ProviderPreferences
 from ..core.sensitivity import DimensionSensitivity
 from ..core.tuples import PrivacyTuple
+from ..taxonomy.builder import Taxonomy, TaxonomyBuilder
+from .scenario import Scenario
 
 #: The purpose shared by every tuple in the example (the paper's ``pr``).
 PURPOSE = "pr"
@@ -135,4 +137,38 @@ def paper_example_population() -> Population:
             "Weight": WEIGHT_ATTRIBUTE_SENSITIVITY,
             "Age": 1.0,
         },
+    )
+
+
+def paper_example_taxonomy() -> Taxonomy:
+    """A vocabulary wide enough for every rank Table 1 uses.
+
+    The paper works with symbolic ranks, so any ladder covering
+    ``BASE + 3`` (the largest offset, Alice's retention) is faithful.
+    Seven rungs per dimension leave the same widening runway as the
+    domain scenarios.
+    """
+    levels = [f"level-{rank}" for rank in range(7)]
+    return (
+        TaxonomyBuilder()
+        .with_purposes([PURPOSE])
+        .with_visibility(levels)
+        .with_granularity(levels)
+        .with_retention(levels)
+        .build()
+    )
+
+
+def paper_example_scenario() -> Scenario:
+    """Section 8 packaged as a :class:`~repro.datasets.scenario.Scenario`.
+
+    Gives the worked example the same shape as the domain scenarios so
+    dataset-generic tooling (document export, lint sweeps, benchmarks)
+    can treat all five bundles uniformly.
+    """
+    return Scenario(
+        name="paper_example",
+        taxonomy=paper_example_taxonomy(),
+        policy=paper_example_policy(),
+        population=paper_example_population(),
     )

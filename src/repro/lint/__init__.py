@@ -10,7 +10,7 @@ consuming the parsed documents and emitting structured
 :class:`Diagnostic` objects with severities, source locations, and
 machine-readable payloads.
 
-Three layers (see ``docs/linting.md`` for the full catalogue):
+Four layers (see ``docs/linting.md`` for the full catalogue):
 
 * **document** (``PVL0xx``) — each document against the taxonomy:
   unknown purposes/levels, undeclared attributes, duplicate rows,
@@ -19,14 +19,29 @@ Three layers (see ``docs/linting.md`` for the full catalogue):
   violations, shadowed rules, unreachable purposes, zero sensitivities,
   dead rules, inert/dominated preferences, static alpha-PPDB
   certification with the witness segment;
-* **economics** (``PVL2xx``) — Eq. 31 sanity for candidate widenings:
-  annihilated populations and unattainable break-even utilities.
+* **economics** (``PVL201``-``PVL202``) — Eq. 31 sanity for candidate
+  widenings: annihilated populations and unattainable break-even
+  utilities;
+* **population** (``PVL210``-``PVL214``) — the policy/population pair
+  through the severity-interval abstraction
+  (:mod:`repro.lint.intervals`): dead and subsumed preference clauses,
+  vacuous policies, statically certifiable populations, statically
+  inevitable defaults.
 
 Entry points: :func:`lint_documents` (documents in, :class:`LintReport`
-out) and the ``repro lint`` CLI subcommand (``--format
-text|json|sarif``, severity-gated exit codes).
+out), :func:`incremental_lint` (the same run decomposed into cached
+global/per-provider passes with optional process fan-out), the
+:mod:`~repro.lint.plugins` registration API for external rules, and the
+``repro lint`` CLI subcommand (``--format text|json|sarif``,
+severity-gated exit codes, ``--baseline`` ratcheting).
 """
 
+from .baseline import (
+    apply_baseline,
+    diagnostic_fingerprint,
+    load_baseline,
+    write_baseline,
+)
 from .diagnostics import Diagnostic, Severity, SourceLocation
 from .formats import (
     FORMATS,
@@ -35,14 +50,25 @@ from .formats import (
     render_sarif,
     render_text,
 )
+from .incremental import LintCache, fingerprint, incremental_lint
+from .intervals import (
+    PopulationIntervals,
+    ProviderSeverityBounds,
+    SeverityInterval,
+    interval_analysis,
+)
+from .plugins import lint_rule, load_entry_point_rules, plugin_load_errors
 from .registry import (
+    SCOPES,
     Layer,
     LintConfig,
     LintContext,
     RuleInfo,
     all_rules,
     get_rule,
+    rules_fingerprint,
     run_rules,
+    unregister_rule,
 )
 from .report import LintReport
 from .runner import build_context, lint_documents
@@ -51,19 +77,36 @@ __all__ = [
     "Diagnostic",
     "FORMATS",
     "Layer",
+    "LintCache",
     "LintConfig",
     "LintContext",
     "LintReport",
+    "PopulationIntervals",
+    "ProviderSeverityBounds",
     "RuleInfo",
+    "SCOPES",
     "Severity",
+    "SeverityInterval",
     "SourceLocation",
     "all_rules",
+    "apply_baseline",
     "build_context",
+    "diagnostic_fingerprint",
+    "fingerprint",
     "get_rule",
+    "incremental_lint",
+    "interval_analysis",
     "lint_documents",
+    "lint_rule",
+    "load_baseline",
+    "load_entry_point_rules",
+    "plugin_load_errors",
     "render",
     "render_json",
     "render_sarif",
     "render_text",
+    "rules_fingerprint",
     "run_rules",
+    "unregister_rule",
+    "write_baseline",
 ]

@@ -129,6 +129,16 @@ class SourceLocation:
             "field": self.field,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SourceLocation":
+        """The inverse of :meth:`as_dict` (cache / baseline reload)."""
+        return cls(
+            document=data["document"],
+            name=data.get("name"),
+            index=data.get("index"),
+            field=data.get("field"),
+        )
+
 
 @dataclass(frozen=True, slots=True)
 class Diagnostic:
@@ -163,6 +173,23 @@ class Diagnostic:
             "location": self.location.as_dict(),
             "payload": dict(self.payload),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Diagnostic":
+        """The inverse of :meth:`as_dict`.
+
+        Used by the incremental cache and the baseline machinery to
+        round-trip diagnostics through JSON.  Payload values survive as
+        their JSON forms (tuples come back as lists), which every
+        renderer treats identically.
+        """
+        return cls(
+            code=data["code"],
+            severity=Severity.from_name(data["severity"]),
+            message=data["message"],
+            location=SourceLocation.from_dict(data["location"]),
+            payload=data.get("payload", {}),
+        )
 
 
 #: Canonical ordering of tuple-spec fields inside one rule/entry.  Used to

@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 
 from ..exceptions import LintConfigurationError
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import FIELD_ORDER, Diagnostic, Severity
 from .registry import all_rules
 from .report import LintReport
 
@@ -25,14 +25,23 @@ _SARIF_LEVELS = {
 }
 
 
-def render(report: LintReport, format: str = "text") -> str:
-    """Render *report* in the named format."""
+def render(
+    report: LintReport,
+    format: str = "text",
+    *,
+    artifacts: dict[str, str] | None = None,
+) -> str:
+    """Render *report* in the named format.
+
+    *artifacts* (SARIF only) maps document kinds to the file paths the
+    findings point into; other formats ignore it.
+    """
     if format == "text":
         return render_text(report)
     if format == "json":
         return render_json(report)
     if format == "sarif":
-        return render_sarif(report)
+        return render_sarif(report, artifacts=artifacts)
     raise LintConfigurationError(
         f"unknown lint output format {format!r}; expected one of "
         f"{', '.join(FORMATS)}"
@@ -58,8 +67,24 @@ def render_json(report: LintReport, *, indent: int = 2) -> str:
     return json.dumps(report.as_dict(), indent=indent, sort_keys=True)
 
 
-def render_sarif(report: LintReport, *, indent: int = 2) -> str:
-    """A minimal SARIF 2.1.0 log with the full rule catalogue attached."""
+def render_sarif(
+    report: LintReport,
+    *,
+    indent: int = 2,
+    artifacts: dict[str, str] | None = None,
+) -> str:
+    """A SARIF 2.1.0 log with the full rule catalogue attached.
+
+    *artifacts* maps document kinds (``"policy"``, ``"population"``,
+    ...) to the file paths the findings point into; unmapped kinds fall
+    back to ``<kind>.json``.  Each result carries both a logical
+    location (the model-level path) and a physical location whose region
+    encodes the entry index as a line and the offending field as a
+    column — an honest approximation for code-scanning UIs that insist
+    on regions, documented in ``docs/linting.md``.
+    """
+    catalogue = all_rules()
+    rule_indices = {info.code: index for index, info in enumerate(catalogue)}
     rules = [
         {
             "id": info.code,
@@ -67,10 +92,14 @@ def render_sarif(report: LintReport, *, indent: int = 2) -> str:
             "shortDescription": {"text": info.title},
             "fullDescription": {"text": info.description},
             "defaultConfiguration": {"level": _SARIF_LEVELS[info.severity]},
+            "properties": {"layer": info.layer.value, "scope": info.scope},
         }
-        for info in all_rules()
+        for info in catalogue
     ]
-    results = [_sarif_result(diagnostic) for diagnostic in report.diagnostics]
+    results = [
+        _sarif_result(diagnostic, rule_indices, artifacts or {})
+        for diagnostic in report.diagnostics
+    ]
     log = {
         "$schema": (
             "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
@@ -95,24 +124,51 @@ def render_sarif(report: LintReport, *, indent: int = 2) -> str:
     return json.dumps(log, indent=indent, sort_keys=True)
 
 
-def _sarif_result(diagnostic: Diagnostic) -> dict:
+def _sarif_result(
+    diagnostic: Diagnostic,
+    rule_indices: dict[str, int],
+    artifacts: dict[str, str],
+) -> dict:
     location = diagnostic.location
     fq_name = location.describe()
     if location.field:
         fq_name = f"{fq_name}.{location.field}"
-    return {
+    result = {
         "ruleId": diagnostic.code,
         "level": _SARIF_LEVELS[diagnostic.severity],
         "message": {"text": diagnostic.message},
         "locations": [
             {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": artifacts.get(
+                            location.document, f"{location.document}.json"
+                        ),
+                    },
+                    "region": {
+                        "startLine": (
+                            location.index + 1
+                            if location.index is not None
+                            else 1
+                        ),
+                        "startColumn": (
+                            FIELD_ORDER[location.field] + 1
+                            if location.field in FIELD_ORDER
+                            else 1
+                        ),
+                    },
+                },
                 "logicalLocations": [
                     {
                         "fullyQualifiedName": fq_name,
                         "kind": location.document,
                     }
-                ]
+                ],
             }
         ],
         "properties": dict(diagnostic.payload),
     }
+    rule_index = rule_indices.get(diagnostic.code)
+    if rule_index is not None:
+        result["ruleIndex"] = rule_index
+    return result

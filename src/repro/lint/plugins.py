@@ -1,0 +1,160 @@
+"""External rule registration: the ``repro.lint`` plugin API.
+
+Third-party packages extend the linter two ways, both landing in the
+same PVL registry (and so in reports, ``--select``/``--ignore``, exit
+codes, and every output format) as the built-in rules:
+
+* **decorator** — import :func:`lint_rule` and register directly::
+
+      from repro.lint.plugins import lint_rule
+
+      @lint_rule(
+          "ACME001",
+          title="purpose naming convention",
+          severity="warning",
+          description="Purposes must be lowercase snake_case.",
+      )
+      def check_purpose_names(ctx, emit): ...
+
+* **entry point** — declare ``[project.entry-points."repro.lint.rules"]``
+  in the plugin's packaging metadata.  Each entry point may resolve to a
+  module (imported for its decorator side effects) or to a callable
+  (invoked once with no arguments to perform the registration).  Entry
+  points load lazily the first time the catalogue is consulted; a broken
+  plugin is recorded (see :func:`plugin_load_errors`) and skipped rather
+  than taking the linter down.
+
+Plugin codes must not collide with registered codes (built-in ``PVL``
+codes included) — collisions raise
+:class:`~repro.exceptions.LintConfigurationError` at registration time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import contextmanager
+from importlib import metadata
+from typing import Iterator
+
+from ..obs import active_observer
+from .diagnostics import Severity
+from .registry import CheckFunction, Layer, rule, unregister_rule
+
+#: The packaging entry-point group external rules register under.
+ENTRY_POINT_GROUP = "repro.lint.rules"
+
+_loaded = False
+_load_errors: list[tuple[str, str]] = []
+
+
+def lint_rule(
+    code: str,
+    *,
+    title: str,
+    severity: Severity | str = Severity.WARNING,
+    layer: Layer | str = Layer.MODEL,
+    description: str,
+    scope: str = "global",
+) -> Callable[[CheckFunction], CheckFunction]:
+    """Register an external check function under a stable code.
+
+    The plugin-facing twin of the internal :func:`~repro.lint.registry.rule`
+    decorator: *severity* and *layer* additionally accept their string
+    forms (``"warning"``, ``"population"``, ...) so plugins do not need
+    to import the enums.
+    """
+    if isinstance(severity, str):
+        severity = Severity.from_name(severity)
+    if isinstance(layer, str):
+        layer = Layer(layer)
+    return rule(
+        code,
+        title=title,
+        severity=severity,
+        layer=layer,
+        description=description,
+        scope=scope,
+    )
+
+
+@contextmanager
+def registered_rule(
+    code: str,
+    check: CheckFunction,
+    *,
+    title: str,
+    severity: Severity | str = Severity.WARNING,
+    layer: Layer | str = Layer.MODEL,
+    description: str = "",
+    scope: str = "global",
+) -> Iterator[None]:
+    """Temporarily register *check* — unregistered on exit.
+
+    Test helper: plugin test suites use this to exercise a rule against
+    the full pipeline without leaking registry state between tests.
+    """
+    lint_rule(
+        code,
+        title=title,
+        severity=severity,
+        layer=layer,
+        description=description,
+        scope=scope,
+    )(check)
+    try:
+        yield
+    finally:
+        unregister_rule(code)
+
+
+def _entry_points():
+    """The registered entry points (isolated for tests to monkeypatch)."""
+    return metadata.entry_points(group=ENTRY_POINT_GROUP)
+
+
+def load_entry_point_rules(*, force: bool = False) -> tuple[str, ...]:
+    """Load every ``repro.lint.rules`` entry point (idempotent).
+
+    Returns the names of the entry points loaded this call.  Failures —
+    an unimportable module, a registration collision, a callable that
+    raises — are collected in :func:`plugin_load_errors` and skipped, so
+    one broken plugin cannot disable the linter.
+    """
+    global _loaded
+    if _loaded and not force:
+        return ()
+    _loaded = True
+    loaded: list[str] = []
+    try:
+        entry_points = list(_entry_points())
+    except Exception as error:  # metadata backend failure: no plugins
+        _load_errors.append(("<entry-points>", str(error)))
+        return ()
+    obs = active_observer()
+    for entry_point in entry_points:
+        try:
+            target = entry_point.load()
+            # A module registers by import side effect; a callable is
+            # invoked once to perform its registrations.
+            if callable(target):
+                target()
+            loaded.append(entry_point.name)
+            if obs is not None:
+                obs.inc("lint.plugins_loaded")
+        except Exception as error:
+            _load_errors.append((entry_point.name, str(error)))
+            if obs is not None:
+                obs.inc("lint.plugin_errors")
+    return tuple(loaded)
+
+
+def plugin_load_errors() -> tuple[tuple[str, str], ...]:
+    """``(entry point name, error)`` pairs from failed plugin loads."""
+    return tuple(_load_errors)
+
+
+def reset_plugins() -> None:
+    """Forget load state and recorded errors (test isolation helper)."""
+    global _loaded
+    _loaded = False
+    _load_errors.clear()

@@ -29,12 +29,24 @@ class Layer(enum.Enum):
 
     ``DOCUMENT`` rules look at one document against the taxonomy;
     ``MODEL`` rules reason across documents about the lowered model;
-    ``ECONOMICS`` rules check Section 9's widening arithmetic.
+    ``ECONOMICS`` rules check Section 9's widening arithmetic;
+    ``POPULATION`` rules reason about the policy/population pair through
+    the interval abstraction (:mod:`repro.lint.intervals`).
     """
 
     DOCUMENT = "document"
     MODEL = "model"
     ECONOMICS = "economics"
+    POPULATION = "population"
+
+
+#: The admissible rule scopes.  ``global`` rules need the whole document
+#: bundle; ``provider`` rules derive each provider's findings from that
+#: provider's document alone (plus the taxonomy/policy/candidate
+#: envelope); ``mixed`` rules emit both kinds of findings.  The scope is
+#: what :mod:`repro.lint.incremental` keys its per-provider caching and
+#: parallel fan-out on.
+SCOPES = ("global", "provider", "mixed")
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,6 +135,7 @@ class RuleInfo:
     layer: Layer
     description: str
     check: CheckFunction
+    scope: str = "global"
 
 
 _REGISTRY: dict[str, RuleInfo] = {}
@@ -135,8 +148,13 @@ def rule(
     severity: Severity,
     layer: Layer,
     description: str,
+    scope: str = "global",
 ) -> Callable[[CheckFunction], CheckFunction]:
     """Register a check function under a stable diagnostic code."""
+    if scope not in SCOPES:
+        raise LintConfigurationError(
+            f"unknown rule scope {scope!r}; expected one of {', '.join(SCOPES)}"
+        )
 
     def decorate(check: CheckFunction) -> CheckFunction:
         if code in _REGISTRY:
@@ -148,10 +166,21 @@ def rule(
             layer=layer,
             description=description,
             check=check,
+            scope=scope,
         )
         return check
 
     return decorate
+
+
+def unregister_rule(code: str) -> bool:
+    """Remove a rule from the registry (plugin teardown / tests).
+
+    Returns whether the code was registered.  Built-in rules can be
+    removed too — they come back on the next fresh interpreter, not
+    within the process — so this is strictly a plugin-lifecycle helper.
+    """
+    return _REGISTRY.pop(code, None) is not None
 
 
 def all_rules() -> tuple[RuleInfo, ...]:
@@ -182,12 +211,21 @@ def run_rules(
     *,
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    scopes: Iterable[str] | None = None,
 ) -> tuple[Diagnostic, ...]:
-    """Run every (selected) rule over *context* and return sorted diagnostics."""
+    """Run every (selected) rule over *context* and return sorted diagnostics.
+
+    *scopes*, when given, restricts the run to rules whose ``scope`` is in
+    the set — the incremental runner uses this to split the catalogue
+    into a global pass and per-provider passes.
+    """
     selected = None if select is None else resolve_codes(select)
     ignored = frozenset() if ignore is None else resolve_codes(ignore)
+    scope_filter = None if scopes is None else frozenset(scopes)
     diagnostics: list[Diagnostic] = []
     for info in all_rules():
+        if scope_filter is not None and info.scope not in scope_filter:
+            continue
         if selected is not None and info.code not in selected:
             continue
         if info.code in ignored:
@@ -216,4 +254,29 @@ def run_rules(
 
 def _ensure_rules_loaded() -> None:
     """Import the rule modules so their decorators populate the registry."""
-    from . import rules_document, rules_economics, rules_model  # noqa: F401
+    from . import (  # noqa: F401
+        rules_document,
+        rules_economics,
+        rules_model,
+        rules_population,
+    )
+    from .plugins import load_entry_point_rules
+
+    load_entry_point_rules()
+
+
+def rules_fingerprint() -> str:
+    """A stable digest of the active rule catalogue.
+
+    Changes whenever a rule is added, removed, or re-severitied —
+    including via plugins — so incremental caches keyed on it can never
+    serve diagnostics produced by a different catalogue.
+    """
+    import hashlib
+
+    _ensure_rules_loaded()
+    payload = "\n".join(
+        f"{code}:{info.severity.value}:{info.layer.value}:{info.scope}"
+        for code, info in sorted(_REGISTRY.items())
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

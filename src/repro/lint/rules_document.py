@@ -28,6 +28,7 @@ SPEC_DIMENSIONS: tuple[tuple[str, Dimension], ...] = tuple(
     title="unknown purpose",
     severity=Severity.ERROR,
     layer=Layer.DOCUMENT,
+    scope="mixed",
     description=(
         "A rule or preference names a purpose the taxonomy does not "
         "register; the tuple can never be compared to anything."
@@ -67,6 +68,7 @@ def _check_purpose(
     title="unknown level",
     severity=Severity.ERROR,
     layer=Layer.DOCUMENT,
+    scope="mixed",
     description=(
         "An ordered-dimension value is neither a level name on the "
         "taxonomy's ladder nor a rank within its range."
@@ -111,6 +113,7 @@ def _check_levels(
     title="undeclared attribute",
     severity=Severity.ERROR,
     layer=Layer.DOCUMENT,
+    scope="mixed",
     description=(
         "A preference covers an attribute the provider did not list in "
         "attributes_provided; the model would reject the document."
@@ -177,6 +180,7 @@ def check_duplicate_policy_rule(
     title="duplicate preference",
     severity=Severity.WARNING,
     layer=Layer.DOCUMENT,
+    scope="provider",
     description=(
         "A provider repeats an identical preference row; the duplicate "
         "adds nothing to the model."

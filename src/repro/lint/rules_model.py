@@ -141,6 +141,7 @@ def check_unreachable_purpose(
     title="zero sensitivity weight",
     severity=Severity.WARNING,
     layer=Layer.MODEL,
+    scope="mixed",
     description=(
         "A sensitivity weight of 0 silences every violation on the datum: "
         "Violation_i stays 0 no matter how far the policy exceeds the "
@@ -222,6 +223,7 @@ def check_dead_policy_rule(ctx: LintContext, emit: Callable[..., None]) -> None:
     title="inert preference",
     severity=Severity.INFO,
     layer=Layer.MODEL,
+    scope="provider",
     description=(
         "A provider states a preference for an attribute the policy never "
         "collects; the preference can never be violated (nor honoured)."
@@ -251,6 +253,7 @@ def check_inert_preference(ctx: LintContext, emit: Callable[..., None]) -> None:
     title="dominated preference",
     severity=Severity.WARNING,
     layer=Layer.MODEL,
+    scope="provider",
     description=(
         "A provider holds two preferences for the same attribute and "
         "purpose where one dominates the other; the looser tuple never "

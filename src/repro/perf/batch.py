@@ -306,6 +306,7 @@ class BatchViolationEngine:
         "_base_fingerprint",
         "_base_columns",
         "_base_column_arrays",
+        "_interval_cache",
     )
 
     def __init__(
@@ -348,6 +349,8 @@ class BatchViolationEngine:
         self._base_column_arrays: dict[
             tuple[str, str], tuple[np.ndarray, np.ndarray]
         ] = {}
+        # Static severity intervals per policy fingerprint (lint layer).
+        self._interval_cache: dict[PolicyFingerprint, object] = {}
 
     # ------------------------------------------------------------------
     # public surface
@@ -431,8 +434,44 @@ class BatchViolationEngine:
         """
         return [self.evaluate(policy) for policy in policies]
 
+    def static_intervals(self, policy: HousePolicy):
+        """The lint layer's severity intervals for *policy* (cached).
+
+        Runs :func:`repro.lint.intervals.interval_analysis` over this
+        engine's population with the engine's own sensitivity/default
+        models and implicit-zero setting, in ``"provider"`` weight-bounds
+        mode — the intervals are then point-exact per provider, which is
+        what lets :meth:`certify` answer statically with a certificate
+        identical to the evaluated one.  Cached per policy fingerprint.
+        """
+        from ..lint.intervals import interval_analysis
+
+        if not isinstance(policy, HousePolicy):
+            raise ValidationError(
+                f"policy must be a HousePolicy, got {type(policy).__name__}"
+            )
+        fingerprint = policy_fingerprint(policy)
+        cached = self._interval_cache.get(fingerprint)
+        if cached is not None:
+            return cached
+        intervals = interval_analysis(
+            policy,
+            self._compiled.population,
+            sensitivities=self._compiled.sensitivities,
+            default_model=self._compiled.default_model,
+            implicit_zero=self._implicit_zero,
+            weight_bounds="provider",
+        )
+        self._interval_cache[fingerprint] = intervals
+        return intervals
+
     def certify(
-        self, policy: HousePolicy, alpha: float, *, early_exit: bool = False
+        self,
+        policy: HousePolicy,
+        alpha: float,
+        *,
+        early_exit: bool = False,
+        static: bool = False,
     ) -> PPDBCertificate:
         """Definition 3's alpha-PPDB certificate under *policy*.
 
@@ -441,7 +480,41 @@ class BatchViolationEngine:
         ``alpha x N`` — the certificate is then marked non-exhaustive and
         its ``violation_probability`` is a lower bound (sufficient to
         prove the check failed).
+
+        With ``static=True`` the verdict is derived from the lint
+        layer's severity intervals (:meth:`static_intervals`) without
+        evaluating the population at all: the static finding counts
+        decide each provider's ``w_i`` exactly (Definition 1 is
+        weight-independent), so the certificate is field-for-field
+        identical to the evaluated one — a property the parity suite
+        holds over randomized populations.  ``static`` and
+        ``early_exit`` are mutually exclusive.
         """
+        if static:
+            if early_exit:
+                raise ValidationError(
+                    "static certification never evaluates, so early_exit "
+                    "does not apply; pass one or the other"
+                )
+            alpha = check_probability(alpha, "alpha")
+            if len(self._compiled) == 0:
+                return PPDBCertificate(
+                    alpha=alpha,
+                    violation_probability=0.0,
+                    satisfied=True,
+                    n_providers=0,
+                    violated_providers=(),
+                    policy_name=policy.name,
+                )
+            certificate = self.static_intervals(policy).certificate(alpha)
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("engine.batch.static_certifications")
+                obs.inc(
+                    "engine.batch.static_skipped_providers",
+                    len(self._compiled),
+                )
+            return certificate
         alpha = check_probability(alpha, "alpha")
         n = len(self._compiled)
         if n == 0:

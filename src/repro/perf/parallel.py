@@ -609,7 +609,12 @@ class ShardExecutor:
         return reports
 
     def certify(
-        self, policy: HousePolicy, alpha: float, *, early_exit: bool = False
+        self,
+        policy: HousePolicy,
+        alpha: float,
+        *,
+        early_exit: bool = False,
+        static: bool = False,
     ) -> PPDBCertificate:
         """Definition 3's alpha-PPDB certificate under *policy*.
 
@@ -620,8 +625,44 @@ class ShardExecutor:
         tripped run yields a non-exhaustive certificate whose
         ``violation_probability`` is a lower bound sufficient to prove
         the check failed.  Verdicts always match the serial engine.
+
+        With ``static=True`` the certificate is derived parent-side from
+        the lint layer's severity intervals over the compiled population
+        — no shard tasks are dispatched at all.  Identical to
+        :meth:`~repro.perf.batch.BatchViolationEngine.certify`'s static
+        path; mutually exclusive with ``early_exit``.
         """
         self._check_policy(policy)
+        if static:
+            if early_exit:
+                raise ValidationError(
+                    "static certification never evaluates, so early_exit "
+                    "does not apply; pass one or the other"
+                )
+            from ..lint.intervals import interval_analysis
+
+            alpha = check_probability(alpha, "alpha")
+            if len(self._compiled) == 0:
+                return PPDBCertificate(
+                    alpha=alpha,
+                    violation_probability=0.0,
+                    satisfied=True,
+                    n_providers=0,
+                    violated_providers=(),
+                    policy_name=policy.name,
+                )
+            intervals = interval_analysis(
+                policy,
+                self._compiled.population,
+                sensitivities=self._compiled.sensitivities,
+                default_model=self._compiled.default_model,
+                implicit_zero=self._implicit_zero,
+                weight_bounds="provider",
+            )
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.static_certifications")
+            return intervals.certificate(alpha)
         alpha = check_probability(alpha, "alpha")
         n = len(self._compiled)
         if n == 0:

@@ -53,8 +53,21 @@ def broken_documents(tmp_path):
 
 
 class TestLintExitCodes:
-    def test_clean_documents_exit_zero(self, base_args, capsys):
+    def test_paper_documents_exit_zero(self, base_args, capsys):
+        # The Section 8 documents carry intentional population-layer
+        # findings (Ted's inevitable default, subsumed preferences), but
+        # none reaches the default --fail-on error gate.
         assert main(["lint", *base_args]) == 0
+        out = capsys.readouterr().out
+        assert "warning[PVL214]" in out
+        assert "0 error(s)" in out
+
+    def test_population_rules_can_be_silenced(self, base_args, capsys):
+        code = main(
+            ["lint", *base_args,
+             "--ignore", "PVL211,PVL214", "--fail-on", "info"]
+        )
+        assert code == 0
         assert "no findings" in capsys.readouterr().out
 
     def test_error_findings_exit_one(self, broken_documents, capsys):

@@ -38,19 +38,18 @@ def clean_policy():
 
 @pytest.fixture()
 def clean_population():
-    # "high" prefers more exposure than the policy grants (never violated);
-    # "low" prefers less (violated, but not defaulted) — so neither the
-    # guaranteed-violation rule nor the alpha rule (at alpha=1) fires.
+    # "high" tolerates exactly what the policy grants (never violated,
+    # and not *strictly* looser, so the subsumed-preference rule stays
+    # quiet); "low" prefers less (violated, but not defaulted) — so
+    # neither the guaranteed-violation rule nor the alpha rule (at
+    # alpha=1) fires.
     return {
         "attribute_sensitivities": {"weight": 2.0},
         "providers": [
             {
                 "provider": "high",
                 "threshold": 100,
-                "preferences": [
-                    rule(visibility="all", granularity="specific",
-                         retention="indefinite")
-                ],
+                "preferences": [rule()],
                 "sensitivities": {"weight": {"value": 1.0}},
             },
             {

@@ -1,0 +1,106 @@
+"""Golden lint snapshots for every bundled dataset.
+
+Each dataset is serialised to documents (the same path ``repro lint``
+consumes), linted with a fixed config, and the rendered JSON report is
+compared byte-for-byte against a checked-in golden file.  This pins the
+whole pipeline — serialisation, rule catalogue, diagnostic ordering,
+payloads, and the key-sorted renderer — so an unintended change to any
+of them shows up as a readable golden diff.
+
+Regenerate after an *intended* change with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/lint/test_datasets_golden.py
+
+and review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import (
+    crm_scenario,
+    government_scenario,
+    healthcare_scenario,
+    paper_example_scenario,
+    social_network_scenario,
+)
+from repro.datasets.export import scenario_documents
+from repro.lint import (
+    LintCache,
+    LintConfig,
+    incremental_lint,
+    lint_documents,
+    render_json,
+)
+from repro.policy_lang import parse_taxonomy
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGEN = os.environ.get("REPRO_REGEN_GOLDEN") == "1"
+
+#: Small fixed populations: the goldens pin diagnostics, not throughput.
+DATASETS = {
+    "crm": lambda: crm_scenario(12),
+    "government": lambda: government_scenario(12),
+    "healthcare": lambda: healthcare_scenario(12),
+    "paper_example": paper_example_scenario,
+    "social_network": lambda: social_network_scenario(12),
+}
+
+#: One fixed config for every golden: alpha exercises the static
+#: certification rules (PVL110 / PVL213) in both directions.
+CONFIG = LintConfig(alpha=0.5)
+
+
+def dataset_report(name: str):
+    documents = scenario_documents(DATASETS[name]())
+    taxonomy = parse_taxonomy(documents["taxonomy"])
+    return taxonomy, documents
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_dataset_matches_golden(name):
+    taxonomy, documents = dataset_report(name)
+    report = lint_documents(
+        taxonomy,
+        policy=documents["policy"],
+        population=documents["population"],
+        config=CONFIG,
+    )
+    rendered = render_json(report) + "\n"
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if REGEN:
+        golden_path.write_text(rendered)
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with REPRO_REGEN_GOLDEN=1"
+    )
+    assert rendered == golden_path.read_text(), (
+        f"lint output for {name!r} drifted from its golden snapshot; "
+        f"if intended, regenerate with REPRO_REGEN_GOLDEN=1 and review "
+        f"the diff"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_incremental_matches_golden(name, tmp_path):
+    """The incremental runner reproduces the goldens byte-for-byte.
+
+    Run twice against one cache so the second pass is served entirely
+    from it — cache hits must render identically to fresh passes.
+    """
+    taxonomy, documents = dataset_report(name)
+    golden = (GOLDEN_DIR / f"{name}.json").read_text()
+    cache = LintCache(tmp_path / "cache.json")
+    for _ in range(2):
+        report = incremental_lint(
+            taxonomy,
+            policy=documents["policy"],
+            population=documents["population"],
+            config=CONFIG,
+            cache=cache,
+        )
+        assert render_json(report) + "\n" == golden
+    assert cache.hits > 0

@@ -1,0 +1,165 @@
+"""Unit tests for the severity-interval abstraction.
+
+The randomized soundness corpus lives in
+``tests/properties/test_interval_soundness.py``; here the paper's worked
+example (Section 8: Alice 0, Ted 60, Bob 80, total 140) pins exact
+numbers, and the dataclass-level contracts (interval validation,
+lookups, certificates) get direct coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core import ViolationEngine
+from repro.datasets import (
+    paper_example_policy,
+    paper_example_population,
+)
+from repro.exceptions import ValidationError
+from repro.lint import (
+    PopulationIntervals,
+    SeverityInterval,
+    interval_analysis,
+)
+
+EXACT = {"Alice": 0.0, "Ted": 60.0, "Bob": 80.0}
+
+
+@pytest.fixture(scope="module")
+def policy():
+    return paper_example_policy()
+
+
+@pytest.fixture(scope="module")
+def population():
+    return paper_example_population()
+
+
+class TestSeverityInterval:
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            SeverityInterval(2.0, 1.0)
+        with pytest.raises(ValidationError):
+            SeverityInterval(math.nan, 1.0)
+        with pytest.raises(ValidationError):
+            SeverityInterval(0.0, math.nan)
+
+    def test_point_and_zero(self):
+        assert SeverityInterval.zero() == SeverityInterval(0.0, 0.0)
+        point = SeverityInterval.point(3.5)
+        assert point.is_point
+        assert point.width == 0.0
+
+    def test_contains_and_membership(self):
+        interval = SeverityInterval(1.0, 2.0)
+        assert interval.contains(1.0)
+        assert interval.contains(2.0)
+        assert not interval.contains(2.5)
+        assert 1.5 in interval
+        assert "1.5" not in interval  # non-numeric is never a member
+
+    def test_add_is_componentwise(self):
+        total = SeverityInterval(1.0, 2.0) + SeverityInterval(0.5, 3.0)
+        assert total == SeverityInterval(1.5, 5.0)
+
+    def test_as_dict_and_str(self):
+        interval = SeverityInterval(0.0, 60.0)
+        assert interval.as_dict() == {"lower": 0.0, "upper": 60.0}
+        assert str(interval) == "[0, 60]"
+
+
+class TestPaperExample:
+    def test_provider_mode_is_point_exact(self, policy, population):
+        intervals = interval_analysis(
+            policy, population, weight_bounds="provider"
+        )
+        assert intervals.weight_bounds == "provider"
+        for bounds in intervals:
+            assert bounds.interval.is_point
+            assert bounds.interval.lower == EXACT[bounds.provider_id]
+        assert intervals.house == SeverityInterval.point(140.0)
+
+    def test_population_mode_contains_exact(self, policy, population):
+        intervals = interval_analysis(policy, population)
+        outcomes = ViolationEngine(policy, population).report().outcomes
+        for bounds, outcome in zip(intervals, outcomes):
+            assert outcome.violation in bounds.interval
+        assert 140.0 in intervals.house
+
+    def test_violation_verdicts_are_exact(self, policy, population):
+        intervals = interval_analysis(policy, population)
+        assert intervals.violated_ids() == ("Ted", "Bob")
+        assert intervals.provably_safe_ids() == ("Alice",)
+        assert intervals.n_violated == 2
+        assert intervals.violation_probability == pytest.approx(2 / 3)
+
+    def test_default_verdicts(self, policy, population):
+        intervals = interval_analysis(
+            policy, population, weight_bounds="provider"
+        )
+        # Ted's 60 exceeds his 50 tolerance no matter the weights; Alice
+        # and Bob stay under theirs.
+        assert intervals.bounds_for("Ted").must_default
+        assert not intervals.bounds_for("Alice").may_default
+        assert not intervals.bounds_for("Bob").must_default
+        defaults = intervals.default_probability_bounds()
+        assert defaults == SeverityInterval.point(1 / 3)
+
+    def test_certificate_matches_engine(self, policy, population):
+        intervals = interval_analysis(policy, population)
+        engine = ViolationEngine(policy, population)
+        for alpha in (0.0, 0.5, 2 / 3, 1.0):
+            assert intervals.certificate(alpha) == engine.certify(alpha)
+
+    def test_bounds_for_unknown_provider(self, policy, population):
+        intervals = interval_analysis(policy, population)
+        with pytest.raises(ValidationError):
+            intervals.bounds_for("Mallory")
+
+    def test_as_dict_round_trips_through_json(self, policy, population):
+        payload = interval_analysis(policy, population).as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["policy"] == policy.name
+        assert payload["n_providers"] == 3
+        assert [entry["provider"] for entry in payload["providers"]] == [
+            "Alice",
+            "Ted",
+            "Bob",
+        ]
+
+    def test_str_summarises(self, policy, population):
+        text = str(interval_analysis(policy, population))
+        assert "N=3" in text
+        assert policy.name in text
+
+    def test_len_and_iter_order(self, policy, population):
+        intervals = interval_analysis(policy, population)
+        assert len(intervals) == 3
+        assert [b.provider_id for b in intervals] == ["Alice", "Ted", "Bob"]
+
+
+class TestValidation:
+    def test_rejects_unknown_weight_bounds(self, policy, population):
+        with pytest.raises(ValidationError):
+            interval_analysis(policy, population, weight_bounds="exact")
+
+    def test_rejects_wrong_types(self, policy, population):
+        with pytest.raises(ValidationError):
+            interval_analysis({"rules": []}, population)
+        with pytest.raises(ValidationError):
+            interval_analysis(policy, {"providers": []})
+
+    def test_empty_population(self, policy):
+        from repro.core.population import Population
+
+        intervals = interval_analysis(policy, Population([]))
+        assert isinstance(intervals, PopulationIntervals)
+        assert intervals.n_providers == 0
+        assert intervals.house == SeverityInterval.zero()
+        certificate = intervals.certificate(0.5)
+        assert certificate.satisfied
+        assert certificate.n_providers == 0

@@ -88,7 +88,12 @@ class TestRegistry:
         rules = all_rules()
         assert len({info.code for info in rules}) >= 10
         layers = {info.layer for info in rules}
-        assert layers == {Layer.DOCUMENT, Layer.MODEL, Layer.ECONOMICS}
+        assert layers == {
+            Layer.DOCUMENT,
+            Layer.MODEL,
+            Layer.ECONOMICS,
+            Layer.POPULATION,
+        }
 
     def test_get_rule_and_unknown_code(self):
         assert get_rule("PVL001").title == "unknown purpose"

@@ -1,0 +1,139 @@
+"""SARIF output validated against the (vendored) SARIF 2.1.0 schema.
+
+The schema at ``data/sarif-2.1.0-subset.schema.json`` is a strict subset
+of the OASIS schema covering every construct ``render_sarif`` emits —
+see its ``description`` for the vendoring rationale.  These tests
+validate real reports (clean, dirty, and every bundled dataset) against
+it, plus the structural invariants the subset cannot express (ruleIndex
+consistency with the rules array).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.datasets import (
+    crm_scenario,
+    paper_example_scenario,
+)
+from repro.datasets.export import scenario_documents
+from repro.lint import LintConfig, lint_documents, render_sarif
+from repro.policy_lang import parse_taxonomy
+
+from .conftest import rule
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json")
+    .read_text()
+)
+VALIDATOR = jsonschema.Draft202012Validator(SCHEMA)
+
+
+def assert_valid_sarif(text: str) -> dict:
+    log = json.loads(text)
+    errors = sorted(VALIDATOR.iter_errors(log), key=lambda e: list(e.path))
+    assert not errors, "\n".join(
+        f"{list(error.path)}: {error.message}" for error in errors
+    )
+    return log
+
+
+class TestSchemaConformance:
+    def test_clean_report(self, taxonomy, clean_policy, clean_population):
+        report = lint_documents(
+            taxonomy, policy=clean_policy, population=clean_population
+        )
+        log = assert_valid_sarif(render_sarif(report))
+        assert log["runs"][0]["results"] == []
+
+    def test_dirty_report_with_artifacts(self, taxonomy, clean_policy):
+        population = {
+            "providers": [
+                {
+                    "provider": "p",
+                    "preferences": [
+                        rule(purpose="nonsense"),
+                        rule(),
+                        rule(),
+                    ],
+                }
+            ]
+        }
+        report = lint_documents(
+            taxonomy, policy=clean_policy, population=population
+        )
+        assert report, "fixture must produce findings"
+        log = assert_valid_sarif(
+            render_sarif(
+                report,
+                artifacts={
+                    "policy": "docs/policy.json",
+                    "population": "docs/population.json",
+                },
+            )
+        )
+        uris = {
+            location["physicalLocation"]["artifactLocation"]["uri"]
+            for result in log["runs"][0]["results"]
+            for location in result["locations"]
+        }
+        assert uris <= {"docs/policy.json", "docs/population.json"}
+
+    @pytest.mark.parametrize(
+        "scenario_factory",
+        [paper_example_scenario, lambda: crm_scenario(12)],
+        ids=["paper_example", "crm"],
+    )
+    def test_bundled_dataset_reports(self, scenario_factory):
+        scenario = scenario_factory()
+        documents = scenario_documents(scenario)
+        taxonomy = parse_taxonomy(documents["taxonomy"])
+        report = lint_documents(
+            taxonomy,
+            policy=documents["policy"],
+            population=documents["population"],
+            config=LintConfig(alpha=0.5),
+        )
+        assert_valid_sarif(render_sarif(report))
+
+
+class TestStructuralInvariants:
+    def test_rule_index_points_at_its_rule(self, taxonomy, clean_policy):
+        population = {
+            "providers": [{"provider": "p", "preferences": [rule(), rule()]}]
+        }
+        report = lint_documents(
+            taxonomy, policy=clean_policy, population=population
+        )
+        assert report
+        log = json.loads(render_sarif(report))
+        run = log["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            index = result["ruleIndex"]
+            assert rules[index]["id"] == result["ruleId"]
+
+    def test_rules_carry_layer_and_scope(self, taxonomy):
+        log = json.loads(render_sarif(lint_documents(taxonomy)))
+        for descriptor in log["runs"][0]["tool"]["driver"]["rules"]:
+            assert descriptor["properties"]["layer"]
+            assert descriptor["properties"]["scope"] in (
+                "global",
+                "provider",
+                "mixed",
+            )
+
+    def test_region_defaults_without_index_or_field(self, taxonomy):
+        report = lint_documents(
+            taxonomy, policy={"name": "p", "rules": []}
+        )  # empty-policy finding points at the document, not an entry
+        assert report
+        log = assert_valid_sarif(render_sarif(report))
+        region = log["runs"][0]["results"][0]["locations"][0][
+            "physicalLocation"
+        ]["region"]
+        assert region == {"startColumn": 1, "startLine": 1}
