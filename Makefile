@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
+.PHONY: install test chaos chaos-parallel obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,17 +23,28 @@ chaos:
 # registry, span tracing, the zero-cost-when-disabled guard, and the
 # CLI's --metrics / --trace / obs surface end to end (including fault
 # counters under an injected chaos plan).
+# The supervised-pool chaos suite CI runs in the chaos-parallel job:
+# seeded worker SIGKILL/SIGSTOP recovery, retry/degradation parity,
+# shared-memory leak hygiene, and the journal+workers resume contract.
+chaos-parallel:
+	REPRO_TEST_TIMEOUT=120 $(PYTHON) -m pytest -q \
+		tests/perf/test_supervisor.py \
+		tests/perf/test_supervisor_chaos.py \
+		tests/perf/test_shm_cleanup.py \
+		tests/cli/test_cli_journal_workers.py
+
 obs:
 	REPRO_TEST_TIMEOUT=60 $(PYTHON) -m pytest -q tests/obs
 
 # Full benchmark run; machine-readable timings (including the sweep
-# speedups of the batch engine vs the reference engine and of the
-# sharded parallel executor vs the serial batch engine) land in
-# BENCH_5.json via the conftest recorder.  The historical BENCH_2.json
-# record names are preserved inside it, so the timing trajectory across
-# PRs stays comparable.
+# speedups of the batch engine vs the reference engine, of the sharded
+# parallel executor vs the serial batch engine, and of the warm
+# supervised pool vs cold per-sweep pool spin-up) land in BENCH_8.json
+# via the conftest recorder.  The historical BENCH_2.json record names
+# are preserved inside it, so the timing trajectory across PRs stays
+# comparable.
 bench:
-	REPRO_BENCH_JSON=BENCH_5.json $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_JSON=BENCH_8.json $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # The parallel-executor suite plus a tiny-size run of the parallel
 # sweep bench (workers=2, small population) — what CI's parallel-smoke

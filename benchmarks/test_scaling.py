@@ -347,6 +347,113 @@ def test_parallel_sweep_speedup(benchmark):
         assert speedup >= MIN_PARALLEL_SPEEDUP
 
 
+WARM_SWEEPS = 3 if SMOKE else 6
+WARM_POLICIES_PER_SWEEP = 3 if SMOKE else 6
+
+
+def test_warm_pool_amortizes_spinup(benchmark):
+    """Warm supervised pool vs a cold pool per sweep.
+
+    A service that runs many sweeps against one population should keep
+    the :class:`~repro.perf.supervisor.SupervisedExecutor` open: the
+    fork + shared-memory attach cost is paid once, and every later sweep
+    flows straight into warm workers.  The cold path here rebuilds the
+    executor per sweep over the *same pre-compiled population* (so the
+    comparison isolates pool spin-up, not compilation).  Same loud
+    self-skip discipline as the parallel sweep bench: on a box without a
+    core per worker the record carries ``"skipped"`` instead of noise.
+    """
+    cores = _available_cores()
+    if not SMOKE and cores < PARALLEL_WORKERS:
+        record(
+            "warm_pool",
+            workers=PARALLEL_WORKERS,
+            cores=cores,
+            sweeps=WARM_SWEEPS,
+            smoke=SMOKE,
+            skipped="cores<workers",
+        )
+        pytest.skip(
+            f"warm-pool bench needs >= {PARALLEL_WORKERS} cores "
+            f"(have {cores}); timings would be meaningless"
+        )
+    from repro.perf import SupervisedExecutor
+
+    providers = 60 if SMOKE else 1000
+    scenario = healthcare_scenario(providers, seed=11)
+    path = widening_policies(
+        scenario.policy,
+        WideningStep.uniform(1),
+        scenario.taxonomy,
+        WARM_SWEEPS * WARM_POLICIES_PER_SWEEP - 1,
+    )
+    # Disjoint policy sets per sweep: report caches are content-keyed,
+    # so reuse would measure cache hits instead of evaluations.
+    sweeps = [
+        path[i : i + WARM_POLICIES_PER_SWEEP]
+        for i in range(0, len(path), WARM_POLICIES_PER_SWEEP)
+    ]
+    compiled = BatchViolationEngine(scenario.population).compiled
+
+    def measure():
+        def run_cold():
+            for policies in sweeps:
+                with SupervisedExecutor(
+                    compiled, workers=PARALLEL_WORKERS
+                ) as executor:
+                    executor.evaluate_policies(policies)
+
+        def run_warm():
+            with SupervisedExecutor(
+                compiled, workers=PARALLEL_WORKERS
+            ) as executor:
+                for policies in sweeps:
+                    executor.evaluate_policies(policies)
+
+        cold_seconds = _best_of(TIMING_REPEATS, run_cold)
+        warm_seconds = _best_of(TIMING_REPEATS, run_warm)
+        return cold_seconds, warm_seconds
+
+    cold_seconds, warm_seconds = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    amortization = (
+        cold_seconds / warm_seconds if warm_seconds else float("inf")
+    )
+    emit(
+        "E7: repeated sweeps, cold pool per sweep vs one warm pool",
+        format_table(
+            ["providers", "sweeps", "workers", "cold s", "warm s", "ratio"],
+            [
+                [
+                    providers,
+                    WARM_SWEEPS,
+                    PARALLEL_WORKERS,
+                    round(cold_seconds, 4),
+                    round(warm_seconds, 4),
+                    round(amortization, 2),
+                ]
+            ],
+        ),
+    )
+    record(
+        "warm_pool",
+        providers=providers,
+        sweeps=WARM_SWEEPS,
+        policies_per_sweep=WARM_POLICIES_PER_SWEEP,
+        workers=PARALLEL_WORKERS,
+        cores=cores,
+        smoke=SMOKE,
+        cold_seconds=cold_seconds,
+        warm_seconds=warm_seconds,
+        amortization=amortization,
+    )
+    # At full size the warm pool must never lose to respawning per
+    # sweep; at smoke sizes only sanity (both paths completed) is held.
+    if not SMOKE:
+        assert warm_seconds <= cold_seconds
+
+
 def test_gate_request_throughput(benchmark, crm_200):
     with PrivacyDatabase.create(":memory:") as db:
         db.install(crm_200.policy, crm_200.population)

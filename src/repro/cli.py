@@ -17,6 +17,7 @@ Commands
 ``db-evict``   remove defaulted providers from a privacy database
 ``journal``    inspect and verify a run journal
 ``obs``        render a saved metrics snapshot (text/prometheus/json)
+``doctor``     report (and ``--clean-shm`` remove) orphaned shared memory
 
 Every command also accepts the observability flags ``--metrics PATH``
 (write a JSON metrics snapshot on exit), ``--trace`` (print the span
@@ -31,8 +32,16 @@ accepts ``--journal`` to checkpoint each widening level and ``--resume``
 to continue an interrupted run bit-for-bit.  ``sweep`` and ``certify``
 accept ``--workers N`` to fan the evaluation over a process pool with
 shared-memory compiled populations (``1`` = serial, ``0`` = one worker
-per CPU; results are bit-for-bit identical); a worker death surfaces as
-``error[PVL907]``.
+per CPU; results are bit-for-bit identical).  The pool is supervised:
+crashed workers are respawned, stalled shards are retried, and shards
+that keep failing are evaluated serially in the parent, so a sweep
+completes (with degradation recorded in the metrics) rather than dying
+with ``error[PVL907]`` — that code remains the contract of the
+unsupervised executor (``make_batch_engine(..., supervised=False)``).
+``--journal`` composes with ``--workers``: shard completions are
+checkpointed alongside the per-level rows, and a resumed run replays
+them bit-for-bit under any worker count.  ``doctor`` lists shared-memory
+segments orphaned by hard kills and removes them with ``--clean-shm``.
 
 Example
 -------
@@ -252,11 +261,6 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     taxonomy, policy, population = _load_inputs(args)
     if args.resume and not args.journal:
         raise JournalError("--resume requires --journal PATH")
-    if args.journal and args.workers != 1:
-        raise JournalError(
-            "--journal checkpointing runs serially; drop --workers "
-            "(or set it to 1)"
-        )
     if args.journal:
         from .resilience import resumable_sweep
 
@@ -269,6 +273,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"{args.journal!r} already exists; pass --resume to "
                 f"continue the interrupted run"
             )
+        # --journal composes with --workers: the supervised pool
+        # checkpoints per shard as well as per level, and the worker
+        # count is free to change between the crash and the resume.
         sweep = resumable_sweep(
             population,
             policy,
@@ -279,6 +286,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             per_provider_utility=args.utility,
             extra_utility_per_step=args.extra_per_step,
             guarded=args.guarded,
+            workers=args.workers,
         )
     else:
         sweep = run_expansion_sweep(
@@ -290,6 +298,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             per_provider_utility=args.utility,
             extra_utility_per_step=args.extra_per_step,
             workers=args.workers,
+            guarded=args.guarded,
         )
     _export(args, _sweep_payload(sweep))
     if args.json:
@@ -560,6 +569,50 @@ def cmd_journal(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Report (and optionally remove) orphaned shared-memory segments.
+
+    A SIGKILLed run cannot unlink its ``/dev/shm/pvl_*`` export; the
+    owner pid embedded in the segment name lets this command tell a
+    crashed run's leak from a live run's working set.
+    """
+    from .perf import clean_stale_segments, stale_segments
+
+    if args.clean_shm:
+        removed = clean_stale_segments()
+        payload = {
+            "removed": [
+                {"segment": name, "pid": pid} for name, pid in removed
+            ],
+            "stale": [],
+        }
+    else:
+        stale = stale_segments()
+        payload = {
+            "removed": [],
+            "stale": [{"segment": name, "pid": pid} for name, pid in stale],
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if args.clean_shm:
+        if payload["removed"]:
+            for entry in payload["removed"]:
+                print(f"removed /dev/shm/{entry['segment']}")
+        else:
+            print("no stale segments")
+    elif payload["stale"]:
+        for entry in payload["stale"]:
+            print(
+                f"stale /dev/shm/{entry['segment']} "
+                f"(owner pid {entry['pid']} is gone); "
+                "run 'repro doctor --clean-shm' to remove"
+            )
+    else:
+        print("no stale segments")
+    return 0
+
+
 def cmd_obs(args: argparse.Namespace) -> int:
     """Render a saved metrics snapshot (see ``--metrics``)."""
     from .obs import render_snapshot
@@ -660,7 +713,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help=(
             "worker processes for the per-level evaluations "
-            "(1 serial, 0 one per CPU); incompatible with --journal"
+            "(1 serial, 0 one per CPU); composes with --journal, which "
+            "then checkpoints per shard as well as per level"
         ),
     )
     sweep.add_argument("--json", action="store_true")
@@ -812,6 +866,18 @@ def build_parser() -> argparse.ArgumentParser:
     journal.add_argument("journal", help="run journal path")
     journal.add_argument("--json", action="store_true")
     journal.set_defaults(func=cmd_journal)
+
+    doctor = add_parser(
+        "doctor",
+        help="report (and --clean-shm remove) orphaned shared memory",
+    )
+    doctor.add_argument(
+        "--clean-shm",
+        action="store_true",
+        help="unlink /dev/shm/pvl_* segments whose owner process is gone",
+    )
+    doctor.add_argument("--json", action="store_true")
+    doctor.set_defaults(func=cmd_doctor)
 
     obs = add_parser(
         "obs", help="render a saved metrics snapshot"

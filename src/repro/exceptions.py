@@ -120,6 +120,20 @@ class ProcessKilled(ResilienceError):
         super().__init__(f"simulated process kill at fault site {site!r}")
 
 
+class ProcessStalled(ResilienceError):
+    """A scripted fault simulated the process hanging at an injection site.
+
+    The supervised worker pool turns this into a real OS-level stall
+    (the worker SIGSTOPs itself), which is how the chaos suite exercises
+    the stall watchdog: heartbeats cease, the per-shard timeout fires,
+    and the supervisor kills and replaces the wedged worker.
+    """
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+        super().__init__(f"simulated process stall at fault site {site!r}")
+
+
 class JournalError(ResilienceError):
     """Base class for run-journal problems (missing, foreign, unreadable)."""
 

@@ -18,6 +18,10 @@ path.  This package is the production path:
   fanned over a process pool attached zero-copy to one shared-memory
   export of the compilation, behind the ``workers=N`` execution policy
   (:func:`~repro.perf.parallel.make_batch_engine`);
+* :class:`~repro.perf.supervisor.SupervisedExecutor` — the supervised
+  (default) worker pool: heartbeats, a stall watchdog, crash respawn,
+  shard retry with backoff, and serial degradation so sweeps complete
+  bit-for-bit under partial failure;
 * :func:`~repro.perf.streaming.evaluate_chunked` — bounded-memory
   chunk-by-chunk evaluation for populations larger than RAM.
 
@@ -44,8 +48,14 @@ from .parallel import (
     resolve_workers,
 )
 from .shards import shard_bounds
-from .shm import SharedArrayPack, attach_arrays
+from .shm import (
+    SharedArrayPack,
+    attach_arrays,
+    clean_stale_segments,
+    stale_segments,
+)
 from .streaming import evaluate_chunked, iter_population_chunks, merge_reports
+from .supervisor import DegradationRecord, SupervisedExecutor
 from .sweep import batch_assess_expansion
 
 __all__ = [
@@ -53,13 +63,16 @@ __all__ = [
     "BatchViolationEngine",
     "CompiledColumn",
     "CompiledPopulation",
+    "DegradationRecord",
     "RANK_AXES",
     "ShardExecutor",
     "SharedArrayPack",
+    "SupervisedExecutor",
     "assemble_report",
     "attach_arrays",
     "available_cpus",
     "batch_assess_expansion",
+    "clean_stale_segments",
     "column_contribution",
     "evaluate_chunked",
     "iter_population_chunks",
@@ -68,4 +81,5 @@ __all__ = [
     "policy_fingerprint",
     "resolve_workers",
     "shard_bounds",
+    "stale_segments",
 ]

@@ -76,6 +76,46 @@ from .shm import ArrayLayout, SharedArrayPack, attach_arrays
 TASK_FAULT_SITE = "parallel.task"
 
 
+def _static_certificate(
+    compiled: CompiledPopulation,
+    policy: HousePolicy,
+    alpha: float,
+    *,
+    implicit_zero: bool,
+    obs_counter: str = "parallel.static_certifications",
+) -> PPDBCertificate:
+    """The parent-side static certification path, shared by executors.
+
+    Derives the certificate from the lint layer's severity intervals over
+    the compiled population — no shard tasks are dispatched at all.
+    Identical to the serial engine's ``certify(..., static=True)``.
+    """
+    from ..lint.intervals import interval_analysis
+
+    alpha = check_probability(alpha, "alpha")
+    if len(compiled) == 0:
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=0.0,
+            satisfied=True,
+            n_providers=0,
+            violated_providers=(),
+            policy_name=policy.name,
+        )
+    intervals = interval_analysis(
+        policy,
+        compiled.population,
+        sensitivities=compiled.sensitivities,
+        default_model=compiled.default_model,
+        implicit_zero=implicit_zero,
+        weight_bounds="provider",
+    )
+    obs = active_observer()
+    if obs is not None:
+        obs.inc(obs_counter)
+    return intervals.certificate(alpha)
+
+
 def resolve_workers(workers: int) -> int:
     """The effective worker count for a ``workers=N`` execution policy.
 
@@ -639,30 +679,12 @@ class ShardExecutor:
                     "static certification never evaluates, so early_exit "
                     "does not apply; pass one or the other"
                 )
-            from ..lint.intervals import interval_analysis
-
-            alpha = check_probability(alpha, "alpha")
-            if len(self._compiled) == 0:
-                return PPDBCertificate(
-                    alpha=alpha,
-                    violation_probability=0.0,
-                    satisfied=True,
-                    n_providers=0,
-                    violated_providers=(),
-                    policy_name=policy.name,
-                )
-            intervals = interval_analysis(
+            return _static_certificate(
+                self._compiled,
                 policy,
-                self._compiled.population,
-                sensitivities=self._compiled.sensitivities,
-                default_model=self._compiled.default_model,
+                alpha,
                 implicit_zero=self._implicit_zero,
-                weight_bounds="provider",
             )
-            obs = active_observer()
-            if obs is not None:
-                obs.inc("parallel.static_certifications")
-            return intervals.certificate(alpha)
         alpha = check_probability(alpha, "alpha")
         n = len(self._compiled)
         if n == 0:
@@ -825,15 +847,24 @@ def make_batch_engine(
     default_model: DefaultModel | None = None,
     implicit_zero: bool = True,
     max_cached_reports: int = 128,
+    supervised: bool = True,
 ):
-    """The ``workers=N`` execution policy: serial engine or shard executor.
+    """The ``workers=N`` execution policy: serial engine or worker pool.
 
     ``workers=1`` (the default) returns the in-process
     :class:`~repro.perf.batch.BatchViolationEngine` — byte-identical to
     the pre-parallel behaviour with zero process overhead.  ``workers=0``
-    resolves to one worker per CPU; any resolved count above 1 returns a
-    :class:`ShardExecutor`.  Both results support ``close()`` and the
-    context-manager protocol, so callers can treat them uniformly::
+    resolves to one worker per CPU; any resolved count above 1 returns
+    the supervised worker pool
+    (:class:`~repro.perf.supervisor.SupervisedExecutor`), which survives
+    worker crashes and stalls by respawning, retrying, and — as a last
+    resort — evaluating the affected shard serially in the parent.  Pass
+    ``supervised=False`` for the bare :class:`ShardExecutor`, whose
+    fail-fast contract (one dead worker aborts the sweep with
+    ``ParallelExecutionError`` / CLI ``PVL907``) suits callers that
+    prefer a loud crash over a degraded completion.  All results support
+    ``close()`` and the context-manager protocol, so callers can treat
+    them uniformly::
 
         with make_batch_engine(population, workers=workers) as engine:
             reports = engine.evaluate_policies(policies)
@@ -844,6 +875,17 @@ def make_batch_engine(
 
         return BatchViolationEngine(
             population,
+            sensitivities=sensitivities,
+            default_model=default_model,
+            implicit_zero=implicit_zero,
+            max_cached_reports=max_cached_reports,
+        )
+    if supervised:
+        from .supervisor import SupervisedExecutor
+
+        return SupervisedExecutor(
+            population,
+            workers=count,
             sensitivities=sensitivities,
             default_model=default_model,
             implicit_zero=implicit_zero,

@@ -12,7 +12,25 @@ strictly parent-side:
   child-side resource-tracker registration — otherwise a worker exiting
   (or being killed) would prompt *its* tracker to unlink a segment the
   parent still owns, and clean shutdowns would log spurious leak
-  warnings for segments that were never theirs.
+  warnings for segments that were never theirs;
+* a process that merely *inherited* a pack across ``fork`` (a pool
+  worker holding the parent's executor object in its copied heap) never
+  unlinks either — :meth:`close` checks the owning pid.
+
+Crash hygiene
+-------------
+Executors close their packs on every normal and error path, but a parent
+killed outright (SIGKILL, OOM) gets no chance to.  Two backstops cover
+the survivable signals and the truly unsurvivable ones:
+
+* every live pack is registered in a process-local set; an ``atexit``
+  hook and a chained ``SIGTERM`` handler (installed lazily, only while
+  packs exist, and only when no handler was set) close them on
+  interpreter exit and polite termination;
+* for SIGKILL there is nothing to hook, so segment names embed the
+  owning pid (``pvl_<pid>_<hex>``) and :func:`stale_segments` /
+  :func:`clean_stale_segments` — surfaced as ``repro doctor
+  [--clean-shm]`` — detect and remove segments whose owner is gone.
 
 Segment names carry a recognisable ``pvl_`` prefix so the chaos suite
 can assert nothing leaked by listing ``/dev/shm`` (see
@@ -21,7 +39,11 @@ can assert nothing leaked by listing ``/dev/shm`` (see
 
 from __future__ import annotations
 
+import atexit
 import os
+import re
+import signal
+import threading
 from multiprocessing import resource_tracker, shared_memory
 from typing import Mapping
 
@@ -32,6 +54,12 @@ ArrayLayout = dict[str, tuple[int, str, tuple[int, ...]]]
 
 #: Byte alignment of each packed array within the block.
 _ALIGN = 64
+
+#: Where POSIX shared memory is exposed as files on Linux.
+SHM_DIR = "/dev/shm"
+
+#: Segment names this package creates: ``pvl_<owner pid>_<random hex>``.
+_SEGMENT_NAME = re.compile(r"^pvl_(\d+)_[0-9a-f]+$")
 
 
 def _aligned(offset: int) -> int:
@@ -46,6 +74,8 @@ class SharedArrayPack:
     :func:`attach_arrays`.  The pack owns the segment: :meth:`close`
     (idempotent, also the context-manager exit) closes the mapping and
     unlinks the name, after which no new attachments are possible.
+    Unlinking is owner-only — a forked child that inherited the object
+    closes its mapping but leaves the name to the parent.
     """
 
     def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
@@ -58,6 +88,7 @@ class SharedArrayPack:
             layout[name] = (offset, array.dtype.str, tuple(array.shape))
             offset = _aligned(offset + array.nbytes)
         self._layout = layout
+        self._owner_pid = os.getpid()
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(offset, 1), name=_fresh_name()
         )
@@ -68,6 +99,7 @@ class SharedArrayPack:
             )
             view[...] = array
         self._closed = False
+        _register_live_pack(self)
 
     @property
     def name(self) -> str:
@@ -90,11 +122,19 @@ class SharedArrayPack:
         return self._closed
 
     def close(self) -> None:
-        """Close the mapping and unlink the segment.  Idempotent."""
+        """Close the mapping and unlink the segment.  Idempotent.
+
+        Only the creating process unlinks; a forked inheritor merely
+        drops its mapping (unlink authority stays with the owner, as for
+        worker-side :func:`attach_arrays` attachments).
+        """
         if self._closed:
             return
         self._closed = True
+        _forget_live_pack(self)
         self._shm.close()
+        if os.getpid() != self._owner_pid:
+            return
         try:
             self._shm.unlink()
         except FileNotFoundError:  # already gone (e.g. external cleanup)
@@ -148,6 +188,123 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 
 
 def _fresh_name() -> str:
-    # Recognisable prefix (leak checks grep /dev/shm for it) + pid +
+    # Recognisable prefix (leak checks grep /dev/shm for it) + the owner
+    # pid (stale-segment detection checks whether it still runs) + a
     # random suffix against collisions with concurrent executors.
     return f"pvl_{os.getpid()}_{os.urandom(4).hex()}"
+
+
+# ---------------------------------------------------------------------------
+# crash hygiene: exit/signal cleanup for live packs, doctor for dead owners
+# ---------------------------------------------------------------------------
+
+#: Live packs created by *this* process (cleared on fork-inherited pids
+#: by the owner check in ``close``).  Guarded by ``_CLEANUP_LOCK``.
+_LIVE_PACKS: dict[int, SharedArrayPack] = {}
+_CLEANUP_LOCK = threading.Lock()
+_CLEANUP_INSTALLED = False
+
+
+def _register_live_pack(pack: SharedArrayPack) -> None:
+    with _CLEANUP_LOCK:
+        _LIVE_PACKS[id(pack)] = pack
+    _install_cleanup_hooks()
+
+
+def _forget_live_pack(pack: SharedArrayPack) -> None:
+    with _CLEANUP_LOCK:
+        _LIVE_PACKS.pop(id(pack), None)
+
+
+def _close_live_packs() -> None:
+    """Close (and, owner-side, unlink) every still-open pack."""
+    with _CLEANUP_LOCK:
+        packs = list(_LIVE_PACKS.values())
+    for pack in packs:
+        try:
+            pack.close()
+        except Exception:  # cleanup must never mask the exit path
+            pass
+
+
+def _install_cleanup_hooks() -> None:
+    """Idempotently install the atexit hook and a chained SIGTERM handler.
+
+    The SIGTERM handler is installed only when the process has no
+    handler of its own (``SIG_DFL``); it closes live packs, restores the
+    default disposition, and re-raises the signal so the process still
+    dies with the conventional termination status.  Applications that
+    installed their own handler are left alone — the atexit hook still
+    covers any path that unwinds the interpreter.
+    """
+    global _CLEANUP_INSTALLED
+    if _CLEANUP_INSTALLED:
+        return
+    _CLEANUP_INSTALLED = True
+    atexit.register(_close_live_packs)
+    if threading.current_thread() is not threading.main_thread():
+        return  # signal.signal is main-thread-only; atexit still covers us
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm_cleanup)
+    except (ValueError, OSError):  # pragma: no cover - exotic environments
+        pass
+
+
+def _sigterm_cleanup(signum: int, frame: object) -> None:
+    _close_live_packs()
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def _pid_running(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # alive, owned by someone else
+        return True
+    return True
+
+
+def stale_segments(directory: str = SHM_DIR) -> list[tuple[str, int]]:
+    """``(segment name, dead owner pid)`` for every orphaned segment.
+
+    A segment is stale when its name matches this package's
+    ``pvl_<pid>_<hex>`` pattern and the owning pid no longer runs — the
+    parent was killed before it could unlink (SIGKILL, OOM, power loss).
+    Segments whose owner is alive are never reported, so a doctor run
+    beside an active sweep is safe.
+    """
+    try:
+        names = os.listdir(directory)
+    except (FileNotFoundError, NotADirectoryError):  # non-Linux, containers
+        return []
+    stale: list[tuple[str, int]] = []
+    for name in sorted(names):
+        match = _SEGMENT_NAME.match(name)
+        if match is None:
+            continue
+        pid = int(match.group(1))
+        if not _pid_running(pid):
+            stale.append((name, pid))
+    return stale
+
+
+def clean_stale_segments(directory: str = SHM_DIR) -> list[tuple[str, int]]:
+    """Remove every stale segment; returns what was removed.
+
+    Only segments :func:`stale_segments` reports — recognisable name,
+    dead owner — are touched.  Removal races (another doctor, a resource
+    tracker) are tolerated.
+    """
+    removed: list[tuple[str, int]] = []
+    for name, pid in stale_segments(directory):
+        try:
+            os.unlink(os.path.join(directory, name))
+        except FileNotFoundError:
+            continue
+        except OSError:
+            continue
+        removed.append((name, pid))
+    return removed

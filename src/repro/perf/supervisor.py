@@ -1,0 +1,1251 @@
+"""Supervised, persistent worker pool: the service-grade parallel path.
+
+:class:`SupervisedExecutor` is the fault-tolerant counterpart of the
+fail-fast :class:`~repro.perf.parallel.ShardExecutor`.  Both fan
+``(policy, shard)`` tasks over forked workers attached zero-copy to one
+shared-memory export of the compiled population and merge shard results
+bit-for-bit with the serial engine; they differ in what happens when a
+worker misbehaves.  The bare executor treats one dead worker as fatal
+(``ParallelExecutionError``, CLI ``PVL907``).  The supervisor instead
+manages each worker over a dedicated pipe and *keeps the sweep alive*:
+
+* **Heartbeats** — every worker runs a daemon thread that pings its pipe
+  on a fixed interval; the parent tracks the age of the latest beat
+  (``supervisor.heartbeat_age_seconds`` gauge).
+* **Stall watchdog** — a shard attempt that exceeds ``shard_timeout``
+  wall-clock seconds (a wedged kernel, or the chaos suite's ``stall``
+  fault, which makes the worker SIGSTOP itself for real) is ended by
+  SIGKILLing the worker (``supervisor.watchdog_kills``).
+* **Respawn** — a dead worker (crash, OOM kill, watchdog, scripted
+  ``kill`` fault) is replaced by a fresh fork, up to ``max_respawns``
+  for the life of the pool (``supervisor.restarts``).  The bound keeps a
+  deterministic crash-on-first-task fault from turning the supervisor
+  into a fork bomb.
+* **Shard retry** — the task the worker was holding is re-dispatched
+  with bounded exponential backoff (``retry_base_delay * 2**(attempt-1)``,
+  the same shape as the storage layer's ``with_locked_retry``,
+  deterministic via the injectable *sleep*), up to ``max_shard_retries``
+  retries (``supervisor.shard_retries``).
+* **Graceful degradation** — a shard that exhausts its retries (or any
+  shard left when the respawn budget runs out) is evaluated *serially in
+  the parent* over the same shared arrays and the same kernels, so the
+  sweep completes with bit-for-bit-correct numbers plus a
+  :class:`DegradationRecord` (``supervisor.degraded_shards``) instead of
+  dying with PVL907.
+
+The pool is **warm**: workers, their shared-memory attachment, and their
+per-shard engine caches persist across ``evaluate`` / ``certify`` /
+``evaluate_policies`` calls, amortizing the fork+attach cost over
+repeated sweeps (see ``benchmarks/test_scaling.py``).
+
+Determinism and parity
+----------------------
+Shards are contiguous provider-row ranges evaluated by the same
+:class:`~repro.perf.batch.BatchViolationEngine` kernels whether they run
+in a worker, in a retried worker, or serially in the parent after
+degradation — per-provider sums perform identical floating-point
+operations in identical order, so merged results are bit-for-bit equal
+to serial evaluation no matter which failures occurred along the way
+(``tests/perf/test_supervisor_chaos.py``).  Early-exit certification
+keeps the bare executor's contract: the verdict always matches the
+serial engine; the partial violated set of a non-exhaustive certificate
+may differ (a retried shard can observe the shared "already failed"
+flag earlier than its first attempt would have).
+
+Chaos integration
+-----------------
+``worker_faults`` builds a fresh :class:`~repro.resilience.faults.FaultPlan`
+inside each worker after the fork, seeded ``fault_seed + spawn_index``
+so schedules differ per worker and per respawn.  ``fault_worker_indices``
+restricts the plan to chosen spawn indices (0-based, counting every
+spawn including respawns), letting a test script e.g. "exactly the
+first worker dies once".  At the shared ``parallel.task`` site a
+``kill`` fault SIGKILLs the worker for real and a ``stall`` fault
+SIGSTOPs it — the supervisor must recover through the same signal-level
+machinery a production failure would exercise.
+
+Journal integration
+-------------------
+:meth:`SupervisedExecutor.evaluate_arrays_sharded` exposes shard
+completions (including degraded ones) to a caller-provided callback and
+accepts previously-journaled shard results keyed by ``(lo, hi)``, which
+is how ``--journal --workers N`` parallel sweeps checkpoint shard-by-
+shard and resume bit-for-bit (see
+:func:`repro.resilience.resume.resumable_sweep`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as _connection_wait
+from typing import Any
+
+import numpy as np
+
+from .._validation import check_probability
+from ..core.default import DefaultModel
+from ..core.engine import ViolationEngine
+from ..core.policy import HousePolicy
+from ..core.population import Population
+from ..core.ppdb import PPDBCertificate
+from ..core.sensitivity import SensitivityModel
+from ..exceptions import (
+    ParallelExecutionError,
+    ProcessKilled,
+    ProcessStalled,
+    ValidationError,
+)
+from ..obs import active_observer, observed
+from .batch import (
+    BatchReport,
+    PolicyFingerprint,
+    assemble_report,
+    policy_fingerprint,
+)
+from .compiled import CompiledPopulation
+from .parallel import (
+    TASK_FAULT_SITE,
+    _certify_walk,
+    _shard_engine,
+    _ShardView,
+    _static_certificate,
+    resolve_workers,
+)
+from .shards import shard_bounds
+from .shm import ArrayLayout, SharedArrayPack, attach_arrays
+
+#: Default seconds between worker heartbeat pings.
+HEARTBEAT_INTERVAL = 0.2
+
+#: Default wall-clock seconds one shard attempt may take before the
+#: watchdog declares the worker wedged and SIGKILLs it.
+SHARD_TIMEOUT = 120.0
+
+#: Default retries per shard before it degrades to serial evaluation.
+MAX_SHARD_RETRIES = 2
+
+#: Default worker respawns over the life of the pool (the fork-bomb cap).
+MAX_RESPAWNS = 8
+
+#: Default first-retry backoff delay; doubles per subsequent retry.
+RETRY_BASE_DELAY = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class DegradationRecord:
+    """One shard that fell back to serial evaluation in the parent.
+
+    Recorded (and counted on ``supervisor.degraded_shards``) when a shard
+    exhausted its retries or outlived the pool's respawn budget.  The
+    shard's numbers in the merged result are still exact — degradation
+    changes *where* the arithmetic ran, never its outcome.
+    """
+
+    #: The ``(lo, hi)`` provider-row range that degraded.
+    shard: tuple[int, int]
+    #: Name of the policy being evaluated when the shard degraded.
+    policy_name: str
+    #: Task kind: ``"eval"`` or ``"certify"``.
+    kind: str
+    #: Failed worker attempts before the serial fallback.
+    attempts: int
+    #: Human-readable cause of the final failure.
+    reason: str
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+
+def _visit_supervised_site(plan: Any) -> None:
+    """Visit the shared task fault site, making scripted faults real.
+
+    ``kill`` becomes an actual SIGKILL and ``stall`` an actual SIGSTOP —
+    the parent must observe a dead pipe or a ceased heartbeat, not a
+    picklable exception, so chaos tests exercise the same recovery paths
+    a genuine crash or hang would.
+    """
+    if plan is None:
+        return
+    try:
+        plan.check(TASK_FAULT_SITE)
+    except ProcessKilled:
+        os.kill(os.getpid(), signal.SIGKILL)
+    except ProcessStalled:
+        os.kill(os.getpid(), signal.SIGSTOP)
+
+
+def _worker_main(
+    conn: Connection,
+    spawn_index: int,
+    shm_name: str,
+    layout: ArrayLayout,
+    meta: dict[str, Any],
+    implicit_zero: bool,
+    flag: Any,
+    fault_specs: tuple[Any, ...],
+    fault_seed: int,
+    heartbeat_interval: float,
+) -> None:
+    """One supervised worker: attach, heartbeat, serve tasks until told."""
+    try:
+        segment, arrays = attach_arrays(shm_name, layout)
+    except FileNotFoundError:
+        try:
+            conn.send(("fatal", f"segment {shm_name!r} has vanished"))
+        except OSError:
+            pass
+        return
+    plan = None
+    if fault_specs:
+        # A fresh plan built *after* the fork is owned by this worker,
+        # so it is armed — unlike any plan inherited from the parent
+        # (see FaultPlan's fork awareness).  The per-spawn seed keeps
+        # respawned workers on their own schedules.
+        from ..resilience.faults import FaultPlan
+
+        plan = FaultPlan(fault_specs, seed=fault_seed)
+    state: dict[str, Any] = {
+        "segment": segment,
+        "arrays": arrays,
+        "meta": meta,
+        "implicit_zero": bool(implicit_zero),
+        "flag": flag,
+        "engines": {},
+        "plan": plan,
+    }
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def _heartbeat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            try:
+                with send_lock:
+                    conn.send(("hb",))
+            except OSError:  # parent gone; main loop will notice too
+                return
+
+    threading.Thread(
+        target=_heartbeat, name=f"hb-{spawn_index}", daemon=True
+    ).start()
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "stop":
+                return
+            _, task_id, kind, payload = message
+            try:
+                _visit_supervised_site(plan)
+                if kind == "eval":
+                    result = _eval_shard(state, *payload)
+                else:
+                    result = _certify_shard(state, *payload)
+            except BaseException as exc:
+                try:
+                    with send_lock:
+                        conn.send(
+                            ("err", task_id, f"{type(exc).__name__}: {exc}")
+                        )
+                except OSError:
+                    return
+                continue
+            try:
+                with send_lock:
+                    conn.send(("ok", task_id, result))
+            except OSError:
+                return
+    finally:
+        stop_beating.set()
+        segment.close()
+
+
+def _eval_shard(
+    state: dict[str, Any],
+    policy: HousePolicy,
+    lo: int,
+    hi: int,
+    collect_obs: bool,
+) -> tuple[int, np.ndarray, np.ndarray, dict[str, Any] | None]:
+    engine = _shard_engine(state, lo, hi)
+    if collect_obs:
+        with observed() as obs:
+            violations, counts = engine.evaluate_arrays(policy)
+            snapshot = obs.registry.snapshot(include_samples=True)
+    else:
+        violations, counts = engine.evaluate_arrays(policy)
+        snapshot = None
+    return lo, violations, counts, snapshot
+
+
+def _certify_shard(
+    state: dict[str, Any],
+    policy: HousePolicy,
+    lo: int,
+    hi: int,
+    budget: float,
+    collect_obs: bool,
+) -> tuple[int, np.ndarray, bool, dict[str, Any] | None]:
+    if collect_obs:
+        with observed() as obs:
+            counts, exhausted = _certify_walk(state, policy, lo, hi, budget)
+            snapshot = obs.registry.snapshot(include_samples=True)
+    else:
+        counts, exhausted = _certify_walk(state, policy, lo, hi, budget)
+        snapshot = None
+    return lo, counts, exhausted, snapshot
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class _Task:
+    """One dispatchable ``(policy, shard)`` unit of work."""
+
+    id: int
+    kind: str  # "eval" | "certify"
+    policy: HousePolicy
+    lo: int
+    hi: int
+    collect: bool
+    budget: float | None = None
+    attempts: int = 0
+
+    def payload(self) -> tuple:
+        if self.kind == "eval":
+            return (self.policy, self.lo, self.hi, self.collect)
+        return (self.policy, self.lo, self.hi, self.budget, self.collect)
+
+
+@dataclass(slots=True)
+class _WorkerHandle:
+    """Parent-side bookkeeping for one live worker process."""
+
+    spawn_index: int
+    process: Any
+    conn: Connection
+    task: _Task | None = None
+    dispatched_at: float = 0.0
+    last_heartbeat: float = 0.0
+
+
+#: A completion callback: receives the task and its raw result tuple in
+#: completion order (degraded shards included).
+_OnResult = Callable[[_Task, tuple], None]
+
+
+class SupervisedExecutor:
+    """A warm, supervised worker pool over one shared-memory compilation.
+
+    Mirrors :class:`~repro.perf.parallel.ShardExecutor`'s public surface
+    (``evaluate`` / ``evaluate_policies`` / ``evaluate_arrays`` /
+    ``certify`` / ``report`` plus the identity properties), so it slots
+    behind the same ``workers=N`` execution policy
+    (:func:`~repro.perf.parallel.make_batch_engine`); the failure
+    semantics differ as described in the module docstring.  The executor
+    owns its shared-memory block and its worker processes for the life
+    of the pool; always :meth:`close` it (or use ``with``).
+
+    Parameters
+    ----------
+    population, workers, shards, sensitivities, default_model, \
+implicit_zero, max_cached_reports:
+        As for :class:`~repro.perf.parallel.ShardExecutor`.
+    worker_faults, fault_seed, fault_worker_indices:
+        Chaos hook: fault specs for a fresh per-worker plan seeded
+        ``fault_seed + spawn_index``; *fault_worker_indices* (an iterable
+        of 0-based spawn indices, respawns included) restricts which
+        spawns receive the plan — ``None`` means all of them.
+    heartbeat_interval:
+        Seconds between worker heartbeat pings (also the parent's idle
+        poll interval).
+    shard_timeout:
+        Watchdog limit: wall-clock seconds one shard attempt may run
+        before its worker is declared wedged and SIGKILLed.
+    max_shard_retries:
+        Worker retries per shard before the shard degrades to serial
+        evaluation in the parent.
+    max_respawns:
+        Worker respawns over the pool's lifetime.  Once exhausted,
+        remaining shards of a sweep degrade rather than fork further.
+    retry_base_delay:
+        First-retry backoff delay in seconds; retry *k* waits
+        ``retry_base_delay * 2**(k-1)``.
+    sleep, clock:
+        Injectable time sources (the backoff sleeper and the monotonic
+        clock driving the watchdog and heartbeat-age gauge), so retry
+        schedules are deterministic under test.
+    """
+
+    def __init__(
+        self,
+        population: Population | CompiledPopulation,
+        *,
+        workers: int = 0,
+        shards: int | None = None,
+        sensitivities: SensitivityModel | None = None,
+        default_model: DefaultModel | None = None,
+        implicit_zero: bool = True,
+        max_cached_reports: int = 128,
+        worker_faults: Iterable[Any] = (),
+        fault_seed: int = 0,
+        fault_worker_indices: Iterable[int] | None = None,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        shard_timeout: float = SHARD_TIMEOUT,
+        max_shard_retries: int = MAX_SHARD_RETRIES,
+        max_respawns: int = MAX_RESPAWNS,
+        retry_base_delay: float = RETRY_BASE_DELAY,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        count = resolve_workers(workers)
+        if isinstance(population, Population):
+            compiled = CompiledPopulation(
+                population,
+                sensitivities=sensitivities,
+                default_model=default_model,
+            )
+        elif isinstance(population, CompiledPopulation):
+            if sensitivities is not None or default_model is not None:
+                raise ValidationError(
+                    "model overrides must be given when compiling, not when "
+                    "wrapping an already-compiled population"
+                )
+            compiled = population
+        else:
+            raise ValidationError(
+                f"population must be a Population, got {type(population).__name__}"
+            )
+        if shards is not None and shards < 1:
+            raise ValidationError("shards must be >= 1")
+        if max_cached_reports < 1:
+            raise ValidationError("max_cached_reports must be >= 1")
+        if heartbeat_interval <= 0:
+            raise ValidationError("heartbeat_interval must be > 0")
+        if shard_timeout <= 0:
+            raise ValidationError("shard_timeout must be > 0")
+        if max_shard_retries < 0:
+            raise ValidationError("max_shard_retries must be >= 0")
+        if max_respawns < 0:
+            raise ValidationError("max_respawns must be >= 0")
+        if retry_base_delay < 0:
+            raise ValidationError("retry_base_delay must be >= 0")
+        self._compiled = compiled
+        self._implicit_zero = bool(implicit_zero)
+        self._workers = count
+        self._bounds = shard_bounds(
+            len(compiled), shards if shards is not None else count
+        )
+        meta, arrays = compiled.shared_state()
+        self._meta = meta
+        # The parent keeps its own handle on the exported arrays (they
+        # alias the compilation, so this costs no copies): degradation
+        # evaluates shards right here with the same kernels the workers
+        # run, which is what keeps degraded sweeps bit-for-bit.
+        self._arrays = arrays
+        self._pack = SharedArrayPack(arrays)
+        self._cache: dict[PolicyFingerprint, BatchReport] = {}
+        self._max_cached = int(max_cached_reports)
+        self._worker_faults = tuple(worker_faults)
+        self._fault_seed = int(fault_seed)
+        self._fault_worker_indices = (
+            None
+            if fault_worker_indices is None
+            else frozenset(int(i) for i in fault_worker_indices)
+        )
+        self._heartbeat_interval = float(heartbeat_interval)
+        self._shard_timeout = float(shard_timeout)
+        self._max_shard_retries = int(max_shard_retries)
+        self._max_respawns = int(max_respawns)
+        self._retry_base_delay = float(retry_base_delay)
+        self._sleep = sleep
+        self._clock = clock
+        self._live: list[_WorkerHandle] = []
+        self._serial_engines: dict[tuple[int, int], Any] = {}
+        self._degradations: list[DegradationRecord] = []
+        self._restarts = 0
+        self._next_spawn = 0
+        self._task_ids = itertools.count(1)
+        self._closed = False
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else None
+        self._context = multiprocessing.get_context(start_method)
+        self._flag = self._context.Value("i", 0)
+        try:
+            for _ in range(count):
+                self._spawn_worker()
+        except Exception:
+            self.close()
+            raise
+        obs = active_observer()
+        if obs is not None:
+            obs.set_gauge("supervisor.workers", count)
+            obs.set_gauge("supervisor.shards", len(self._bounds))
+            obs.set_gauge("supervisor.shm_bytes", self._pack.nbytes)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledPopulation:
+        """The compiled population backing the shared block."""
+        return self._compiled
+
+    @property
+    def population(self) -> Population:
+        """The underlying population."""
+        return self._compiled.population
+
+    @property
+    def implicit_zero(self) -> bool:
+        """Whether the implicit-zero completion is applied."""
+        return self._implicit_zero
+
+    @property
+    def workers(self) -> int:
+        """The target worker-process count."""
+        return self._workers
+
+    @property
+    def bounds(self) -> tuple[tuple[int, int], ...]:
+        """The ``(lo, hi)`` provider-row range of every shard."""
+        return tuple(self._bounds)
+
+    @property
+    def segment_name(self) -> str:
+        """The shared-memory segment's name (for leak diagnostics)."""
+        return self._pack.name
+
+    @property
+    def cached_policies(self) -> int:
+        """Number of memoised merged reports."""
+        return len(self._cache)
+
+    # -- supervision state --------------------------------------------------
+
+    @property
+    def restarts(self) -> int:
+        """Workers respawned after a death, over the pool's lifetime."""
+        return self._restarts
+
+    @property
+    def degradations(self) -> tuple[DegradationRecord, ...]:
+        """Every shard that fell back to serial evaluation so far."""
+        return tuple(self._degradations)
+
+    @property
+    def live_workers(self) -> int:
+        """Worker processes currently alive."""
+        return len(self._live)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and unlink the shared block.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._live:
+            try:
+                handle.conn.send(("stop",))
+            except OSError:
+                pass
+        for handle in self._live:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():
+                # Wedged (or SIGSTOPped by a stall fault): end it hard.
+                self._kill_process(handle)
+                handle.process.join(timeout=2.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._live.clear()
+        self._pack.close()
+
+    def __enter__(self) -> "SupervisedExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort leak guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- evaluation ---------------------------------------------------------
+
+    def evaluate(self, policy: HousePolicy) -> BatchReport:
+        """The merged :class:`BatchReport` for *policy* (cached by content)."""
+        self._check_policy(policy)
+        fingerprint = policy_fingerprint(policy)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("supervisor.cache_hits")
+            return cached
+        violations, counts = self._fan_out(policy)
+        report = self._assemble(policy.name, violations, counts)
+        self._remember(fingerprint, report)
+        return report
+
+    def report(self, policy: HousePolicy) -> BatchReport:
+        """Alias of :meth:`evaluate` (mirrors the serial engine)."""
+        return self.evaluate(policy)
+
+    def evaluate_arrays(
+        self, policy: HousePolicy
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw merged ``(violations, counts)`` arrays for *policy*."""
+        self._check_policy(policy)
+        return self._fan_out(policy)
+
+    def evaluate_arrays_sharded(
+        self,
+        policy: HousePolicy,
+        *,
+        precomputed: Mapping[tuple[int, int], tuple] | None = None,
+        on_shard: Callable[[int, int, np.ndarray, np.ndarray], None] | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`evaluate_arrays` with shard-level replay and callbacks.
+
+        *precomputed* maps ``(lo, hi)`` to already-known
+        ``(violations, counts)`` sequences for that shard (a resuming
+        journal's restored steps); matching shards are not dispatched.
+        *on_shard* is called as ``on_shard(lo, hi, violations, counts)``
+        for every **newly computed** shard in completion order —
+        degraded shards included — which is where a journaling caller
+        checkpoints.  Shards whose journaled bounds no longer match the
+        current shard layout are simply recomputed; results are
+        identical either way, merging stays deterministic.
+        """
+        self._check_policy(policy)
+        restored = dict(precomputed or {})
+        parts: list[tuple] = []
+        tasks: list[_Task] = []
+        for lo, hi in self._bounds:
+            known = restored.get((lo, hi))
+            if known is not None:
+                violations = np.asarray(known[0], dtype=np.float64)
+                counts = np.asarray(known[1], dtype=np.float64)
+                parts.append((lo, violations, counts, None))
+                continue
+            tasks.append(self._make_task("eval", policy, lo, hi))
+        on_result: _OnResult | None = None
+        if on_shard is not None:
+            by_id = {task.id: task for task in tasks}
+            def on_result(task: _Task, result: tuple) -> None:
+                shard = by_id[task.id]
+                on_shard(shard.lo, shard.hi, result[1], result[2])
+        done = self._execute(tasks, on_result)
+        parts.extend(done[task.id] for task in tasks)
+        return self._merge_parts(parts)
+
+    def evaluate_policies(
+        self, policies: Iterable[HousePolicy]
+    ) -> list[BatchReport]:
+        """Evaluate a policy sweep with cross-policy pipelining.
+
+        All uncached ``(policy, shard)`` tasks enter one scheduling pass,
+        so warm workers flow straight from one policy's shards into the
+        next's; merged reports come back in input order.
+        """
+        policies = list(policies)
+        for policy in policies:
+            self._check_policy(policy)
+        pending_tasks: dict[int, list[_Task]] = {}
+        all_tasks: list[_Task] = []
+        for index, policy in enumerate(policies):
+            if policy_fingerprint(policy) in self._cache:
+                continue
+            shard_tasks = [
+                self._make_task("eval", policy, lo, hi)
+                for lo, hi in self._bounds
+            ]
+            pending_tasks[index] = shard_tasks
+            all_tasks.extend(shard_tasks)
+        done = self._execute(all_tasks, None)
+        reports: list[BatchReport] = []
+        for index, policy in enumerate(policies):
+            fingerprint = policy_fingerprint(policy)
+            cached = self._cache.get(fingerprint)
+            if cached is not None and index not in pending_tasks:
+                reports.append(cached)
+                continue
+            parts = [done[task.id] for task in pending_tasks[index]]
+            violations, counts = self._merge_parts(parts)
+            report = self._assemble(policy.name, violations, counts)
+            self._remember(fingerprint, report)
+            reports.append(report)
+        return reports
+
+    def certify(
+        self,
+        policy: HousePolicy,
+        alpha: float,
+        *,
+        early_exit: bool = False,
+        static: bool = False,
+    ) -> PPDBCertificate:
+        """Definition 3's alpha-PPDB certificate under *policy*.
+
+        Semantics match :meth:`ShardExecutor.certify
+        <repro.perf.parallel.ShardExecutor.certify>` — exact by default,
+        shared-flag early exit on request, parent-side static path —
+        except that worker failures degrade instead of raising.  A
+        degraded early-exit shard walks its columns in the parent under
+        the same shared flag, so verdicts still always match the serial
+        engine.
+        """
+        self._check_policy(policy)
+        if static:
+            if early_exit:
+                raise ValidationError(
+                    "static certification never evaluates, so early_exit "
+                    "does not apply; pass one or the other"
+                )
+            return _static_certificate(
+                self._compiled,
+                policy,
+                alpha,
+                implicit_zero=self._implicit_zero,
+                obs_counter="supervisor.static_certifications",
+            )
+        alpha = check_probability(alpha, "alpha")
+        n = len(self._compiled)
+        if n == 0:
+            return PPDBCertificate(
+                alpha=alpha,
+                violation_probability=0.0,
+                satisfied=True,
+                n_providers=0,
+                violated_providers=(),
+                policy_name=policy.name,
+            )
+        fingerprint = policy_fingerprint(policy)
+        if early_exit and fingerprint not in self._cache:
+            return self._certify_early_exit(policy, alpha, n)
+        report = self.evaluate(policy)
+        violated = report.violated_ids()
+        p_w = len(violated) / n
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=p_w,
+            satisfied=p_w <= alpha,
+            n_providers=n,
+            violated_providers=violated,
+            policy_name=policy.name,
+        )
+
+    def assemble(
+        self, policy_name: str, violations: np.ndarray, counts: np.ndarray
+    ) -> BatchReport:
+        """A full :class:`BatchReport` from merged per-provider arrays.
+
+        Pairs with :meth:`evaluate_arrays_sharded`: a journaling caller
+        restores/merges shard arrays and assembles the same report an
+        uninterrupted :meth:`evaluate` would have produced.
+        """
+        return self._assemble(
+            policy_name,
+            np.asarray(violations, dtype=np.float64),
+            np.asarray(counts, dtype=np.float64),
+        )
+
+    def reference_engine(self, policy: HousePolicy) -> ViolationEngine:
+        """The reference oracle for *policy*: same inputs, Python loop."""
+        return ViolationEngine(
+            policy,
+            self._compiled.population,
+            sensitivities=self._compiled.sensitivities,
+            default_model=self._compiled.default_model,
+            implicit_zero=self._implicit_zero,
+        )
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _certify_early_exit(
+        self, policy: HousePolicy, alpha: float, n: int
+    ) -> PPDBCertificate:
+        with self._flag.get_lock():
+            self._flag.value = 0
+        budget = alpha * n
+        tasks = [
+            self._make_task("certify", policy, lo, hi, budget=budget)
+            for lo, hi in self._bounds
+        ]
+        done = self._execute(tasks, None)
+        parts = sorted(
+            (done[task.id] for task in tasks), key=lambda part: part[0]
+        )
+        counts = (
+            np.concatenate([part[1] for part in parts])
+            if parts
+            else np.zeros(0, dtype=np.float64)
+        )
+        exhaustive = all(part[2] for part in parts)
+        violated = tuple(
+            pid
+            for pid, count in zip(self._meta["ids"], counts)
+            if count > 0
+        )
+        p_w = len(violated) / n
+        if exhaustive:
+            return PPDBCertificate(
+                alpha=alpha,
+                violation_probability=p_w,
+                satisfied=p_w <= alpha,
+                n_providers=n,
+                violated_providers=violated,
+                policy_name=policy.name,
+            )
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("supervisor.certify_early_exits")
+        return PPDBCertificate(
+            alpha=alpha,
+            violation_probability=p_w,
+            satisfied=False,
+            n_providers=n,
+            violated_providers=violated,
+            policy_name=policy.name,
+            exhaustive=False,
+        )
+
+    def _fan_out(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
+        tasks = [
+            self._make_task("eval", policy, lo, hi) for lo, hi in self._bounds
+        ]
+        done = self._execute(tasks, None)
+        return self._merge_parts(done[task.id] for task in tasks)
+
+    def _make_task(
+        self,
+        kind: str,
+        policy: HousePolicy,
+        lo: int,
+        hi: int,
+        *,
+        budget: float | None = None,
+    ) -> _Task:
+        return _Task(
+            id=next(self._task_ids),
+            kind=kind,
+            policy=policy,
+            lo=lo,
+            hi=hi,
+            collect=active_observer() is not None,
+            budget=budget,
+        )
+
+    def _execute(
+        self, tasks: list[_Task], on_result: _OnResult | None
+    ) -> dict[int, tuple]:
+        """Drive *tasks* to completion; every task ends done or degraded."""
+        self._ensure_open()
+        done: dict[int, tuple] = {}
+        if not tasks:
+            return done
+        pending: deque[_Task] = deque(tasks)
+        while len(done) < len(tasks):
+            self._replenish_workers()
+            if not self._live:
+                # Respawn budget exhausted with nobody left: finish the
+                # sweep serially rather than hanging or raising PVL907.
+                while pending:
+                    self._degrade(
+                        pending.popleft(),
+                        done,
+                        on_result,
+                        "no live workers and the respawn budget is exhausted",
+                    )
+                continue
+            self._dispatch(pending, done, on_result)
+            ready = _connection_wait(
+                self._wait_objects(), timeout=self._wait_timeout()
+            )
+            serviced: set[int] = set()
+            for obj in ready:
+                handle = self._handle_for(obj)
+                if handle is None or id(handle) in serviced:
+                    continue
+                serviced.add(id(handle))
+                if handle not in self._live:
+                    continue
+                if obj is handle.conn:
+                    self._service(handle, pending, done, on_result)
+                elif not handle.process.is_alive():
+                    self._worker_died(
+                        handle, pending, done, on_result,
+                        "worker process died",
+                    )
+            self._check_watchdog(pending, done, on_result)
+            self._publish_heartbeat_age()
+        return done
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        index = self._next_spawn
+        self._next_spawn += 1
+        if self._worker_faults and (
+            self._fault_worker_indices is None
+            or index in self._fault_worker_indices
+        ):
+            specs = self._worker_faults
+        else:
+            specs = ()
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                index,
+                self._pack.name,
+                self._pack.layout,
+                self._meta,
+                self._implicit_zero,
+                self._flag,
+                specs,
+                self._fault_seed + index,
+                self._heartbeat_interval,
+            ),
+            name=f"pvl-supervised-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle = _WorkerHandle(
+            spawn_index=index,
+            process=process,
+            conn=parent_conn,
+            last_heartbeat=self._clock(),
+        )
+        self._live.append(handle)
+        return handle
+
+    def _replenish_workers(self) -> None:
+        obs = active_observer()
+        while len(self._live) < self._workers:
+            if self._restarts >= self._max_respawns:
+                break
+            self._restarts += 1
+            if obs is not None:
+                obs.inc("supervisor.restarts")
+            self._spawn_worker()
+
+    def _dispatch(
+        self,
+        pending: deque[_Task],
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+    ) -> None:
+        for handle in list(self._live):
+            if not pending:
+                return
+            if handle.task is not None:
+                continue
+            task = pending.popleft()
+            try:
+                handle.conn.send(("task", task.id, task.kind, task.payload()))
+            except (OSError, ValueError):
+                # Found dead at dispatch: the task was never attempted,
+                # so requeue it without charging a retry.
+                pending.appendleft(task)
+                self._worker_died(
+                    handle, pending, done, on_result,
+                    "worker pipe closed before dispatch",
+                )
+                continue
+            handle.task = task
+            handle.dispatched_at = self._clock()
+
+    def _wait_objects(self) -> list[Any]:
+        objects: list[Any] = []
+        for handle in self._live:
+            objects.append(handle.conn)
+            objects.append(handle.process.sentinel)
+        return objects
+
+    def _handle_for(self, obj: Any) -> _WorkerHandle | None:
+        for handle in self._live:
+            if obj is handle.conn or obj == handle.process.sentinel:
+                return handle
+        return None
+
+    def _wait_timeout(self) -> float:
+        timeout = self._heartbeat_interval
+        now = self._clock()
+        for handle in self._live:
+            if handle.task is None:
+                continue
+            slack = handle.dispatched_at + self._shard_timeout - now
+            timeout = min(timeout, slack)
+        return max(timeout, 0.01)
+
+    def _service(
+        self,
+        handle: _WorkerHandle,
+        pending: deque[_Task],
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+    ) -> None:
+        try:
+            while handle.conn.poll(0):
+                message = handle.conn.recv()
+                self._handle_message(handle, message, pending, done, on_result)
+        except (EOFError, OSError):
+            self._worker_died(
+                handle, pending, done, on_result, "worker process died mid-task"
+            )
+
+    def _handle_message(
+        self,
+        handle: _WorkerHandle,
+        message: tuple,
+        pending: deque[_Task],
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+    ) -> None:
+        kind = message[0]
+        if kind == "hb":
+            handle.last_heartbeat = self._clock()
+            return
+        if kind == "ok":
+            _, task_id, result = message
+            task = handle.task
+            handle.task = None
+            if task is not None and task.id == task_id and task.id not in done:
+                self._complete(task, result, done, on_result)
+            return
+        if kind == "err":
+            _, task_id, reason = message
+            task = handle.task
+            handle.task = None
+            if task is not None and task.id == task_id and task.id not in done:
+                self._task_failed(task, pending, done, on_result, reason)
+            return
+        # "fatal": the worker could not attach and is exiting; its death
+        # is handled through the sentinel like any other.
+
+    def _complete(
+        self,
+        task: _Task,
+        result: tuple,
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+    ) -> None:
+        done[task.id] = result
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("supervisor.tasks")
+            snapshot = result[-1]
+            if snapshot:
+                obs.merge_snapshot(snapshot)
+        if on_result is not None:
+            on_result(task, result)
+
+    def _worker_died(
+        self,
+        handle: _WorkerHandle,
+        pending: deque[_Task],
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+        reason: str,
+    ) -> None:
+        if handle not in self._live:
+            return
+        self._live.remove(handle)
+        # Drain the pipe first: a result the worker finished sending
+        # before it died (or before the watchdog killed it) is still a
+        # valid, deterministic shard result — accept it.
+        try:
+            while handle.conn.poll(0):
+                message = handle.conn.recv()
+                if message[0] in ("ok", "hb"):
+                    self._handle_message(
+                        handle, message, pending, done, on_result
+                    )
+        except (EOFError, OSError):
+            pass
+        handle.process.join(timeout=10.0)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        task = handle.task
+        handle.task = None
+        if task is not None and task.id not in done:
+            self._task_failed(task, pending, done, on_result, reason)
+
+    def _task_failed(
+        self,
+        task: _Task,
+        pending: deque[_Task],
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+        reason: str,
+    ) -> None:
+        task.attempts += 1
+        if task.attempts <= self._max_shard_retries:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("supervisor.shard_retries")
+            self._sleep(self._retry_base_delay * 2 ** (task.attempts - 1))
+            pending.append(task)
+            return
+        self._degrade(task, done, on_result, reason)
+
+    def _degrade(
+        self,
+        task: _Task,
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+        reason: str,
+    ) -> None:
+        obs = active_observer()
+        if obs is not None:
+            obs.inc("supervisor.degraded_shards")
+        self._degradations.append(
+            DegradationRecord(
+                shard=(task.lo, task.hi),
+                policy_name=task.policy.name,
+                kind=task.kind,
+                attempts=task.attempts,
+                reason=reason,
+            )
+        )
+        if task.kind == "eval":
+            engine = self._serial_engine(task.lo, task.hi)
+            violations, counts = engine.evaluate_arrays(task.policy)
+            result: tuple = (task.lo, violations, counts, None)
+        else:
+            counts, exhausted = _certify_walk(
+                self._parent_state(),
+                task.policy,
+                task.lo,
+                task.hi,
+                task.budget,
+            )
+            result = (task.lo, counts, exhausted, None)
+        self._complete(task, result, done, on_result)
+
+    def _check_watchdog(
+        self,
+        pending: deque[_Task],
+        done: dict[int, tuple],
+        on_result: _OnResult | None,
+    ) -> None:
+        now = self._clock()
+        for handle in list(self._live):
+            if handle.task is None:
+                continue
+            if now - handle.dispatched_at <= self._shard_timeout:
+                continue
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("supervisor.watchdog_kills")
+            self._kill_process(handle)
+            self._worker_died(
+                handle,
+                pending,
+                done,
+                on_result,
+                f"shard exceeded the {self._shard_timeout:g}s watchdog timeout",
+            )
+
+    def _kill_process(self, handle: _WorkerHandle) -> None:
+        # SIGKILL ends the worker even while it is SIGSTOPped (a real
+        # hang or the chaos suite's stall fault); a race with a natural
+        # death is fine.
+        try:
+            os.kill(handle.process.pid, signal.SIGKILL)
+        except (ProcessLookupError, TypeError):
+            pass
+
+    def _publish_heartbeat_age(self) -> None:
+        obs = active_observer()
+        if obs is None or not self._live:
+            return
+        now = self._clock()
+        age = max(now - handle.last_heartbeat for handle in self._live)
+        obs.set_gauge("supervisor.heartbeat_age_seconds", age)
+
+    # -- serial fallback ----------------------------------------------------
+
+    def _parent_state(self) -> dict[str, Any]:
+        return {
+            "meta": self._meta,
+            "arrays": self._arrays,
+            "implicit_zero": self._implicit_zero,
+            "flag": self._flag,
+        }
+
+    def _serial_engine(self, lo: int, hi: int):
+        engine = self._serial_engines.get((lo, hi))
+        if engine is None:
+            from .batch import BatchViolationEngine
+
+            view = _ShardView(self._meta, self._arrays, lo, hi)
+            engine = BatchViolationEngine(
+                view, implicit_zero=self._implicit_zero
+            )
+            self._serial_engines[(lo, hi)] = engine
+        return engine
+
+    # -- shared internals ---------------------------------------------------
+
+    def _merge_parts(self, parts: Iterable[tuple]) -> tuple[np.ndarray, np.ndarray]:
+        parts = sorted(parts, key=lambda part: part[0])
+        if not parts:  # pragma: no cover - bounds are never empty
+            empty = np.zeros(0, dtype=np.float64)
+            return empty, empty.copy()
+        violations = np.concatenate([part[1] for part in parts])
+        counts = np.concatenate([part[2] for part in parts])
+        return violations, counts
+
+    def _assemble(
+        self, policy_name: str, violations: np.ndarray, counts: np.ndarray
+    ) -> BatchReport:
+        return assemble_report(
+            policy_name,
+            violations,
+            counts,
+            ids=self._meta["ids"],
+            segments=self._meta["segments"],
+            thresholds=self._compiled.thresholds,
+            strict=bool(self._meta["strict"]),
+        )
+
+    def _remember(
+        self, fingerprint: PolicyFingerprint, report: BatchReport
+    ) -> None:
+        if fingerprint not in self._cache and len(self._cache) >= self._max_cached:
+            del self._cache[next(iter(self._cache))]
+        self._cache[fingerprint] = report
+
+    def _check_policy(self, policy: HousePolicy) -> None:
+        if not isinstance(policy, HousePolicy):
+            raise ValidationError(
+                f"policy must be a HousePolicy, got {type(policy).__name__}"
+            )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ParallelExecutionError(
+                "executor is closed; create a new SupervisedExecutor"
+            )

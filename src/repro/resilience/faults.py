@@ -17,6 +17,10 @@ Fault kinds
 ``"kill"``
     Raise :class:`~repro.exceptions.ProcessKilled` — a simulated process
     death at a checkpoint boundary.  Never caught by library code.
+``"stall"``
+    Raise :class:`~repro.exceptions.ProcessStalled` — a simulated hang.
+    The supervised worker pool's task site turns it into a real SIGSTOP
+    so the stall watchdog (not Python exception handling) must recover.
 ``"corrupt"``
     Flip one seeded byte of data passing through a byte site (journal
     payloads, exported documents), simulating silent media corruption.
@@ -57,14 +61,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import FaultConfigError, ProcessKilled
+from ..exceptions import FaultConfigError, ProcessKilled, ProcessStalled
 from ..obs import active_observer
 
 #: The recognised fault kinds.
-FAULT_KINDS = ("locked", "disk_full", "kill", "corrupt", "nan", "scale")
+FAULT_KINDS = ("locked", "disk_full", "kill", "stall", "corrupt", "nan", "scale")
 
 #: Kinds that raise at any site (as opposed to transforming data).
-_RAISING_KINDS = ("locked", "disk_full", "kill")
+_RAISING_KINDS = ("locked", "disk_full", "kill", "stall")
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,6 +127,8 @@ def _make_error(spec: FaultSpec) -> BaseException:
         return sqlite3.OperationalError("database is locked")
     if spec.kind == "disk_full":
         return sqlite3.OperationalError("database or disk is full")
+    if spec.kind == "stall":
+        return ProcessStalled(spec.site)
     return ProcessKilled(spec.site)
 
 

@@ -36,7 +36,7 @@ from ..estimation.observation import (
 from ..estimation.thresholds import ThresholdEstimator
 from ..exceptions import ResilienceError
 from ..obs import active_observer, span
-from ..perf import BatchViolationEngine
+from ..perf import BatchViolationEngine, SupervisedExecutor, resolve_workers
 from ..policy_lang.serializer import policy_to_dict, preferences_to_dict
 from ..policy_lang.serializer import sensitivities_to_dict
 from ..simulation.dynamics import (
@@ -138,16 +138,74 @@ def _fire(site: str) -> None:
 
 
 def _make_engine(
-    population: Population, *, implicit_zero: bool, guarded: bool
-) -> BatchViolationEngine | GuardedBatchEngine:
+    population: Population,
+    *,
+    implicit_zero: bool,
+    guarded: bool,
+    workers: int = 1,
+    worker_faults: tuple = (),
+    fault_seed: int = 0,
+) -> BatchViolationEngine | GuardedBatchEngine | SupervisedExecutor:
     if guarded:
-        return GuardedBatchEngine(population, implicit_zero=implicit_zero)
+        return GuardedBatchEngine(
+            population, implicit_zero=implicit_zero, workers=workers
+        )
+    if resolve_workers(workers) > 1:
+        return SupervisedExecutor(
+            population,
+            workers=workers,
+            implicit_zero=implicit_zero,
+            worker_faults=worker_faults,
+            fault_seed=fault_seed,
+        )
     return BatchViolationEngine(population, implicit_zero=implicit_zero)
 
 
 # ---------------------------------------------------------------------------
 # sweep
 # ---------------------------------------------------------------------------
+
+
+def _shard_payload(
+    step: int, lo: int, hi: int, violations: Any, counts: Any
+) -> dict[str, Any]:
+    """One completed shard of a parallel sweep level, journal-ready.
+
+    JSON floats round-trip exactly (``repr`` is the shortest round-trip
+    form), so restoring these arrays on resume reproduces the worker's
+    output bit-for-bit.
+    """
+    return {
+        "kind": "shard",
+        "step": int(step),
+        "lo": int(lo),
+        "hi": int(hi),
+        "violations": [float(value) for value in violations],
+        "counts": [float(value) for value in counts],
+    }
+
+
+def _split_sweep_payloads(
+    payloads: Sequence[dict[str, Any]],
+) -> tuple[list[dict[str, Any]], dict[int, dict[tuple[int, int], tuple]]]:
+    """Separate journaled sweep levels from shard checkpoints.
+
+    Row payloads (no ``kind`` tag, the only shape journals held before
+    shard-level checkpointing existed) stay in order; shard payloads are
+    grouped by sweep level and keyed by their ``(lo, hi)`` bounds.
+    """
+    rows: list[dict[str, Any]] = []
+    shards: dict[int, dict[tuple[int, int], tuple]] = {}
+    for payload in payloads:
+        if payload.get("kind") == "shard":
+            level = shards.setdefault(int(payload["step"]), {})
+            level[(int(payload["lo"]), int(payload["hi"]))] = (
+                payload["violations"],
+                payload["counts"],
+            )
+        else:
+            rows.append(payload)
+    return rows, shards
 
 
 def _sweep_row_payload(row: SweepRow) -> dict[str, Any]:
@@ -203,6 +261,9 @@ def resumable_sweep(
     scenario_name: str = "expansion-sweep",
     implicit_zero: bool = True,
     guarded: bool = False,
+    workers: int = 1,
+    worker_faults: tuple = (),
+    fault_seed: int = 0,
 ) -> ExpansionSweep:
     """A widening sweep that checkpoints every level to *journal_path*.
 
@@ -214,6 +275,20 @@ def resumable_sweep(
 
     With ``guarded=True`` live steps are evaluated through the
     :class:`~repro.resilience.guardrail.GuardedBatchEngine`.
+
+    With ``workers > 1`` (or 0 = auto) live steps fan out over the
+    supervised worker pool
+    (:class:`~repro.perf.supervisor.SupervisedExecutor`) and the journal
+    checkpoints **per shard** as well as per level: a run killed in the
+    middle of a level resumes with that level's completed shards
+    restored from the journal and only the remainder re-evaluated —
+    still bit-for-bit, because journaled floats round-trip exactly and
+    shards merge in deterministic order.  The worker count is *not* part
+    of the journal fingerprint: a sweep journaled with ``--workers 4``
+    may resume with any worker count (journaled shard results are reused
+    only where their bounds match the current shard layout; others are
+    recomputed to identical values).  ``worker_faults``/``fault_seed``
+    are the chaos hooks, passed through to the supervisor.
     """
     if step is None:
         step = WideningStep.uniform(1)
@@ -238,39 +313,70 @@ def resumable_sweep(
     ) as journal, span(
         "resume.sweep", journal=journal_path, max_steps=max_steps
     ):
-        rows = [_sweep_row_from_payload(p) for p in journal.payloads()]
+        row_payloads, shard_payloads = _split_sweep_payloads(
+            journal.payloads()
+        )
+        rows = [_sweep_row_from_payload(p) for p in row_payloads]
         obs = active_observer()
         if obs is not None and rows:
             obs.inc("resume.replayed_steps", len(rows), kind="sweep")
         engine = None
         n_current = len(population)
-        for k, policy in widening_path(
-            base_policy,
-            step,
-            taxonomy,
-            max_steps,
-            attributes=attributes,
-            purposes=purposes,
-        ):
-            if k < len(rows):
-                continue  # already journaled: replayed, not re-evaluated
-            if engine is None:
-                engine = _make_engine(
-                    population, implicit_zero=implicit_zero, guarded=guarded
+        try:
+            for k, policy in widening_path(
+                base_policy,
+                step,
+                taxonomy,
+                max_steps,
+                attributes=attributes,
+                purposes=purposes,
+            ):
+                if k < len(rows):
+                    continue  # already journaled: replayed, not re-evaluated
+                if engine is None:
+                    engine = _make_engine(
+                        population,
+                        implicit_zero=implicit_zero,
+                        guarded=guarded,
+                        workers=workers,
+                        worker_faults=worker_faults,
+                        fault_seed=fault_seed,
+                    )
+                if isinstance(engine, SupervisedExecutor):
+                    restored = shard_payloads.get(k, {})
+                    if obs is not None and restored:
+                        obs.inc(
+                            "resume.replayed_shards", len(restored), kind="sweep"
+                        )
+
+                    def _journal_shard(lo, hi, violations, counts, _k=k):
+                        journal.record_step(
+                            _shard_payload(_k, lo, hi, violations, counts)
+                        )
+
+                    violations, counts = engine.evaluate_arrays_sharded(
+                        policy, precomputed=restored, on_shard=_journal_shard
+                    )
+                    report = engine.assemble(policy.name, violations, counts)
+                else:
+                    report = engine.evaluate(policy)
+                row = build_sweep_row(
+                    report,
+                    step=k,
+                    n_current=n_current,
+                    per_provider_utility=per_provider_utility,
+                    extra_utility_per_step=extra_utility_per_step,
                 )
-            report = engine.evaluate(policy)
-            row = build_sweep_row(
-                report,
-                step=k,
-                n_current=n_current,
-                per_provider_utility=per_provider_utility,
-                extra_utility_per_step=extra_utility_per_step,
-            )
-            journal.record_step(_sweep_row_payload(row))
-            rows.append(row)
-            if obs is not None:
-                obs.inc("resume.live_steps", kind="sweep")
-            _fire("sweep.step")
+                journal.record_step(_sweep_row_payload(row))
+                rows.append(row)
+                if obs is not None:
+                    obs.inc("resume.live_steps", kind="sweep")
+                _fire("sweep.step")
+        finally:
+            # A scripted kill (or real crash unwinding) must not leak
+            # the supervisor's worker pool or shared-memory segment.
+            if engine is not None:
+                engine.close()
         return ExpansionSweep(
             scenario_name=scenario_name,
             per_provider_utility=per_provider_utility,
@@ -324,13 +430,18 @@ def resumable_dynamics(
     extra_utility_per_round: float = 0.25,
     implicit_zero: bool = True,
     guarded: bool = False,
+    workers: int = 1,
 ) -> list[RoundOutcome]:
     """Multi-round dynamics, checkpointing one journal step per round.
 
     Matches :func:`~repro.simulation.dynamics.run_dynamics` bit-for-bit:
     recorded rounds are replayed (the surviving population is rebuilt
     from the journaled departures), live rounds are evaluated through
-    the shared round builder.
+    the shared round builder.  ``workers`` selects the execution policy
+    for live rounds (checkpointing stays per round — the engine is
+    rebuilt whenever the population shrinks, so shard checkpoints would
+    rarely survive a round anyway); the worker count is not part of the
+    journal fingerprint.
     """
     if step is None:
         step = WideningStep.uniform(1)
@@ -357,51 +468,58 @@ def resumable_dynamics(
         current_policy = round_policy(
             base_policy, base_policy.name, step, taxonomy, 0
         )
-        engine: BatchViolationEngine | GuardedBatchEngine | None = None
-        for round_index in range(rounds):
-            if len(current_population) == 0:
-                break
-            if round_index > 0:
-                current_policy = round_policy(
-                    current_policy, base_policy.name, step, taxonomy, round_index
+        engine: Any = None
+        try:
+            for round_index in range(rounds):
+                if len(current_population) == 0:
+                    break
+                if round_index > 0:
+                    current_policy = round_policy(
+                        current_policy, base_policy.name, step, taxonomy, round_index
+                    )
+                if round_index < len(recorded):
+                    # Replay: advance the survivor set from the journal
+                    # without touching the engine.
+                    outcome = recorded[round_index]
+                    outcomes.append(outcome)
+                    if outcome.defaulted_providers:
+                        current_population = current_population.without(
+                            outcome.defaulted_providers
+                        )
+                    continue
+                if engine is None:
+                    engine = _make_engine(
+                        current_population,
+                        implicit_zero=implicit_zero,
+                        guarded=guarded,
+                        workers=workers,
+                    )
+                report = engine.evaluate(current_policy)
+                outcome = build_round_outcome(
+                    report,
+                    round_index=round_index,
+                    per_provider_utility=per_provider_utility,
+                    extra_utility_per_round=extra_utility_per_round,
                 )
-            if round_index < len(recorded):
-                # Replay: advance the survivor set from the journal
-                # without touching the engine.
-                outcome = recorded[round_index]
+                journal.record_step(_round_payload(outcome))
                 outcomes.append(outcome)
+                if obs is not None:
+                    obs.inc("resume.live_steps", kind="dynamics")
+                _fire("dynamics.round")
                 if outcome.defaulted_providers:
                     current_population = current_population.without(
                         outcome.defaulted_providers
                     )
-                continue
-            if engine is None:
-                engine = _make_engine(
-                    current_population,
-                    implicit_zero=implicit_zero,
-                    guarded=guarded,
-                )
-            report = engine.evaluate(current_policy)
-            outcome = build_round_outcome(
-                report,
-                round_index=round_index,
-                per_provider_utility=per_provider_utility,
-                extra_utility_per_round=extra_utility_per_round,
-            )
-            journal.record_step(_round_payload(outcome))
-            outcomes.append(outcome)
-            if obs is not None:
-                obs.inc("resume.live_steps", kind="dynamics")
-            _fire("dynamics.round")
-            if outcome.defaulted_providers:
-                current_population = current_population.without(
-                    outcome.defaulted_providers
-                )
-                engine = _make_engine(
-                    current_population,
-                    implicit_zero=implicit_zero,
-                    guarded=guarded,
-                )
+                    engine.close()
+                    engine = _make_engine(
+                        current_population,
+                        implicit_zero=implicit_zero,
+                        guarded=guarded,
+                        workers=workers,
+                    )
+        finally:
+            if engine is not None:
+                engine.close()
         return outcomes
 
 

@@ -158,6 +158,7 @@ def run_expansion_sweep(
     scenario_name: str = "expansion-sweep",
     implicit_zero: bool = True,
     workers: int = 1,
+    guarded: bool = False,
 ) -> ExpansionSweep:
     """Walk a widening path, evaluating the full model at every level.
 
@@ -185,8 +186,14 @@ def run_expansion_sweep(
     workers:
         The execution policy: ``1`` (default) evaluates in-process,
         ``0`` uses one worker per CPU, ``N > 1`` fans each level's
-        evaluation over a :class:`~repro.perf.parallel.ShardExecutor`.
-        Results are bit-for-bit identical across settings.
+        evaluation over the supervised worker pool
+        (:class:`~repro.perf.supervisor.SupervisedExecutor`).  Results
+        are bit-for-bit identical across settings.
+    guarded:
+        Evaluate through the
+        :class:`~repro.resilience.guardrail.GuardedBatchEngine`, which
+        spot-checks every level against the reference oracle and
+        degrades to it on divergence.  Composes with ``workers``.
     """
     check_int(max_steps, "max_steps", minimum=0)
     check_real(per_provider_utility, "per_provider_utility", minimum=0.0)
@@ -196,6 +203,20 @@ def run_expansion_sweep(
     n_current = len(population)
     rows: list[SweepRow] = []
     obs = active_observer()
+
+    def _sweep_engine():
+        if guarded:
+            # Imported lazily: the resilience layer imports this module
+            # (resume wraps the sweep), so a module-scope import cycles.
+            from ..resilience.guardrail import GuardedBatchEngine
+
+            return GuardedBatchEngine(
+                population, implicit_zero=implicit_zero, workers=workers
+            )
+        return make_batch_engine(
+            population, workers=workers, implicit_zero=implicit_zero
+        )
+
     with span(
         "sweep.run",
         scenario=scenario_name,
@@ -206,9 +227,7 @@ def run_expansion_sweep(
         # levels share most (attribute, purpose) columns, so the batch
         # engine's delta path (per shard, under the parallel executor)
         # re-evaluates only what each step moved.
-        with make_batch_engine(
-            population, workers=workers, implicit_zero=implicit_zero
-        ) as engine:
+        with _sweep_engine() as engine:
             for k, policy in widening_path(
                 base_policy,
                 step,

@@ -1,0 +1,160 @@
+"""``sweep --journal`` composes with ``--workers``: the PR lifted the ban.
+
+The mutual exclusion used to be the CLI's answer to a hard problem —
+a parallel sweep had no shard-level checkpoints, so a crash threw away
+partial levels.  The supervised pool journals each shard completion, so
+now the invariants are: (a) a journaled parallel sweep equals a plain
+serial sweep byte-for-byte, (b) a crashed journaled parallel sweep
+resumes to the identical ledger, (c) the worker count is free to change
+between the crash and the resume because it is not part of the journal
+fingerprint.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ProcessKilled
+from repro.resilience import FaultPlan, FaultSpec
+
+from tests.cli.test_cli import _base_args, documents  # noqa: F401
+
+STEPS = ["--steps", "3", "--utility", "10", "--extra-per-step", "2"]
+
+
+def _run_json(argv, capsys) -> tuple[int, str]:
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def _serial_ledger(documents, capsys) -> str:  # noqa: F811
+    code, out = _run_json(
+        ["sweep", *_base_args(documents), *STEPS, "--json"], capsys
+    )
+    assert code == 0
+    return out
+
+
+def test_journal_and_workers_compose(documents, tmp_path, capsys):  # noqa: F811
+    serial = _serial_ledger(documents, capsys)
+    code, parallel = _run_json(
+        [
+            "sweep",
+            *_base_args(documents),
+            *STEPS,
+            "--json",
+            "--workers",
+            "2",
+            "--journal",
+            str(tmp_path / "sweep.journal"),
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert parallel == serial
+    assert glob.glob("/dev/shm/pvl_*") == []
+
+
+def test_crashed_parallel_sweep_resumes_byte_identical(
+    documents, tmp_path, capsys  # noqa: F811
+):
+    serial = _serial_ledger(documents, capsys)
+    journal = str(tmp_path / "sweep.journal")
+    # Crash after the first level has been journaled.
+    plan = FaultPlan([FaultSpec(site="sweep.step", kind="kill", at=1)])
+    with plan.activate():
+        code = main(
+            [
+                "sweep",
+                *_base_args(documents),
+                *STEPS,
+                "--json",
+                "--workers",
+                "2",
+                "--journal",
+                journal,
+            ]
+        )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "error[PVL906]" in err
+    # Resume under a *different* worker count: the journal fingerprint
+    # does not include it, and replayed shards merge identically.
+    code, resumed = _run_json(
+        [
+            "sweep",
+            *_base_args(documents),
+            *STEPS,
+            "--json",
+            "--workers",
+            "3",
+            "--journal",
+            journal,
+            "--resume",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert resumed == serial
+    assert glob.glob("/dev/shm/pvl_*") == []
+
+
+def test_resume_from_parallel_journal_with_serial_workers(
+    documents, tmp_path, capsys  # noqa: F811
+):
+    serial = _serial_ledger(documents, capsys)
+    journal = str(tmp_path / "sweep.journal")
+    plan = FaultPlan([FaultSpec(site="sweep.step", kind="kill", at=2)])
+    with plan.activate():
+        code = main(
+            [
+                "sweep",
+                *_base_args(documents),
+                *STEPS,
+                "--json",
+                "--workers",
+                "2",
+                "--journal",
+                journal,
+            ]
+        )
+    assert code == 2
+    capsys.readouterr()
+    code, resumed = _run_json(
+        [
+            "sweep",
+            *_base_args(documents),
+            *STEPS,
+            "--json",
+            "--journal",
+            journal,
+            "--resume",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert resumed == serial
+    assert glob.glob("/dev/shm/pvl_*") == []
+
+
+def test_guarded_composes_with_workers(documents, capsys):  # noqa: F811
+    serial = _serial_ledger(documents, capsys)
+    code, guarded = _run_json(
+        [
+            "sweep",
+            *_base_args(documents),
+            *STEPS,
+            "--json",
+            "--workers",
+            "2",
+            "--guarded",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert guarded == serial
+    assert glob.glob("/dev/shm/pvl_*") == []

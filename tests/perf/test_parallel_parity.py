@@ -378,12 +378,19 @@ def test_game_parity_across_workers(small_crm):
 
 
 def test_make_batch_engine_dispatch():
+    from repro.perf.supervisor import SupervisedExecutor
+
     rng = random.Random(7)
     population = _random_population(rng)
     engine = make_batch_engine(population, workers=1)
     assert isinstance(engine, BatchViolationEngine)
     engine.close()
+    # workers > 1 defaults to the supervised pool ...
     engine = make_batch_engine(population, workers=2)
+    assert isinstance(engine, SupervisedExecutor)
+    engine.close()
+    # ... and supervised=False opts back into the fail-fast executor.
+    engine = make_batch_engine(population, workers=2, supervised=False)
     assert isinstance(engine, ShardExecutor)
     engine.close()
     assert _no_leaked_segments()

@@ -1,0 +1,217 @@
+"""Shared-memory hygiene: no run may leave ``/dev/shm/pvl_*`` behind.
+
+The segment name embeds the owner pid (``pvl_<pid>_<hex>``), which is
+what lets :func:`~repro.perf.shm.stale_segments` distinguish a crashed
+run's leak (owner gone) from a live run's working set (owner alive) —
+and what makes ``repro doctor --clean-shm`` safe to run next to live
+sweeps.  These tests pin the registry/atexit/SIGTERM hooks on the owner
+side and the doctor on the janitor side.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.cli import main
+from repro.perf import SharedArrayPack, clean_stale_segments, stale_segments
+from repro.perf.shm import _SEGMENT_NAME
+
+from tests.properties.test_batch_parity import _random_population
+
+
+def _fake_segment(pid: int) -> str:
+    name = f"pvl_{pid}_deadbeef"
+    with open(f"/dev/shm/{name}", "wb") as handle:
+        handle.write(b"\0" * 16)
+    return name
+
+
+def test_segment_names_carry_the_owner_pid():
+    pack = SharedArrayPack({"x": np.arange(4, dtype=np.float64)})
+    try:
+        match = _SEGMENT_NAME.match(pack.name)
+        assert match is not None
+        assert int(match.group(1)) == os.getpid()
+    finally:
+        pack.close()
+    assert glob.glob("/dev/shm/pvl_*") == []
+
+
+def test_live_owner_segments_are_never_stale():
+    pack = SharedArrayPack({"x": np.arange(4, dtype=np.float64)})
+    try:
+        assert pack.name not in [name for name, _ in stale_segments()]
+        # And the janitor must not touch them either.
+        clean_stale_segments()
+        assert glob.glob(f"/dev/shm/{pack.name}")
+    finally:
+        pack.close()
+
+
+def test_dead_owner_segments_are_stale_and_cleanable():
+    # A pid from a process that exited: spawn one and wait for it.
+    probe = subprocess.run(
+        [sys.executable, "-c", "import os; print(os.getpid())"],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    dead_pid = int(probe.stdout)
+    name = _fake_segment(dead_pid)
+    try:
+        assert (name, dead_pid) in stale_segments()
+        removed = clean_stale_segments()
+        assert (name, dead_pid) in removed
+        assert not os.path.exists(f"/dev/shm/{name}")
+    finally:
+        if os.path.exists(f"/dev/shm/{name}"):
+            os.unlink(f"/dev/shm/{name}")
+
+
+def test_foreign_shm_names_are_ignored():
+    path = "/dev/shm/psm_not_ours_0000"
+    with open(path, "wb") as handle:
+        handle.write(b"\0" * 16)
+    try:
+        assert all(
+            not name.startswith("psm_") for name, _ in stale_segments()
+        )
+        clean_stale_segments()
+        assert os.path.exists(path)
+    finally:
+        os.unlink(path)
+
+
+def test_sigterm_unlinks_the_owners_segments():
+    """A SIGTERMed owner process cleans up via the chained handler."""
+    script = (
+        "import os, signal, sys, time\n"
+        "import numpy as np\n"
+        "from repro.perf import SharedArrayPack\n"
+        "pack = SharedArrayPack({'x': np.arange(8, dtype=np.float64)})\n"
+        "print(pack.name, flush=True)\n"
+        "signal.pause()\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        assert glob.glob(f"/dev/shm/{name}")
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        assert glob.glob(f"/dev/shm/{name}") == []
+        # The handler re-raises after cleanup: the exit reports SIGTERM.
+        assert proc.returncode == -signal.SIGTERM
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        for leaked in glob.glob("/dev/shm/pvl_*"):
+            os.unlink(leaked)
+
+
+def test_sigkilled_executor_leak_is_found_and_cleaned_by_doctor():
+    """The one leak nothing can prevent (SIGKILL) is the doctor's job."""
+    script = (
+        "import os, random, sys\n"
+        "sys.path.insert(0, '.')\n"
+        "from repro.perf import SupervisedExecutor\n"
+        "from tests.properties.test_batch_parity import _random_population\n"
+        "executor = SupervisedExecutor(\n"
+        "    _random_population(random.Random(5)), workers=2\n"
+        ")\n"
+        "print(executor.segment_name, flush=True)\n"
+        "os.kill(os.getpid(), 9)\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=root,
+    )
+    try:
+        name = proc.stdout.readline().strip()
+        proc.wait(timeout=60)
+        assert proc.returncode == -signal.SIGKILL
+        # SIGKILL gave the owner no chance to unlink; the segment leaked.
+        assert glob.glob(f"/dev/shm/{name}")
+        stale = dict(stale_segments())
+        assert name in stale
+        removed = clean_stale_segments()
+        assert name in dict(removed)
+        assert glob.glob(f"/dev/shm/{name}") == []
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        for leaked in glob.glob("/dev/shm/pvl_*"):
+            os.unlink(leaked)
+
+
+class TestDoctorCommand:
+    def test_reports_clean_when_nothing_is_stale(self, capsys):
+        assert main(["doctor"]) == 0
+        assert "no stale segments" in capsys.readouterr().out
+
+    def test_lists_stale_segments_without_touching_them(self, capsys):
+        name = _fake_segment(999_999_999)
+        try:
+            assert main(["doctor"]) == 0
+            out = capsys.readouterr().out
+            assert name in out
+            assert "--clean-shm" in out
+            assert os.path.exists(f"/dev/shm/{name}")
+        finally:
+            if os.path.exists(f"/dev/shm/{name}"):
+                os.unlink(f"/dev/shm/{name}")
+
+    def test_clean_shm_removes_and_reports(self, capsys):
+        name = _fake_segment(999_999_999)
+        assert main(["doctor", "--clean-shm"]) == 0
+        assert f"removed /dev/shm/{name}" in capsys.readouterr().out
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_json_output(self, capsys):
+        name = _fake_segment(999_999_999)
+        try:
+            assert main(["doctor", "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert {"segment": name, "pid": 999_999_999} in payload["stale"]
+            assert main(["doctor", "--clean-shm", "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert {"segment": name, "pid": 999_999_999} in payload["removed"]
+        finally:
+            if os.path.exists(f"/dev/shm/{name}"):
+                os.unlink(f"/dev/shm/{name}")
+
+    def test_doctor_spares_live_runs(self, capsys):
+        rng = random.Random(6)
+        pack = SharedArrayPack(
+            {"x": np.arange(4, dtype=np.float64)}
+        )
+        del rng
+        try:
+            assert main(["doctor", "--clean-shm"]) == 0
+            assert glob.glob(f"/dev/shm/{pack.name}")
+        finally:
+            pack.close()
+        assert glob.glob("/dev/shm/pvl_*") == []

@@ -1,0 +1,262 @@
+"""Parity and lifecycle for the supervised worker pool.
+
+The :class:`~repro.perf.supervisor.SupervisedExecutor` runs the same
+per-shard kernels as the unsupervised :class:`ShardExecutor`, so absent
+faults it must be **bit-for-bit identical** to the serial
+:class:`BatchViolationEngine` — evaluation, sweeps, certification, and
+the shard-level replay/callback machinery that backs journaled parallel
+sweeps.  Chaos (kills, stalls, degradation) lives in
+``test_supervisor_chaos.py``; these tests pin the healthy path.
+"""
+
+from __future__ import annotations
+
+import glob
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import observed
+from repro.perf import (
+    BatchViolationEngine,
+    ShardExecutor,
+    SupervisedExecutor,
+    make_batch_engine,
+)
+
+from tests.properties.test_batch_parity import (
+    _random_policy,
+    _random_population,
+)
+
+
+def _assert_reports_identical(parallel, serial) -> None:
+    assert parallel.policy_name == serial.policy_name
+    assert parallel.n_providers == serial.n_providers
+    assert parallel.n_violated == serial.n_violated
+    assert parallel.n_defaulted == serial.n_defaulted
+    assert parallel.violation_probability == serial.violation_probability
+    assert parallel.default_probability == serial.default_probability
+    assert parallel.total_violations == serial.total_violations
+    assert parallel.provider_ids == serial.provider_ids
+    assert parallel.segments == serial.segments
+    assert np.array_equal(parallel.violations, serial.violations)
+    assert np.array_equal(parallel.thresholds, serial.thresholds)
+    assert np.array_equal(parallel.violated, serial.violated)
+    assert np.array_equal(parallel.defaulted, serial.defaulted)
+
+
+def _no_leaked_segments() -> bool:
+    return glob.glob("/dev/shm/pvl_*") == []
+
+
+# ---------------------------------------------------------------------------
+# parity with the serial engine
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_evaluate_matches_serial_bit_for_bit(seed):
+    rng = random.Random(seed)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name=f"supervised-{seed}")
+    serial = BatchViolationEngine(population)
+    with SupervisedExecutor(population, workers=2) as executor:
+        _assert_reports_identical(
+            executor.evaluate(policy), serial.evaluate(policy)
+        )
+    assert _no_leaked_segments()
+
+
+def test_policy_sweep_matches_serial_and_caches():
+    rng = random.Random(11)
+    population = _random_population(rng)
+    policies = [_random_policy(rng, name=f"p{i}") for i in range(4)]
+    serial = BatchViolationEngine(population)
+    with SupervisedExecutor(population, workers=2) as executor:
+        reports = executor.evaluate_policies(policies)
+        for report, policy in zip(reports, policies):
+            _assert_reports_identical(report, serial.evaluate(policy))
+        assert executor.cached_policies == len(policies)
+        # A repeat evaluation is served from the cache, not the pool.
+        again = executor.evaluate(policies[0])
+        _assert_reports_identical(again, reports[0])
+    assert _no_leaked_segments()
+
+
+@pytest.mark.parametrize("early_exit", [False, True])
+def test_certify_matches_serial(early_exit):
+    rng = random.Random(21)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="certify")
+    serial = BatchViolationEngine(population)
+    for alpha in (0.0, 0.25, 0.5, 1.0):
+        with SupervisedExecutor(population, workers=2) as executor:
+            got = executor.certify(policy, alpha, early_exit=early_exit)
+            want = serial.certify(policy, alpha)
+            assert got.satisfied == want.satisfied
+            assert got.n_providers == want.n_providers
+            if not early_exit:
+                assert got.violation_probability == want.violation_probability
+                assert got.violated_providers == want.violated_providers
+    assert _no_leaked_segments()
+
+
+def test_certify_static_rejects_early_exit():
+    rng = random.Random(22)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="static")
+    with SupervisedExecutor(population, workers=2) as executor:
+        with pytest.raises(ValidationError):
+            executor.certify(policy, 0.5, static=True, early_exit=True)
+        certificate = executor.certify(policy, 0.5, static=True)
+        assert certificate.policy_name == policy.name
+    assert _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------------
+# shard replay and checkpoint callbacks (the journal integration surface)
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_evaluation_reports_every_new_shard():
+    rng = random.Random(31)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="sharded")
+    serial = BatchViolationEngine(population)
+    seen: dict[tuple[int, int], tuple] = {}
+    with SupervisedExecutor(population, workers=2) as executor:
+        bounds = list(executor.bounds)
+        violations, counts = executor.evaluate_arrays_sharded(
+            policy,
+            on_shard=lambda lo, hi, v, c: seen.__setitem__(
+                (lo, hi), (list(map(float, v)), list(map(float, c)))
+            ),
+        )
+        report = executor.assemble(policy.name, violations, counts)
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert sorted(seen) == sorted(bounds)
+    assert _no_leaked_segments()
+
+
+def test_precomputed_shards_are_replayed_not_recomputed():
+    rng = random.Random(32)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="replay")
+    serial = BatchViolationEngine(population)
+    # First pass records every shard, exactly as the journal would.
+    recorded: dict[tuple[int, int], tuple] = {}
+    with SupervisedExecutor(population, workers=2) as executor:
+        executor.evaluate_arrays_sharded(
+            policy,
+            on_shard=lambda lo, hi, v, c: recorded.__setitem__(
+                (lo, hi), (list(map(float, v)), list(map(float, c)))
+            ),
+        )
+    # Second pass replays a strict subset; only the rest is dispatched.
+    replayed = dict(list(sorted(recorded.items()))[:1])
+    computed: list[tuple[int, int]] = []
+    with SupervisedExecutor(population, workers=2) as executor:
+        violations, counts = executor.evaluate_arrays_sharded(
+            policy,
+            precomputed=replayed,
+            on_shard=lambda lo, hi, v, c: computed.append((lo, hi)),
+        )
+        report = executor.assemble(policy.name, violations, counts)
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert set(computed).isdisjoint(replayed)
+    assert _no_leaked_segments()
+
+
+def test_stale_precomputed_bounds_are_recomputed():
+    """Journaled bounds from a different worker count are ignored safely."""
+    rng = random.Random(33)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="stale-bounds")
+    serial = BatchViolationEngine(population)
+    n = len(population)
+    bogus = {(0, n + 7): ([0.0] * n, [0.0] * n)}
+    with SupervisedExecutor(population, workers=2) as executor:
+        violations, counts = executor.evaluate_arrays_sharded(
+            policy, precomputed=bogus
+        )
+        report = executor.assemble(policy.name, violations, counts)
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert _no_leaked_segments()
+
+
+# ---------------------------------------------------------------------------
+# pool lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_warm_pool_survives_repeated_sweeps():
+    rng = random.Random(41)
+    population = _random_population(rng)
+    with SupervisedExecutor(population, workers=2) as executor:
+        assert executor.live_workers == 2
+        for i in range(3):
+            executor.evaluate(_random_policy(rng, name=f"warm-{i}"))
+        # No deaths, no respawns: the same two processes served all
+        # three sweeps.
+        assert executor.live_workers == 2
+        assert executor.restarts == 0
+        assert executor.degradations == ()
+    assert _no_leaked_segments()
+
+
+def test_close_is_idempotent_and_releases_everything():
+    rng = random.Random(42)
+    population = _random_population(rng)
+    executor = SupervisedExecutor(population, workers=2)
+    assert glob.glob(f"/dev/shm/{executor.segment_name}")
+    executor.close()
+    executor.close()
+    assert executor.live_workers == 0
+    assert _no_leaked_segments()
+
+
+def test_supervision_parameters_are_validated():
+    rng = random.Random(43)
+    population = _random_population(rng)
+    for kwargs in (
+        {"heartbeat_interval": 0.0},
+        {"shard_timeout": 0.0},
+        {"max_shard_retries": -1},
+        {"max_respawns": -1},
+        {"retry_base_delay": -0.5},
+        {"shards": 0},
+    ):
+        with pytest.raises(ValidationError):
+            SupervisedExecutor(population, workers=2, **kwargs)
+    assert _no_leaked_segments()
+
+
+def test_dispatch_is_supervised_by_default():
+    rng = random.Random(44)
+    population = _random_population(rng)
+    engine = make_batch_engine(population, workers=2)
+    assert isinstance(engine, SupervisedExecutor)
+    engine.close()
+    engine = make_batch_engine(population, workers=2, supervised=False)
+    assert isinstance(engine, ShardExecutor)
+    engine.close()
+    assert _no_leaked_segments()
+
+
+def test_healthy_run_metrics():
+    rng = random.Random(45)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="metrics")
+    with observed() as obs:
+        with SupervisedExecutor(population, workers=2) as executor:
+            executor.evaluate(policy)
+        snapshot = obs.snapshot()
+    counters = {c["name"]: c["value"] for c in snapshot["counters"]}
+    gauges = {g["name"]: g["value"] for g in snapshot["gauges"]}
+    assert counters["supervisor.tasks"] >= 1.0
+    assert "supervisor.restarts" not in counters
+    assert "supervisor.degraded_shards" not in counters
+    assert gauges["supervisor.workers"] == 2.0

@@ -1,0 +1,246 @@
+"""Chaos: the supervised pool completes bit-for-bit under real failures.
+
+Every test here injects *real* process-level faults through the
+deterministic :class:`~repro.resilience.faults.FaultPlan` machinery —
+``kill`` SIGKILLs the worker mid-task, the new ``stall`` kind SIGSTOPs
+it so heartbeats cease and the watchdog must fire.  The supervision
+contract under all of it:
+
+* the sweep **completes** with results bit-for-bit identical to the
+  serial engine (respawned workers, retried shards, and parent-side
+  degraded shards all run the same kernels over the same rows);
+* the failure is **visible** — ``supervisor.restarts`` /
+  ``supervisor.shard_retries`` / ``supervisor.degraded_shards`` /
+  ``supervisor.watchdog_kills`` counters and the executor's
+  ``restarts`` / ``degradations`` properties record what happened;
+* respawns are **bounded** (``max_respawns`` is the fork-bomb cap) and
+  nothing under ``/dev/shm`` outlives the pool.
+"""
+
+from __future__ import annotations
+
+import glob
+import random
+
+import numpy as np
+import pytest
+
+from repro.obs import observed
+from repro.perf import BatchViolationEngine, SupervisedExecutor
+from repro.perf.parallel import TASK_FAULT_SITE
+from repro.resilience import FaultSpec
+
+from tests.properties.test_batch_parity import (
+    _random_policy,
+    _random_population,
+)
+
+
+def _assert_reports_identical(parallel, serial) -> None:
+    assert parallel.policy_name == serial.policy_name
+    assert parallel.n_violated == serial.n_violated
+    assert parallel.total_violations == serial.total_violations
+    assert parallel.provider_ids == serial.provider_ids
+    assert np.array_equal(parallel.violations, serial.violations)
+    assert np.array_equal(parallel.violated, serial.violated)
+    assert np.array_equal(parallel.defaulted, serial.defaulted)
+
+
+def _no_leaked_segments() -> bool:
+    return glob.glob("/dev/shm/pvl_*") == []
+
+
+def _counters(snapshot: dict) -> dict[str, float]:
+    return {c["name"]: c["value"] for c in snapshot["counters"]}
+
+
+def test_worker_sigkill_is_respawned_and_retried():
+    """One worker dies once; the respawn re-runs the shard successfully."""
+    rng = random.Random(99)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos-kill")
+    serial = BatchViolationEngine(population)
+    with observed() as obs:
+        with SupervisedExecutor(
+            population,
+            workers=2,
+            worker_faults=[
+                FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0)
+            ],
+            fault_worker_indices=[0],  # only the first spawn is armed
+            retry_base_delay=0.0,
+        ) as executor:
+            report = executor.evaluate(policy)
+            assert executor.restarts == 1
+            assert executor.degradations == ()
+        counters = _counters(obs.snapshot())
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert counters["supervisor.restarts"] == 1.0
+    assert counters["supervisor.shard_retries"] >= 1.0
+    assert "supervisor.degraded_shards" not in counters
+    assert _no_leaked_segments()
+
+
+def test_every_spawn_dying_degrades_to_serial_bit_for_bit():
+    """Retries exhausted on every worker: the parent finishes the sweep."""
+    rng = random.Random(100)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos-degrade")
+    serial = BatchViolationEngine(population)
+    with observed() as obs:
+        with SupervisedExecutor(
+            population,
+            workers=2,
+            worker_faults=[
+                FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0, count=999)
+            ],
+            max_shard_retries=1,
+            max_respawns=3,
+            retry_base_delay=0.0,
+        ) as executor:
+            report = executor.evaluate(policy)
+            # The budget bounds the fork storm ...
+            assert executor.restarts <= 3
+            # ... and whatever could not run in a worker ran here.
+            assert len(executor.degradations) >= 1
+            for record in executor.degradations:
+                assert record.kind == "eval"
+                assert record.policy_name == policy.name
+                assert record.attempts >= 1
+        counters = _counters(obs.snapshot())
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert counters["supervisor.degraded_shards"] >= 1.0
+    assert counters["supervisor.restarts"] <= 3.0
+    assert _no_leaked_segments()
+
+
+def test_sigstop_stall_is_recovered_by_the_watchdog():
+    """A stalled worker stops heartbeating; the watchdog kills and retries."""
+    rng = random.Random(101)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos-stall")
+    serial = BatchViolationEngine(population)
+    with observed() as obs:
+        with SupervisedExecutor(
+            population,
+            workers=2,
+            worker_faults=[
+                FaultSpec(site=TASK_FAULT_SITE, kind="stall", at=0)
+            ],
+            fault_worker_indices=[0],
+            heartbeat_interval=0.05,
+            shard_timeout=1.0,
+            retry_base_delay=0.0,
+        ) as executor:
+            report = executor.evaluate(policy)
+            assert executor.restarts == 1
+        counters = _counters(obs.snapshot())
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert counters["supervisor.watchdog_kills"] == 1.0
+    assert counters["supervisor.restarts"] == 1.0
+    assert _no_leaked_segments()
+
+
+def test_sigkill_during_early_exit_certify_keeps_the_verdict():
+    rng = random.Random(102)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos-certify")
+    serial = BatchViolationEngine(population)
+    for alpha in (0.0, 0.5, 1.0):
+        with SupervisedExecutor(
+            population,
+            workers=2,
+            worker_faults=[
+                FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0, count=999)
+            ],
+            max_shard_retries=0,
+            max_respawns=2,
+            retry_base_delay=0.0,
+        ) as executor:
+            got = executor.certify(policy, alpha, early_exit=True)
+            want = serial.certify(policy, alpha)
+            assert got.satisfied == want.satisfied
+            assert got.n_providers == want.n_providers
+            certify_degradations = [
+                record
+                for record in executor.degradations
+                if record.kind == "certify"
+            ]
+            assert certify_degradations
+    assert _no_leaked_segments()
+
+
+def test_respawn_budget_exhaustion_never_forks_unboundedly():
+    """max_respawns=0: no second chances, everything degrades serially."""
+    rng = random.Random(103)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos-budget")
+    serial = BatchViolationEngine(population)
+    with SupervisedExecutor(
+        population,
+        workers=2,
+        worker_faults=[
+            FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0, count=999)
+        ],
+        max_shard_retries=0,
+        max_respawns=0,
+        retry_base_delay=0.0,
+    ) as executor:
+        report = executor.evaluate(policy)
+        assert executor.restarts == 0
+        assert executor.live_workers == 0
+        assert len(executor.degradations) >= 1
+    _assert_reports_identical(report, serial.evaluate(policy))
+    assert _no_leaked_segments()
+
+
+def test_retry_backoff_is_deterministic_and_injectable():
+    """The backoff schedule is base * 2**(attempt-1) through the hook."""
+    rng = random.Random(104)
+    population = _random_population(rng)
+    policy = _random_policy(rng, name="chaos-backoff")
+    delays: list[float] = []
+    with SupervisedExecutor(
+        population,
+        workers=1,
+        shards=1,
+        worker_faults=[
+            FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0)
+        ],
+        # Each respawn re-arms a fresh plan, so bound the chaos by spawn
+        # index: spawns 0 and 1 die on their first task, spawn 2 is clean.
+        fault_worker_indices=[0, 1],
+        max_shard_retries=3,
+        retry_base_delay=0.25,
+        sleep=delays.append,
+    ) as executor:
+        executor.evaluate(policy)
+        assert executor.degradations == ()
+    assert delays == [0.25, 0.5]
+    assert _no_leaked_segments()
+
+
+def test_degraded_pool_keeps_serving_later_policies():
+    """Degradation is per-shard, not terminal: the pool object stays usable."""
+    rng = random.Random(105)
+    population = _random_population(rng)
+    first = _random_policy(rng, name="first")
+    second = _random_policy(rng, name="second")
+    serial = BatchViolationEngine(population)
+    with SupervisedExecutor(
+        population,
+        workers=2,
+        worker_faults=[
+            FaultSpec(site=TASK_FAULT_SITE, kind="kill", at=0, count=999)
+        ],
+        max_shard_retries=0,
+        max_respawns=0,
+        retry_base_delay=0.0,
+    ) as executor:
+        _assert_reports_identical(
+            executor.evaluate(first), serial.evaluate(first)
+        )
+        _assert_reports_identical(
+            executor.evaluate(second), serial.evaluate(second)
+        )
+    assert _no_leaked_segments()

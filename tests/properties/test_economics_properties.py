@@ -93,8 +93,16 @@ class TestDefaultCDFProperties:
 
     @given(cdf=cdf_data(), budget=st.floats(0.0, 1.0, allow_nan=False))
     def test_widest_step_within_budget_respects_budget(self, cdf, budget):
+        # The documented contract admits exact-boundary budgets within
+        # one ulp (fractions come from float division), so the property
+        # mirrors the same isclose tolerance instead of a strict <=.
         step = cdf.widest_step_within(budget)
-        assert cdf.fraction_at(step) <= budget or step == 0
+        fraction = cdf.fraction_at(step)
+        assert (
+            fraction <= budget
+            or math.isclose(fraction, budget, rel_tol=1e-9)
+            or step == 0
+        )
 
     @given(cdf=cdf_data())
     def test_budget_one_reaches_last_step(self, cdf):
