@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-parallel obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
+.PHONY: install test chaos chaos-parallel delta-parity obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,18 +33,32 @@ chaos-parallel:
 		tests/perf/test_shm_cleanup.py \
 		tests/cli/test_cli_journal_workers.py
 
+# The incremental-engine suite CI runs in the delta-parity job:
+# randomized mutation sequences bit-for-bit against fresh compiles,
+# the exactly-one-compile churn regression, the mutation-epoch resume
+# contract, and a smoke-size run of the delta dynamics bench.
+delta-parity:
+	REPRO_TEST_TIMEOUT=120 $(PYTHON) -m pytest -q \
+		tests/properties/test_mutation_parity.py \
+		tests/perf/test_delta_engine.py \
+		tests/perf/test_delta_dynamics.py \
+		tests/resilience/test_mutation_epoch.py
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_delta_dynamics.py --benchmark-only
+
 obs:
 	REPRO_TEST_TIMEOUT=60 $(PYTHON) -m pytest -q tests/obs
 
 # Full benchmark run; machine-readable timings (including the sweep
 # speedups of the batch engine vs the reference engine, of the sharded
-# parallel executor vs the serial batch engine, and of the warm
-# supervised pool vs cold per-sweep pool spin-up) land in BENCH_8.json
-# via the conftest recorder.  The historical BENCH_2.json record names
-# are preserved inside it, so the timing trajectory across PRs stays
+# parallel executor vs the serial batch engine, of the warm supervised
+# pool vs cold per-sweep pool spin-up, and of the incremental delta
+# engine vs a full rebuild per churn round) land in BENCH_9.json via
+# the conftest recorder.  The historical BENCH_2.json record names are
+# preserved inside it, so the timing trajectory across PRs stays
 # comparable.
 bench:
-	REPRO_BENCH_JSON=BENCH_8.json $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	REPRO_BENCH_JSON=BENCH_9.json $(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # The parallel-executor suite plus a tiny-size run of the parallel
 # sweep bench (workers=2, small population) — what CI's parallel-smoke

@@ -112,10 +112,11 @@ def play_widening_game(
     )
     round_index = 0
     stopped_by_strategy = False
-    # Compile once and re-evaluate candidate policies against the arrays;
-    # recompile only when defaults shrink the population.  Strategies that
-    # revisit a policy (or widen within a single column) hit the batch
-    # engine's cache and delta paths.
+    # One engine for the whole game: defaults are tombstoned in place, so
+    # the single compilation (and, in parallel mode, the single worker
+    # pool) survives every round.  Strategies that revisit a policy (or
+    # widen within a single column) hit the batch engine's cache and
+    # delta paths.
     engine = make_batch_engine(
         current_population, workers=workers, implicit_zero=implicit_zero
     )
@@ -142,10 +143,7 @@ def play_widening_game(
             )
             if defaulted:
                 current_population = current_population.without(defaulted)
-                engine.close()
-                engine = make_batch_engine(
-                    current_population, workers=workers, implicit_zero=implicit_zero
-                )
+                engine.remove(defaulted)
             next_step = strategy.propose(rounds)
             if next_step is None:
                 stopped_by_strategy = True

@@ -23,7 +23,12 @@ path.  This package is the production path:
   shard retry with backoff, and serial degradation so sweeps complete
   bit-for-bit under partial failure;
 * :func:`~repro.perf.streaming.evaluate_chunked` — bounded-memory
-  chunk-by-chunk evaluation for populations larger than RAM.
+  chunk-by-chunk evaluation for populations larger than RAM;
+* :class:`~repro.perf.delta.MutableBatchEngine` — the incremental
+  facade :func:`make_batch_engine` returns: population churn (remove /
+  append / update) mutates the compilation in place instead of
+  rebuilding it, so one engine — and one worker pool — survives a whole
+  dynamics, equilibrium, or widening run.
 
 The batch engine matches the reference engine exactly (see
 ``tests/properties/test_batch_parity.py``), and the parallel and
@@ -38,9 +43,12 @@ from .batch import (
     BatchViolationEngine,
     assemble_report,
     column_contribution,
+    policy_columns,
     policy_fingerprint,
+    row_contribution,
 )
 from .compiled import CompiledColumn, CompiledPopulation, RANK_AXES
+from .delta import MutableBatchEngine, MutableCompiledPopulation
 from .parallel import (
     ShardExecutor,
     available_cpus,
@@ -64,6 +72,8 @@ __all__ = [
     "CompiledColumn",
     "CompiledPopulation",
     "DegradationRecord",
+    "MutableBatchEngine",
+    "MutableCompiledPopulation",
     "RANK_AXES",
     "ShardExecutor",
     "SharedArrayPack",
@@ -78,8 +88,10 @@ __all__ = [
     "iter_population_chunks",
     "make_batch_engine",
     "merge_reports",
+    "policy_columns",
     "policy_fingerprint",
     "resolve_workers",
+    "row_contribution",
     "shard_bounds",
     "stale_segments",
 ]

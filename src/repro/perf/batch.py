@@ -76,8 +76,14 @@ def policy_fingerprint(policy: HousePolicy) -> PolicyFingerprint:
     )
 
 
-def _policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries]:
-    """Group a policy's entries by ``(attribute, purpose)`` column."""
+def policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries]:
+    """Group a policy's entries by ``(attribute, purpose)`` column.
+
+    The decomposition the delta paths diff: two policies evaluate
+    identically on every column whose entry set matches, so only the
+    differing columns need recomputation (see
+    :func:`repro.simulation.widening.policy_delta_columns`).
+    """
     grouped: dict[tuple[str, str], list[tuple[int, int, int]]] = {}
     for entry in policy.entries:
         key = (entry.attribute, entry.tuple.purpose)
@@ -89,6 +95,11 @@ def _policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries
             )
         )
     return {key: tuple(sorted(ranks)) for key, ranks in grouped.items()}
+
+
+#: Backwards-compatible alias (the parallel layer imported the private
+#: name before the grouping became part of the public delta surface).
+_policy_columns = policy_columns
 
 
 class CompiledLike(Protocol):
@@ -157,6 +168,61 @@ def column_contribution(
             found = float((policy_ranks > 0).sum())
             violations[column.implicit_providers] += weighted
             counts[column.implicit_providers] += found
+    return violations, counts
+
+
+def row_contribution(
+    compiled: CompiledLike,
+    key: tuple[str, str],
+    entries: _ColumnEntries,
+    rows: np.ndarray,
+    *,
+    implicit_zero: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`column_contribution` restricted to the given provider *rows*.
+
+    *rows* must be a sorted ``int64`` array of distinct provider rows;
+    the returned ``(violations, counts)`` vectors have shape
+    ``(len(rows),)`` and position ``i`` carries exactly the value the
+    full kernel would put at ``rows[i]``: the per-entry accumulation
+    runs in the same order over the same selected preference rows, so
+    patching a cached total with these values is bit-for-bit identical
+    to a fresh full evaluation.  The incremental engine
+    (:mod:`repro.perf.delta`) uses this to re-score only the providers
+    an in-place mutation touched.
+    """
+    column = compiled.column(*key)
+    k = int(rows.shape[0])
+    violations = np.zeros(k, dtype=np.float64)
+    counts = np.zeros(k, dtype=np.float64)
+    if column.n_rows:
+        keep = np.isin(column.row_providers, rows)
+        sub_providers = np.searchsorted(rows, column.row_providers[keep])
+        sub_ranks = column.row_ranks[keep]
+        sub_weights = column.row_weights[keep]
+        any_rows = bool(sub_providers.size)
+    else:
+        any_rows = False
+    if implicit_zero and column.n_implicit:
+        imp_keep = np.isin(column.implicit_providers, rows)
+        imp_rows = np.searchsorted(rows, column.implicit_providers[imp_keep])
+        imp_weights = column.implicit_weights[imp_keep]
+        any_implicit = bool(imp_rows.size)
+    else:
+        any_implicit = False
+    for ranks in entries:
+        policy_ranks = np.array(ranks, dtype=np.int64)
+        if any_rows:
+            exceed = np.maximum(policy_ranks - sub_ranks, 0)
+            weighted = (exceed * sub_weights).sum(axis=1)
+            found = (exceed > 0).sum(axis=1).astype(np.float64)
+            violations += np.bincount(sub_providers, weights=weighted, minlength=k)
+            counts += np.bincount(sub_providers, weights=found, minlength=k)
+        if any_implicit:
+            weighted = (policy_ranks * imp_weights).sum(axis=1)
+            found = float((policy_ranks > 0).sum())
+            violations[imp_rows] += weighted
+            counts[imp_rows] += found
     return violations, counts
 
 
@@ -269,10 +335,17 @@ class BatchReport:
 
 @dataclass(frozen=True)
 class _Evaluation:
-    """Cached per-policy arrays: severity and finding counts per provider."""
+    """Cached per-policy arrays: severity and finding counts per provider.
+
+    ``columns`` records the policy's column decomposition at evaluation
+    time so :meth:`BatchViolationEngine.rescore_rows` can re-derive any
+    provider's totals for this policy after an in-place population
+    mutation without re-fingerprinting the policy.
+    """
 
     violations: np.ndarray  # (N,) float64
     counts: np.ndarray  # (N,) float64 (integer-valued)
+    columns: dict[tuple[str, str], _ColumnEntries] | None = None
 
 
 class BatchViolationEngine:
@@ -433,6 +506,104 @@ class BatchViolationEngine:
         from a full (still vectorized) pass otherwise.
         """
         return [self.evaluate(policy) for policy in policies]
+
+    def rescore_rows(self, rows: Iterable[int]) -> tuple[int, int]:
+        """Re-score the given provider *rows* across every cached evaluation.
+
+        The incremental engine (:mod:`repro.perf.delta`) calls this after
+        an in-place population mutation: the compiled stores already
+        describe the new provider state, so each memoised evaluation's
+        totals for the affected rows are recomputed from the *current*
+        columns (:func:`row_contribution`) while every other provider's
+        totals are reused untouched.  Rows at or past the old array
+        length (appended providers) grow the cached arrays with zeros
+        before patching.  Per-column restricted contributions are
+        memoised by ``(column key, entry ranks)`` across all cached
+        evaluations, so overlapping policies (a widening path) pay each
+        column's gather once per mutation, not once per policy.
+
+        Cached arrays are **replaced, never mutated** — previously
+        returned :class:`BatchReport`\\ s alias them and keep their
+        pre-mutation values.  The static-interval cache is cleared: those
+        intervals were derived from the pre-mutation population.
+
+        Returns ``(rescored, reused)``: the number of
+        ``(provider, policy)`` pairs recomputed and carried over.
+        """
+        row_array = np.array(sorted({int(row) for row in rows}), dtype=np.int64)
+        self._interval_cache.clear()
+        if row_array.size == 0 or not self._cache:
+            return 0, 0
+        n = len(self._compiled)
+        if int(row_array[0]) < 0 or int(row_array[-1]) >= n:
+            raise ValidationError(
+                f"rescore rows must lie in [0, {n}), got "
+                f"[{int(row_array[0])}, {int(row_array[-1])}]"
+            )
+        memo: dict[
+            tuple[tuple[str, str], _ColumnEntries],
+            tuple[np.ndarray, np.ndarray],
+        ] = {}
+
+        def restricted(
+            key: tuple[str, str], entries: _ColumnEntries
+        ) -> tuple[np.ndarray, np.ndarray]:
+            token = (key, entries)
+            contribution = memo.get(token)
+            if contribution is None:
+                contribution = row_contribution(
+                    self._compiled,
+                    key,
+                    entries,
+                    row_array,
+                    implicit_zero=self._implicit_zero,
+                )
+                memo[token] = contribution
+            return contribution
+
+        def regrown(array: np.ndarray) -> np.ndarray:
+            patched = np.zeros(n, dtype=np.float64)
+            patched[: array.shape[0]] = array
+            return patched
+
+        rescored = 0
+        for fingerprint, evaluation in list(self._cache.items()):
+            if evaluation.columns is None:
+                # An evaluation without its decomposition cannot be
+                # patched; drop it and let the next lookup recompute.
+                del self._cache[fingerprint]
+                if fingerprint == self._base_fingerprint:
+                    self._base_fingerprint = None
+                    self._base_columns = {}
+                    self._base_column_arrays = {}
+                continue
+            violations = regrown(evaluation.violations)
+            counts = regrown(evaluation.counts)
+            patch_violations = np.zeros(row_array.shape[0], dtype=np.float64)
+            patch_counts = np.zeros(row_array.shape[0], dtype=np.float64)
+            for key, entries in evaluation.columns.items():
+                contribution = restricted(key, entries)
+                patch_violations += contribution[0]
+                patch_counts += contribution[1]
+            violations[row_array] = patch_violations
+            counts[row_array] = patch_counts
+            self._cache[fingerprint] = _Evaluation(
+                violations=violations,
+                counts=counts,
+                columns=evaluation.columns,
+            )
+            rescored += int(row_array.size)
+        patched_arrays: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+        for key, (violations, counts) in self._base_column_arrays.items():
+            contribution = restricted(key, self._base_columns[key])
+            violations = regrown(violations)
+            counts = regrown(counts)
+            violations[row_array] = contribution[0]
+            counts[row_array] = contribution[1]
+            patched_arrays[key] = (violations, counts)
+        self._base_column_arrays = patched_arrays
+        reused = (n - int(row_array.size)) * len(self._cache)
+        return rescored, reused
 
     def static_intervals(self, policy: HousePolicy):
         """The lint layer's severity intervals for *policy* (cached).
@@ -625,9 +796,10 @@ class BatchViolationEngine:
             column_arrays[key] = contribution
             violations += contribution[0]
             counts += contribution[1]
-        self._base_columns = dict(columns)
+        column_map = dict(columns)
+        self._base_columns = column_map
         self._base_column_arrays = column_arrays
-        return _Evaluation(violations=violations, counts=counts)
+        return _Evaluation(violations=violations, counts=counts, columns=column_map)
 
     def _evaluate_delta(
         self,
@@ -656,7 +828,7 @@ class BatchViolationEngine:
                 counts += contribution[1]
         self._base_columns = new_columns
         self._base_column_arrays = new_arrays
-        return _Evaluation(violations=violations, counts=counts)
+        return _Evaluation(violations=violations, counts=counts, columns=new_columns)
 
     def _column_contribution(
         self, key: tuple[str, str], entries: _ColumnEntries

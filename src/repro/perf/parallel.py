@@ -848,14 +848,25 @@ def make_batch_engine(
     implicit_zero: bool = True,
     max_cached_reports: int = 128,
     supervised: bool = True,
+    mutable: bool = True,
 ):
-    """The ``workers=N`` execution policy: serial engine or worker pool.
+    """The ``workers=N`` execution policy: one mutation-capable engine.
 
-    ``workers=1`` (the default) returns the in-process
-    :class:`~repro.perf.batch.BatchViolationEngine` — byte-identical to
-    the pre-parallel behaviour with zero process overhead.  ``workers=0``
-    resolves to one worker per CPU; any resolved count above 1 returns
-    the supervised worker pool
+    Given a :class:`Population` (the common case) this returns a
+    :class:`~repro.perf.delta.MutableBatchEngine` — a facade that owns
+    the right execution backend for the resolved worker count and
+    additionally supports in-place population churn (``remove`` /
+    ``append`` / ``update``), so one engine survives an entire dynamics,
+    equilibrium, or widening run without recompiling per round.  While
+    the population is unmutated every call delegates wholesale to the
+    backend, so static workloads are byte-identical to the bare engines.
+
+    Pass ``mutable=False`` — or a pre-built
+    :class:`~repro.perf.compiled.CompiledPopulation` — to get the bare
+    backend directly: ``workers=1`` returns the in-process
+    :class:`~repro.perf.batch.BatchViolationEngine` with zero process
+    overhead; ``workers=0`` resolves to one worker per CPU; any resolved
+    count above 1 returns the supervised worker pool
     (:class:`~repro.perf.supervisor.SupervisedExecutor`), which survives
     worker crashes and stalls by respawning, retrying, and — as a last
     resort — evaluating the affected shard serially in the parent.  Pass
@@ -869,6 +880,18 @@ def make_batch_engine(
         with make_batch_engine(population, workers=workers) as engine:
             reports = engine.evaluate_policies(policies)
     """
+    if mutable and isinstance(population, Population):
+        from .delta import MutableBatchEngine
+
+        return MutableBatchEngine(
+            population,
+            workers=workers,
+            sensitivities=sensitivities,
+            default_model=default_model,
+            implicit_zero=implicit_zero,
+            max_cached_reports=max_cached_reports,
+            supervised=supervised,
+        )
     count = resolve_workers(workers)
     if count <= 1:
         from .batch import BatchViolationEngine

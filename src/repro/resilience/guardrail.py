@@ -158,6 +158,17 @@ class GuardedBatchEngine:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- mutation ------------------------------------------------------------
+
+    def remove(self, provider_ids) -> None:
+        """Tombstone departed providers in the wrapped engine.
+
+        Delegates to :meth:`~repro.perf.delta.MutableBatchEngine.remove`;
+        subsequent evaluations (and degraded-mode reference evaluations,
+        which read :attr:`population`) see only the survivors.
+        """
+        self._batch.remove(provider_ids)
+
     # -- evaluation ----------------------------------------------------------
 
     def evaluate(self, policy: HousePolicy) -> BatchReport:

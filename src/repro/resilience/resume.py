@@ -36,7 +36,12 @@ from ..estimation.observation import (
 from ..estimation.thresholds import ThresholdEstimator
 from ..exceptions import ResilienceError
 from ..obs import active_observer, span
-from ..perf import BatchViolationEngine, SupervisedExecutor, resolve_workers
+from ..perf import (
+    BatchViolationEngine,
+    SupervisedExecutor,
+    make_batch_engine,
+    resolve_workers,
+)
 from ..policy_lang.serializer import policy_to_dict, preferences_to_dict
 from ..policy_lang.serializer import sensitivities_to_dict
 from ..simulation.dynamics import (
@@ -92,18 +97,25 @@ def journal_fingerprint(
     population: Population,
     policies: Sequence[HousePolicy],
     params: dict[str, Any],
+    mutation_epoch: int = 0,
 ) -> str:
     """The input fingerprint a journal pins its run to.
 
     Hashes the run kind, the population fingerprint, every input policy
     (serialized with raw ranks, so taxonomy level names cannot alias),
-    and the run parameters.
+    the run parameters, and the **mutation epoch** — the
+    :attr:`~repro.perf.delta.MutableBatchEngine.epoch` the population
+    corresponds to.  A population snapshot taken after in-place engine
+    mutations carries a different epoch than the run start, so a journal
+    recorded against one cannot silently resume against the other even
+    when the provider content happens to hash alike.
     """
     document = {
         "kind": kind,
         "population": population_fingerprint(population),
         "policies": [policy_to_dict(policy) for policy in policies],
         "params": params,
+        "mutation_epoch": int(mutation_epoch),
     }
     return hashlib.sha256(_canonical_json(document).encode("utf-8")).hexdigest()
 
@@ -145,10 +157,23 @@ def _make_engine(
     workers: int = 1,
     worker_faults: tuple = (),
     fault_seed: int = 0,
-) -> BatchViolationEngine | GuardedBatchEngine | SupervisedExecutor:
+    mutable: bool = False,
+):
+    """The engine for a resumable runner's live steps.
+
+    ``mutable=True`` (the dynamics runner) returns the churn-capable
+    facade from :func:`~repro.perf.parallel.make_batch_engine`, so
+    departures tombstone in place instead of rebuilding.  The sweep
+    runner keeps the bare engines: its population is static and the
+    shard-checkpoint path needs the supervisor's sharded surface.
+    """
     if guarded:
         return GuardedBatchEngine(
             population, implicit_zero=implicit_zero, workers=workers
+        )
+    if mutable:
+        return make_batch_engine(
+            population, workers=workers, implicit_zero=implicit_zero
         )
     if resolve_workers(workers) > 1:
         return SupervisedExecutor(
@@ -431,17 +456,22 @@ def resumable_dynamics(
     implicit_zero: bool = True,
     guarded: bool = False,
     workers: int = 1,
+    mutation_epoch: int = 0,
 ) -> list[RoundOutcome]:
     """Multi-round dynamics, checkpointing one journal step per round.
 
     Matches :func:`~repro.simulation.dynamics.run_dynamics` bit-for-bit:
-    recorded rounds are replayed (the surviving population is rebuilt
-    from the journaled departures), live rounds are evaluated through
-    the shared round builder.  ``workers`` selects the execution policy
-    for live rounds (checkpointing stays per round — the engine is
-    rebuilt whenever the population shrinks, so shard checkpoints would
-    rarely survive a round anyway); the worker count is not part of the
-    journal fingerprint.
+    recorded rounds are replayed (the surviving population is advanced
+    from the journaled departures without touching the engine), live
+    rounds are evaluated through the shared round builder against **one**
+    engine whose departures are tombstoned in place — the compilation
+    (and, under ``workers > 1``, the worker pool) survives the whole run.
+    The worker count is not part of the journal fingerprint, but
+    ``mutation_epoch`` is: pass the
+    :attr:`~repro.perf.delta.MutableBatchEngine.epoch` the input
+    population was snapshotted at (0 for a run-start population), and a
+    journal recorded at a different epoch refuses to resume instead of
+    silently mixing two mutation histories.
     """
     if step is None:
         step = WideningStep.uniform(1)
@@ -454,7 +484,11 @@ def resumable_dynamics(
         "implicit_zero": implicit_zero,
     }
     fingerprint = journal_fingerprint(
-        "dynamics", population=population, policies=[base_policy], params=params
+        "dynamics",
+        population=population,
+        policies=[base_policy],
+        params=params,
+        mutation_epoch=mutation_epoch,
     )
     with RunJournal.resume_or_create(
         journal_path, kind="dynamics", fingerprint=fingerprint, params=params
@@ -493,6 +527,7 @@ def resumable_dynamics(
                         implicit_zero=implicit_zero,
                         guarded=guarded,
                         workers=workers,
+                        mutable=True,
                     )
                 report = engine.evaluate(current_policy)
                 outcome = build_round_outcome(
@@ -510,13 +545,7 @@ def resumable_dynamics(
                     current_population = current_population.without(
                         outcome.defaulted_providers
                     )
-                    engine.close()
-                    engine = _make_engine(
-                        current_population,
-                        implicit_zero=implicit_zero,
-                        guarded=guarded,
-                        workers=workers,
-                    )
+                    engine.remove(outcome.defaulted_providers)
         finally:
             if engine is not None:
                 engine.close()

@@ -25,7 +25,7 @@ from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..perf import BatchReport, make_batch_engine
 from ..taxonomy.builder import Taxonomy
-from .widening import WideningStep, widen
+from .widening import WideningStep, policy_delta_columns, widen
 
 
 @dataclass(frozen=True, slots=True)
@@ -130,9 +130,10 @@ def run_dynamics(
     outcomes: list[RoundOutcome] = []
     current_population = population
     current_policy = round_policy(base_policy, base_policy.name, step, taxonomy, 0)
-    # The compilation is reused across rounds until departures shrink the
-    # population; only then is the survivor set recompiled (and, under a
-    # parallel execution policy, re-exported to a fresh worker pool).
+    previous_policy: HousePolicy | None = None
+    # One engine — one compilation and, under a parallel execution policy,
+    # one worker pool on one shared-memory export — serves every round:
+    # departures are tombstoned in place rather than triggering a rebuild.
     engine = make_batch_engine(
         current_population, workers=workers, implicit_zero=implicit_zero
     )
@@ -143,8 +144,14 @@ def run_dynamics(
                 if len(current_population) == 0:
                     break
                 if round_index > 0:
+                    previous_policy = current_policy
                     current_policy = round_policy(
                         current_policy, base_policy.name, step, taxonomy, round_index
+                    )
+                if obs is not None and previous_policy is not None:
+                    obs.inc(
+                        "dynamics.policy_columns_changed",
+                        len(policy_delta_columns(previous_policy, current_policy)),
                     )
                 report = engine.evaluate(current_policy)
                 outcome = build_round_outcome(
@@ -161,12 +168,7 @@ def run_dynamics(
                     current_population = current_population.without(
                         outcome.defaulted_providers
                     )
-                    engine.close()
-                    engine = make_batch_engine(
-                        current_population,
-                        workers=workers,
-                        implicit_zero=implicit_zero,
-                    )
+                    engine.remove(outcome.defaulted_providers)
     finally:
         engine.close()
     return outcomes

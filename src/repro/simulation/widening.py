@@ -116,6 +116,31 @@ def widen(
     )
 
 
+def policy_delta_columns(
+    previous: HousePolicy, current: HousePolicy
+) -> tuple[tuple[str, str], ...]:
+    """The ``(attribute, purpose)`` columns whose entries differ.
+
+    Consecutive policies on a widening path share most of their entries;
+    this is the round-over-round delta the incremental engine exploits —
+    only the returned columns can change any provider's score, so a
+    cached evaluation of *previous* stays valid for every other column.
+    Grouping uses :func:`repro.perf.batch.policy_columns`, the same
+    decomposition the batch kernels evaluate, so "differs" here means
+    exactly "evaluates differently" there.
+    """
+    from ..perf.batch import policy_columns
+
+    before = policy_columns(previous)
+    after = policy_columns(current)
+    changed = {
+        key
+        for key in before.keys() | after.keys()
+        if before.get(key) != after.get(key)
+    }
+    return tuple(sorted(changed))
+
+
 def widening_policies(
     policy: HousePolicy,
     step: WideningStep,

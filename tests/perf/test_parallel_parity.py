@@ -378,20 +378,33 @@ def test_game_parity_across_workers(small_crm):
 
 
 def test_make_batch_engine_dispatch():
+    from repro.perf.delta import MutableBatchEngine
     from repro.perf.supervisor import SupervisedExecutor
 
     rng = random.Random(7)
     population = _random_population(rng)
+    # A Population gets the mutable facade; the worker count picks its
+    # execution backend.
     engine = make_batch_engine(population, workers=1)
-    assert isinstance(engine, BatchViolationEngine)
+    assert isinstance(engine, MutableBatchEngine)
+    assert isinstance(engine.inner_engine, BatchViolationEngine)
     engine.close()
     # workers > 1 defaults to the supervised pool ...
     engine = make_batch_engine(population, workers=2)
-    assert isinstance(engine, SupervisedExecutor)
+    assert isinstance(engine, MutableBatchEngine)
+    assert isinstance(engine.inner_engine, SupervisedExecutor)
     engine.close()
     # ... and supervised=False opts back into the fail-fast executor.
     engine = make_batch_engine(population, workers=2, supervised=False)
-    assert isinstance(engine, ShardExecutor)
+    assert isinstance(engine, MutableBatchEngine)
+    assert isinstance(engine.inner_engine, ShardExecutor)
+    engine.close()
+    # mutable=False (or a pre-compiled population) gets the bare engines.
+    engine = make_batch_engine(population, workers=1, mutable=False)
+    assert isinstance(engine, BatchViolationEngine)
+    engine.close()
+    engine = make_batch_engine(population, workers=2, mutable=False)
+    assert isinstance(engine, SupervisedExecutor)
     engine.close()
     assert _no_leaked_segments()
 

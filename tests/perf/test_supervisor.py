@@ -238,10 +238,10 @@ def test_dispatch_is_supervised_by_default():
     rng = random.Random(44)
     population = _random_population(rng)
     engine = make_batch_engine(population, workers=2)
-    assert isinstance(engine, SupervisedExecutor)
+    assert isinstance(engine.inner_engine, SupervisedExecutor)
     engine.close()
     engine = make_batch_engine(population, workers=2, supervised=False)
-    assert isinstance(engine, ShardExecutor)
+    assert isinstance(engine.inner_engine, ShardExecutor)
     engine.close()
     assert _no_leaked_segments()
 

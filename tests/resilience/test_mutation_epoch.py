@@ -1,0 +1,118 @@
+"""Mutation epochs are part of journal resume identity.
+
+The incremental engine mutates its compiled population in place; each
+mutation bumps a monotonically increasing *epoch*.  A journal records
+round outcomes relative to the population state it started from, so a
+population snapshotted at a different epoch describes a different
+mutation history — resuming such a journal must refuse loudly
+(:class:`JournalMismatchError`), never silently splice two histories.
+These tests pin that contract, plus the mid-run-crash smoke the
+``delta-parity`` CI job runs: kill a mutating dynamics run partway,
+resume with the matching epoch, and land bit-for-bit on the
+uninterrupted result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import healthcare_scenario
+from repro.exceptions import JournalMismatchError, ProcessKilled
+from repro.resilience import FaultPlan, FaultSpec, resumable_dynamics
+from repro.resilience.resume import journal_fingerprint
+from repro.simulation import run_dynamics
+
+ROUNDS = 4
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    # Enough providers and widening room that defaults happen mid-path,
+    # so the incremental engine really mutates between rounds.
+    return healthcare_scenario(50, seed=23)
+
+
+def test_fingerprint_differs_across_mutation_epochs(scenario):
+    prints = {
+        journal_fingerprint(
+            "dynamics",
+            population=scenario.population,
+            policies=[scenario.policy],
+            params={"rounds": ROUNDS},
+            mutation_epoch=epoch,
+        )
+        for epoch in (0, 1, 7)
+    }
+    assert len(prints) == 3
+
+
+def test_epoch_zero_is_the_default_identity(scenario):
+    explicit = journal_fingerprint(
+        "dynamics",
+        population=scenario.population,
+        policies=[scenario.policy],
+        params={"rounds": ROUNDS},
+        mutation_epoch=0,
+    )
+    implicit = journal_fingerprint(
+        "dynamics",
+        population=scenario.population,
+        policies=[scenario.policy],
+        params={"rounds": ROUNDS},
+    )
+    assert explicit == implicit
+
+
+def test_resume_refuses_a_different_mutation_epoch(tmp_path, scenario):
+    path = str(tmp_path / "dynamics.journal")
+    plan = FaultPlan([FaultSpec(site="dynamics.round", kind="kill", at=1)])
+    with plan.activate():
+        with pytest.raises(ProcessKilled):
+            resumable_dynamics(
+                scenario.population,
+                scenario.policy,
+                scenario.taxonomy,
+                journal_path=path,
+                rounds=ROUNDS,
+            )
+    # The journal was recorded against epoch 0; a population claiming a
+    # different mutation history must not attach to it.
+    with pytest.raises(JournalMismatchError):
+        resumable_dynamics(
+            scenario.population,
+            scenario.policy,
+            scenario.taxonomy,
+            journal_path=path,
+            rounds=ROUNDS,
+            mutation_epoch=1,
+        )
+
+
+def test_kill_resume_with_matching_epoch_is_bit_for_bit(tmp_path, scenario):
+    expected = run_dynamics(
+        scenario.population,
+        scenario.policy,
+        scenario.taxonomy,
+        rounds=ROUNDS,
+    )
+    path = str(tmp_path / "dynamics.journal")
+    plan = FaultPlan([FaultSpec(site="dynamics.round", kind="kill", at=2)])
+    with plan.activate():
+        with pytest.raises(ProcessKilled):
+            resumable_dynamics(
+                scenario.population,
+                scenario.policy,
+                scenario.taxonomy,
+                journal_path=path,
+                rounds=ROUNDS,
+                mutation_epoch=0,
+            )
+    resumed = resumable_dynamics(
+        scenario.population,
+        scenario.policy,
+        scenario.taxonomy,
+        journal_path=path,
+        rounds=ROUNDS,
+        mutation_epoch=0,
+    )
+    assert resumed == expected
