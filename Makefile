@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos chaos-parallel delta-parity obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
+.PHONY: install test chaos chaos-parallel delta-parity delta-columns-parity obs bench bench-parallel bench-smoke bench-tables examples lint lint-policy lint-populations all
 
 install:
 	$(PYTHON) setup.py develop
@@ -45,6 +45,18 @@ delta-parity:
 		tests/resilience/test_mutation_epoch.py
 	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
 		benchmarks/test_delta_dynamics.py --benchmark-only
+
+# The worker column-delta protocol CI runs in the delta-columns-parity
+# job: the shared column diff and its edge cases, chained-delta /
+# rebase / replay exactness against full evaluation, the supervised
+# pool's exact changed-columns-per-shard counter contract (including
+# worker-kill chaos, journal replay, and pool-rebuild warm starts),
+# and a smoke-size run of the column-delta rounds bench.
+delta-columns-parity:
+	REPRO_TEST_TIMEOUT=120 $(PYTHON) -m pytest -q \
+		tests/perf/test_delta_columns.py
+	REPRO_BENCH_SMOKE=1 $(PYTHON) -m pytest \
+		benchmarks/test_delta_columns.py --benchmark-only
 
 obs:
 	REPRO_TEST_TIMEOUT=60 $(PYTHON) -m pytest -q tests/obs

@@ -33,7 +33,7 @@ class HousePolicy:
         Optional label used in reports ("policy-v2", "widened+1", ...).
     """
 
-    __slots__ = ("_entries", "_by_attribute", "_name")
+    __slots__ = ("_entries", "_by_attribute", "_name", "_fingerprint", "_columns")
 
     def __init__(
         self,
@@ -64,6 +64,13 @@ class HousePolicy:
             for attribute, attr_entries in by_attribute.items()
         }
         self._name = name
+        # Lazily filled by repro.perf.batch.policy_fingerprint /
+        # policy_columns; entries are immutable, so the derived forms are
+        # computed at most once per policy instance.
+        self._fingerprint: frozenset[tuple[str, str, int, int, int]] | None = None
+        self._columns: (
+            dict[tuple[str, str], tuple[tuple[int, int, int], ...]] | None
+        ) = None
 
     @property
     def name(self) -> str:

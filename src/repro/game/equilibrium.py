@@ -26,8 +26,9 @@ from .._validation import check_real
 from ..core.policy import HousePolicy
 from ..core.population import Population
 from ..exceptions import GameError
+from ..obs import active_observer
 from ..perf import make_batch_engine
-from ..simulation.widening import widen
+from ..simulation.widening import policy_delta_columns, widen
 from ..taxonomy.builder import Taxonomy
 from .players import HouseStrategy
 
@@ -149,12 +150,19 @@ def play_widening_game(
                 stopped_by_strategy = True
                 break
             round_index += 1
+            previous_policy = current_policy
             current_policy = widen(
                 current_policy,
                 next_step,
                 taxonomy,
                 name=f"{base_policy.name}@g{round_index}",
             )
+            obs = active_observer()
+            if obs is not None:
+                obs.inc(
+                    "game.policy_columns_changed",
+                    len(policy_delta_columns(previous_policy, current_policy)),
+                )
     finally:
         engine.close()
     return GameTrace(rounds=tuple(rounds), stopped_by_strategy=stopped_by_strategy)

@@ -41,11 +41,16 @@ when to prefer which engine.
 from .batch import (
     BatchReport,
     BatchViolationEngine,
+    ColumnPlan,
     assemble_report,
+    changed_column_keys,
     column_contribution,
+    column_plan,
+    plan_delta,
     policy_columns,
     policy_fingerprint,
     row_contribution,
+    sum_column_arrays,
 )
 from .compiled import CompiledColumn, CompiledPopulation, RANK_AXES
 from .delta import MutableBatchEngine, MutableCompiledPopulation
@@ -69,6 +74,7 @@ from .sweep import batch_assess_expansion
 __all__ = [
     "BatchReport",
     "BatchViolationEngine",
+    "ColumnPlan",
     "CompiledColumn",
     "CompiledPopulation",
     "DegradationRecord",
@@ -82,16 +88,20 @@ __all__ = [
     "attach_arrays",
     "available_cpus",
     "batch_assess_expansion",
+    "changed_column_keys",
     "clean_stale_segments",
     "column_contribution",
+    "column_plan",
     "evaluate_chunked",
     "iter_population_chunks",
     "make_batch_engine",
     "merge_reports",
+    "plan_delta",
     "policy_columns",
     "policy_fingerprint",
     "resolve_workers",
     "row_contribution",
     "shard_bounds",
     "stale_segments",
+    "sum_column_arrays",
 ]

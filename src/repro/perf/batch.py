@@ -63,17 +63,23 @@ def policy_fingerprint(policy: HousePolicy) -> PolicyFingerprint:
 
     Two policies with equal fingerprints produce identical evaluations
     (``HousePolicy`` equality is the same entry-set comparison).
+    Memoised on the (immutable) policy instance: sweeps and worker-path
+    bookkeeping fingerprint the same policy many times per round.
     """
-    return frozenset(
-        (
-            entry.attribute,
-            entry.tuple.purpose,
-            entry.tuple.visibility,
-            entry.tuple.granularity,
-            entry.tuple.retention,
+    cached = policy._fingerprint
+    if cached is None:
+        cached = frozenset(
+            (
+                entry.attribute,
+                entry.tuple.purpose,
+                entry.tuple.visibility,
+                entry.tuple.granularity,
+                entry.tuple.retention,
+            )
+            for entry in policy.entries
         )
-        for entry in policy.entries
-    )
+        policy._fingerprint = cached
+    return cached
 
 
 def policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries]:
@@ -82,24 +88,100 @@ def policy_columns(policy: HousePolicy) -> dict[tuple[str, str], _ColumnEntries]
     The decomposition the delta paths diff: two policies evaluate
     identically on every column whose entry set matches, so only the
     differing columns need recomputation (see
-    :func:`repro.simulation.widening.policy_delta_columns`).
+    :func:`repro.simulation.widening.policy_delta_columns`).  Memoised
+    on the policy instance like :func:`policy_fingerprint`; treat the
+    returned mapping as immutable.
     """
-    grouped: dict[tuple[str, str], list[tuple[int, int, int]]] = {}
-    for entry in policy.entries:
-        key = (entry.attribute, entry.tuple.purpose)
-        grouped.setdefault(key, []).append(
-            (
-                entry.tuple.visibility,
-                entry.tuple.granularity,
-                entry.tuple.retention,
+    cached = policy._columns
+    if cached is None:
+        grouped: dict[tuple[str, str], list[tuple[int, int, int]]] = {}
+        for entry in policy.entries:
+            key = (entry.attribute, entry.tuple.purpose)
+            grouped.setdefault(key, []).append(
+                (
+                    entry.tuple.visibility,
+                    entry.tuple.granularity,
+                    entry.tuple.retention,
+                )
             )
-        )
-    return {key: tuple(sorted(ranks)) for key, ranks in grouped.items()}
+        cached = {key: tuple(sorted(ranks)) for key, ranks in grouped.items()}
+        policy._columns = cached
+    return cached
 
 
-#: Backwards-compatible alias (the parallel layer imported the private
-#: name before the grouping became part of the public delta surface).
-_policy_columns = policy_columns
+#: A delta wire payload: changed column key -> the target policy's entry
+#: ranks for that column, or ``None`` when the column disappears.
+ColumnDelta = dict[tuple[str, str], "_ColumnEntries | None"]
+
+
+@dataclass(frozen=True)
+class ColumnPlan:
+    """A parent-side record of the worker-resident base evaluation.
+
+    The worker delta protocol's bookkeeping unit: *fingerprint* names the
+    last policy whose full column decomposition was fanned out to the
+    shard workers, and *columns* is that decomposition
+    (:func:`policy_columns`).  While an executor holds a plan, the next
+    policy's ``(policy, shard)`` tasks can carry only the changed columns
+    (:func:`plan_delta`) instead of the full decomposition — workers
+    patch their resident base arrays via :func:`column_contribution`.
+
+    The plan is population-independent (it describes the policy, not the
+    providers), which is what lets a rebuilt worker pool be warm-started
+    from the previous pool's plan after an append/update mutation.
+    """
+
+    fingerprint: PolicyFingerprint
+    columns: dict[tuple[str, str], _ColumnEntries]
+
+
+def column_plan(policy: HousePolicy) -> ColumnPlan:
+    """The :class:`ColumnPlan` describing *policy* (memoised pieces)."""
+    return ColumnPlan(
+        fingerprint=policy_fingerprint(policy),
+        columns=policy_columns(policy),
+    )
+
+
+def changed_column_keys(
+    before: Mapping[tuple[str, str], _ColumnEntries],
+    after: Mapping[tuple[str, str], _ColumnEntries],
+) -> tuple[tuple[str, str], ...]:
+    """The sorted ``(attribute, purpose)`` keys whose entries differ.
+
+    The one column-diff everything shares: the serial engine's delta
+    path, the worker protocol's ``plan_delta``, and the simulation
+    layer's :func:`repro.simulation.widening.policy_delta_columns` all
+    compare decompositions through this helper, so "changed" means the
+    same thing at every layer.
+    """
+    keys = set(before) | set(after)
+    return tuple(
+        sorted(key for key in keys if before.get(key) != after.get(key))
+    )
+
+
+def plan_delta(
+    plan: ColumnPlan | None,
+    columns: Mapping[tuple[str, str], _ColumnEntries],
+) -> ColumnDelta | None:
+    """The changed-column payload from *plan* to the target *columns*.
+
+    Returns ``None`` when a full decomposition must ship instead: there
+    is no plan yet, or the delta would touch every column of the union
+    (then the full task is no larger and needs no resident base).  An
+    empty dict is a valid delta — the target equals the plan, and a
+    worker holding the base serves it without recomputing anything.
+    Keys are emitted in sorted order so wire payloads (and the order
+    delta patches are applied in) are deterministic.
+    """
+    if plan is None:
+        return None
+    changed = changed_column_keys(plan.columns, columns)
+    total = len(set(plan.columns) | set(columns))
+    if total and len(changed) >= total:
+        return None
+    return {key: columns.get(key) for key in changed}
 
 
 class CompiledLike(Protocol):
@@ -141,9 +223,10 @@ def column_contribution(
     explicit preference row and, when the completion is on, against the
     implicit zero tuple of the providers that supplied the attribute
     without covering the purpose.  Shared by the serial engine and the
-    parallel shard workers: both accumulate the same per-column vectors
-    in the same order, which is what keeps parallel evaluation
-    bit-for-bit equal to the serial path.
+    parallel shard workers; a column's vectors depend only on its entry
+    ranks and the compiled preference rows, so a recomputed contribution
+    is bit-for-bit identical to a cached one — the invariant the delta
+    paths rest on (see :func:`sum_column_arrays`).
     """
     n = len(compiled)
     column = compiled.column(*key)
@@ -168,6 +251,30 @@ def column_contribution(
             found = float((policy_ranks > 0).sum())
             violations[column.implicit_providers] += weighted
             counts[column.implicit_providers] += found
+    return violations, counts
+
+
+def sum_column_arrays(
+    n: int,
+    column_arrays: Mapping[tuple[str, str], tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Total ``(violations, counts)`` from per-column vectors, canonically.
+
+    Columns are accumulated in sorted key order — always, on every
+    evaluation path.  Float addition is not associative, so a fixed
+    summation order is what makes a delta round (reuse unchanged column
+    vectors, recompute only changed ones) bit-for-bit identical to a
+    full recompute: both sum bitwise-equal operands in the same order.
+    That exactness is load-bearing for the worker delta protocol, where
+    a respawned worker's full replay must merge indistinguishably with
+    surviving workers' patched shards.
+    """
+    violations = np.zeros(n, dtype=np.float64)
+    counts = np.zeros(n, dtype=np.float64)
+    for key in sorted(column_arrays):
+        column_violations, column_counts = column_arrays[key]
+        violations += column_violations
+        counts += column_counts
     return violations, counts
 
 
@@ -340,12 +447,24 @@ class _Evaluation:
     ``columns`` records the policy's column decomposition at evaluation
     time so :meth:`BatchViolationEngine.rescore_rows` can re-derive any
     provider's totals for this policy after an in-place population
-    mutation without re-fingerprinting the policy.
+    mutation without re-fingerprinting the policy.  ``column_arrays``
+    keeps the per-column ``(violations, counts)`` vectors the totals
+    were summed from — consecutive delta evaluations share the
+    unchanged vectors by reference, so the marginal cost per cached
+    policy is only its changed columns.  Holding them lets
+    :meth:`BatchViolationEngine.apply_column_delta` rebase onto *any*
+    cached evaluation, not just the most recent one, which is what
+    keeps the worker delta protocol exact when a pool's untargeted
+    dispatch hands a shard to a worker whose resident base is a round
+    or two behind.
     """
 
     violations: np.ndarray  # (N,) float64
     counts: np.ndarray  # (N,) float64 (integer-valued)
     columns: dict[tuple[str, str], _ColumnEntries] | None = None
+    column_arrays: (
+        dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] | None
+    ) = None
 
 
 class BatchViolationEngine:
@@ -481,6 +600,87 @@ class BatchViolationEngine:
         evaluation = self._evaluate(policy)
         return evaluation.violations, evaluation.counts
 
+    def evaluate_decomposed(
+        self,
+        fingerprint: PolicyFingerprint,
+        columns: Mapping[tuple[str, str], _ColumnEntries],
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Evaluate from an explicit ``(fingerprint, columns)`` decomposition.
+
+        The worker delta protocol's full-task entry point: the parent
+        ships the decomposition instead of a pickled policy, and this
+        engine serves it through the same cache and delta paths as
+        :meth:`evaluate` — including its own resident base, so a shard
+        engine that already evaluated a neighbouring policy still pays
+        only the changed columns.  Returns ``(violations, counts,
+        rescored)`` where *rescored* counts the columns this call
+        actually recomputed or patched out (``0`` on a cache hit).  The
+        arrays are cached state and must not be mutated.
+        """
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return cached.violations, cached.counts, 0
+        rescored = len(columns)
+        if self._base_fingerprint is not None:
+            changed = self._changed_columns(columns)
+            if len(changed) < len(set(self._base_columns) | set(columns)):
+                evaluation = self._evaluate_delta(columns, changed)
+                rescored = len(changed)
+            else:
+                evaluation = self._evaluate_full(columns)
+        else:
+            evaluation = self._evaluate_full(columns)
+        self._base_fingerprint = fingerprint
+        self._remember(fingerprint, evaluation)
+        return evaluation.violations, evaluation.counts, rescored
+
+    def apply_column_delta(
+        self,
+        base_fingerprint: PolicyFingerprint,
+        fingerprint: PolicyFingerprint,
+        changed: Mapping[tuple[str, str], _ColumnEntries | None],
+    ) -> tuple[np.ndarray, np.ndarray, int] | None:
+        """Patch this engine's resident base with explicit column changes.
+
+        The worker delta protocol's delta-task entry point: *changed*
+        maps each differing column to the target policy's entries for it
+        (``None`` when the column disappears).  Returns ``(violations,
+        counts, rescored)`` bit-for-bit identical to a full evaluation
+        of the target (see :func:`sum_column_arrays`), or ``None`` when
+        this engine's resident base is not *base_fingerprint* — the
+        caller must then fall back to a full decomposition (the
+        protocol's base replay).  A cached target fingerprint is served
+        directly with ``rescored == 0``.
+        """
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            return cached.violations, cached.counts, 0
+        if self._base_fingerprint != base_fingerprint:
+            # Rebase onto any cached evaluation of the requested base:
+            # under a pool's untargeted dispatch this engine may have
+            # last seen a round-older policy, but the requested base is
+            # often still memoised (column vectors included) — patching
+            # from it is exact, so no replay round-trip is needed.
+            base = self._cache.get(base_fingerprint)
+            if base is None or base.columns is None or base.column_arrays is None:
+                return None
+            self._base_fingerprint = base_fingerprint
+            self._base_columns = base.columns
+            self._base_column_arrays = base.column_arrays
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("engine.batch.rebases")
+        columns = dict(self._base_columns)
+        for key, entries in changed.items():
+            if entries:
+                columns[key] = entries
+            else:
+                columns.pop(key, None)
+        evaluation = self._evaluate_delta(columns, tuple(changed))
+        self._base_fingerprint = fingerprint
+        self._remember(fingerprint, evaluation)
+        return evaluation.violations, evaluation.counts, len(changed)
+
     def close(self) -> None:
         """Release resources.  A no-op for the in-process engine.
 
@@ -566,6 +766,34 @@ class BatchViolationEngine:
             patched[: array.shape[0]] = array
             return patched
 
+        patched_pairs: dict[
+            int,
+            tuple[
+                tuple[np.ndarray, np.ndarray],
+                tuple[np.ndarray, np.ndarray],
+            ],
+        ] = {}
+
+        def patch_pair(
+            key: tuple[str, str],
+            entries: _ColumnEntries,
+            pair: tuple[np.ndarray, np.ndarray],
+        ) -> tuple[np.ndarray, np.ndarray]:
+            # Identity-memoised so column vectors shared between cached
+            # evaluations stay shared after the patch (the memo value
+            # pins the old pair, so its id cannot be recycled mid-pass).
+            token = id(pair)
+            got = patched_pairs.get(token)
+            if got is None:
+                contribution = restricted(key, entries)
+                violations = regrown(pair[0])
+                counts = regrown(pair[1])
+                violations[row_array] = contribution[0]
+                counts[row_array] = contribution[1]
+                got = (pair, (violations, counts))
+                patched_pairs[token] = got
+            return got[1]
+
         rescored = 0
         for fingerprint, evaluation in list(self._cache.items()):
             if evaluation.columns is None:
@@ -581,27 +809,31 @@ class BatchViolationEngine:
             counts = regrown(evaluation.counts)
             patch_violations = np.zeros(row_array.shape[0], dtype=np.float64)
             patch_counts = np.zeros(row_array.shape[0], dtype=np.float64)
-            for key, entries in evaluation.columns.items():
-                contribution = restricted(key, entries)
+            # Same sorted order as sum_column_arrays, so the patched rows
+            # equal what a fresh full evaluation would put there.
+            for key in sorted(evaluation.columns):
+                contribution = restricted(key, evaluation.columns[key])
                 patch_violations += contribution[0]
                 patch_counts += contribution[1]
             violations[row_array] = patch_violations
             counts[row_array] = patch_counts
+            column_arrays = evaluation.column_arrays
+            if column_arrays is not None:
+                column_arrays = {
+                    key: patch_pair(key, evaluation.columns[key], pair)
+                    for key, pair in column_arrays.items()
+                }
             self._cache[fingerprint] = _Evaluation(
                 violations=violations,
                 counts=counts,
                 columns=evaluation.columns,
+                column_arrays=column_arrays,
             )
             rescored += int(row_array.size)
-        patched_arrays: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
-        for key, (violations, counts) in self._base_column_arrays.items():
-            contribution = restricted(key, self._base_columns[key])
-            violations = regrown(violations)
-            counts = regrown(counts)
-            violations[row_array] = contribution[0]
-            counts[row_array] = contribution[1]
-            patched_arrays[key] = (violations, counts)
-        self._base_column_arrays = patched_arrays
+        self._base_column_arrays = {
+            key: patch_pair(key, self._base_columns[key], pair)
+            for key, pair in self._base_column_arrays.items()
+        }
         reused = (n - int(row_array.size)) * len(self._cache)
         return rescored, reused
 
@@ -745,7 +977,7 @@ class BatchViolationEngine:
                 obs.inc("engine.batch.cache_hits")
             return cached
         start = perf_counter() if obs is not None else 0.0
-        columns = _policy_columns(policy)
+        columns = policy_columns(policy)
         if self._base_fingerprint is not None:
             changed = self._changed_columns(columns)
             # Patch the cached totals when the candidate shares at least
@@ -777,58 +1009,62 @@ class BatchViolationEngine:
     def _changed_columns(
         self, columns: Mapping[tuple[str, str], _ColumnEntries]
     ) -> list[tuple[str, str]]:
-        keys = set(self._base_columns) | set(columns)
-        return [
-            key
-            for key in keys
-            if self._base_columns.get(key) != columns.get(key)
-        ]
+        # Sorted for determinism only (stable counters, wire payloads,
+        # and hash-randomization-proof traces); since totals are re-summed
+        # canonically by sum_column_arrays, the order no longer affects
+        # the numbers.
+        return list(changed_column_keys(self._base_columns, columns))
 
     def _evaluate_full(
         self, columns: Mapping[tuple[str, str], _ColumnEntries]
     ) -> _Evaluation:
-        n = len(self._compiled)
-        violations = np.zeros(n, dtype=np.float64)
-        counts = np.zeros(n, dtype=np.float64)
-        column_arrays: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
-        for key, entries in columns.items():
-            contribution = self._column_contribution(key, entries)
-            column_arrays[key] = contribution
-            violations += contribution[0]
-            counts += contribution[1]
+        column_arrays = {
+            key: self._column_contribution(key, entries)
+            for key, entries in columns.items()
+        }
+        violations, counts = sum_column_arrays(len(self._compiled), column_arrays)
         column_map = dict(columns)
         self._base_columns = column_map
         self._base_column_arrays = column_arrays
-        return _Evaluation(violations=violations, counts=counts, columns=column_map)
+        return _Evaluation(
+            violations=violations,
+            counts=counts,
+            columns=column_map,
+            column_arrays=column_arrays,
+        )
 
     def _evaluate_delta(
         self,
         columns: Mapping[tuple[str, str], _ColumnEntries],
         changed: Sequence[tuple[str, str]],
     ) -> _Evaluation:
-        base = self._cache.get(self._base_fingerprint)  # type: ignore[arg-type]
-        if base is None:  # base evicted from the cache: rebuild from columns
-            return self._evaluate_full(columns)
-        violations = base.violations.copy()
-        counts = base.counts.copy()
+        # Recompute only the changed columns, then re-sum every column
+        # vector canonically (sum_column_arrays).  The re-sum costs
+        # O(columns x rows) cheap adds but buys exactness: the result is
+        # bit-for-bit what _evaluate_full would produce for the same
+        # target, so delta, full, and cache-served paths are freely
+        # interchangeable — including across process boundaries in the
+        # worker delta protocol.  The base's column vectors live in
+        # _base_column_arrays, so cache eviction of the base report does
+        # not invalidate the delta path.
         new_columns = dict(self._base_columns)
         new_arrays = dict(self._base_column_arrays)
         for key in changed:
-            old = new_arrays.pop(key, None)
-            if old is not None:
-                violations -= old[0]
-                counts -= old[1]
-                del new_columns[key]
+            new_arrays.pop(key, None)
+            new_columns.pop(key, None)
             entries = columns.get(key)
             if entries:
-                contribution = self._column_contribution(key, entries)
-                new_arrays[key] = contribution
+                new_arrays[key] = self._column_contribution(key, entries)
                 new_columns[key] = entries
-                violations += contribution[0]
-                counts += contribution[1]
+        violations, counts = sum_column_arrays(len(self._compiled), new_arrays)
         self._base_columns = new_columns
         self._base_column_arrays = new_arrays
-        return _Evaluation(violations=violations, counts=counts, columns=new_columns)
+        return _Evaluation(
+            violations=violations,
+            counts=counts,
+            columns=new_columns,
+            column_arrays=new_arrays,
+        )
 
     def _column_contribution(
         self, key: tuple[str, str], entries: _ColumnEntries
@@ -879,7 +1115,7 @@ class BatchViolationEngine:
         n = len(compiled)
         budget = alpha * n
         counts = np.zeros(n, dtype=np.float64)
-        for key, entries in _policy_columns(policy).items():
+        for key, entries in policy_columns(policy).items():
             contribution = self._column_contribution(key, entries)
             counts += contribution[1]
             n_violated = int((counts > 0).sum())

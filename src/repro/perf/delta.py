@@ -1111,11 +1111,20 @@ class MutableBatchEngine:
 
         On failure the engine is left backend-less: evaluation raises a
         clear error, while :meth:`close` stays safe (and idempotent).
+        The old executor's column plan (if any) carries over to the new
+        one: the plan is population-independent, so the first policy of
+        the next round still goes out as a delta task decomposition-wise
+        — fresh workers hold no base and evaluate it full, but the
+        parent-side delta chain survives the rebuild.
         """
         old, self._inner = self._inner, None
+        plan = getattr(old, "plan", None) if old is not None else None
         if old is not None:
             old.close()
         self._inner = self._build_inner()
+        adopt = getattr(self._inner, "adopt_plan", None)
+        if plan is not None and adopt is not None:
+            adopt(plan)
         obs = active_observer()
         if obs is not None and self._workers > 1:
             obs.inc("delta.pool_rebuilds")

@@ -18,7 +18,18 @@ Execution model
   the parent concatenates them in shard order (deterministic regardless
   of completion order) and assembles one
   :class:`~repro.perf.batch.BatchReport` through the shared
-  :func:`~repro.perf.batch.assemble_report`.
+  :func:`~repro.perf.batch.assemble_report`.  Tasks carry a column
+  decomposition, not a pickled policy: the parent keeps a
+  :class:`~repro.perf.batch.ColumnPlan` naming the policy whose full
+  decomposition the workers last saw, and a consecutive policy sharing
+  that base ships only its changed ``(attribute, purpose)`` columns
+  (``parallel.delta_tasks``) — a worker holding the base patches its
+  resident shard arrays via the serial engine's column-delta kernels and
+  reports how many columns it rescored (``parallel.columns_rescored``).
+  A worker without the base (fresh fork, evicted cache) returns a miss
+  sentinel and the shard is replayed with the full decomposition
+  (``parallel.base_replays``); merged results are bit-for-bit identical
+  either way.
 * **Certify with early exit** — shards walk the policy's columns and
   share an "already failed" flag: a shard whose *local* violated count
   alone exceeds the global ``alpha x N`` budget trips the flag, other
@@ -46,7 +57,7 @@ import multiprocessing
 import os
 import signal
 from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
-from typing import Any, Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -60,10 +71,13 @@ from ..exceptions import ParallelExecutionError, ProcessKilled, ValidationError
 from ..obs import active_observer, observed
 from .batch import (
     BatchReport,
+    ColumnDelta,
+    ColumnPlan,
     PolicyFingerprint,
-    _policy_columns,
     assemble_report,
     column_contribution,
+    plan_delta,
+    policy_columns,
     policy_fingerprint,
 )
 from .compiled import CompiledColumn, CompiledPopulation
@@ -340,20 +354,82 @@ def _shard_engine(state: dict[str, Any], lo: int, hi: int):
     return engine
 
 
-def _eval_task(
-    policy: HousePolicy, lo: int, hi: int, collect_obs: bool
-) -> tuple[int, np.ndarray, np.ndarray, dict[str, Any] | None]:
+#: A worker eval result: ``(lo, violations, counts, rescored, snapshot)``.
+#: ``rescored`` counts the columns the shard engine actually recomputed;
+#: a delta task that found no resident base returns the miss sentinel
+#: ``(lo, None, None, -1, snapshot)`` and the parent replays the shard
+#: with a full decomposition.
+_EvalResult = tuple[
+    int, "np.ndarray | None", "np.ndarray | None", int, "dict[str, Any] | None"
+]
+
+
+def _eval_full_task(
+    fingerprint: PolicyFingerprint,
+    columns: Mapping[tuple[str, str], tuple],
+    lo: int,
+    hi: int,
+    collect_obs: bool,
+) -> _EvalResult:
+    """Evaluate one shard from a full column decomposition.
+
+    Establishes (or refreshes) the shard engine's resident base, so a
+    subsequent delta task against *fingerprint* can patch instead of
+    recompute.  The shard engine still applies its own delta cache when
+    it already holds a neighbouring base, so even "full" tasks pay only
+    the changed columns on a warm worker.
+    """
     state = _worker_state()
     _visit_task_site(state)
     engine = _shard_engine(state, lo, hi)
     if collect_obs:
         with observed() as obs:
-            violations, counts = engine.evaluate_arrays(policy)
+            violations, counts, rescored = engine.evaluate_decomposed(
+                fingerprint, columns
+            )
             snapshot = obs.registry.snapshot(include_samples=True)
     else:
-        violations, counts = engine.evaluate_arrays(policy)
+        violations, counts, rescored = engine.evaluate_decomposed(
+            fingerprint, columns
+        )
         snapshot = None
-    return lo, violations, counts, snapshot
+    return lo, violations, counts, rescored, snapshot
+
+
+def _eval_delta_task(
+    base_fingerprint: PolicyFingerprint,
+    fingerprint: PolicyFingerprint,
+    changed: ColumnDelta,
+    lo: int,
+    hi: int,
+    collect_obs: bool,
+) -> _EvalResult:
+    """Patch one shard's resident base with the changed columns only.
+
+    The delta protocol's O(changed columns) fast path: the payload
+    carries no policy and no unchanged columns.  When this worker's
+    shard engine does not hold *base_fingerprint* (fresh fork, evicted
+    base, or a pool where another worker owns the shard) the miss
+    sentinel is returned and the parent resubmits a full task.
+    """
+    state = _worker_state()
+    _visit_task_site(state)
+    engine = _shard_engine(state, lo, hi)
+    if collect_obs:
+        with observed() as obs:
+            patched = engine.apply_column_delta(
+                base_fingerprint, fingerprint, changed
+            )
+            snapshot = obs.registry.snapshot(include_samples=True)
+    else:
+        patched = engine.apply_column_delta(
+            base_fingerprint, fingerprint, changed
+        )
+        snapshot = None
+    if patched is None:
+        return lo, None, None, -1, snapshot
+    violations, counts, rescored = patched
+    return lo, violations, counts, rescored, snapshot
 
 
 def _certify_task(
@@ -393,7 +469,7 @@ def _certify_walk(
     implicit_zero = state["implicit_zero"]
     flag = state["flag"]
     counts = np.zeros(len(view), dtype=np.float64)
-    for key, entries in _policy_columns(policy).items():
+    for key, entries in policy_columns(policy).items():
         if flag.value:
             return counts, False
         contribution = column_contribution(
@@ -442,6 +518,15 @@ class ShardExecutor:
         parent plans are disarmed in children by design).  A ``kill``
         fault at :data:`TASK_FAULT_SITE` terminates the worker with
         SIGKILL, exercising the real broken-pool path.
+    column_delta:
+        Whether the worker column-delta protocol is enabled (default).
+        When on, consecutive policies sharing a worker-resident base ship
+        only their changed ``(attribute, purpose)`` columns per shard
+        task; a worker without the base returns a miss sentinel and the
+        shard is replayed with the full decomposition
+        (``parallel.base_replays``).  Pass ``False`` to force every task
+        to carry the full decomposition — the parity suites use this as
+        the reference fan-out.
     """
 
     def __init__(
@@ -456,6 +541,7 @@ class ShardExecutor:
         max_cached_reports: int = 128,
         worker_faults: Iterable[Any] = (),
         fault_seed: int = 0,
+        column_delta: bool = True,
     ) -> None:
         count = resolve_workers(workers)
         if isinstance(population, Population):
@@ -488,8 +574,17 @@ class ShardExecutor:
         meta, arrays = compiled.shared_state()
         self._meta = meta
         self._pack = SharedArrayPack(arrays)
-        self._cache: dict[PolicyFingerprint, BatchReport] = {}
+        # Merged report plus the raw (violations, counts) arrays, so
+        # evaluate_arrays repeats are served parent-side without a
+        # fan-out, exactly like the serial engine's cache.
+        self._cache: dict[
+            PolicyFingerprint, tuple[BatchReport, np.ndarray, np.ndarray]
+        ] = {}
         self._max_cached = int(max_cached_reports)
+        self._column_delta = bool(column_delta)
+        # The worker delta protocol's parent-side state: the policy whose
+        # full decomposition the shard workers hold as their base.
+        self._plan: ColumnPlan | None = None
         self._closed = False
         methods = multiprocessing.get_all_start_methods()
         start_method = "fork" if "fork" in methods else None
@@ -592,10 +687,17 @@ class ShardExecutor:
             obs = active_observer()
             if obs is not None:
                 obs.inc("parallel.cache_hits")
-            return cached
+            report = cached[0]
+            if report.policy_name != policy.name:
+                # Mirror the serial engine: a content hit reports the
+                # requested policy's name (renamed same-fingerprint
+                # policies, e.g. widening past saturation).
+                report = self._assemble(policy.name, cached[1], cached[2])
+                self._cache[fingerprint] = (report, cached[1], cached[2])
+            return report
         violations, counts = self._fan_out(policy)
         report = self._assemble(policy.name, violations, counts)
-        self._remember(fingerprint, report)
+        self._remember(fingerprint, report, violations, counts)
         return report
 
     def report(self, policy: HousePolicy) -> BatchReport:
@@ -605,12 +707,23 @@ class ShardExecutor:
     def evaluate_arrays(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
         """Raw merged ``(violations, counts)`` arrays for *policy*.
 
-        Always fans out (the report cache keeps merged reports, not the
-        raw finding counts); workers still serve repeats from their own
-        per-shard caches.
+        Served parent-side from the same cache as :meth:`evaluate` (the
+        cache keeps the raw arrays alongside the merged report), so
+        repeats cost no fan-out at all.  The returned arrays are cached
+        state and must not be mutated.
         """
         self._check_policy(policy)
-        return self._fan_out(policy)
+        fingerprint = policy_fingerprint(policy)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.cache_hits")
+            return cached[1], cached[2]
+        violations, counts = self._fan_out(policy)
+        report = self._assemble(policy.name, violations, counts)
+        self._remember(fingerprint, report, violations, counts)
+        return violations, counts
 
     def evaluate_policies(
         self, policies: Iterable[HousePolicy]
@@ -619,34 +732,61 @@ class ShardExecutor:
 
         All uncached ``(policy, shard)`` tasks are submitted up front,
         so workers flow straight from one policy's shards into the
-        next's while the parent merges completed ones in order.
+        next's while the parent merges completed ones in order.  The
+        column plan is advanced at submit time, so each candidate's
+        tasks carry only its delta against the previous candidate —
+        the widening-path shape stays O(changed columns) per shard even
+        inside one pipelined call.
         """
         policies = list(policies)
         for policy in policies:
             self._check_policy(policy)
-        pending: dict[int, list[Future]] = {}
+        pending: dict[
+            int, tuple[PolicyFingerprint, Mapping, list[Future]]
+        ] = {}
         collect = active_observer() is not None
         self._ensure_open()
         for index, policy in enumerate(policies):
-            if policy_fingerprint(policy) in self._cache:
+            fingerprint = policy_fingerprint(policy)
+            if fingerprint in self._cache:
                 continue
-            pending[index] = [
-                self._pool.submit(_eval_task, policy, lo, hi, collect)
-                for lo, hi in self._bounds
-            ]
+            columns = policy_columns(policy)
+            futures = self._submit_eval(fingerprint, columns, collect)
+            pending[index] = (fingerprint, columns, futures)
         reports: list[BatchReport] = []
         for index, policy in enumerate(policies):
             fingerprint = policy_fingerprint(policy)
             cached = self._cache.get(fingerprint)
             if cached is not None and index not in pending:
-                reports.append(cached)
+                reports.append(cached[0])
                 continue
-            parts = self._gather(pending[index])
+            fingerprint, columns, futures = pending[index]
+            parts = self._finish_eval(
+                fingerprint, columns, self._gather(futures), collect
+            )
             violations, counts = self._merge_parts(parts)
             report = self._assemble(policy.name, violations, counts)
-            self._remember(fingerprint, report)
+            self._remember(fingerprint, report, violations, counts)
             reports.append(report)
         return reports
+
+    def adopt_plan(self, plan: ColumnPlan | None) -> None:
+        """Install a previous executor's column plan as this pool's.
+
+        The incremental engine calls this after an append/update pool
+        rebuild: the plan describes the policy (not the providers), so
+        the delta chain continues across the rebuild — the first
+        evaluation's shard tasks still diff against the pre-rebuild
+        policy, and the fresh workers' misses are replayed as ordinary
+        base replays.  A no-op when the delta protocol is disabled.
+        """
+        if self._column_delta:
+            self._plan = plan
+
+    @property
+    def plan(self) -> ColumnPlan | None:
+        """The worker-resident base the next evaluation will diff against."""
+        return self._plan
 
     def certify(
         self,
@@ -764,11 +904,90 @@ class ShardExecutor:
     def _fan_out(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
         self._ensure_open()
         collect = active_observer() is not None
-        futures = [
-            self._pool.submit(_eval_task, policy, lo, hi, collect)
-            for lo, hi in self._bounds
-        ]
-        return self._merge_parts(self._gather(futures))
+        fingerprint = policy_fingerprint(policy)
+        columns = policy_columns(policy)
+        futures = self._submit_eval(fingerprint, columns, collect)
+        parts = self._finish_eval(
+            fingerprint, columns, self._gather(futures), collect
+        )
+        return self._merge_parts(parts)
+
+    def _submit_eval(
+        self,
+        fingerprint: PolicyFingerprint,
+        columns: Mapping,
+        collect: bool,
+    ) -> list[Future]:
+        """Submit one policy's shard tasks, delta-shaped where possible.
+
+        Advances the column plan to *fingerprint* — callers submit
+        policies in evaluation order, so consecutive submissions chain
+        their deltas exactly like the serial engine's base.
+        """
+        delta = plan_delta(self._plan, columns) if self._column_delta else None
+        if delta is None:
+            futures = [
+                self._pool.submit(
+                    _eval_full_task, fingerprint, columns, lo, hi, collect
+                )
+                for lo, hi in self._bounds
+            ]
+        else:
+            base = self._plan.fingerprint
+            futures = [
+                self._pool.submit(
+                    _eval_delta_task, base, fingerprint, delta, lo, hi, collect
+                )
+                for lo, hi in self._bounds
+            ]
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.delta_tasks", len(futures))
+        if self._column_delta:
+            self._plan = ColumnPlan(fingerprint=fingerprint, columns=dict(columns))
+        return futures
+
+    def _finish_eval(
+        self,
+        fingerprint: PolicyFingerprint,
+        columns: Mapping,
+        parts: list[tuple],
+        collect: bool,
+    ) -> list[tuple]:
+        """Resolve delta misses by replaying full tasks; count columns.
+
+        A miss sentinel means the worker that drew the task holds no
+        resident base for the shard (fresh fork, evicted engine cache, or
+        a pool where another worker last evaluated it) — the shard is
+        resubmitted with the full decomposition and counted on
+        ``parallel.base_replays``.
+        """
+        good = [part for part in parts if part[1] is not None]
+        missed = [part for part in parts if part[1] is None]
+        if missed:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.base_replays", len(missed))
+            hi_for = dict(self._bounds)
+            futures = [
+                self._pool.submit(
+                    _eval_full_task,
+                    fingerprint,
+                    columns,
+                    part[0],
+                    hi_for[part[0]],
+                    collect,
+                )
+                for part in missed
+            ]
+            good.extend(self._gather(futures))
+        obs = active_observer()
+        if obs is not None:
+            obs.inc(
+                "parallel.columns_rescored",
+                sum(int(part[3]) for part in good),
+            )
+        return good
 
     def _merge_parts(
         self, parts: list[tuple]
@@ -820,11 +1039,15 @@ class ShardExecutor:
         )
 
     def _remember(
-        self, fingerprint: PolicyFingerprint, report: BatchReport
+        self,
+        fingerprint: PolicyFingerprint,
+        report: BatchReport,
+        violations: np.ndarray,
+        counts: np.ndarray,
     ) -> None:
         if fingerprint not in self._cache and len(self._cache) >= self._max_cached:
             del self._cache[next(iter(self._cache))]
-        self._cache[fingerprint] = report
+        self._cache[fingerprint] = (report, violations, counts)
 
     def _check_policy(self, policy: HousePolicy) -> None:
         if not isinstance(policy, HousePolicy):

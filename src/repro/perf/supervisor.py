@@ -84,7 +84,7 @@ import threading
 import time
 from collections import deque
 from collections.abc import Callable, Iterable, Mapping
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import Connection, wait as _connection_wait
 from typing import Any
 
@@ -106,8 +106,11 @@ from ..exceptions import (
 from ..obs import active_observer, observed
 from .batch import (
     BatchReport,
+    ColumnPlan,
     PolicyFingerprint,
     assemble_report,
+    plan_delta,
+    policy_columns,
     policy_fingerprint,
 )
 from .compiled import CompiledPopulation
@@ -248,8 +251,10 @@ def _worker_main(
             _, task_id, kind, payload = message
             try:
                 _visit_supervised_site(plan)
-                if kind == "eval":
-                    result = _eval_shard(state, *payload)
+                if kind == "eval_full":
+                    result = _eval_full_shard(state, *payload)
+                elif kind == "eval_delta":
+                    result = _eval_delta_shard(state, *payload)
                 else:
                     result = _certify_shard(state, *payload)
             except BaseException as exc:
@@ -271,22 +276,69 @@ def _worker_main(
         segment.close()
 
 
-def _eval_shard(
+def _eval_full_shard(
     state: dict[str, Any],
-    policy: HousePolicy,
+    fingerprint: PolicyFingerprint,
+    columns: Mapping[tuple[str, str], tuple],
     lo: int,
     hi: int,
     collect_obs: bool,
-) -> tuple[int, np.ndarray, np.ndarray, dict[str, Any] | None]:
+) -> tuple[int, np.ndarray, np.ndarray, int, dict[str, Any] | None]:
+    """A full-decomposition eval task: the delta protocol's base form.
+
+    The worker's shard engine still applies its *own* resident-base
+    delta internally (``evaluate_decomposed``), so a "full" wire task on
+    a warm worker usually pays only the changed columns; *rescored*
+    reports what was actually recomputed.
+    """
     engine = _shard_engine(state, lo, hi)
     if collect_obs:
         with observed() as obs:
-            violations, counts = engine.evaluate_arrays(policy)
+            violations, counts, rescored = engine.evaluate_decomposed(
+                fingerprint, columns
+            )
             snapshot = obs.registry.snapshot(include_samples=True)
     else:
-        violations, counts = engine.evaluate_arrays(policy)
+        violations, counts, rescored = engine.evaluate_decomposed(
+            fingerprint, columns
+        )
         snapshot = None
-    return lo, violations, counts, snapshot
+    return lo, violations, counts, rescored, snapshot
+
+
+def _eval_delta_shard(
+    state: dict[str, Any],
+    base_fingerprint: PolicyFingerprint,
+    fingerprint: PolicyFingerprint,
+    changed: Mapping[tuple[str, str], tuple | None],
+    lo: int,
+    hi: int,
+    collect_obs: bool,
+) -> tuple[
+    int, np.ndarray | None, np.ndarray | None, int, dict[str, Any] | None
+]:
+    """A delta eval task: only the changed columns cross the pipe.
+
+    Returns the miss sentinel ``(lo, None, None, -1, snapshot)`` when
+    this worker no longer holds *base_fingerprint* for the shard (its
+    engine cache evicted it); the parent then replays a full task.
+    """
+    engine = _shard_engine(state, lo, hi)
+    if collect_obs:
+        with observed() as obs:
+            patched = engine.apply_column_delta(
+                base_fingerprint, fingerprint, changed
+            )
+            snapshot = obs.registry.snapshot(include_samples=True)
+    else:
+        patched = engine.apply_column_delta(
+            base_fingerprint, fingerprint, changed
+        )
+        snapshot = None
+    if patched is None:
+        return lo, None, None, -1, snapshot
+    violations, counts, rescored = patched
+    return lo, violations, counts, rescored, snapshot
 
 
 def _certify_shard(
@@ -314,7 +366,16 @@ def _certify_shard(
 
 @dataclass(slots=True)
 class _Task:
-    """One dispatchable ``(policy, shard)`` unit of work."""
+    """One dispatchable ``(policy, shard)`` unit of work.
+
+    Eval tasks carry the policy's decomposition (*fingerprint*,
+    *columns*) plus, when the executor's column plan applies, the delta
+    against it (*base_fingerprint*, *changed*).  The wire form — compact
+    delta vs full decomposition — is decided per worker at dispatch
+    time, so a retried task can go out as a delta to one worker and as
+    a full task to another.  *force_full* is set after a worker reports
+    a delta miss: the replay must ship the full decomposition.
+    """
 
     id: int
     kind: str  # "eval" | "certify"
@@ -324,11 +385,11 @@ class _Task:
     collect: bool
     budget: float | None = None
     attempts: int = 0
-
-    def payload(self) -> tuple:
-        if self.kind == "eval":
-            return (self.policy, self.lo, self.hi, self.collect)
-        return (self.policy, self.lo, self.hi, self.budget, self.collect)
+    fingerprint: PolicyFingerprint | None = None
+    columns: dict[tuple[str, str], tuple] | None = None
+    base_fingerprint: PolicyFingerprint | None = None
+    changed: dict[tuple[str, str], tuple | None] | None = None
+    force_full: bool = False
 
 
 @dataclass(slots=True)
@@ -341,6 +402,13 @@ class _WorkerHandle:
     task: _Task | None = None
     dispatched_at: float = 0.0
     last_heartbeat: float = 0.0
+    # Latest evaluated policy fingerprint per (lo, hi) shard this worker
+    # has served: the dispatcher's base-affinity map.  A fresh handle
+    # (spawn or respawn) starts empty, so a respawned worker always gets
+    # full tasks first — the protocol's base replay.
+    shard_bases: dict[tuple[int, int], PolicyFingerprint] = field(
+        default_factory=dict
+    )
 
 
 #: A completion callback: receives the task and its raw result tuple in
@@ -363,8 +431,13 @@ class SupervisedExecutor:
     Parameters
     ----------
     population, workers, shards, sensitivities, default_model, \
-implicit_zero, max_cached_reports:
+implicit_zero, max_cached_reports, column_delta:
         As for :class:`~repro.perf.parallel.ShardExecutor`.
+        *column_delta* enables the worker delta protocol: the parent
+        tracks which policy each worker last evaluated per shard and
+        ships only changed ``(attribute, purpose)`` columns when the
+        worker holds the base, with base-affinity dispatch keeping
+        workers on the shards they are warm for.
     worker_faults, fault_seed, fault_worker_indices:
         Chaos hook: fault specs for a fresh per-worker plan seeded
         ``fault_seed + spawn_index``; *fault_worker_indices* (an iterable
@@ -401,6 +474,7 @@ implicit_zero, max_cached_reports:
         default_model: DefaultModel | None = None,
         implicit_zero: bool = True,
         max_cached_reports: int = 128,
+        column_delta: bool = True,
         worker_faults: Iterable[Any] = (),
         fault_seed: int = 0,
         fault_worker_indices: Iterable[int] | None = None,
@@ -458,8 +532,16 @@ implicit_zero, max_cached_reports:
         # run, which is what keeps degraded sweeps bit-for-bit.
         self._arrays = arrays
         self._pack = SharedArrayPack(arrays)
-        self._cache: dict[PolicyFingerprint, BatchReport] = {}
+        # fingerprint -> (report | None, violations, counts): arrays are
+        # always cached; the merged report is assembled lazily the first
+        # time a report-shaped caller asks for it.
+        self._cache: dict[
+            PolicyFingerprint,
+            tuple[BatchReport | None, np.ndarray, np.ndarray],
+        ] = {}
         self._max_cached = int(max_cached_reports)
+        self._column_delta = bool(column_delta)
+        self._plan: ColumnPlan | None = None
         self._worker_faults = tuple(worker_faults)
         self._fault_seed = int(fault_seed)
         self._fault_worker_indices = (
@@ -599,10 +681,18 @@ implicit_zero, max_cached_reports:
             obs = active_observer()
             if obs is not None:
                 obs.inc("supervisor.cache_hits")
-            return cached
+            report = cached[0]
+            if report is None or report.policy_name != policy.name:
+                # Assemble (or re-label) from the cached arrays: the
+                # serial engine reports the *requested* policy's name on
+                # content hits, so renamed same-fingerprint policies —
+                # e.g. a widening path past saturation — match it here.
+                report = self._assemble(policy.name, cached[1], cached[2])
+                self._cache[fingerprint] = (report, cached[1], cached[2])
+            return report
         violations, counts = self._fan_out(policy)
         report = self._assemble(policy.name, violations, counts)
-        self._remember(fingerprint, report)
+        self._remember(fingerprint, report, violations, counts)
         return report
 
     def report(self, policy: HousePolicy) -> BatchReport:
@@ -612,9 +702,23 @@ implicit_zero, max_cached_reports:
     def evaluate_arrays(
         self, policy: HousePolicy
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Raw merged ``(violations, counts)`` arrays for *policy*."""
+        """Raw merged ``(violations, counts)`` arrays for *policy*.
+
+        Served parent-side from the executor cache on repeats, like the
+        serial engine; the returned arrays are cached state and must not
+        be mutated.
+        """
         self._check_policy(policy)
-        return self._fan_out(policy)
+        fingerprint = policy_fingerprint(policy)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("supervisor.cache_hits")
+            return cached[1], cached[2]
+        violations, counts = self._fan_out(policy)
+        self._remember(fingerprint, None, violations, counts)
+        return violations, counts
 
     def evaluate_arrays_sharded(
         self,
@@ -639,6 +743,7 @@ implicit_zero, max_cached_reports:
         restored = dict(precomputed or {})
         parts: list[tuple] = []
         tasks: list[_Task] = []
+        decomposition = self._decompose(policy)
         for lo, hi in self._bounds:
             known = restored.get((lo, hi))
             if known is not None:
@@ -646,7 +751,11 @@ implicit_zero, max_cached_reports:
                 counts = np.asarray(known[1], dtype=np.float64)
                 parts.append((lo, violations, counts, None))
                 continue
-            tasks.append(self._make_task("eval", policy, lo, hi))
+            tasks.append(
+                self._make_task(
+                    "eval", policy, lo, hi, decomposition=decomposition
+                )
+            )
         on_result: _OnResult | None = None
         if on_shard is not None:
             by_id = {task.id: task for task in tasks}
@@ -674,8 +783,11 @@ implicit_zero, max_cached_reports:
         for index, policy in enumerate(policies):
             if policy_fingerprint(policy) in self._cache:
                 continue
+            decomposition = self._decompose(policy)
             shard_tasks = [
-                self._make_task("eval", policy, lo, hi)
+                self._make_task(
+                    "eval", policy, lo, hi, decomposition=decomposition
+                )
                 for lo, hi in self._bounds
             ]
             pending_tasks[index] = shard_tasks
@@ -686,12 +798,16 @@ implicit_zero, max_cached_reports:
             fingerprint = policy_fingerprint(policy)
             cached = self._cache.get(fingerprint)
             if cached is not None and index not in pending_tasks:
-                reports.append(cached)
+                report = cached[0]
+                if report is None:
+                    report = self._assemble(policy.name, cached[1], cached[2])
+                    self._cache[fingerprint] = (report, cached[1], cached[2])
+                reports.append(report)
                 continue
             parts = [done[task.id] for task in pending_tasks[index]]
             violations, counts = self._merge_parts(parts)
             report = self._assemble(policy.name, violations, counts)
-            self._remember(fingerprint, report)
+            self._remember(fingerprint, report, violations, counts)
             reports.append(report)
         return reports
 
@@ -829,11 +945,66 @@ implicit_zero, max_cached_reports:
         )
 
     def _fan_out(self, policy: HousePolicy) -> tuple[np.ndarray, np.ndarray]:
+        decomposition = self._decompose(policy)
         tasks = [
-            self._make_task("eval", policy, lo, hi) for lo, hi in self._bounds
+            self._make_task(
+                "eval", policy, lo, hi, decomposition=decomposition
+            )
+            for lo, hi in self._bounds
         ]
         done = self._execute(tasks, None)
         return self._merge_parts(done[task.id] for task in tasks)
+
+    @property
+    def plan(self) -> ColumnPlan | None:
+        """The current column plan (None before the first eval fan-out)."""
+        return self._plan
+
+    def adopt_plan(self, plan: ColumnPlan | None) -> None:
+        """Warm-start the delta protocol from another executor's plan.
+
+        Called by the incremental engine when a structural mutation
+        rebuilds the worker pool: the plan is population-independent
+        (fingerprint + column decomposition only), so the next policy's
+        delta is computed against it immediately.  Fresh workers hold no
+        base, so their first tasks go out full regardless — adopting a
+        plan never risks correctness, it only skips the parent-side
+        plan warm-up round.  A no-op when the protocol is disabled.
+        """
+        if self._column_delta:
+            self._plan = plan
+
+    def _decompose(
+        self, policy: HousePolicy
+    ) -> tuple[
+        PolicyFingerprint,
+        dict[tuple[str, str], tuple],
+        PolicyFingerprint | None,
+        dict[tuple[str, str], tuple | None] | None,
+    ]:
+        """Per-policy delta bookkeeping, computed once per fan-out.
+
+        Returns ``(fingerprint, columns, base_fingerprint, changed)``
+        and advances the executor's column plan, so consecutive policies
+        chain deltas even while earlier fan-outs are still in flight
+        (``evaluate_policies`` pipelining).  ``base_fingerprint`` /
+        ``changed`` are ``None`` when no plan applies (protocol off,
+        first policy, or the delta would touch every column).
+        """
+        fingerprint = policy_fingerprint(policy)
+        columns = policy_columns(policy)
+        base_fingerprint: PolicyFingerprint | None = None
+        changed: dict[tuple[str, str], tuple | None] | None = None
+        if self._column_delta:
+            delta = plan_delta(self._plan, columns)
+            if delta is not None and self._plan is not None:
+                base_fingerprint = self._plan.fingerprint
+                changed = delta
+            if self._plan is None or self._plan.fingerprint != fingerprint:
+                self._plan = ColumnPlan(
+                    fingerprint=fingerprint, columns=dict(columns)
+                )
+        return fingerprint, dict(columns), base_fingerprint, changed
 
     def _make_task(
         self,
@@ -843,8 +1014,9 @@ implicit_zero, max_cached_reports:
         hi: int,
         *,
         budget: float | None = None,
+        decomposition: tuple | None = None,
     ) -> _Task:
-        return _Task(
+        task = _Task(
             id=next(self._task_ids),
             kind=kind,
             policy=policy,
@@ -853,6 +1025,14 @@ implicit_zero, max_cached_reports:
             collect=active_observer() is not None,
             budget=budget,
         )
+        if decomposition is not None:
+            (
+                task.fingerprint,
+                task.columns,
+                task.base_fingerprint,
+                task.changed,
+            ) = decomposition
+        return task
 
     def _execute(
         self, tasks: list[_Task], on_result: _OnResult | None
@@ -948,31 +1128,103 @@ implicit_zero, max_cached_reports:
                 obs.inc("supervisor.restarts")
             self._spawn_worker()
 
+    def _pick_task(
+        self, handle: _WorkerHandle, pending: deque[_Task], force: bool
+    ) -> _Task | None:
+        """Pop the pending task this worker should run next, or decline.
+
+        Base affinity: prefer a task for a shard this worker has already
+        served (its engine holds that shard's arrays and base), then a
+        task for a shard *no* live worker has served (route fresh shards
+        to fresh workers instead of stealing a warm worker's shard).
+        Past that, unless *force*, decline tasks whose shard another
+        **idle** worker is warm for — the dispatch loop's first pass lets
+        that worker claim them, its second pass force-assigns whatever
+        is left so no worker ever idles while tasks are pending.  Keeps
+        each worker patching its own shards round over round, which is
+        what makes delta tasks the steady state under the column
+        protocol.
+        """
+        if self._column_delta:
+            if handle.shard_bases:
+                for index, task in enumerate(pending):
+                    if (task.lo, task.hi) in handle.shard_bases:
+                        del pending[index]
+                        return task
+            served = set()
+            for other in self._live:
+                served.update(other.shard_bases)
+            for index, task in enumerate(pending):
+                if (task.lo, task.hi) not in served:
+                    del pending[index]
+                    return task
+            if not force:
+                reserved = set()
+                for other in self._live:
+                    if other is not handle and other.task is None:
+                        reserved.update(other.shard_bases)
+                for index, task in enumerate(pending):
+                    if (task.lo, task.hi) not in reserved:
+                        del pending[index]
+                        return task
+                return None
+        return pending.popleft()
+
+    def _wire_message(self, handle: _WorkerHandle, task: _Task) -> tuple:
+        """The pipe message for *task*, shaped for this specific worker."""
+        if task.kind != "eval":
+            payload = (task.policy, task.lo, task.hi, task.budget, task.collect)
+            return ("task", task.id, "certify", payload)
+        if (
+            not task.force_full
+            and task.changed is not None
+            and task.base_fingerprint is not None
+            and handle.shard_bases.get((task.lo, task.hi))
+            == task.base_fingerprint
+        ):
+            obs = active_observer()
+            if obs is not None:
+                obs.inc("parallel.delta_tasks")
+            payload = (
+                task.base_fingerprint,
+                task.fingerprint,
+                task.changed,
+                task.lo,
+                task.hi,
+                task.collect,
+            )
+            return ("task", task.id, "eval_delta", payload)
+        payload = (task.fingerprint, task.columns, task.lo, task.hi, task.collect)
+        return ("task", task.id, "eval_full", payload)
+
     def _dispatch(
         self,
         pending: deque[_Task],
         done: dict[int, tuple],
         on_result: _OnResult | None,
     ) -> None:
-        for handle in list(self._live):
-            if not pending:
-                return
-            if handle.task is not None:
-                continue
-            task = pending.popleft()
-            try:
-                handle.conn.send(("task", task.id, task.kind, task.payload()))
-            except (OSError, ValueError):
-                # Found dead at dispatch: the task was never attempted,
-                # so requeue it without charging a retry.
-                pending.appendleft(task)
-                self._worker_died(
-                    handle, pending, done, on_result,
-                    "worker pipe closed before dispatch",
-                )
-                continue
-            handle.task = task
-            handle.dispatched_at = self._clock()
+        for force in (False, True):
+            for handle in list(self._live):
+                if not pending:
+                    return
+                if handle.task is not None:
+                    continue
+                task = self._pick_task(handle, pending, force)
+                if task is None:
+                    continue
+                try:
+                    handle.conn.send(self._wire_message(handle, task))
+                except (OSError, ValueError):
+                    # Found dead at dispatch: the task was never
+                    # attempted, so requeue it without charging a retry.
+                    pending.appendleft(task)
+                    self._worker_died(
+                        handle, pending, done, on_result,
+                        "worker pipe closed before dispatch",
+                    )
+                    continue
+                handle.task = task
+                handle.dispatched_at = self._clock()
 
     def _wait_objects(self) -> list[Any]:
         objects: list[Any] = []
@@ -1029,8 +1281,25 @@ implicit_zero, max_cached_reports:
             _, task_id, result = message
             task = handle.task
             handle.task = None
-            if task is not None and task.id == task_id and task.id not in done:
-                self._complete(task, result, done, on_result)
+            if task is None or task.id != task_id or task.id in done:
+                return
+            if task.kind == "eval" and result[1] is None:
+                # Delta miss: the worker's engine cache evicted the base
+                # for this shard.  Replay the full decomposition without
+                # charging a retry — nothing failed, state just aged out.
+                handle.shard_bases.pop((task.lo, task.hi), None)
+                task.force_full = True
+                obs = active_observer()
+                if obs is not None:
+                    obs.inc("parallel.base_replays")
+                    snapshot = result[-1]
+                    if snapshot:
+                        obs.merge_snapshot(snapshot)
+                pending.append(task)
+                return
+            if task.kind == "eval":
+                handle.shard_bases[(task.lo, task.hi)] = task.fingerprint
+            self._complete(task, result, done, on_result)
             return
         if kind == "err":
             _, task_id, reason = message
@@ -1053,6 +1322,12 @@ implicit_zero, max_cached_reports:
         obs = active_observer()
         if obs is not None:
             obs.inc("supervisor.tasks")
+            if (
+                task.kind == "eval"
+                and len(result) >= 5
+                and result[3] is not None
+            ):
+                obs.inc("parallel.columns_rescored", int(result[3]))
             snapshot = result[-1]
             if snapshot:
                 obs.merge_snapshot(snapshot)
@@ -1130,9 +1405,15 @@ implicit_zero, max_cached_reports:
             )
         )
         if task.kind == "eval":
+            # The parent's per-shard serial engines persist across
+            # sweeps, so degradation rides the serial engine's own
+            # column-delta cache: a degraded round-over-round shard
+            # still pays only its changed columns.
             engine = self._serial_engine(task.lo, task.hi)
-            violations, counts = engine.evaluate_arrays(task.policy)
-            result: tuple = (task.lo, violations, counts, None)
+            violations, counts, rescored = engine.evaluate_decomposed(
+                task.fingerprint, task.columns
+            )
+            result: tuple = (task.lo, violations, counts, rescored, None)
         else:
             counts, exhausted = _certify_walk(
                 self._parent_state(),
@@ -1232,11 +1513,15 @@ implicit_zero, max_cached_reports:
         )
 
     def _remember(
-        self, fingerprint: PolicyFingerprint, report: BatchReport
+        self,
+        fingerprint: PolicyFingerprint,
+        report: BatchReport | None,
+        violations: np.ndarray,
+        counts: np.ndarray,
     ) -> None:
         if fingerprint not in self._cache and len(self._cache) >= self._max_cached:
             del self._cache[next(iter(self._cache))]
-        self._cache[fingerprint] = report
+        self._cache[fingerprint] = (report, violations, counts)
 
     def _check_policy(self, policy: HousePolicy) -> None:
         if not isinstance(policy, HousePolicy):

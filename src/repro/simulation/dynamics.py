@@ -133,7 +133,9 @@ def run_dynamics(
     previous_policy: HousePolicy | None = None
     # One engine — one compilation and, under a parallel execution policy,
     # one worker pool on one shared-memory export — serves every round:
-    # departures are tombstoned in place rather than triggering a rebuild.
+    # departures are tombstoned in place rather than triggering a rebuild,
+    # and consecutive round policies ship only their changed columns to
+    # the warm workers (the column-delta protocol; docs/performance.md).
     engine = make_batch_engine(
         current_population, workers=workers, implicit_zero=implicit_zero
     )

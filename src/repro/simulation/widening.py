@@ -127,18 +127,15 @@ def policy_delta_columns(
     cached evaluation of *previous* stays valid for every other column.
     Grouping uses :func:`repro.perf.batch.policy_columns`, the same
     decomposition the batch kernels evaluate, so "differs" here means
-    exactly "evaluates differently" there.
+    exactly "evaluates differently" there — and the diff itself is
+    :func:`repro.perf.batch.changed_column_keys`, the one helper the
+    serial delta path and the worker column-delta protocol also use.
     """
-    from ..perf.batch import policy_columns
+    from ..perf.batch import changed_column_keys, policy_columns
 
-    before = policy_columns(previous)
-    after = policy_columns(current)
-    changed = {
-        key
-        for key in before.keys() | after.keys()
-        if before.get(key) != after.get(key)
-    }
-    return tuple(sorted(changed))
+    return changed_column_keys(
+        policy_columns(previous), policy_columns(current)
+    )
 
 
 def widening_policies(
